@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Each benchmark regenerates one table or figure from the paper, times the
+computation with pytest-benchmark, asserts the reproduced values against
+the published ones, and writes the rendered artifact to
+``benchmarks/output/`` so the reproduction can be inspected side by side
+with the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a rendered table/figure to benchmarks/output/<name>.txt."""
+
+    def _save(name: str, content: str) -> pathlib.Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(content + "\n")
+        return path
+
+    return _save

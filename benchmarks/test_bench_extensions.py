@@ -1,0 +1,136 @@
+"""Extension benches: performability, upgrade strategies, human error.
+
+These regenerate the "future work" analyses (paper Section 4 scope
+notes) rather than published artifacts; the assertions pin the
+qualitative conclusions so regressions in the extension models surface.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.ctmc import steady_state_availability
+from repro.models.jsas import (
+    PAPER_PARAMETERS,
+    build_hadb_pair_model,
+    build_hadb_pair_model_with_human_error,
+    compare_upgrade_strategies,
+    evaluate_performability,
+    extension_values,
+)
+from repro.units import HOURS_PER_YEAR
+
+VALUES = extension_values(PAPER_PARAMETERS.to_dict())
+
+
+def run_performability():
+    return {n: evaluate_performability(n, VALUES) for n in (2, 3, 4, 6)}
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_performability(benchmark, save_artifact):
+    results = benchmark(run_performability)
+
+    table = render_table(
+        ["instances", "expected capacity", "availability",
+         "lost capacity (min/yr)", "degraded-service (min/yr)"],
+        [
+            (
+                str(n),
+                f"{r.expected_capacity:.5%}",
+                f"{r.availability:.7%}",
+                f"{r.lost_capacity_minutes:.1f}",
+                f"{r.degraded_minutes:.1f}",
+            )
+            for n, r in results.items()
+        ],
+        title="Performability of the AS cluster (capacity rewards)",
+    )
+    save_artifact("extensions_performability", table)
+
+    # Capacity improves with instances; degraded time dwarfs outage time.
+    capacities = [results[n].expected_capacity for n in (2, 3, 4, 6)]
+    assert capacities == sorted(capacities)
+    assert results[2].degraded_minutes > 50 * (
+        results[2].lost_capacity_minutes - results[2].degraded_minutes
+    )
+
+
+def run_upgrades():
+    return {n: compare_upgrade_strategies(n, VALUES) for n in (2, 4)}
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_upgrade_strategies(benchmark, save_artifact):
+    comparisons = benchmark(run_upgrades)
+
+    table = render_table(
+        ["instances", "no upgrades", "single-cluster rolling",
+         "dual-cluster"],
+        [
+            (
+                str(n),
+                f"{c.no_upgrades:.3f}",
+                f"{c.single_cluster_rolling:.3f}",
+                f"{c.dual_cluster:.3f}",
+            )
+            for n, c in comparisons.items()
+        ],
+        title="AS yearly downtime (min) under upgrade strategies, "
+        "12 campaigns/yr",
+    )
+    save_artifact("extensions_upgrades", table)
+
+    two, four = comparisons[2], comparisons[4]
+    assert two.single_cluster_rolling > two.no_upgrades
+    assert two.dual_cluster < two.single_cluster_rolling
+    rolling_penalty_4 = four.single_cluster_rolling - four.no_upgrades
+    assert rolling_penalty_4 < 0.01  # rolling is ~free at 4 instances
+
+
+def run_human_error():
+    model = build_hadb_pair_model_with_human_error()
+    baseline = steady_state_availability(build_hadb_pair_model(), VALUES)
+    scenarios = {}
+    for per_year_count, fhe in ((0, 0.0), (12, 0.02), (52, 0.02), (52, 0.10)):
+        values = dict(
+            VALUES, La_human=per_year_count / HOURS_PER_YEAR, FHE=fhe
+        )
+        scenarios[(per_year_count, fhe)] = steady_state_availability(
+            model, values
+        )
+    return baseline, scenarios
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_human_error(benchmark, save_artifact):
+    baseline, scenarios = benchmark(run_human_error)
+
+    table = render_table(
+        ["interventions/yr", "catastrophic fraction",
+         "pair downtime (min/yr)", "delta vs paper model"],
+        [
+            (
+                str(count),
+                f"{fhe:.0%}",
+                f"{result.yearly_downtime_minutes:.3f}",
+                f"{result.yearly_downtime_minutes - baseline.yearly_downtime_minutes:+.3f}",
+            )
+            for (count, fhe), result in scenarios.items()
+        ],
+        title="Human error during reduced-redundancy windows (HADB pair)",
+    )
+    save_artifact("extensions_human_error", table)
+
+    # Disabled human error reproduces the paper model exactly.
+    assert scenarios[(0, 0.0)].availability == pytest.approx(
+        baseline.availability, rel=1e-12
+    )
+    # Downtime is monotone in both the rate and the severity.
+    assert (
+        scenarios[(52, 0.02)].yearly_downtime_minutes
+        > scenarios[(12, 0.02)].yearly_downtime_minutes
+    )
+    assert (
+        scenarios[(52, 0.10)].yearly_downtime_minutes
+        > scenarios[(52, 0.02)].yearly_downtime_minutes
+    )

@@ -1,0 +1,49 @@
+"""Reproduce Fig. 5: availability vs AS HW/OS recovery time, Config 1.
+
+Paper shape: availability falls from ~0.999995 at 0.5 h roughly linearly
+to ~0.999988 at 3 h; the five-9s level is lost before 2.5 h.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.jsas import CONFIG_1, PAPER_PARAMETERS
+from repro.sensitivity import parametric_sweep
+from repro.units import nines_to_availability
+
+GRID = list(np.linspace(0.5, 3.0, 11))
+
+
+def sweep_config1():
+    def metric(values):
+        return CONFIG_1.solve(values).availability
+
+    return parametric_sweep(
+        metric,
+        "Tstart_long_as",
+        GRID,
+        PAPER_PARAMETERS.to_dict(),
+        metric_name="availability (Config 1)",
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_bench_fig5(benchmark, save_artifact):
+    sweep = benchmark(sweep_config1)
+
+    lines = ["Fig. 5 (reproduced): availability vs Tstart_long, Config 1", ""]
+    lines += [f"  {x:5.2f} h   {y:.7f}" for x, y in sweep.as_rows()]
+    lines += ["", sweep.ascii_plot()]
+    five_nines = nines_to_availability(5)
+    crossing = sweep.crossing(five_nines)
+    lines += ["", f"five-9s crossover: Tstart_long = {crossing:.2f} h"]
+    save_artifact("fig5", "\n".join(lines))
+
+    values = list(sweep.values)
+    # Monotone decreasing, matching the paper's curve.
+    assert values == sorted(values, reverse=True)
+    # Endpoints near the paper's axis labels.
+    assert values[0] == pytest.approx(0.9999947, abs=2e-6)
+    assert values[-1] == pytest.approx(0.9999882, abs=2e-6)
+    # Paper: five 9s no longer retained once recovery reaches 2.5 h.
+    assert 2.0 < crossing < 2.5

@@ -1,0 +1,45 @@
+"""Reproduce Fig. 6: availability vs AS HW/OS recovery time, Config 2.
+
+Paper shape: essentially flat around 0.99999564 — the 4-instance cluster
+makes the AS tier's recovery time irrelevant; 99.9995% holds even at 3 h.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.jsas import CONFIG_2, PAPER_PARAMETERS
+from repro.sensitivity import parametric_sweep
+
+GRID = list(np.linspace(0.5, 3.0, 11))
+
+
+def sweep_config2():
+    def metric(values):
+        return CONFIG_2.solve(values).availability
+
+    return parametric_sweep(
+        metric,
+        "Tstart_long_as",
+        GRID,
+        PAPER_PARAMETERS.to_dict(),
+        metric_name="availability (Config 2)",
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_bench_fig6(benchmark, save_artifact):
+    sweep = benchmark(sweep_config2)
+
+    lines = ["Fig. 6 (reproduced): availability vs Tstart_long, Config 2", ""]
+    lines += [f"  {x:5.2f} h   {y:.10f}" for x, y in sweep.as_rows()]
+    save_artifact("fig6", "\n".join(lines))
+
+    values = list(sweep.values)
+    # Paper: 99.9995% retained across the whole range.
+    assert min(values) > 0.999995
+    # Around the paper's plotted level of ~0.99999564.
+    assert values[0] == pytest.approx(0.9999956, abs=2e-7)
+    # Essentially flat (the paper's whole y-axis spans ~2e-9).
+    assert max(values) - min(values) < 1e-7
+    # Still monotone decreasing, just imperceptibly.
+    assert values == sorted(values, reverse=True)

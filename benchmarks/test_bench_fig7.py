@@ -1,0 +1,49 @@
+"""Reproduce Fig. 7: uncertainty analysis for Config 1 (1,000 samples).
+
+Paper: mean 3.78 min, 80% CI (1.89, 6.02), 90% CI (1.56, 6.88); over 80%
+of sampled systems below 5.25 min/yr (the five-9s line).
+"""
+
+import pytest
+
+from repro.models.jsas import CONFIG_1, run_uncertainty
+
+N_SAMPLES = 1000
+SEED = 2004  # venue year; any fixed seed reproduces the published stats
+
+
+def run_fig7():
+    return run_uncertainty(CONFIG_1, n_samples=N_SAMPLES, seed=SEED)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_bench_fig7(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    low80, high80 = result.confidence_interval(0.80)
+    low90, high90 = result.confidence_interval(0.90)
+    lines = [
+        "Fig. 7 (reproduced): yearly downtime over 1,000 sampled systems, "
+        "Config 1",
+        "",
+        f"mean = {result.mean:.2f} min   (paper: 3.78)",
+        f"80% CI = ({low80:.2f}, {high80:.2f})   (paper: (1.89, 6.02))",
+        f"90% CI = ({low90:.2f}, {high90:.2f})   (paper: (1.56, 6.88))",
+        f"fraction below 5.25 min = {result.fraction_below(5.25):.1%} "
+        "(paper: over 80%)",
+        "",
+        "scatter (snapshot index, downtime minutes), first 20:",
+    ]
+    lines += [
+        f"  {index:4d}  {value:.3f}"
+        for index, value in result.scatter_rows()[:20]
+    ]
+    save_artifact("fig7", "\n".join(lines))
+
+    assert result.n_samples == N_SAMPLES
+    assert result.mean == pytest.approx(3.78, abs=0.25)
+    assert low80 == pytest.approx(1.89, abs=0.35)
+    assert high80 == pytest.approx(6.02, abs=0.45)
+    assert low90 == pytest.approx(1.56, abs=0.35)
+    assert high90 == pytest.approx(6.88, abs=0.5)
+    assert result.fraction_below(5.25) > 0.78

@@ -1,0 +1,43 @@
+"""Reproduce Fig. 8: uncertainty analysis for Config 2 (1,000 samples).
+
+Paper: mean 2.99 min, 80% CI (1.01, 5.19), 90% CI (0.74, 5.74); over 90%
+of sampled systems below 5.25 min/yr.
+"""
+
+import pytest
+
+from repro.models.jsas import CONFIG_2, run_uncertainty
+
+N_SAMPLES = 1000
+SEED = 2004
+
+
+def run_fig8():
+    return run_uncertainty(CONFIG_2, n_samples=N_SAMPLES, seed=SEED)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_bench_fig8(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    low80, high80 = result.confidence_interval(0.80)
+    low90, high90 = result.confidence_interval(0.90)
+    lines = [
+        "Fig. 8 (reproduced): yearly downtime over 1,000 sampled systems, "
+        "Config 2",
+        "",
+        f"mean = {result.mean:.2f} min   (paper: 2.99)",
+        f"80% CI = ({low80:.2f}, {high80:.2f})   (paper: (1.01, 5.19))",
+        f"90% CI = ({low90:.2f}, {high90:.2f})   (paper: (0.74, 5.74))",
+        f"fraction below 5.25 min = {result.fraction_below(5.25):.1%} "
+        "(paper: over 90%)",
+    ]
+    save_artifact("fig8", "\n".join(lines))
+
+    assert result.n_samples == N_SAMPLES
+    assert result.mean == pytest.approx(2.99, abs=0.25)
+    assert low80 == pytest.approx(1.01, abs=0.35)
+    assert high80 == pytest.approx(5.19, abs=0.45)
+    assert low90 == pytest.approx(0.74, abs=0.35)
+    assert high90 == pytest.approx(5.74, abs=0.5)
+    assert result.fraction_below(5.25) > 0.88

@@ -1,0 +1,69 @@
+"""Risk benches: annual-downtime distribution and manual fault scenarios.
+
+Extensions beyond the paper's reporting (which stops at expected yearly
+downtime): the distribution of one year's downtime for both headline
+configurations, and the Section 3 manual fault menu replayed as an
+automated regression gate.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.risk import annual_downtime_risk
+from repro.models.jsas import CONFIG_1, CONFIG_2, PAPER_PARAMETERS
+from repro.testbed import run_manual_scenarios, scenarios_report
+
+N_YEARS = 30_000
+
+
+def run_risk():
+    return {
+        "Config 1": annual_downtime_risk(
+            CONFIG_1.solve(PAPER_PARAMETERS), n_years=N_YEARS, seed=2004
+        ),
+        "Config 2": annual_downtime_risk(
+            CONFIG_2.solve(PAPER_PARAMETERS), n_years=N_YEARS, seed=2004
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="risk")
+def test_bench_annual_downtime_risk(benchmark, save_artifact):
+    risks = benchmark.pedantic(run_risk, rounds=1, iterations=1)
+
+    table = render_table(
+        ["configuration", "mean (min/yr)", "P(zero-downtime year)",
+         "p95 (min)", "P(> 5.25 min)"],
+        [
+            (
+                label,
+                f"{risk.mean:.2f}",
+                f"{risk.p_zero:.1%}",
+                f"{risk.percentile(95):.1f}",
+                f"{risk.probability_exceeding(5.25):.1%}",
+            )
+            for label, risk in risks.items()
+        ],
+        title="Annual downtime distribution (compound-Poisson over the "
+        "solved hierarchy)",
+    )
+    save_artifact("risk_annual_downtime", table)
+
+    config1, config2 = risks["Config 1"], risks["Config 2"]
+    # Means track the analytic expectations.
+    assert config1.mean == pytest.approx(3.50, abs=0.25)
+    assert config2.mean == pytest.approx(2.29, abs=0.25)
+    # Most years are clean; the SLA risk is carried by rare bad years.
+    assert config1.p_zero > 0.88
+    assert 0.04 < config1.probability_exceeding(5.25) < 0.12
+    # Config 2's outages are rarer (no AS term, same HADB shape scaled).
+    assert config2.p_zero > config1.p_zero
+
+
+@pytest.mark.benchmark(group="risk")
+def test_bench_manual_scenarios(benchmark, save_artifact):
+    outcomes = benchmark.pedantic(
+        lambda: run_manual_scenarios(seed=42), rounds=1, iterations=1
+    )
+    save_artifact("risk_manual_scenarios", scenarios_report(outcomes))
+    assert all(outcome.passed for outcome in outcomes.values())

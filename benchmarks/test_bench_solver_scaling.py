@@ -1,0 +1,81 @@
+"""Engine performance: solver scaling with state-space size.
+
+Times the three steady-state solvers on generalized AS cluster models of
+growing size (the N-instance chain has 3N-1 states) and on a large GSPN-
+generated chain, demonstrating that the library comfortably covers the
+model sizes hierarchical availability studies produce.
+"""
+
+import pytest
+
+from repro.ctmc import build_generator, steady_state_vector
+from repro.models.jsas import PAPER_PARAMETERS, build_appserver_model
+from repro.spn import PetriNet, petri_net_to_markov_model
+
+VALUES = PAPER_PARAMETERS.to_dict()
+
+
+@pytest.mark.benchmark(group="solver-scaling")
+@pytest.mark.parametrize("n_instances", [4, 16, 64])
+def test_bench_appserver_model_scaling(benchmark, n_instances):
+    model = build_appserver_model(n_instances)
+    generator = build_generator(model, VALUES)
+
+    pi = benchmark(steady_state_vector, generator)
+    assert pi.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="solver-scaling")
+@pytest.mark.parametrize("method", ["direct", "gth"])
+def test_bench_solver_methods_medium_chain(benchmark, method):
+    """Direct LU and GTH on the stiff 71-state AS chain (power iteration
+    is excluded here by design: its iteration count scales with the
+    rate stiffness ratio, ~1e8 for the paper's chains — exactly the
+    limitation its docstring warns about)."""
+    model = build_appserver_model(24)
+    generator = build_generator(model, VALUES)
+
+    pi = benchmark(steady_state_vector, generator, method)
+    assert pi.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="solver-scaling")
+def test_bench_power_iteration_non_stiff_chain(benchmark):
+    """Power iteration is competitive when rates are within a few orders
+    of magnitude of each other."""
+    from repro.core.model import birth_death_model
+
+    model = birth_death_model(
+        "queue", 50, [1.0] * 49, [2.0] * 49
+    )
+    generator = build_generator(model, {})
+
+    pi = benchmark(steady_state_vector, generator, "power", tol=1e-10)
+    assert pi.sum() == pytest.approx(1.0)
+
+
+def large_machine_net(tokens: int) -> PetriNet:
+    net = PetriNet("farm")
+    net.add_place("Up", tokens)
+    net.add_place("Down", 0)
+    net.add_place("Repairing", 0)
+    net.add_timed_transition("fail", 0.01, server="infinite")
+    net.add_input_arc("Up", "fail")
+    net.add_output_arc("fail", "Down")
+    net.add_timed_transition("dispatch", 5.0)
+    net.add_input_arc("Down", "dispatch")
+    net.add_output_arc("dispatch", "Repairing")
+    net.add_timed_transition("repair", 1.0, server="infinite")
+    net.add_input_arc("Repairing", "repair")
+    net.add_output_arc("repair", "Up")
+    return net
+
+
+@pytest.mark.benchmark(group="spn-scaling")
+@pytest.mark.parametrize("tokens", [10, 40])
+def test_bench_spn_reachability_scaling(benchmark, tokens):
+    """Reachability set grows quadratically: (k+1)(k+2)/2 markings."""
+    net = large_machine_net(tokens)
+
+    model = benchmark(petri_net_to_markov_model, net, {})
+    assert len(model) == (tokens + 1) * (tokens + 2) // 2

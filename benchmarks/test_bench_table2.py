@@ -1,0 +1,62 @@
+"""Reproduce Table 2: system results for Config 1 and Config 2.
+
+Paper values:
+
+    Config 1: A=99.99933%, YD=3.5 min, AS 2.35 min (67%), HADB 1.15 min (33%)
+    Config 2: A=99.99956%, YD=2.3 min, AS 0.01 s (<0.01%), HADB 2.3 min (99.99%)
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.models.jsas import CONFIG_1, CONFIG_2, PAPER_PARAMETERS
+
+
+def solve_table2():
+    return {
+        "Config 1": CONFIG_1.solve(PAPER_PARAMETERS),
+        "Config 2": CONFIG_2.solve(PAPER_PARAMETERS),
+    }
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_table2(benchmark, save_artifact):
+    results = benchmark(solve_table2)
+
+    rows = []
+    for label, result in results.items():
+        as_report = result.submodels["appserver"]
+        hadb_report = result.submodels["hadb"]
+        rows.append(
+            [
+                label,
+                f"{result.availability:.5%}",
+                f"{result.yearly_downtime_minutes:.2f} min",
+                f"{as_report.downtime_minutes:.2f} min "
+                f"({as_report.downtime_fraction:.2%})",
+                f"{hadb_report.downtime_minutes:.2f} min "
+                f"({hadb_report.downtime_fraction:.2%})",
+            ]
+        )
+    table = render_table(
+        ["Configuration", "Availability", "Yearly Downtime",
+         "YD due to AS", "YD due to HADB"],
+        rows,
+        title="Table 2. System Results (reproduced)",
+    )
+    save_artifact("table2", table)
+
+    config1, config2 = results["Config 1"], results["Config 2"]
+    assert config1.availability == pytest.approx(0.9999933, abs=2e-7)
+    assert config1.yearly_downtime_minutes == pytest.approx(3.49, abs=0.02)
+    assert config1.submodels["appserver"].downtime_minutes == pytest.approx(
+        2.35, abs=0.01
+    )
+    assert config1.submodels["hadb"].downtime_minutes == pytest.approx(
+        1.15, abs=0.01
+    )
+    assert config2.availability == pytest.approx(0.9999956, abs=2e-7)
+    assert config2.yearly_downtime_minutes == pytest.approx(2.3, abs=0.02)
+    assert config2.submodels["appserver"].downtime_minutes * 60 == (
+        pytest.approx(0.01, abs=0.005)
+    )

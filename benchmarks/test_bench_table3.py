@@ -1,0 +1,50 @@
+"""Reproduce Table 3: comparison of configurations (1-10 instances).
+
+Paper values (availability, yearly downtime, MTBF hours):
+
+    1  / N/A : 99.9629%,  195 min,    168
+    2  / 2   : 99.99933%, 3.49 min,   89,980
+    4  / 4   : 99.99956%, 2.29 min,   229,326
+    6  / 6   : 99.99934%, 3.44 min,   152,889
+    8  / 8   : 99.99912%, 4.58 min,   114,669
+    10 / 10  : 99.99891%, 5.73 min,   91,736
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.models.jsas import compare_configurations, optimal_configuration
+
+PAPER = {
+    (1, 0): (0.999629, 195.0, 168.0),
+    (2, 2): (0.9999933, 3.49, 89_980.0),
+    (4, 4): (0.9999956, 2.29, 229_326.0),
+    (6, 6): (0.9999934, 3.44, 152_889.0),
+    (8, 8): (0.9999912, 4.58, 114_669.0),
+    (10, 10): (0.9999891, 5.73, 91_736.0),
+}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_bench_table3(benchmark, save_artifact):
+    rows = benchmark(compare_configurations)
+
+    table = render_table(
+        ["# Instances", "# HADB Pairs", "Availability",
+         "Yearly Downtime", "MTBF (hr)"],
+        [row.as_row() for row in rows],
+        title="Table 3. Comparison of Configurations (reproduced)",
+    )
+    save_artifact("table3", table)
+
+    by_key = {(r.n_instances, r.n_pairs): r for r in rows}
+    for key, (availability, downtime, mtbf) in PAPER.items():
+        row = by_key[key]
+        assert row.availability == pytest.approx(availability, abs=3e-6), key
+        assert row.yearly_downtime_minutes == pytest.approx(
+            downtime, rel=0.01
+        ), key
+        assert row.mtbf_hours == pytest.approx(mtbf, rel=0.005), key
+
+    best = optimal_configuration(rows)
+    assert (best.n_instances, best.n_pairs) == (4, 4)

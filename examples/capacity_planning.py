@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Capacity planning: choose a deployment shape for an availability SLA.
+
+Run with::
+
+    python examples/capacity_planning.py
+
+The paper's Table 3 observation — availability peaks at 4 AS instances +
+4 HADB pairs and *degrades* as more pairs add data-loss exposure — is a
+planning question. This example runs the comparison, finds the optimal
+shape, checks which shapes meet a five-9s SLA, and then asks the
+follow-up question operators actually face: which parameter should I
+invest in improving?  (Answered with sweep + importance analysis.)
+"""
+
+from repro.analysis.report import render_table
+from repro.models.jsas import (
+    PAPER_PARAMETERS,
+    UNCERTAINTY_RANGES,
+    JsasConfiguration,
+    compare_configurations,
+    optimal_configuration,
+)
+from repro.sensitivity import (
+    downtime_importance,
+    local_sensitivities,
+    parametric_sweep,
+)
+from repro.units import nines_to_availability
+
+SLA = nines_to_availability(5)  # 99.999%
+
+
+def main() -> None:
+    # 1. The Table 3 comparison, extended with intermediate shapes.
+    shapes = [(1, 0), (2, 2), (3, 3), (4, 4), (6, 6), (8, 8), (10, 10)]
+    rows = compare_configurations(shapes)
+    table = render_table(
+        ["# AS", "# pairs", "availability", "downtime/yr", "MTBF (h)",
+         "meets 5-nines SLA"],
+        [
+            row.as_row() + ("yes" if row.availability >= SLA else "NO",)
+            for row in rows
+        ],
+        title="Deployment comparison",
+    )
+    print(table)
+    best = optimal_configuration(rows)
+    print(
+        f"\nOptimal shape: {best.n_instances} instances / "
+        f"{best.n_pairs} pairs ({best.availability:.5%})"
+    )
+    print(
+        "(The paper's Table 3 samples only even shapes and reports 4+4 as\n"
+        " optimal; including 3+3 — enough instances to crush the AS term,\n"
+        " one fewer pair of data-loss exposure — edges it out.)\n"
+    )
+
+    # 2. Where is Config 1 sensitive?  Elasticities rank the knobs.
+    config = JsasConfiguration(2, 2)
+    base = PAPER_PARAMETERS.to_dict()
+
+    def downtime(values: dict) -> float:
+        return config.solve(values).yearly_downtime_minutes
+
+    knobs = ["La_as", "La_hadb", "FIR", "Tstart_long_as", "Tstart_all",
+             "Trestore"]
+    elasticities = local_sensitivities(downtime, knobs, base)
+    print("Downtime elasticities at the operating point "
+          "(% downtime change per % parameter change):")
+    for name, value in sorted(
+        elasticities.items(), key=lambda kv: abs(kv[1]), reverse=True
+    ):
+        print(f"  {name:16s} {value:+.3f}")
+    print()
+
+    # 3. Which uncertainty matters most over its realistic range?
+    swings = downtime_importance(downtime, UNCERTAINTY_RANGES, base)
+    print("Downtime swing over each parameter's realistic range "
+          "(tornado ranking):")
+    for name, swing in swings.items():
+        print(f"  {name:16s} {swing:6.2f} min/yr")
+    print()
+
+    # 4. The paper's Fig. 5 question as a planning rule: how fast must
+    #    HW/OS recovery be to keep five 9s on the 2+2 shape?
+    sweep = parametric_sweep(
+        lambda values: config.solve(values).availability,
+        "Tstart_long_as",
+        [0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+        base,
+    )
+    crossing = sweep.crossing(SLA)
+    print(
+        "Five-9s rule for the 2+2 shape: keep AS HW/OS recovery under "
+        f"{crossing:.2f} hours (the paper's Fig. 5 crossover)."
+    )
+    four_four = JsasConfiguration(4, 4)
+    sweep4 = parametric_sweep(
+        lambda values: four_four.solve(values).availability,
+        "Tstart_long_as",
+        [0.5, 1.75, 3.0],
+        base,
+    )
+    print(
+        "The 4+4 shape is insensitive to the same knob: availability "
+        f"stays within [{min(sweep4.values):.7f}, {max(sweep4.values):.7f}] "
+        "across 0.5-3 h (the paper's Fig. 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

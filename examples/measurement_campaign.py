@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The paper's full measurement pipeline on the simulated lab.
+
+Run with::
+
+    python examples/measurement_campaign.py          # scaled-down, ~30 s
+    python examples/measurement_campaign.py --full   # paper-scale campaign
+
+Section 3 of the paper: build the Table 1 test environment, run
+longevity (stability) tests under workload, run an automated
+fault-injection campaign, then turn the measurements into model
+parameters with the Section 5 statistics (Eqs. 1 and 2) — closing the
+loop by solving the availability model with the *measured* values.
+"""
+
+import argparse
+
+from repro.estimation import required_injections_for_fir
+from repro.models.jsas import PAPER_PARAMETERS, JsasConfiguration
+from repro.testbed import (
+    ClusterConfig,
+    run_fault_injection_campaign,
+    run_longevity_test,
+)
+from repro.units import HOURS_PER_YEAR
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper-scale protocol (3,287 injections, 7-day runs)",
+    )
+    parser.add_argument("--seed", type=int, default=2004)
+    args = parser.parse_args()
+
+    n_injections = 3287 if args.full else 400
+    longevity_days = 7.0 if args.full else 2.0
+
+    # The Table 1 environment: 2 AS instances, 2 HADB pairs, spares.
+    lab = ClusterConfig(n_as_instances=2, n_hadb_pairs=2, n_spares=2)
+
+    # -- Stability test ----------------------------------------------------
+    print(f"Longevity run ({longevity_days:.0f} days, Table 1 topology)...")
+    longevity = run_longevity_test(
+        duration_days=longevity_days, config=lab, seed=args.seed
+    )
+    print(f"  {longevity.summary()}")
+    rate = longevity.as_failure_rate_estimate(0.95)
+    print(
+        f"  Eq.2: AS failure rate <= {rate.upper * 24:.4f}/day at 95% "
+        f"({longevity.as_exposure_hours:.0f} instance-hours, "
+        f"{longevity.as_failures} failures observed)"
+    )
+    modeled = PAPER_PARAMETERS["La_as"] * HOURS_PER_YEAR
+    print(
+        f"  The paper models {modeled:.0f}/year per instance — "
+        "deliberately above any bound short tests can support.\n"
+    )
+
+    # -- Fault-injection campaign -------------------------------------------
+    print(f"Automated fault-injection campaign ({n_injections} injections)...")
+    campaign = run_fault_injection_campaign(
+        n_injections, config=lab, target_kind="hadb", seed=args.seed
+    )
+    print("  " + campaign.summary().replace("\n", "\n  "))
+    coverage = campaign.coverage(0.95)
+    print(
+        f"  Eq.1: FIR <= {coverage.fir_upper:.4%} at 95% confidence "
+        f"({campaign.n_successful}/{campaign.n_injections} successful)"
+    )
+    needed = required_injections_for_fir(0.001, 0.95)
+    print(
+        f"  (Demonstrating FIR <= 0.1% requires {needed} all-successful "
+        "injections — which is why the paper ran >3,000.)\n"
+    )
+
+    # -- Close the loop: measured values into the model ---------------------
+    print("Solving Config 1 with campaign-measured parameters...")
+    values = PAPER_PARAMETERS.to_dict()
+    values["Tstart_short_hadb"] = campaign.recovery_summary(
+        "hadb_restart"
+    ).conservative_value(percentile=95.0, margin=1.5)
+    values["FIR"] = min(coverage.fir_upper, 0.002)
+    result = JsasConfiguration(2, 2).solve(values)
+    print(f"  measured-parameter model: {result.system.summary()}")
+    reference = JsasConfiguration(2, 2).solve(PAPER_PARAMETERS)
+    print(f"  paper-parameter model:    {reference.system.summary()}")
+
+
+if __name__ == "__main__":
+    main()

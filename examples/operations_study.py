@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Beyond the paper: performability, upgrades, human error, exact derivatives.
+
+Run with::
+
+    python examples/operations_study.py
+
+Four questions the paper raises but leaves out of scope, answered with
+the same modeling machinery:
+
+1. *Performability* — the paper notes Recovery "could be a degraded
+   state". How much degraded service hides behind the availability
+   number?
+2. *Online upgrades* — the paper restricts itself to one cluster and
+   recommends dual clusters for upgrades. Quantify the three strategies.
+3. *Human error* — the paper flags it as ~50% of production outages.
+   Add it to the HADB pair model and see the sensitivity.
+4. *Exact derivatives* — which parameter buys the most downtime per unit
+   of improvement, computed with the adjoint method (machine-precision,
+   one linear solve per parameter).
+"""
+
+from repro.core import model_to_dot
+from repro.ctmc import steady_state_availability
+from repro.models.jsas import (
+    PAPER_PARAMETERS,
+    build_hadb_pair_model,
+    build_hadb_pair_model_with_human_error,
+    compare_upgrade_strategies,
+    evaluate_performability,
+    extension_values,
+)
+from repro.sensitivity import downtime_derivatives
+from repro.units import HOURS_PER_YEAR
+
+
+def main() -> None:
+    values = extension_values(PAPER_PARAMETERS.to_dict())
+
+    # 1. Performability -----------------------------------------------------
+    print("1. Performability (capacity-proportional rewards)")
+    for n in (2, 4):
+        result = evaluate_performability(n, values)
+        print(f"   {n} instances: {result.summary()}")
+    print(
+        "   -> the 2-instance cluster spends two orders of magnitude more\n"
+        "      time at half capacity than fully down; adding instances\n"
+        "      buys capacity smoothness, not just uptime.\n"
+    )
+
+    # 2. Upgrade strategies ---------------------------------------------------
+    print("2. Online upgrade strategies (12 campaigns/year)")
+    for n in (2, 4):
+        comparison = compare_upgrade_strategies(n, values)
+        print(f"   {n} instances: {comparison.summary()}")
+    print(
+        "   -> with only 2 instances, rolling upgrades erode the margin\n"
+        "      (an upgrade window plus one failure is an outage); the\n"
+        "      dual-cluster switchover is cheaper. At 4 instances the\n"
+        "      rolling penalty collapses — consistent with the paper's\n"
+        "      finding that 4 instances make the AS tier a non-issue.\n"
+    )
+
+    # 3. Human error ---------------------------------------------------------
+    print("3. Human error during reduced-redundancy windows")
+    baseline = steady_state_availability(build_hadb_pair_model(), values)
+    human_model = build_hadb_pair_model_with_human_error()
+    print(
+        f"   baseline pair downtime: "
+        f"{baseline.yearly_downtime_minutes:.3f} min/yr"
+    )
+    for interventions_per_year, fhe in ((12, 0.02), (52, 0.02), (52, 0.10)):
+        scenario = dict(
+            values,
+            La_human=interventions_per_year / HOURS_PER_YEAR,
+            FHE=fhe,
+        )
+        result = steady_state_availability(human_model, scenario)
+        print(
+            f"   {interventions_per_year:3d} interventions/yr, "
+            f"{fhe:.0%} catastrophic: "
+            f"{result.yearly_downtime_minutes:.3f} min/yr "
+            f"(+{result.yearly_downtime_minutes - baseline.yearly_downtime_minutes:.3f})"
+        )
+    print(
+        "   -> weekly error-prone interventions at 10% severity add ~10%\n"
+        "      to pair downtime — and every added minute is a catastrophic\n"
+        "      data-loss outage, the failure mode the paper warns about.\n"
+    )
+
+    # 4. Exact downtime derivatives -------------------------------------------
+    print("4. Exact downtime derivatives (adjoint method), HADB pair model")
+    derivatives = downtime_derivatives(
+        build_hadb_pair_model(),
+        PAPER_PARAMETERS.to_dict(),
+        ["La_hadb", "La_hw", "FIR", "Trestore", "Trepair"],
+    )
+    for name, value in sorted(
+        derivatives.items(), key=lambda kv: abs(kv[1]), reverse=True
+    ):
+        print(f"   d(downtime)/d({name:9s}) = {value:+.4g} min/yr per unit")
+    print(
+        "   -> FIR dominates: each 0.1% of imperfect recovery costs about\n"
+        f"      {derivatives['FIR'] * 0.001:.2f} minutes of yearly downtime "
+        "per pair.\n"
+    )
+
+    # Bonus: regenerate a Fig. 3-style diagram.
+    dot = model_to_dot(build_hadb_pair_model())
+    print("Graphviz source for the Fig. 3 diagram (first 3 lines):")
+    print("\n".join(dot.splitlines()[:3]))
+    print("  ... (pipe model_to_dot output into `dot -Tpng` to render)")
+
+
+if __name__ == "__main__":
+    main()

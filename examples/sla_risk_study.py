@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""SLA risk: from expected downtime to the distribution an operator signs.
+
+Run with::
+
+    python examples/sla_risk_study.py
+
+The paper reports Config 1's *expected* downtime as 3.49 min/yr — safely
+inside a five-9s budget of 5.25 min. But a year is one draw, not an
+expectation: outages arrive a handful of times per decade and an HADB
+pair loss alone costs about an hour. This example quantifies:
+
+1. the distribution of a single year's downtime (compound-Poisson over
+   the solved hierarchy) and the real SLA-violation probability;
+2. interval availability over finite missions (one quarter) for the
+   HADB pair chain, simulated against the analytic mean;
+3. what shape the planner picks once the target is expressed as a
+   *quantile* instead of a mean.
+"""
+
+from repro.analysis import annual_downtime_risk, mission_availability
+from repro.models.jsas import (
+    CONFIG_1,
+    CONFIG_2,
+    PAPER_PARAMETERS,
+    build_hadb_pair_model,
+    plan_configuration,
+)
+from repro.units import nines_to_availability
+
+SLA_MINUTES = 5.25  # five 9s expressed as a yearly budget
+
+
+def main(fast: bool = False) -> None:
+    """``fast=True`` shrinks sample counts for smoke testing."""
+    n_years = 2_000 if fast else 50_000
+    n_missions = 60 if fast else 400
+    n_plan_years = 2_000 if fast else 20_000
+    _run(n_years, n_missions, n_plan_years)
+
+
+def _run(n_years: int, n_missions: int, n_plan_years: int) -> None:
+    # 1. Annual downtime distribution ---------------------------------------
+    print("1. One year is a draw, not an expectation")
+    for label, config in (("Config 1", CONFIG_1), ("Config 2", CONFIG_2)):
+        result = config.solve(PAPER_PARAMETERS)
+        risk = annual_downtime_risk(result, n_years=n_years, seed=2004)
+        print(f"   {label}: model mean {result.yearly_downtime_minutes:.2f} "
+              f"min/yr; {risk.summary(SLA_MINUTES)}")
+    print(
+        "   -> both configs beat five 9s *on average*, yet roughly one\n"
+        "      year in twelve busts the 5.25-minute budget, because one\n"
+        "      outage typically costs 30-60 minutes on its own.\n"
+    )
+
+    # 2. Mission availability -------------------------------------------------
+    print("2. Interval availability over a one-quarter mission (HADB pair)")
+    values = PAPER_PARAMETERS.to_dict()
+    mission = mission_availability(
+        build_hadb_pair_model(),
+        mission_hours=2190.0,  # ~3 months
+        n_missions=n_missions,
+        values=values,
+        seed=7,
+    )
+    print(f"   {mission.summary(target=nines_to_availability(5))}")
+    print(
+        "   -> the sampled mean lands on the analytic uniformization\n"
+        "      integral; the perfect-mission fraction shows how rarely a\n"
+        "      pair is touched at all in a quarter.\n"
+    )
+
+    # 3. Planning against a quantile -----------------------------------------
+    print("3. Plan for the tail, not the mean")
+    mean_plan = plan_configuration(nines_to_availability(5), values)
+    config = mean_plan.configuration
+    print(
+        f"   mean-based five-9s plan: {config.n_instances} instances / "
+        f"{config.n_pairs} pairs"
+    )
+    # Quantile criterion: smallest shape with P(annual > SLA) <= 5%.
+    chosen = None
+    for n_instances, n_pairs in ((2, 2), (4, 4), (4, 2), (6, 4)):
+        from repro.models.jsas import JsasConfiguration
+
+        candidate = JsasConfiguration(n_instances, n_pairs)
+        risk = annual_downtime_risk(
+            candidate.solve(values), n_years=n_plan_years, seed=5
+        )
+        p_violate = risk.probability_exceeding(SLA_MINUTES)
+        print(
+            f"   {n_instances}+{n_pairs}: P(annual downtime > "
+            f"{SLA_MINUTES} min) = {p_violate:.1%}"
+        )
+        if chosen is None and p_violate <= 0.05:
+            chosen = candidate
+    if chosen is None:
+        print(
+            "   -> no searched shape keeps the violation risk under 5%: "
+            "at these outage durations the tail is driven by Trestore "
+            "and Tstart_all, not by adding hardware — invest in faster "
+            "restore paths instead."
+        )
+    else:
+        print(
+            f"   -> tail-based plan: {chosen.n_instances} instances / "
+            f"{chosen.n_pairs} pairs"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(fast="--fast" in sys.argv)

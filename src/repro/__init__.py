@@ -1,0 +1,53 @@
+"""repro — measurement-based availability modeling for application servers.
+
+An open-source reproduction of *Availability Measurement and Modeling for
+An Application Server* (Tang, Kumar, Duvur, Torbjornsen — Sun
+Microsystems, DSN 2004).
+
+The library provides, as independently usable layers:
+
+* :mod:`repro.core` / :mod:`repro.ctmc` — a Markov reward modeling tool:
+  symbolic rate expressions, model builder, steady-state/transient/
+  absorption solvers, availability and MTBF measures.
+* :mod:`repro.hierarchy` — RAScad-style hierarchical composition via the
+  (Lambda, Mu) equivalent-rate abstraction.
+* :mod:`repro.estimation` — the paper's statistical machinery: failure
+  rate upper bounds from zero-failure tests (Eq. 2) and recovery-coverage
+  lower bounds from fault-injection campaigns (Eq. 1).
+* :mod:`repro.uncertainty` / :mod:`repro.sensitivity` — random-sampling
+  uncertainty analysis and parametric sweeps.
+* :mod:`repro.spn` — a generalized stochastic Petri net front-end that
+  compiles to CTMCs.
+* :mod:`repro.models.jsas` — the paper's models (Figs. 2-4) and
+  configurations (Tables 2-3).
+* :mod:`repro.simulation` / :mod:`repro.testbed` — a discrete-event
+  simulator and a simulated measurement lab reproducing the paper's
+  longevity tests and fault-injection campaigns.
+
+Quickstart::
+
+    from repro.models.jsas import build_configuration, PAPER_PARAMETERS
+
+    result = build_configuration(n_instances=2, n_pairs=2).solve(PAPER_PARAMETERS)
+    print(result.summary())
+"""
+
+from repro._version import __version__
+from repro.core import MarkovModel, Parameter, ParameterSet
+from repro.ctmc import (
+    build_generator,
+    solve_steady_state,
+    steady_state_availability,
+)
+from repro.hierarchy import HierarchicalModel
+
+__all__ = [
+    "__version__",
+    "MarkovModel",
+    "Parameter",
+    "ParameterSet",
+    "build_generator",
+    "solve_steady_state",
+    "steady_state_availability",
+    "HierarchicalModel",
+]

@@ -1,0 +1,23 @@
+"""Reporting helpers: availability arithmetic and table rendering."""
+
+from repro.analysis.availability import (
+    downtime_budget,
+    nines_summary,
+)
+from repro.analysis.report import Table, render_table
+from repro.analysis.risk import AnnualDowntimeRisk, annual_downtime_risk
+from repro.analysis.mission import (
+    MissionAvailabilityResult,
+    mission_availability,
+)
+
+__all__ = [
+    "downtime_budget",
+    "nines_summary",
+    "Table",
+    "render_table",
+    "AnnualDowntimeRisk",
+    "annual_downtime_risk",
+    "MissionAvailabilityResult",
+    "mission_availability",
+]

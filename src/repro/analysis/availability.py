@@ -1,0 +1,79 @@
+"""Availability arithmetic for reports.
+
+Small, well-tested helpers that turn solver output into the quantities
+availability reports are written in: "nines", downtime budgets, and
+per-contributor breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.exceptions import ReproError
+from repro.units import (
+    MINUTES_PER_YEAR,
+    availability_to_nines,
+    unavailability_to_yearly_downtime_minutes,
+)
+
+
+def nines_summary(availability: float) -> str:
+    """Render availability with its 'nines' class, e.g. '99.99933% (5 nines)'.
+
+    The integer nines class is ``floor(-log10(1 - A))``.
+    """
+    if not 0.0 <= availability <= 1.0:
+        raise ReproError(f"availability must be in [0, 1], got {availability}")
+    if availability == 1.0:
+        return "100% (perfect)"
+    nines = int(availability_to_nines(availability))
+    return f"{availability:.5%} ({nines} nines)"
+
+
+def downtime_budget(
+    contributions: Mapping[str, float], total_check_tolerance: float = 1e-6
+) -> Dict[str, Dict[str, float]]:
+    """Turn per-contributor unavailability into a downtime budget table.
+
+    Args:
+        contributions: ``{contributor: unavailability}``; e.g. the per-
+            down-state probabilities of a solved model, or per-submodel
+            unavailabilities.
+        total_check_tolerance: Sanity cap — the summed unavailability
+            must stay below 1.
+
+    Returns:
+        ``{contributor: {"unavailability", "minutes_per_year",
+        "fraction"}}`` sorted by descending contribution.
+    """
+    if not contributions:
+        raise ReproError("downtime budget needs at least one contributor")
+    for name, value in contributions.items():
+        if value < 0.0:
+            raise ReproError(
+                f"contributor {name!r} has negative unavailability {value}"
+            )
+    total = sum(contributions.values())
+    if total >= 1.0 + total_check_tolerance:
+        raise ReproError(
+            f"summed unavailability {total} exceeds 1; inputs are not "
+            "unavailabilities"
+        )
+    out: Dict[str, Dict[str, float]] = {}
+    ordered = sorted(contributions.items(), key=lambda kv: kv[1], reverse=True)
+    for name, value in ordered:
+        out[name] = {
+            "unavailability": value,
+            "minutes_per_year": unavailability_to_yearly_downtime_minutes(value),
+            "fraction": (value / total) if total > 0 else 0.0,
+        }
+    return out
+
+
+def downtime_minutes_to_availability(minutes: float) -> float:
+    """Availability implied by a yearly downtime in minutes."""
+    if minutes < 0.0 or minutes > MINUTES_PER_YEAR:
+        raise ReproError(
+            f"yearly downtime must be in [0, {MINUTES_PER_YEAR}], got {minutes}"
+        )
+    return 1.0 - minutes / MINUTES_PER_YEAR

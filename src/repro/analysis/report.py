@@ -1,0 +1,77 @@
+"""Plain-text table rendering for benchmark and CLI output.
+
+The benchmarks print tables in the same row layout as the paper's
+Tables 2 and 3 so the reproduction can be eyeballed against the PDF.
+Deliberately dependency-free (no tabulate offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.exceptions import ReproError
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Example::
+
+        table = Table(title="System Results", columns=["Config", "Avail"])
+        table.add_row(["Config 1", "99.99933%"])
+        print(table.render())
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: List[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[str]) -> None:
+        if len(row) != len(self.columns):
+            raise ReproError(
+                f"row has {len(row)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([str(cell) for cell in row])
+
+    def render(self) -> str:
+        return render_table(self.columns, self.rows, title=self.title)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render rows under headers with column alignment."""
+    if not columns:
+        raise ReproError("a table needs at least one column")
+    str_rows = [[str(c) for c in columns]]
+    for row in rows:
+        if len(row) != len(columns):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells, expected {len(columns)}"
+            )
+        str_rows.append([str(cell) for cell in row])
+    widths = [
+        max(len(str_rows[r][c]) for r in range(len(str_rows)))
+        for c in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * len(widths)))
+    header = "  ".join(
+        cell.ljust(widths[i]) for i, cell in enumerate(str_rows[0])
+    ).rstrip()
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows[1:]:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,363 @@
+"""Command-line interface: ``repro-avail``.
+
+Subcommands mirror the paper's analyses:
+
+* ``solve`` — availability of one configuration.
+* ``table2`` / ``table3`` — reproduce the paper's result tables.
+* ``sweep`` — Figs. 5/6 parametric sweep of Tstart_long_as.
+* ``uncertainty`` — Figs. 7/8 random-sampling analysis.
+* ``campaign`` — run a simulated fault-injection campaign.
+* ``longevity`` — run a simulated stability test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis.report import render_table
+from repro.models.jsas import (
+    CONFIG_1,
+    PAPER_PARAMETERS,
+    JsasConfiguration,
+    compare_configurations,
+    optimal_configuration,
+    run_uncertainty,
+)
+from repro.sensitivity import parametric_sweep
+from repro.units import nines_to_availability
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instances", type=int, default=2, help="AS instances (default 2)"
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=2, help="HADB node pairs (default 2)"
+    )
+
+
+def _configuration(args: argparse.Namespace) -> JsasConfiguration:
+    return JsasConfiguration(n_instances=args.instances, n_pairs=args.pairs)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    result = _configuration(args).solve(PAPER_PARAMETERS)
+    print(result.summary())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = []
+    for label, (n_as, n_pairs) in (
+        ("Config 1", (2, 2)),
+        ("Config 2", (4, 4)),
+    ):
+        result = JsasConfiguration(n_as, n_pairs).solve(PAPER_PARAMETERS)
+        as_report = result.submodels["appserver"]
+        hadb_report = result.submodels["hadb"]
+        rows.append(
+            [
+                label,
+                f"{result.availability:.5%}",
+                f"{result.yearly_downtime_minutes:.2f} min",
+                f"{as_report.downtime_minutes:.2f} min "
+                f"({as_report.downtime_fraction:.0%})",
+                f"{hadb_report.downtime_minutes:.2f} min "
+                f"({hadb_report.downtime_fraction:.0%})",
+            ]
+        )
+    print(
+        render_table(
+            ["Configuration", "Availability", "Yearly Downtime",
+             "YD due to AS", "YD due to HADB"],
+            rows,
+            title="Table 2. System Results",
+        )
+    )
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    rows = compare_configurations()
+    print(
+        render_table(
+            ["# Instances", "# HADB Pairs", "Availability",
+             "Yearly Downtime", "MTBF (hr)"],
+            [row.as_row() for row in rows],
+            title="Table 3. Comparison of Configurations",
+        )
+    )
+    best = optimal_configuration(rows)
+    print(
+        f"\nOptimal: {best.n_instances} instances / {best.n_pairs} pairs "
+        f"({best.availability:.5%})"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _configuration(args)
+
+    def metric(values: dict) -> float:
+        return config.solve(values).availability
+
+    grid = list(np.linspace(args.start, args.stop, args.points))
+    sweep = parametric_sweep(
+        metric,
+        "Tstart_long_as",
+        grid,
+        PAPER_PARAMETERS.to_dict(),
+        metric_name="availability",
+    )
+    print(
+        render_table(
+            ["Tstart_long (hours)", "Availability"],
+            [(f"{x:.2f}", f"{y:.7%}") for x, y in sweep.as_rows()],
+            title=(
+                f"Availability vs AS HW/OS recovery time "
+                f"({config.n_instances} instances, {config.n_pairs} pairs)"
+            ),
+        )
+    )
+    five_nines = nines_to_availability(5)
+    try:
+        crossing = sweep.crossing(five_nines)
+        print(f"\nFive-9s crossover at Tstart_long = {crossing:.2f} h")
+    except Exception:
+        print("\nFive-9s level is retained across the whole sweep")
+    return 0
+
+
+def _cmd_uncertainty(args: argparse.Namespace) -> int:
+    config = _configuration(args)
+    result = run_uncertainty(config, n_samples=args.samples, seed=args.seed)
+    print(result.summary())
+    print(
+        f"fraction of sampled systems under 5.25 min/yr "
+        f"(>= five 9s): {result.fraction_below(5.25):.1%}"
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.testbed import run_fault_injection_campaign
+
+    result = run_fault_injection_campaign(args.injections, seed=args.seed)
+    print(result.summary())
+    coverage = result.coverage()
+    print(
+        f"Eq.1 coverage bound at 95%: FIR <= {coverage.fir_upper:.4%} "
+        f"({result.n_successful}/{result.n_injections} successful)"
+    )
+    return 0
+
+
+def _cmd_risk(args: argparse.Namespace) -> int:
+    from repro.analysis.risk import annual_downtime_risk
+
+    result = _configuration(args).solve(PAPER_PARAMETERS)
+    risk = annual_downtime_risk(result, n_years=args.years, seed=args.seed)
+    print(risk.summary(sla_minutes=args.sla))
+    print(
+        f"expected outages/year: {risk.outage_rate_per_year:.3f}; "
+        f"p99 annual downtime: {risk.percentile(99):.1f} min"
+    )
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    from repro.models.jsas.assessment import generate_assessment
+
+    assessment = generate_assessment(
+        primary=_configuration(args),
+        n_uncertainty_samples=args.samples,
+        n_risk_years=args.years,
+        seed=args.seed,
+    )
+    print(assessment.to_text())
+    return 0
+
+
+def _cmd_mission(args: argparse.Namespace) -> int:
+    from repro.analysis.mission import mission_availability
+    from repro.models.jsas import build_hadb_pair_model
+
+    result = mission_availability(
+        build_hadb_pair_model(),
+        mission_hours=args.hours,
+        n_missions=args.missions,
+        values=PAPER_PARAMETERS.to_dict(),
+        seed=args.seed,
+    )
+    print(result.summary(target=nines_to_availability(args.nines)))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.models.jsas.planner import plan_configuration
+
+    target = nines_to_availability(args.nines)
+    recommendation = plan_configuration(
+        target, PAPER_PARAMETERS, max_instances=args.max_instances
+    )
+    if recommendation.feasible:
+        config = recommendation.configuration
+        print(
+            f"smallest shape for {args.nines:g} nines "
+            f"({target:.6%}): {config.n_instances} instances / "
+            f"{config.n_pairs} pairs "
+            f"(availability {recommendation.availability:.5%}, "
+            f"{recommendation.candidates_evaluated} candidates solved)"
+        )
+        return 0
+    best = recommendation.best_infeasible
+    print(
+        f"no shape up to {args.max_instances} instances reaches "
+        f"{args.nines:g} nines; best was {best.n_instances}/"
+        f"{best.n_pairs} at {recommendation.availability:.5%}"
+    )
+    return 1
+
+
+def _cmd_export_dot(args: argparse.Namespace) -> int:
+    from repro.core.serialize import model_to_dot
+    from repro.models.jsas import (
+        build_appserver_model,
+        build_hadb_pair_model,
+        build_system_model,
+    )
+
+    builders = {
+        "system": lambda: build_system_model(),
+        "hadb": lambda: build_hadb_pair_model(),
+        "appserver": lambda: build_appserver_model(args.instances),
+    }
+    print(model_to_dot(builders[args.model]()))
+    return 0
+
+
+def _cmd_longevity(args: argparse.Namespace) -> int:
+    from repro.testbed import run_longevity_test
+
+    result = run_longevity_test(duration_days=args.days, seed=args.seed)
+    print(result.summary())
+    estimate = result.as_failure_rate_estimate()
+    print(
+        f"Eq.2 AS failure-rate bound at 95%: "
+        f"{estimate.upper * 24:.4f}/day "
+        f"(exposure {result.as_exposure_hours:.0f} instance-hours)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-avail",
+        description=(
+            "Availability modeling for an application server "
+            "(reproduction of Tang et al., DSN 2004)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve one configuration")
+    _add_config_arguments(p)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("table2", help="reproduce Table 2")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("table3", help="reproduce Table 3")
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("sweep", help="Figs. 5/6 Tstart_long sweep")
+    _add_config_arguments(p)
+    p.add_argument("--start", type=float, default=0.5)
+    p.add_argument("--stop", type=float, default=3.0)
+    p.add_argument("--points", type=int, default=11)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("uncertainty", help="Figs. 7/8 uncertainty analysis")
+    _add_config_arguments(p)
+    p.add_argument("--samples", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_uncertainty)
+
+    p = sub.add_parser("campaign", help="simulated fault-injection campaign")
+    p.add_argument("--injections", type=int, default=500)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("longevity", help="simulated stability test")
+    p.add_argument("--days", type=float, default=7.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_longevity)
+
+    p = sub.add_parser("risk", help="annual downtime distribution / SLA risk")
+    _add_config_arguments(p)
+    p.add_argument("--years", type=int, default=20_000)
+    p.add_argument("--sla", type=float, default=5.25,
+                   help="SLA budget in minutes/year (default: five 9s)")
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_risk)
+
+    p = sub.add_parser(
+        "assess", help="full availability assessment report"
+    )
+    _add_config_arguments(p)
+    p.add_argument("--samples", type=int, default=500)
+    p.add_argument("--years", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=2004)
+    p.set_defaults(func=_cmd_assess)
+
+    p = sub.add_parser(
+        "mission", help="interval availability over finite missions "
+        "(HADB pair model)"
+    )
+    p.add_argument("--hours", type=float, default=2190.0)
+    p.add_argument("--missions", type=int, default=300)
+    p.add_argument("--nines", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_mission)
+
+    p = sub.add_parser("plan", help="smallest shape for a nines target")
+    p.add_argument("--nines", type=float, default=5.0)
+    p.add_argument("--max-instances", type=int, default=12)
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser(
+        "export-dot", help="print a model as a Graphviz digraph"
+    )
+    p.add_argument(
+        "model", choices=["system", "hadb", "appserver"],
+        help="which paper model to export",
+    )
+    p.add_argument("--instances", type=int, default=2)
+    p.set_defaults(func=_cmd_export_dot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (| head).
+        # Not an error; exit quietly the way Unix tools do.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

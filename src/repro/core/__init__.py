@@ -1,0 +1,33 @@
+"""Core model-building blocks: parameters, rate expressions, Markov models.
+
+This package is the equivalent of RAScad's model-specification layer: a
+:class:`~repro.core.model.MarkovModel` is a set of named states carrying
+reward rates plus transitions whose rates are either numbers or symbolic
+expressions over a :class:`~repro.core.parameters.ParameterSet`.
+"""
+
+from repro.core.expressions import Expression, compile_expression
+from repro.core.parameters import Parameter, ParameterSet
+from repro.core.model import MarkovModel, State, Transition
+from repro.core.serialize import (
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_dot,
+    model_to_json,
+)
+
+__all__ = [
+    "Expression",
+    "compile_expression",
+    "Parameter",
+    "ParameterSet",
+    "MarkovModel",
+    "State",
+    "Transition",
+    "model_from_dict",
+    "model_from_json",
+    "model_to_dict",
+    "model_to_dot",
+    "model_to_json",
+]

@@ -1,0 +1,197 @@
+"""Safe arithmetic expressions for symbolic transition rates.
+
+RAScad model diagrams label transitions with expressions such as
+``2*La_hadb*(1-FIR)`` or ``FSS/Trecovery``.  This module compiles such
+strings into callable :class:`Expression` objects using Python's ``ast``
+module restricted to a small arithmetic subset — no attribute access, no
+subscripts, no calls except a whitelist of math functions.  This keeps
+model files declarative and auditable without the dangers of ``eval``.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Callable, Dict, Iterable, Mapping, Set, Union
+
+from repro.exceptions import ExpressionError
+
+#: Functions that may be called inside a rate expression.
+ALLOWED_FUNCTIONS: Dict[str, Callable[..., float]] = {
+    "exp": math.exp,
+    "log": math.log,
+    "log10": math.log10,
+    "sqrt": math.sqrt,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "pow": pow,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+#: Named constants available inside expressions.
+ALLOWED_CONSTANTS: Dict[str, float] = {
+    "pi": math.pi,
+    "e": math.e,
+    "inf": math.inf,
+}
+
+_ALLOWED_BINOPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod, ast.FloorDiv)
+_ALLOWED_UNARYOPS = (ast.UAdd, ast.USub)
+
+RateLike = Union[str, float, int, "Expression"]
+
+
+class Expression:
+    """A compiled arithmetic expression over named parameters.
+
+    Instances are immutable, hashable by their source text, and callable
+    with a mapping of parameter values:
+
+    >>> expr = compile_expression("2*La*(1-FIR)")
+    >>> expr({"La": 0.5, "FIR": 0.1})
+    0.9
+    >>> sorted(expr.variables)
+    ['FIR', 'La']
+    """
+
+    __slots__ = ("source", "variables", "_code")
+
+    def __init__(self, source: str, variables: Set[str], code) -> None:
+        self.source = source
+        self.variables = frozenset(variables)
+        self._code = code
+
+    def __call__(self, values: Mapping[str, float]) -> float:
+        missing = [name for name in self.variables if name not in values]
+        if missing:
+            raise ExpressionError(
+                f"expression {self.source!r} needs parameter(s) "
+                f"{sorted(missing)} which were not supplied"
+            )
+        namespace = dict(ALLOWED_CONSTANTS)
+        namespace.update(ALLOWED_FUNCTIONS)
+        namespace.update({name: float(values[name]) for name in self.variables})
+        try:
+            result = eval(self._code, {"__builtins__": {}}, namespace)  # noqa: S307
+        except ZeroDivisionError as exc:
+            raise ExpressionError(
+                f"expression {self.source!r} divided by zero with values "
+                f"{ {k: values[k] for k in sorted(self.variables)} }"
+            ) from exc
+        return float(result)
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Alias for calling the expression, for readability at call sites."""
+        return self(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Expression({self.source!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expression) and other.source == self.source
+
+    def __hash__(self) -> int:
+        return hash(("Expression", self.source))
+
+
+class _Validator(ast.NodeVisitor):
+    """Walk the parsed AST and reject anything outside the safe subset."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.names: Set[str] = set()
+
+    def generic_visit(self, node: ast.AST) -> None:
+        raise ExpressionError(
+            f"disallowed syntax {type(node).__name__!r} in rate "
+            f"expression {self.source!r}"
+        )
+
+    def visit_Expression(self, node: ast.Expression) -> None:
+        self.visit(node.body)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if not isinstance(node.op, _ALLOWED_BINOPS):
+            raise ExpressionError(
+                f"disallowed operator {type(node.op).__name__!r} in "
+                f"{self.source!r}"
+            )
+        self.visit(node.left)
+        self.visit(node.right)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> None:
+        if not isinstance(node.op, _ALLOWED_UNARYOPS):
+            raise ExpressionError(
+                f"disallowed unary operator {type(node.op).__name__!r} in "
+                f"{self.source!r}"
+            )
+        self.visit(node.operand)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if not isinstance(node.value, (int, float)):
+            raise ExpressionError(
+                f"only numeric literals are allowed, got {node.value!r} in "
+                f"{self.source!r}"
+            )
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            raise ExpressionError(f"assignment is not allowed in {self.source!r}")
+        if node.id not in ALLOWED_FUNCTIONS and node.id not in ALLOWED_CONSTANTS:
+            self.names.add(node.id)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Name) or node.func.id not in ALLOWED_FUNCTIONS:
+            raise ExpressionError(
+                f"only calls to {sorted(ALLOWED_FUNCTIONS)} are allowed in "
+                f"{self.source!r}"
+            )
+        if node.keywords:
+            raise ExpressionError(
+                f"keyword arguments are not allowed in {self.source!r}"
+            )
+        for arg in node.args:
+            self.visit(arg)
+
+
+def compile_expression(source: RateLike) -> Expression:
+    """Compile a rate expression into an :class:`Expression`.
+
+    Accepts a string expression, a bare number (wrapped into a constant
+    expression), or an already-compiled :class:`Expression` (returned
+    unchanged).
+
+    Raises :class:`~repro.exceptions.ExpressionError` for anything outside
+    the safe arithmetic subset.
+    """
+    if isinstance(source, Expression):
+        return source
+    if isinstance(source, (int, float)):
+        text = repr(float(source))
+        code = compile(ast.parse(text, mode="eval"), "<rate>", "eval")
+        return Expression(text, set(), code)
+    if not isinstance(source, str):
+        raise ExpressionError(
+            f"rate must be a string, number or Expression, got {type(source).__name__}"
+        )
+    stripped = source.strip()
+    if not stripped:
+        raise ExpressionError("empty rate expression")
+    try:
+        tree = ast.parse(stripped, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(f"cannot parse rate expression {stripped!r}: {exc}") from exc
+    validator = _Validator(stripped)
+    validator.visit(tree)
+    code = compile(tree, "<rate>", "eval")
+    return Expression(stripped, validator.names, code)
+
+
+def variables_of(sources: Iterable[RateLike]) -> Set[str]:
+    """Union of the parameter names referenced by several rate expressions."""
+    names: Set[str] = set()
+    for source in sources:
+        names |= set(compile_expression(source).variables)
+    return names

@@ -1,0 +1,353 @@
+"""Markov reward model builder.
+
+A :class:`MarkovModel` is the in-memory equivalent of a RAScad diagram:
+
+* **states** with a name, a *reward rate* (1 for working states, 0 for
+  failure states in pure availability models — but any non-negative float
+  is allowed for performability analysis) and an optional description;
+* **transitions** labelled with a rate, which may be a number or a
+  symbolic expression over model parameters (``"2*La_hadb*(1-FIR)"``).
+
+The builder is deliberately strict: duplicate states, self-loops, unknown
+endpoints and (at bind time) non-positive rates are all errors, because in
+availability modeling a silently-dropped transition produces results that
+look plausible and are wrong.
+
+A model is *bound* against a :class:`~repro.core.parameters.ParameterSet`
+to produce concrete numeric rates; the numerical machinery lives in
+:mod:`repro.ctmc`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.expressions import Expression, RateLike, compile_expression
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class State:
+    """A model state.
+
+    Attributes:
+        name: Unique state name (e.g. ``"RestartShort"``).
+        reward: Reward rate earned per unit time spent in the state.  In
+            availability models this is 1.0 for up states and 0.0 for
+            down states.
+        description: Optional human-readable meaning.
+    """
+
+    name: str
+    reward: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("state name must be non-empty")
+        if not math.isfinite(self.reward) or self.reward < 0:
+            raise ModelError(
+                f"state {self.name!r} has invalid reward {self.reward!r}; "
+                "reward rates must be finite and non-negative"
+            )
+
+    @property
+    def is_up(self) -> bool:
+        """True if the state earns a strictly positive reward."""
+        return self.reward > 0.0
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A directed transition between two states with a symbolic rate."""
+
+    source: str
+    target: str
+    rate: Expression
+    description: str = ""
+
+    def rate_value(self, values: Mapping[str, float]) -> float:
+        """Evaluate the transition rate under concrete parameter values."""
+        return self.rate(values)
+
+
+class MarkovModel:
+    """A continuous-time Markov reward model under construction.
+
+    Example — a two-state repairable component::
+
+        model = MarkovModel("component")
+        model.add_state("Up", reward=1.0)
+        model.add_state("Down", reward=0.0)
+        model.add_transition("Up", "Down", "La")
+        model.add_transition("Down", "Up", "Mu")
+
+    The model can then be bound and solved::
+
+        from repro.ctmc import solve_steady_state
+        pi = solve_steady_state(model, {"La": 0.01, "Mu": 1.0})
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ModelError("model name must be non-empty")
+        self.name = name
+        self.description = description
+        self._states: Dict[str, State] = {}
+        self._transitions: List[Transition] = []
+        self._transition_keys: Set[Tuple[str, str]] = set()
+
+    # Construction -------------------------------------------------------
+
+    def add_state(
+        self, name: str, reward: float = 1.0, description: str = ""
+    ) -> State:
+        """Add a state; returns the created :class:`State`."""
+        if name in self._states:
+            raise ModelError(f"duplicate state {name!r} in model {self.name!r}")
+        state = State(name=name, reward=float(reward), description=description)
+        self._states[name] = state
+        return state
+
+    def add_transition(
+        self,
+        source: str,
+        target: str,
+        rate: RateLike,
+        description: str = "",
+    ) -> Transition:
+        """Add a transition; the rate may be numeric or symbolic.
+
+        Parallel transitions between the same pair of states are rejected:
+        merge them into a single expression instead, so that every arc in
+        the model corresponds to exactly one arc in the published diagram.
+        """
+        for endpoint in (source, target):
+            if endpoint not in self._states:
+                raise ModelError(
+                    f"transition references unknown state {endpoint!r} "
+                    f"in model {self.name!r} (add_state first)"
+                )
+        if source == target:
+            raise ModelError(
+                f"self-loop on {source!r} is meaningless in a CTMC "
+                f"(model {self.name!r})"
+            )
+        key = (source, target)
+        if key in self._transition_keys:
+            raise ModelError(
+                f"duplicate transition {source!r} -> {target!r} in model "
+                f"{self.name!r}; merge the rates into one expression"
+            )
+        transition = Transition(
+            source=source,
+            target=target,
+            rate=compile_expression(rate),
+            description=description,
+        )
+        self._transitions.append(transition)
+        self._transition_keys.add(key)
+        return transition
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def state_names(self) -> Tuple[str, ...]:
+        """State names in insertion order (this fixes the matrix ordering)."""
+        return tuple(self._states)
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        return tuple(self._states.values())
+
+    @property
+    def transitions(self) -> Tuple[Transition, ...]:
+        return tuple(self._transitions)
+
+    def state(self, name: str) -> State:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise ModelError(
+                f"unknown state {name!r} in model {self.name!r}"
+            ) from None
+
+    def state_index(self, name: str) -> int:
+        """Position of a state in the canonical ordering."""
+        try:
+            return self.state_names.index(name)
+        except ValueError:
+            raise ModelError(
+                f"unknown state {name!r} in model {self.name!r}"
+            ) from None
+
+    def up_states(self) -> Tuple[str, ...]:
+        """Names of states with strictly positive reward."""
+        return tuple(s.name for s in self._states.values() if s.is_up)
+
+    def down_states(self) -> Tuple[str, ...]:
+        """Names of states with zero reward."""
+        return tuple(s.name for s in self._states.values() if not s.is_up)
+
+    def reward_vector(self) -> List[float]:
+        """Reward rates in canonical state order."""
+        return [s.reward for s in self._states.values()]
+
+    def required_parameters(self) -> Set[str]:
+        """All parameter names referenced by any transition rate."""
+        names: Set[str] = set()
+        for transition in self._transitions:
+            names |= set(transition.rate.variables)
+        return names
+
+    def outgoing(self, name: str) -> Tuple[Transition, ...]:
+        """Transitions leaving a state."""
+        self.state(name)
+        return tuple(t for t in self._transitions if t.source == name)
+
+    def incoming(self, name: str) -> Tuple[Transition, ...]:
+        """Transitions entering a state."""
+        self.state(name)
+        return tuple(t for t in self._transitions if t.target == name)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MarkovModel({self.name!r}, states={len(self._states)}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+    # Validation ----------------------------------------------------------
+
+    def validate(self, values: Optional[Mapping[str, float]] = None) -> None:
+        """Check structural sanity; with values, also check numeric rates.
+
+        Structural checks: at least one state; at least one up state (an
+        availability model with no working state has availability zero by
+        construction, which is almost certainly a bug); every state
+        reachable in the undirected sense (no forgotten islands).
+
+        With ``values``, every transition rate must evaluate to a finite,
+        strictly positive number — a zero rate means the arc should not
+        exist for this parameterization, which the caller must decide
+        explicitly (see :func:`repro.ctmc.generator.build_generator`'s
+        ``drop_zero_rates`` flag).
+        """
+        if not self._states:
+            raise ModelError(f"model {self.name!r} has no states")
+        if not any(s.is_up for s in self._states.values()):
+            raise ModelError(
+                f"model {self.name!r} has no up (reward > 0) states"
+            )
+        self._check_weak_connectivity()
+        if values is not None:
+            missing = self.required_parameters() - set(values)
+            if missing:
+                raise ModelError(
+                    f"model {self.name!r} is missing parameter(s) "
+                    f"{sorted(missing)}"
+                )
+            for transition in self._transitions:
+                rate = transition.rate_value(values)
+                if not math.isfinite(rate) or rate < 0.0:
+                    raise ModelError(
+                        f"transition {transition.source!r} -> "
+                        f"{transition.target!r} in model {self.name!r} has "
+                        f"invalid rate {rate!r} "
+                        f"(expression {transition.rate.source!r})"
+                    )
+
+    def _check_weak_connectivity(self) -> None:
+        if len(self._states) <= 1:
+            return
+        adjacency: Dict[str, Set[str]] = {name: set() for name in self._states}
+        for t in self._transitions:
+            adjacency[t.source].add(t.target)
+            adjacency[t.target].add(t.source)
+        seen: Set[str] = set()
+        stack = [next(iter(self._states))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node] - seen)
+        isolated = set(self._states) - seen
+        if isolated:
+            raise ModelError(
+                f"model {self.name!r} has unreachable island state(s) "
+                f"{sorted(isolated)}"
+            )
+
+    # Convenience ----------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "MarkovModel":
+        """Deep-enough copy (states and transitions are immutable)."""
+        out = MarkovModel(name or self.name, self.description)
+        for state in self._states.values():
+            out.add_state(state.name, state.reward, state.description)
+        for t in self._transitions:
+            out.add_transition(t.source, t.target, t.rate, t.description)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable dump of states and transitions."""
+        lines = [f"Markov model {self.name!r}"]
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines.append("  states:")
+        for state in self._states.values():
+            marker = "up" if state.is_up else "DOWN"
+            suffix = f" — {state.description}" if state.description else ""
+            lines.append(
+                f"    {state.name} (reward={state.reward:g}, {marker}){suffix}"
+            )
+        lines.append("  transitions:")
+        for t in self._transitions:
+            lines.append(f"    {t.source} -> {t.target} @ {t.rate.source}")
+        return "\n".join(lines)
+
+
+def birth_death_model(
+    name: str,
+    levels: int,
+    birth_rates: Sequence[RateLike],
+    death_rates: Sequence[RateLike],
+    rewards: Optional[Sequence[float]] = None,
+) -> MarkovModel:
+    """Build a birth–death chain with ``levels`` states ``L0 .. L{n-1}``.
+
+    Provided mainly for tests and teaching: birth–death chains have
+    closed-form steady-state solutions that we verify the numerical
+    solvers against.
+
+    Args:
+        name: Model name.
+        levels: Number of states (``>= 2``).
+        birth_rates: ``levels - 1`` rates for ``Lk -> Lk+1``.
+        death_rates: ``levels - 1`` rates for ``Lk+1 -> Lk``.
+        rewards: Optional per-level rewards; defaults to all 1.0 except the
+            last level, which gets 0.0 (a common availability reading).
+    """
+    if levels < 2:
+        raise ModelError("a birth-death chain needs at least two levels")
+    if len(birth_rates) != levels - 1 or len(death_rates) != levels - 1:
+        raise ModelError(
+            f"need exactly {levels - 1} birth and death rates for "
+            f"{levels} levels"
+        )
+    if rewards is None:
+        rewards = [1.0] * (levels - 1) + [0.0]
+    if len(rewards) != levels:
+        raise ModelError(f"need exactly {levels} rewards")
+    model = MarkovModel(name, f"birth-death chain with {levels} levels")
+    for k in range(levels):
+        model.add_state(f"L{k}", reward=rewards[k])
+    for k in range(levels - 1):
+        model.add_transition(f"L{k}", f"L{k + 1}", birth_rates[k])
+        model.add_transition(f"L{k + 1}", f"L{k}", death_rates[k])
+    return model

@@ -1,0 +1,184 @@
+"""Named model parameters with units, documentation, and provenance.
+
+A :class:`ParameterSet` plays the role of the parameter box attached to a
+RAScad diagram (see the paper's Figs. 3 and 4): every symbol used in a
+rate expression must resolve to a value here.  Parameters carry metadata —
+a description, a unit label, and a *provenance* tag recording whether the
+value was measured in the lab, estimated from field data, or set
+conservatively — because the paper's methodology hinges on being able to
+audit where every number came from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.exceptions import ParameterError
+
+#: Recognized provenance tags, in the spirit of the paper's Section 5.
+PROVENANCE_TAGS = (
+    "measured",      # directly measured in the (simulated) lab
+    "field",         # estimated from field data
+    "conservative",  # deliberately pessimistic engineering choice
+    "assumed",       # modeling assumption
+    "derived",       # computed from other parameters
+)
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A single named model parameter.
+
+    Attributes:
+        name: Symbol used in rate expressions (e.g. ``"La_hadb"``).
+        value: Numeric value, in the library's canonical units
+            (rates per hour, times in hours) unless ``unit`` says otherwise.
+        description: Human-readable meaning.
+        unit: Unit label, purely documentary (e.g. ``"1/hour"``).
+        provenance: One of :data:`PROVENANCE_TAGS`.
+        bounds: Optional ``(low, high)`` plausibility range used as the
+            default range in uncertainty analysis.
+    """
+
+    name: str
+    value: float
+    description: str = ""
+    unit: str = ""
+    provenance: str = "assumed"
+    bounds: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ParameterError(f"parameter name {self.name!r} is not an identifier")
+        if not math.isfinite(self.value):
+            raise ParameterError(f"parameter {self.name!r} has non-finite value {self.value}")
+        if self.provenance not in PROVENANCE_TAGS:
+            raise ParameterError(
+                f"parameter {self.name!r} has unknown provenance "
+                f"{self.provenance!r}; expected one of {PROVENANCE_TAGS}"
+            )
+        if self.bounds is not None:
+            low, high = self.bounds
+            if not (low <= high):
+                raise ParameterError(
+                    f"parameter {self.name!r} has inverted bounds {self.bounds}"
+                )
+
+    def with_value(self, value: float) -> "Parameter":
+        """Return a copy of this parameter holding a different value."""
+        return replace(self, value=float(value))
+
+
+class ParameterSet(Mapping[str, float]):
+    """An ordered, immutable-by-convention collection of parameters.
+
+    Behaves as a read-only ``Mapping[str, float]`` from names to values, so
+    it can be passed directly to :class:`~repro.core.expressions.Expression`
+    objects.  Mutation goes through :meth:`updated`, which returns a new
+    set — analyses never modify the parameters they were given, which is
+    essential for the uncertainty analysis that evaluates the same model
+    under a thousand different parameterizations.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter] = ()) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        for parameter in parameters:
+            self._add(parameter)
+
+    def _add(self, parameter: Parameter) -> None:
+        if not isinstance(parameter, Parameter):
+            raise ParameterError(
+                f"expected a Parameter, got {type(parameter).__name__}"
+            )
+        if parameter.name in self._parameters:
+            raise ParameterError(f"duplicate parameter {parameter.name!r}")
+        self._parameters[parameter.name] = parameter
+
+    # Mapping interface -------------------------------------------------
+
+    def __getitem__(self, name: str) -> float:
+        try:
+            return self._parameters[name].value
+        except KeyError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parameters)
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{p.name}={p.value:g}" for p in self._parameters.values())
+        return f"ParameterSet({body})"
+
+    # Rich access --------------------------------------------------------
+
+    def parameter(self, name: str) -> Parameter:
+        """Return the full :class:`Parameter` object (not just the value)."""
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise ParameterError(
+                f"unknown parameter {name!r}; known: {sorted(self._parameters)}"
+            ) from None
+
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """All parameters, in insertion order."""
+        return tuple(self._parameters.values())
+
+    # Functional updates ------------------------------------------------
+
+    def updated(self, **overrides: float) -> "ParameterSet":
+        """Return a new set with the named values replaced.
+
+        Unknown names raise :class:`~repro.exceptions.ParameterError` so a
+        typo in a sweep specification fails loudly instead of silently
+        sweeping nothing.
+        """
+        unknown = set(overrides) - set(self._parameters)
+        if unknown:
+            raise ParameterError(
+                f"cannot override unknown parameter(s) {sorted(unknown)}; "
+                f"known: {sorted(self._parameters)}"
+            )
+        out = ParameterSet()
+        for name, parameter in self._parameters.items():
+            if name in overrides:
+                parameter = parameter.with_value(overrides[name])
+            out._add(parameter)
+        return out
+
+    def extended(self, *parameters: Parameter) -> "ParameterSet":
+        """Return a new set with additional parameters appended."""
+        out = ParameterSet(self._parameters.values())
+        for parameter in parameters:
+            out._add(parameter)
+        return out
+
+    def subset(self, names: Iterable[str]) -> "ParameterSet":
+        """Return a new set containing only the named parameters."""
+        return ParameterSet(self.parameter(name) for name in names)
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain ``{name: value}`` dictionary copy."""
+        return {name: p.value for name, p in self._parameters.items()}
+
+    # Documentation -----------------------------------------------------
+
+    def describe(self) -> str:
+        """Render a human-readable table of the parameters."""
+        if not self._parameters:
+            return "(empty parameter set)"
+        rows = [("name", "value", "unit", "provenance", "description")]
+        for p in self._parameters.values():
+            rows.append((p.name, f"{p.value:g}", p.unit, p.provenance, p.description))
+        widths = [max(len(row[i]) for row in rows) for i in range(5)]
+        lines = []
+        for index, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+            if index == 0:
+                lines.append("  ".join("-" * widths[i] for i in range(5)))
+        return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Structural analysis of CTMC state spaces.
+
+Availability models are usually irreducible (every failure is eventually
+repaired), while reliability models deliberately contain absorbing failure
+states.  The steady-state and absorption solvers use these helpers to fail
+loudly when handed a chain of the wrong shape, instead of returning a
+numerically-plausible nonsense vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.ctmc.generator import GeneratorMatrix
+
+
+def _adjacency(generator: GeneratorMatrix) -> sp.csr_matrix:
+    """Boolean adjacency matrix of the transition graph (no diagonal)."""
+    if generator.is_sparse:
+        matrix = generator.matrix.tocoo()
+        mask = (matrix.data > 0.0) & (matrix.row != matrix.col)
+        return sp.coo_matrix(
+            (np.ones(mask.sum()), (matrix.row[mask], matrix.col[mask])),
+            shape=matrix.shape,
+        ).tocsr()
+    dense = generator.dense()
+    np.fill_diagonal(dense, 0.0)
+    return sp.csr_matrix(dense > 0.0)
+
+
+def communicating_classes(generator: GeneratorMatrix) -> List[Tuple[str, ...]]:
+    """Strongly connected components of the transition graph.
+
+    Returns one tuple of state names per class, ordered by the smallest
+    state index they contain.
+    """
+    adjacency = _adjacency(generator)
+    n_components, labels = csgraph.connected_components(
+        adjacency, directed=True, connection="strong"
+    )
+    classes: Dict[int, List[str]] = {}
+    for index, label in enumerate(labels):
+        classes.setdefault(int(label), []).append(generator.state_names[index])
+    ordered = sorted(
+        classes.values(), key=lambda names: generator.index_of(names[0])
+    )
+    return [tuple(names) for names in ordered]
+
+
+def is_irreducible(generator: GeneratorMatrix) -> bool:
+    """True if every state communicates with every other state."""
+    return len(communicating_classes(generator)) == 1
+
+
+@dataclass(frozen=True)
+class StateClassification:
+    """Partition of states into transient and recurrent (per class)."""
+
+    recurrent_classes: Tuple[Tuple[str, ...], ...]
+    transient_states: Tuple[str, ...]
+    absorbing_states: Tuple[str, ...]
+
+    @property
+    def has_single_recurrent_class(self) -> bool:
+        return len(self.recurrent_classes) == 1
+
+
+def classify_states(generator: GeneratorMatrix) -> StateClassification:
+    """Classify each state as transient or member of a recurrent class.
+
+    A communicating class is recurrent iff no transition leaves it.  A
+    recurrent singleton with no outgoing arcs at all is an absorbing state.
+    """
+    classes = communicating_classes(generator)
+    membership = {
+        name: k for k, names in enumerate(classes) for name in names
+    }
+    leaks = [False] * len(classes)
+    adjacency = _adjacency(generator).tocoo()
+    for i, j in zip(adjacency.row, adjacency.col):
+        source = generator.state_names[i]
+        target = generator.state_names[j]
+        if membership[source] != membership[target]:
+            leaks[membership[source]] = True
+
+    recurrent: List[Tuple[str, ...]] = []
+    transient: List[str] = []
+    absorbing: List[str] = []
+    exit_rates = generator.exit_rates()
+    for k, names in enumerate(classes):
+        if leaks[k]:
+            transient.extend(names)
+        else:
+            recurrent.append(names)
+            if len(names) == 1:
+                index = generator.index_of(names[0])
+                if exit_rates[index] == 0.0:
+                    absorbing.append(names[0])
+    return StateClassification(
+        recurrent_classes=tuple(recurrent),
+        transient_states=tuple(transient),
+        absorbing_states=tuple(absorbing),
+    )
+
+
+def reachable_from(
+    generator: GeneratorMatrix, sources: Sequence[str]
+) -> Tuple[str, ...]:
+    """All states reachable (in >= 0 steps) from the given source states."""
+    adjacency = _adjacency(generator)
+    n = generator.n_states
+    seen = np.zeros(n, dtype=bool)
+    stack = [generator.index_of(name) for name in sources]
+    for index in stack:
+        seen[index] = True
+    while stack:
+        i = stack.pop()
+        row = adjacency.getrow(i)
+        for j in row.indices:
+            if not seen[j]:
+                seen[j] = True
+                stack.append(int(j))
+    return tuple(
+        name for index, name in enumerate(generator.state_names) if seen[index]
+    )

@@ -1,0 +1,54 @@
+"""Statistical parameter estimation from measurement data.
+
+Implements the two confidence-bound formulas the paper relies on:
+
+* **Eq. 2** — an upper confidence bound on an exponential failure rate
+  from a test campaign with ``n`` observed failures over total exposure
+  ``T`` (including the important ``n = 0`` case):
+  :func:`~repro.estimation.failure_rate.failure_rate_upper_bound`.
+* **Eq. 1** — a lower confidence bound on a recovery-coverage probability
+  ``C = 1 - FIR`` from a fault-injection campaign with ``s`` successes out
+  of ``n`` injections (Clopper–Pearson via the F distribution):
+  :func:`~repro.estimation.coverage.coverage_lower_bound`.
+
+Plus supporting estimators for recovery times and generic interval
+helpers used by the measurement pipeline in :mod:`repro.testbed`.
+"""
+
+from repro.estimation.failure_rate import (
+    FailureRateEstimate,
+    estimate_failure_rate,
+    failure_rate_upper_bound,
+)
+from repro.estimation.coverage import (
+    CoverageEstimate,
+    coverage_lower_bound,
+    estimate_coverage,
+    fir_upper_bound,
+    required_injections_for_fir,
+)
+from repro.estimation.failure_rate import required_exposure_for_bound
+from repro.estimation.recovery_time import (
+    RecoveryTimeSummary,
+    summarize_recovery_times,
+)
+from repro.estimation.intervals import (
+    mean_confidence_interval,
+    percentile_interval,
+)
+
+__all__ = [
+    "FailureRateEstimate",
+    "estimate_failure_rate",
+    "failure_rate_upper_bound",
+    "CoverageEstimate",
+    "coverage_lower_bound",
+    "estimate_coverage",
+    "fir_upper_bound",
+    "required_injections_for_fir",
+    "required_exposure_for_bound",
+    "RecoveryTimeSummary",
+    "summarize_recovery_times",
+    "mean_confidence_interval",
+    "percentile_interval",
+]

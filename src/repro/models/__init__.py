@@ -1,0 +1,5 @@
+"""Ready-made availability models.
+
+Currently ships one family: :mod:`repro.models.jsas`, the paper's Sun
+Java System Application Server EE7 models.
+"""

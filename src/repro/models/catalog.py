@@ -1,0 +1,276 @@
+"""A catalog of classic availability model building blocks.
+
+The textbook patterns every availability study reaches for (Trivedi
+[19], SHARPE's example library), as ready-made
+:class:`~repro.core.model.MarkovModel` builders with consistent
+parameter names.  Each has a closed-form steady-state solution that the
+test suite checks the numerical engine against — so the catalog doubles
+as the library's analytic regression battery.
+
+All builders take *numeric* rates (per hour) and return fully-numeric
+models; wrap rates in your own symbols by editing the returned model's
+transitions if you need symbolic variants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.core.model import MarkovModel
+from repro.exceptions import ModelError
+
+
+def k_of_n_model(
+    n: int,
+    k: int,
+    failure_rate: float,
+    repair_rate: float,
+    repair_crews: int = 1,
+    name: str = "",
+) -> MarkovModel:
+    """k-out-of-n:G with identical units and a repair crew pool.
+
+    States ``live{j}`` for j = n..0; the system is up while at least
+    ``k`` units are live.  Failures are per-unit (aggregate rate
+    ``j * failure_rate``); repairs run up to ``repair_crews`` at once
+    (aggregate ``min(n - j, crews) * repair_rate``).
+
+    Closed form: a birth-death chain; see
+    :func:`k_of_n_availability`.
+    """
+    if not 1 <= k <= n:
+        raise ModelError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if failure_rate <= 0.0 or repair_rate <= 0.0:
+        raise ModelError("failure and repair rates must be positive")
+    if repair_crews < 1:
+        raise ModelError(f"need at least one repair crew, got {repair_crews}")
+    model = MarkovModel(
+        name or f"{k}_of_{n}",
+        f"{k}-out-of-{n}:G, {repair_crews} repair crew(s)",
+    )
+    for live in range(n, -1, -1):
+        model.add_state(
+            f"live{live}", reward=1.0 if live >= k else 0.0
+        )
+    for live in range(n, 0, -1):
+        model.add_transition(
+            f"live{live}", f"live{live - 1}", live * failure_rate
+        )
+    for live in range(n):
+        busy = min(n - live, repair_crews)
+        model.add_transition(
+            f"live{live}", f"live{live + 1}", busy * repair_rate
+        )
+    return model
+
+
+def k_of_n_availability(
+    n: int,
+    k: int,
+    failure_rate: float,
+    repair_rate: float,
+    repair_crews: int = 1,
+) -> float:
+    """Closed-form steady-state availability of :func:`k_of_n_model`.
+
+    Birth-death balance: ``pi_{j-1} = pi_j * (j * la) / (crews_at(j-1) * mu)``
+    walking down from j = n.
+    """
+    if not 1 <= k <= n:
+        raise ModelError(f"need 1 <= k <= n, got k={k}, n={n}")
+    weights = [1.0]  # weight of live = n
+    for live in range(n, 0, -1):
+        busy = min(n - (live - 1), repair_crews)
+        weights.append(
+            weights[-1] * (live * failure_rate) / (busy * repair_rate)
+        )
+    total = sum(weights)
+    up = sum(
+        weight
+        for live, weight in zip(range(n, -1, -1), weights)
+        if live >= k
+    )
+    return up / total
+
+
+def duplex_with_coverage(
+    failure_rate: float,
+    repair_rate: float,
+    coverage: float,
+    name: str = "duplex",
+) -> MarkovModel:
+    """The classic duplex processor with imperfect coverage.
+
+    From ``Duplex`` a unit failure is *covered* with probability c (the
+    survivor carries on; state ``Simplex``) or *uncovered* with 1 - c
+    (the pair crashes; state ``Down``).  A second failure in Simplex is
+    always fatal.  One repair crew; repair from Down restores the pair.
+
+    This is the canonical demonstration that coverage, not redundancy,
+    limits availability — exactly the role FIR plays in the paper's HADB
+    model.
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ModelError(f"coverage must be in [0, 1], got {coverage}")
+    if failure_rate <= 0.0 or repair_rate <= 0.0:
+        raise ModelError("failure and repair rates must be positive")
+    model = MarkovModel(name, "duplex with imperfect coverage")
+    model.add_state("Duplex", reward=1.0)
+    model.add_state("Simplex", reward=1.0)
+    model.add_state("Down", reward=0.0)
+    if coverage > 0.0:
+        model.add_transition(
+            "Duplex", "Simplex", 2.0 * failure_rate * coverage
+        )
+    if coverage < 1.0:
+        model.add_transition(
+            "Duplex", "Down", 2.0 * failure_rate * (1.0 - coverage)
+        )
+    model.add_transition("Simplex", "Down", failure_rate)
+    model.add_transition("Simplex", "Duplex", repair_rate)
+    model.add_transition("Down", "Simplex", repair_rate)
+    return model
+
+
+def warm_standby(
+    active_failure_rate: float,
+    standby_failure_rate: float,
+    repair_rate: float,
+    switch_coverage: float = 1.0,
+    name: str = "warm_standby",
+) -> MarkovModel:
+    """Active unit plus one (possibly degraded-rate) standby.
+
+    The standby fails at its own (dormant) rate while waiting.  On an
+    active failure the switchover succeeds with probability
+    ``switch_coverage``; a failed switch is a system outage.  One repair
+    crew, repaired units return to standby duty first.
+
+    Set ``standby_failure_rate = 0`` for a *cold* standby and equal
+    rates for a *hot* standby.
+    """
+    if active_failure_rate <= 0.0 or repair_rate <= 0.0:
+        raise ModelError("active failure and repair rates must be positive")
+    if standby_failure_rate < 0.0:
+        raise ModelError("standby failure rate must be non-negative")
+    if not 0.0 <= switch_coverage <= 1.0:
+        raise ModelError(
+            f"switch coverage must be in [0, 1], got {switch_coverage}"
+        )
+    model = MarkovModel(name, "1 active + 1 warm standby")
+    model.add_state("BothOk", reward=1.0, description="active + standby ready")
+    model.add_state("OneOk", reward=1.0, description="single unit running")
+    model.add_state("Down", reward=0.0)
+    # Active fails: covered switch -> OneOk, else Down.
+    if switch_coverage > 0.0:
+        model.add_transition(
+            "BothOk", "OneOk",
+            active_failure_rate * switch_coverage
+            + standby_failure_rate,  # standby dying also leaves one unit
+        )
+    if switch_coverage < 1.0:
+        model.add_transition(
+            "BothOk", "Down", active_failure_rate * (1.0 - switch_coverage)
+        )
+    model.add_transition("OneOk", "Down", active_failure_rate)
+    model.add_transition("OneOk", "BothOk", repair_rate)
+    model.add_transition("Down", "OneOk", repair_rate)
+    return model
+
+
+def series_availability(
+    components: Sequence[Tuple[float, float]]
+) -> float:
+    """Availability of independent components in series.
+
+    ``components`` is a sequence of ``(failure_rate, repair_rate)``
+    pairs; the system is up only when every component is up, so
+    availability is the product of ``mu / (la + mu)``.  Provided as the
+    closed form to check hierarchical series compositions against.
+    """
+    if not components:
+        raise ModelError("a series system needs at least one component")
+    availability = 1.0
+    for failure_rate, repair_rate in components:
+        if failure_rate < 0.0 or repair_rate <= 0.0:
+            raise ModelError(
+                f"invalid component rates ({failure_rate}, {repair_rate})"
+            )
+        availability *= repair_rate / (failure_rate + repair_rate)
+    return availability
+
+
+def tmr_model(
+    failure_rate: float,
+    repair_rate: float,
+    voter_failure_rate: float = 0.0,
+    name: str = "tmr",
+) -> MarkovModel:
+    """Triple modular redundancy with an optional non-redundant voter.
+
+    Three active replicas behind a majority voter: the system is up
+    while at least 2 replicas (and the voter) work.  One repair crew
+    serves the replicas; a voter failure is a system outage repaired at
+    the same rate.  With ``voter_failure_rate = 0`` this reduces to
+    2-out-of-3 (tested against :func:`k_of_n_availability`).
+
+    The classic lesson encoded: the voter's *simplex* reliability caps
+    what the redundant core can deliver.
+    """
+    if failure_rate <= 0.0 or repair_rate <= 0.0:
+        raise ModelError("failure and repair rates must be positive")
+    if voter_failure_rate < 0.0:
+        raise ModelError("voter failure rate must be non-negative")
+    model = MarkovModel(name, "triple modular redundancy with voter")
+    model.add_state("Three", reward=1.0)
+    model.add_state("Two", reward=1.0)
+    model.add_state("One", reward=0.0, description="majority lost")
+    model.add_state("Zero", reward=0.0)
+    model.add_transition("Three", "Two", 3.0 * failure_rate)
+    model.add_transition("Two", "One", 2.0 * failure_rate)
+    model.add_transition("One", "Zero", failure_rate)
+    model.add_transition("Two", "Three", repair_rate)
+    model.add_transition("One", "Two", repair_rate)
+    model.add_transition("Zero", "One", repair_rate)
+    if voter_failure_rate > 0.0:
+        model.add_state("VoterDown", reward=0.0)
+        for state in ("Three", "Two", "One", "Zero"):
+            model.add_transition(state, "VoterDown", voter_failure_rate)
+        model.add_transition("VoterDown", "Three", repair_rate)
+    return model
+
+
+def erlang_repair_model(
+    failure_rate: float,
+    repair_rate: float,
+    stages: int,
+    name: str = "erlang_repair",
+) -> MarkovModel:
+    """Single unit whose repair is Erlang-``stages`` distributed.
+
+    Markov models force exponential sojourns; the *method of stages*
+    recovers deterministic-ish repairs by chaining ``stages`` exponential
+    phases with rate ``stages * repair_rate`` each (keeping the mean at
+    ``1 / repair_rate``).  Availability has the closed form
+    ``mttf / (mttf + mttr)`` regardless of the repair distribution's
+    shape — which the tests verify, making this the library's witness
+    that only *means* matter for steady-state availability of alternating
+    renewal processes.
+    """
+    if stages < 1:
+        raise ModelError(f"need at least one stage, got {stages}")
+    if failure_rate <= 0.0 or repair_rate <= 0.0:
+        raise ModelError("failure and repair rates must be positive")
+    model = MarkovModel(name, f"unit with Erlang-{stages} repair")
+    model.add_state("Up", reward=1.0)
+    for stage in range(1, stages + 1):
+        model.add_state(f"Repair{stage}", reward=0.0)
+    model.add_transition("Up", "Repair1", failure_rate)
+    stage_rate = stages * repair_rate
+    for stage in range(1, stages):
+        model.add_transition(
+            f"Repair{stage}", f"Repair{stage + 1}", stage_rate
+        )
+    model.add_transition(f"Repair{stages}", "Up", stage_rate)
+    return model

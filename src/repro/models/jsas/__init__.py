@@ -1,0 +1,101 @@
+"""The paper's JSAS EE7 availability models.
+
+Public surface:
+
+* :data:`PAPER_PARAMETERS` — the Section 5 parameter set.
+* :func:`build_hadb_pair_model` — Fig. 3.
+* :func:`build_appserver_model` / :func:`build_single_instance_model` —
+  Fig. 4 and its generalization / the no-failover baseline.
+* :func:`build_system_model` — Fig. 2.
+* :class:`JsasConfiguration`, :data:`CONFIG_1`, :data:`CONFIG_2`,
+  :func:`build_configuration` — solvable deployments.
+* :func:`compare_configurations` — Table 3.
+* :func:`run_uncertainty` — Figs. 7-8.
+"""
+
+from repro.models.jsas.parameters import (
+    FAULT_INJECTION_SUCCESSES,
+    FAULT_INJECTION_TRIALS,
+    LONGEVITY_TEST_DAYS,
+    LONGEVITY_TEST_INSTANCES,
+    MEASURED_VALUES,
+    PAPER_PARAMETERS,
+    UNCERTAINTY_RANGES,
+    paper_values,
+)
+from repro.models.jsas.hadb import build_hadb_pair_model
+from repro.models.jsas.appserver import (
+    build_appserver_model,
+    build_single_instance_model,
+)
+from repro.models.jsas.system import (
+    CONFIG_1,
+    CONFIG_2,
+    JsasConfiguration,
+    build_configuration,
+    build_system_model,
+)
+from repro.models.jsas.configs import (
+    TABLE3_CONFIGURATIONS,
+    ConfigurationComparison,
+    build_uncertainty_analysis,
+    compare_configurations,
+    optimal_configuration,
+    run_uncertainty,
+    uncertainty_distributions,
+)
+from repro.models.jsas.performability import (
+    PerformabilityResult,
+    build_performability_appserver_model,
+    evaluate_performability,
+)
+from repro.models.jsas.extensions import (
+    EXTENSION_PARAMETERS,
+    build_hadb_pair_model_with_human_error,
+    build_upgrade_appserver_model,
+    compare_upgrade_strategies,
+    extension_values,
+)
+from repro.models.jsas.planner import (
+    PlannerRecommendation,
+    plan_configuration,
+)
+from repro.models.jsas.assessment import Assessment, generate_assessment
+
+__all__ = [
+    "PAPER_PARAMETERS",
+    "MEASURED_VALUES",
+    "UNCERTAINTY_RANGES",
+    "FAULT_INJECTION_TRIALS",
+    "FAULT_INJECTION_SUCCESSES",
+    "LONGEVITY_TEST_DAYS",
+    "LONGEVITY_TEST_INSTANCES",
+    "paper_values",
+    "build_hadb_pair_model",
+    "build_appserver_model",
+    "build_single_instance_model",
+    "build_system_model",
+    "JsasConfiguration",
+    "CONFIG_1",
+    "CONFIG_2",
+    "build_configuration",
+    "TABLE3_CONFIGURATIONS",
+    "ConfigurationComparison",
+    "compare_configurations",
+    "optimal_configuration",
+    "build_uncertainty_analysis",
+    "run_uncertainty",
+    "uncertainty_distributions",
+    "PerformabilityResult",
+    "build_performability_appserver_model",
+    "evaluate_performability",
+    "EXTENSION_PARAMETERS",
+    "build_hadb_pair_model_with_human_error",
+    "build_upgrade_appserver_model",
+    "compare_upgrade_strategies",
+    "extension_values",
+    "PlannerRecommendation",
+    "plan_configuration",
+    "Assessment",
+    "generate_assessment",
+]

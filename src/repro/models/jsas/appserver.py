@@ -1,0 +1,214 @@
+"""Application Server cluster models (paper Fig. 4 and its generalization).
+
+Three builders:
+
+* :func:`build_appserver_model` with ``n_instances=2`` — exactly the
+  paper's Fig. 4 five-state model.
+* :func:`build_appserver_model` with ``n_instances > 2`` — the
+  generalized level model the paper mentions but does not detail.  Level
+  ``k`` (k instances down) carries the same three phases as Fig. 4
+  (``Recovery_k``, ``Short_k``, ``Long_k``); per-instance failure rates
+  follow the paper's workload-dependency law ``La_i = La_0 * 2^i``, so
+  the aggregate failure rate at level k is ``(N - k) * 2^k * La``.  At
+  ``n_instances=2`` the generalized construction reduces *exactly* to
+  Fig. 4 (property-tested).
+* :func:`build_single_instance_model` — Table 3's 1-instance baseline
+  with no failover: restart in ``Tstart_short_as`` for AS failures and
+  ``Tstart_long_as`` for HW/OS failures.
+
+Repair policies for the generalized model:
+
+* ``"sequential"`` (default) — one instance is restarted at a time; when
+  its restart completes the next one begins, re-branching short/long with
+  probability FSS.  This matches the paper's published Config 2 numbers.
+* ``"parallel"`` — all down instances restart concurrently, modeled by
+  scaling the phase exit rates by the number of concurrently restarting
+  instances.  Provided as an ablation (see the ablation benchmark).
+
+Required parameters: ``La_as``, ``La_os``, ``La_hw``, ``Acc``,
+``Trecovery``, ``Tstart_short_as``, ``Tstart_long_as``, ``Tstart_all``.
+The fraction of short restarts ``FSS = La_as / La`` is expressed
+symbolically, so it tracks the sampled failure rates during uncertainty
+analysis exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import MarkovModel
+from repro.exceptions import ModelError
+
+#: Total per-instance failure rate and the short-restart fraction.
+_LA = "(La_as + La_os + La_hw)"
+_FSS = f"(La_as / {_LA})"
+
+REPAIR_POLICIES = ("sequential", "parallel")
+
+
+def build_appserver_model(
+    n_instances: int = 2,
+    repair_policy: str = "sequential",
+    name: str = "",
+) -> MarkovModel:
+    """Build the AS cluster model for ``n_instances`` >= 2.
+
+    States: ``All_Work``; for each level k in 1..N-1 the phases
+    ``Recovery_k`` (session failover in progress), ``Short_k`` (instance
+    restarting from an AS failure) and ``Long_k`` (instance recovering
+    from an HW/OS failure); and the failure state ``N_Down``.
+
+    For ``n_instances == 2`` the state names match the paper's Fig. 4
+    (``Recovery``, ``1DownShort``, ``1DownLong``, ``2_Down``).
+    """
+    if n_instances < 2:
+        raise ModelError(
+            "build_appserver_model requires n_instances >= 2; use "
+            "build_single_instance_model for the no-failover baseline"
+        )
+    if repair_policy not in REPAIR_POLICIES:
+        raise ModelError(
+            f"unknown repair policy {repair_policy!r}; expected one of "
+            f"{REPAIR_POLICIES}"
+        )
+    n = n_instances
+    model = MarkovModel(
+        name or f"appserver_{n}",
+        f"Application Server cluster, {n} instances, "
+        f"{repair_policy} restart (paper Fig. 4 generalization)",
+    )
+
+    def recovery(k: int) -> str:
+        return "Recovery" if (n == 2 and k == 1) else f"Recovery_{k}"
+
+    def short(k: int) -> str:
+        return "1DownShort" if (n == 2 and k == 1) else f"Short_{k}"
+
+    def long_(k: int) -> str:
+        return "1DownLong" if (n == 2 and k == 1) else f"Long_{k}"
+
+    down_name = "2_Down" if n == 2 else f"{n}_Down"
+
+    model.add_state("All_Work", reward=1.0, description="all instances up")
+    for k in range(1, n):
+        model.add_state(
+            recovery(k), reward=1.0,
+            description=f"{k} down, session failover in progress",
+        )
+        model.add_state(
+            short(k), reward=1.0,
+            description=f"{k} down, AS restart in progress",
+        )
+        model.add_state(
+            long_(k), reward=1.0,
+            description=f"{k} down, HW/OS recovery in progress",
+        )
+    model.add_state(
+        down_name, reward=0.0, description="all instances down"
+    )
+
+    def failure_rate(k: int) -> str:
+        """Aggregate failure rate with k instances already down.
+
+        Workload dependency: each of the (N - k) surviving instances
+        fails at ``La * Acc^k`` (the paper's doubling law with Acc = 2).
+        """
+        survivors = n - k
+        if k == 0:
+            return f"{survivors} * {_LA}"
+        return f"{survivors} * (Acc ** {k}) * {_LA}"
+
+    def repair_scale(k: int) -> str:
+        """Restart-rate multiplier at level k under the chosen policy."""
+        if repair_policy == "sequential" or k == 1:
+            return ""
+        return f"{k} * "
+
+    # Failure cascade: each new failure triggers a session failover.
+    model.add_transition(
+        "All_Work", recovery(1), failure_rate(0), "first instance failure"
+    )
+    for k in range(1, n):
+        next_state = down_name if k == n - 1 else recovery(k + 1)
+        for phase in (recovery(k), short(k), long_(k)):
+            model.add_transition(
+                phase, next_state, failure_rate(k),
+                "further failure on accelerated survivors",
+            )
+
+    # Phase progression within a level: failover completes, then branch
+    # short/long by failure type.
+    for k in range(1, n):
+        model.add_transition(
+            recovery(k), short(k), f"{_FSS} / Trecovery",
+            "failover done; AS-failure restart begins",
+        )
+        model.add_transition(
+            recovery(k), long_(k), f"(1 - {_FSS}) / Trecovery",
+            "failover done; HW/OS recovery begins",
+        )
+
+    # Restart completions step one level down (sequential) possibly
+    # re-branching by the type of the next queued restart.
+    for k in range(1, n):
+        short_rate = f"{repair_scale(k)}1 / Tstart_short_as"
+        long_rate = f"{repair_scale(k)}1 / Tstart_long_as"
+        if k == 1:
+            model.add_transition(short(k), "All_Work", short_rate)
+            model.add_transition(long_(k), "All_Work", long_rate)
+        else:
+            model.add_transition(
+                short(k), short(k - 1), f"({short_rate}) * {_FSS}",
+                "restart done; next queued restart is short",
+            )
+            model.add_transition(
+                short(k), long_(k - 1), f"({short_rate}) * (1 - {_FSS})",
+                "restart done; next queued restart is long",
+            )
+            model.add_transition(
+                long_(k), short(k - 1), f"({long_rate}) * {_FSS}",
+                "recovery done; next queued restart is short",
+            )
+            model.add_transition(
+                long_(k), long_(k - 1), f"({long_rate}) * (1 - {_FSS})",
+                "recovery done; next queued restart is long",
+            )
+
+    # Total outage: operator restarts everything.
+    model.add_transition(
+        down_name, "All_Work", "1 / Tstart_all", "operator restore"
+    )
+    return model
+
+
+def build_single_instance_model(name: str = "appserver_1") -> MarkovModel:
+    """Table 3's 1-instance baseline: no failover, no redundancy.
+
+    Three states: ``Up``, ``DownShort`` (AS failure, restart in
+    ``Tstart_short_as``), ``DownLong`` (HW/OS failure, recovery in
+    ``Tstart_long_as``).  Both down states are outages.
+    """
+    model = MarkovModel(
+        name,
+        "Single AS instance without failover (Table 3 row 1)",
+    )
+    model.add_state("Up", reward=1.0)
+    model.add_state("DownShort", reward=0.0, description="AS restart")
+    model.add_state("DownLong", reward=0.0, description="HW/OS recovery")
+    model.add_transition("Up", "DownShort", "La_as")
+    model.add_transition("Up", "DownLong", "La_os + La_hw")
+    model.add_transition("DownShort", "Up", "1 / Tstart_short_as")
+    model.add_transition("DownLong", "Up", "1 / Tstart_long_as")
+    return model
+
+
+def appserver_parameter_names() -> tuple:
+    """The parameter names the AS cluster model consumes."""
+    return (
+        "La_as",
+        "La_os",
+        "La_hw",
+        "Acc",
+        "Trecovery",
+        "Tstart_short_as",
+        "Tstart_long_as",
+        "Tstart_all",
+    )

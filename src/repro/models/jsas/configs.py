@@ -1,0 +1,129 @@
+"""Configuration comparison (paper Table 3) and uncertainty setup.
+
+Table 3 compares six configurations: a single instance without HADB and
+then N instances with N HADB pairs for N in {2, 4, 6, 8, 10}.  This
+module sweeps them and formats the comparison, and builds the
+distribution set for the Figs. 7-8 uncertainty analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hierarchy import HierarchicalResult
+from repro.models.jsas.parameters import (
+    PAPER_PARAMETERS,
+    UNCERTAINTY_RANGES,
+)
+from repro.models.jsas.system import JsasConfiguration
+from repro.uncertainty import Uniform, UncertaintyAnalysis, UncertaintyResult
+
+#: The (n_instances, n_pairs) rows of the paper's Table 3.
+TABLE3_CONFIGURATIONS: Tuple[Tuple[int, int], ...] = (
+    (1, 0),
+    (2, 2),
+    (4, 4),
+    (6, 6),
+    (8, 8),
+    (10, 10),
+)
+
+
+@dataclass(frozen=True)
+class ConfigurationComparison:
+    """One row of the Table 3 comparison."""
+
+    n_instances: int
+    n_pairs: int
+    availability: float
+    yearly_downtime_minutes: float
+    mtbf_hours: float
+    result: HierarchicalResult
+
+    def as_row(self) -> Tuple[str, str, str, str, str]:
+        pairs = str(self.n_pairs) if self.n_pairs else "N/A"
+        return (
+            str(self.n_instances),
+            pairs,
+            f"{self.availability:.5%}",
+            f"{self.yearly_downtime_minutes:.2f} min",
+            f"{self.mtbf_hours:,.0f}",
+        )
+
+
+def compare_configurations(
+    configurations: Sequence[Tuple[int, int]] = TABLE3_CONFIGURATIONS,
+    values: Optional[Mapping[str, float]] = None,
+    abstraction: str = "mttf",
+) -> List[ConfigurationComparison]:
+    """Solve each configuration and collect the Table 3 metrics."""
+    values = dict(values) if values is not None else PAPER_PARAMETERS.to_dict()
+    rows: List[ConfigurationComparison] = []
+    for n_instances, n_pairs in configurations:
+        config = JsasConfiguration(n_instances=n_instances, n_pairs=n_pairs)
+        result = config.solve(values, abstraction=abstraction)
+        rows.append(
+            ConfigurationComparison(
+                n_instances=n_instances,
+                n_pairs=n_pairs,
+                availability=result.availability,
+                yearly_downtime_minutes=result.yearly_downtime_minutes,
+                mtbf_hours=result.mtbf_hours,
+                result=result,
+            )
+        )
+    return rows
+
+
+def optimal_configuration(
+    rows: Sequence[ConfigurationComparison],
+) -> ConfigurationComparison:
+    """The availability-optimal row (the paper finds 4 AS + 4 pairs)."""
+    if not rows:
+        raise ValueError("no configurations to compare")
+    return max(rows, key=lambda row: row.availability)
+
+
+def uncertainty_distributions() -> Dict[str, Uniform]:
+    """Uniform distributions over the paper's Section 7 ranges."""
+    return {
+        name: Uniform(low, high)
+        for name, (low, high) in UNCERTAINTY_RANGES.items()
+    }
+
+
+def build_uncertainty_analysis(
+    config: JsasConfiguration,
+    values: Optional[Mapping[str, float]] = None,
+    metric: str = "yearly_downtime_minutes",
+    abstraction: str = "mttf",
+) -> UncertaintyAnalysis:
+    """The paper's Figs. 7-8 analysis for a configuration.
+
+    ``metric`` may be ``"yearly_downtime_minutes"`` (the figures' y-axis),
+    ``"availability"`` or ``"mtbf_hours"``.
+    """
+    base = dict(values) if values is not None else PAPER_PARAMETERS.to_dict()
+
+    def evaluate(sampled: Dict[str, float]) -> float:
+        result = config.solve(sampled, abstraction=abstraction)
+        return float(getattr(result, metric))
+
+    return UncertaintyAnalysis(
+        metric=evaluate,
+        distributions=uncertainty_distributions(),
+        base_values=base,
+        metric_name=metric,
+    )
+
+
+def run_uncertainty(
+    config: JsasConfiguration,
+    n_samples: int = 1000,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> UncertaintyResult:
+    """One-call version of the paper's uncertainty runs (1000 samples)."""
+    analysis = build_uncertainty_analysis(config, **kwargs)
+    return analysis.run(n_samples=n_samples, seed=seed)

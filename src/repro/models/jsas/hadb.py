@@ -1,0 +1,121 @@
+"""The HADB node-pair availability model (paper Fig. 3).
+
+Six states:
+
+* ``Ok`` — both nodes working (up).
+* ``RestartShort`` — one node restarting from an HADB (software) failure
+  (up; the companion node carries the load).
+* ``RestartLong`` — one node restarting from an OS failure (up).
+* ``Repair`` — a spare node being rebuilt after an HW failure (up).
+* ``Maintenance`` — one node switched out for scheduled service (up).
+* ``2_Down`` — both nodes down; session data for the pair's fragment is
+  lost and human intervention recreates the pair (down).
+
+Transition structure:
+
+* From ``Ok`` each of the two nodes fails at ``La = La_hadb + La_os +
+  La_hw``; with probability ``1 - FIR`` the automatic recovery engages
+  (branching to the recovery state matching the failure type) and with
+  probability ``FIR`` the recovery is imperfect and takes the pair down.
+* Scheduled maintenance pulls a node out at ``2 * La_mnt`` (the paper's
+  ``La_mnt`` is per node; the published Table 3 MTBF figures are only
+  reproduced with the per-node reading — see EXPERIMENTS.md).
+* In any single-node state the surviving node's failure rate is
+  accelerated by ``Acc`` (workload dependency); a second failure is a
+  catastrophic ``2_Down``.
+* ``2_Down`` restores to ``Ok`` at ``1 / Trestore``.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import MarkovModel
+
+#: Total per-node failure rate expression reused across arcs.
+_LA = "(La_hadb + La_os + La_hw)"
+
+
+def build_hadb_pair_model(name: str = "hadb_pair") -> MarkovModel:
+    """Build the Fig. 3 HADB node-pair model.
+
+    Required parameters: ``La_hadb``, ``La_os``, ``La_hw``, ``La_mnt``,
+    ``FIR``, ``Acc``, ``Tstart_short_hadb``, ``Tstart_long_hadb``,
+    ``Trepair``, ``Tmnt``, ``Trestore``.
+    """
+    model = MarkovModel(
+        name,
+        "HADB node pair (paper Fig. 3): mirrored nodes with restart, "
+        "spare rebuild, maintenance, and imperfect recovery",
+    )
+    model.add_state("Ok", reward=1.0, description="both nodes working")
+    model.add_state(
+        "RestartShort", reward=1.0, description="restart from HADB failure"
+    )
+    model.add_state(
+        "RestartLong", reward=1.0, description="restart from OS failure"
+    )
+    model.add_state(
+        "Repair", reward=1.0, description="spare rebuild after HW failure"
+    )
+    model.add_state(
+        "Maintenance", reward=1.0, description="node out for service"
+    )
+    model.add_state(
+        "2_Down", reward=0.0, description="pair lost; session data gone"
+    )
+
+    # First failures from the healthy pair, split by type, covered (1-FIR).
+    model.add_transition(
+        "Ok", "RestartShort", "2 * La_hadb * (1 - FIR)",
+        "HADB failure on either node, recovery engages",
+    )
+    model.add_transition(
+        "Ok", "RestartLong", "2 * La_os * (1 - FIR)",
+        "OS failure on either node, reboot",
+    )
+    model.add_transition(
+        "Ok", "Repair", "2 * La_hw * (1 - FIR)",
+        "HW failure on either node, spare rebuild starts",
+    )
+    # Imperfect recovery takes the pair straight down.
+    model.add_transition(
+        "Ok", "2_Down", f"2 * {_LA} * FIR",
+        "imperfect recovery of a first failure",
+    )
+    # Scheduled maintenance (per-node rate).
+    model.add_transition(
+        "Ok", "Maintenance", "2 * La_mnt", "scheduled node maintenance"
+    )
+
+    # Successful recoveries return to Ok.
+    model.add_transition("RestartShort", "Ok", "1 / Tstart_short_hadb")
+    model.add_transition("RestartLong", "Ok", "1 / Tstart_long_hadb")
+    model.add_transition("Repair", "Ok", "1 / Trepair")
+    model.add_transition("Maintenance", "Ok", "1 / Tmnt")
+
+    # Second failure on the surviving (accelerated) node is catastrophic.
+    for degraded in ("RestartShort", "RestartLong", "Repair", "Maintenance"):
+        model.add_transition(
+            degraded, "2_Down", f"Acc * {_LA}",
+            "second failure during recovery/maintenance",
+        )
+
+    # Human-driven restore of the pair.
+    model.add_transition("2_Down", "Ok", "1 / Trestore", "recreate the pair")
+    return model
+
+
+def hadb_parameter_names() -> tuple:
+    """The parameter names the HADB pair model consumes."""
+    return (
+        "La_hadb",
+        "La_os",
+        "La_hw",
+        "La_mnt",
+        "FIR",
+        "Acc",
+        "Tstart_short_hadb",
+        "Tstart_long_hadb",
+        "Trepair",
+        "Tmnt",
+        "Trestore",
+    )

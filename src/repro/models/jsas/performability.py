@@ -1,0 +1,126 @@
+"""Performability variants of the AS cluster model.
+
+The paper notes that the ``Recovery`` state "could be a degraded state in
+performability modeling" — states where the system is *up* but serving
+with fewer instances deliver less capacity and worse response times.
+This module implements that reading: the Fig. 4 structure with
+capacity-proportional reward rates (``(N - k) / N`` with k instances
+down), plus the measures that make the numbers actionable.
+
+Strict availability (reward 1 iff any instance serves) and performability
+(expected capacity) answer different questions; the gap between them is
+the "brownout" the availability number hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.model import MarkovModel
+from repro.ctmc.rewards import (
+    expected_steady_state_reward,
+    steady_state_availability,
+)
+from repro.exceptions import ModelError
+from repro.models.jsas.appserver import build_appserver_model
+from repro.units import MINUTES_PER_YEAR
+
+
+def build_performability_appserver_model(
+    n_instances: int = 2,
+    repair_policy: str = "sequential",
+) -> MarkovModel:
+    """The AS cluster model with capacity-proportional rewards.
+
+    Identical transition structure to
+    :func:`~repro.models.jsas.appserver.build_appserver_model`; only the
+    reward rates change: a state with ``k`` instances down earns
+    ``(N - k) / N`` instead of 1.0.  The total-outage state still earns 0.
+    """
+    base = build_appserver_model(n_instances, repair_policy=repair_policy)
+    model = MarkovModel(
+        f"{base.name}_performability",
+        base.description + " — capacity-proportional rewards",
+    )
+
+    def down_count(state_name: str) -> int:
+        if state_name == "All_Work":
+            return 0
+        if state_name.endswith("_Down"):
+            return n_instances
+        if state_name in ("Recovery", "1DownShort", "1DownLong"):
+            return 1
+        # Generalized names: Recovery_k / Short_k / Long_k.
+        try:
+            return int(state_name.rsplit("_", 1)[1])
+        except (IndexError, ValueError):  # pragma: no cover - defensive
+            raise ModelError(f"unrecognized state name {state_name!r}")
+
+    for state in base.states:
+        k = down_count(state.name)
+        reward = (n_instances - k) / n_instances
+        model.add_state(state.name, reward=reward, description=state.description)
+    for transition in base.transitions:
+        model.add_transition(
+            transition.source,
+            transition.target,
+            transition.rate,
+            transition.description,
+        )
+    return model
+
+
+@dataclass(frozen=True)
+class PerformabilityResult:
+    """Capacity-oriented metrics next to the strict availability ones.
+
+    Attributes:
+        expected_capacity: Long-run average fraction of full capacity
+            delivered (the performability measure).
+        availability: Strict availability of the same chain (any
+            instance serving counts as up).
+        lost_capacity_minutes: Yearly "capacity-minutes" lost —
+            ``(1 - expected_capacity) * minutes_per_year``.  The strict
+            downtime is a lower bound on this; the difference is time
+            spent serving degraded.
+        degraded_minutes: The brownout component:
+            ``lost_capacity_minutes - strict downtime``.
+    """
+
+    expected_capacity: float
+    availability: float
+    lost_capacity_minutes: float
+    degraded_minutes: float
+
+    def summary(self) -> str:
+        return (
+            f"capacity={self.expected_capacity:.7%}  "
+            f"availability={self.availability:.7%}  "
+            f"lost capacity={self.lost_capacity_minutes:.3g} min/yr "
+            f"(of which degraded-service: {self.degraded_minutes:.3g})"
+        )
+
+
+def evaluate_performability(
+    n_instances: int,
+    values: Mapping[str, float],
+    repair_policy: str = "sequential",
+) -> PerformabilityResult:
+    """Solve both readings of the AS cluster chain and compare."""
+    perf_model = build_performability_appserver_model(
+        n_instances, repair_policy
+    )
+    capacity = expected_steady_state_reward(perf_model, values)
+    strict = steady_state_availability(
+        build_appserver_model(n_instances, repair_policy=repair_policy),
+        values,
+    )
+    lost_capacity = (1.0 - capacity) * MINUTES_PER_YEAR
+    degraded = lost_capacity - strict.yearly_downtime_minutes
+    return PerformabilityResult(
+        expected_capacity=capacity,
+        availability=strict.availability,
+        lost_capacity_minutes=lost_capacity,
+        degraded_minutes=max(0.0, degraded),
+    )

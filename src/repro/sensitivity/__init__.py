@@ -1,0 +1,34 @@
+"""Parametric and sensitivity analysis.
+
+* :func:`~repro.sensitivity.parametric.parametric_sweep` — evaluate a
+  metric along a 1-D parameter grid (the paper's Figs. 5–6).
+* :func:`~repro.sensitivity.parametric.parametric_sweep_2d` — 2-D grids.
+* :func:`~repro.sensitivity.local.local_sensitivities` — scaled
+  finite-difference derivatives around a base point.
+* :func:`~repro.sensitivity.importance.downtime_importance` — rank
+  parameters by their contribution to metric variation over ranges.
+"""
+
+from repro.sensitivity.parametric import (
+    SweepResult,
+    parametric_sweep,
+    parametric_sweep_2d,
+)
+from repro.sensitivity.local import local_sensitivities
+from repro.sensitivity.importance import downtime_importance
+from repro.sensitivity.exact import (
+    availability_derivatives,
+    downtime_derivatives,
+    stationary_derivative,
+)
+
+__all__ = [
+    "SweepResult",
+    "parametric_sweep",
+    "parametric_sweep_2d",
+    "local_sensitivities",
+    "downtime_importance",
+    "availability_derivatives",
+    "downtime_derivatives",
+    "stationary_derivative",
+]

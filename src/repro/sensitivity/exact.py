@@ -1,0 +1,151 @@
+"""Exact stationary-distribution sensitivities (adjoint method).
+
+For an irreducible CTMC with stationary vector pi solving ``pi Q = 0``,
+``pi 1 = 1``, differentiating with respect to a parameter theta gives the
+linear system::
+
+    (d pi) Q = - pi (d Q),      (d pi) 1 = 0
+
+which has a unique solution when Q is irreducible.  ``dQ`` itself is
+assembled by differentiating each transition-rate expression (central
+differences on the *rates*, which are smooth elementary functions of the
+parameters — so the only approximation error is the tiny FD error on
+scalar rate values, not on the chain solution).
+
+Compared to finite-differencing the availability itself
+(:mod:`repro.sensitivity.local`), this is numerically far better
+conditioned for highly-available systems: differencing two availabilities
+that agree to 6+ digits loses half the significand, while the adjoint
+solve keeps full precision.  The agreement between the two is itself a
+library self-check (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import MarkovModel
+from repro.ctmc.generator import GeneratorMatrix, build_generator
+from repro.ctmc.steady_state import steady_state_vector
+from repro.exceptions import EstimationError, SolverError
+from repro.units import MINUTES_PER_YEAR
+
+
+def generator_parameter_derivative(
+    model: MarkovModel,
+    values: Mapping[str, float],
+    parameter: str,
+    relative_step: float = 1e-6,
+) -> np.ndarray:
+    """``dQ/d theta`` as a dense matrix (rates differentiated pointwise)."""
+    if parameter not in values:
+        raise EstimationError(
+            f"parameter {parameter!r} is not in the supplied values"
+        )
+    x = float(values[parameter])
+    step = abs(x) * relative_step if x != 0.0 else relative_step
+    up = dict(values)
+    down = dict(values)
+    up[parameter] = x + step
+    down[parameter] = x - step
+    names = model.state_names
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    dq = np.zeros((n, n))
+    for transition in model.transitions:
+        if parameter not in transition.rate.variables:
+            continue
+        derivative = (
+            transition.rate_value(up) - transition.rate_value(down)
+        ) / (2.0 * step)
+        i, j = index[transition.source], index[transition.target]
+        dq[i, j] += derivative
+        dq[i, i] -= derivative
+    return dq
+
+
+def stationary_derivative(
+    generator: GeneratorMatrix,
+    dq: np.ndarray,
+    pi: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Solve ``(d pi) Q = -pi dQ`` with ``(d pi) 1 = 0``."""
+    q = generator.dense()
+    n = q.shape[0]
+    if dq.shape != (n, n):
+        raise SolverError(
+            f"dQ shape {dq.shape} does not match the generator ({n} states)"
+        )
+    if pi is None:
+        pi = steady_state_vector(generator)
+    rhs = -(pi @ dq)
+    a = q.T.copy()
+    # Replace the last balance equation by the zero-sum constraint; the
+    # dropped equation is linearly dependent on the rest.
+    a[n - 1, :] = 1.0
+    b = rhs.copy()
+    b[n - 1] = 0.0
+    try:
+        dpi = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError(f"sensitivity system is singular: {exc}") from exc
+    return dpi
+
+
+def availability_derivatives(
+    model: MarkovModel,
+    values: Mapping[str, float],
+    parameters: Sequence[str],
+    scaled: bool = False,
+) -> Dict[str, float]:
+    """``d(availability)/d theta`` for each parameter, exactly.
+
+    Args:
+        model: The availability model.
+        values: Operating point.
+        parameters: Parameters to differentiate with respect to.
+        scaled: If True, return elasticities of the *unavailability*
+            (``theta / U * dU/d theta`` with ``U = 1 - A``) — the useful
+            scaled quantity for HA systems (availability elasticities are
+            all ~0 because A ~ 1).
+
+    Returns:
+        ``{parameter: derivative_or_elasticity}``.
+    """
+    generator = build_generator(model, values)
+    pi = steady_state_vector(generator)
+    up = generator.up_mask()
+    out: Dict[str, float] = {}
+    unavailability = float(pi[~up].sum()) if (~up).any() else 0.0
+    for parameter in parameters:
+        dq = generator_parameter_derivative(model, values, parameter)
+        dpi = stationary_derivative(generator, dq, pi=pi)
+        da = float(dpi[up].sum())
+        if scaled:
+            if unavailability <= 0.0:
+                raise EstimationError(
+                    "cannot scale: the model has zero unavailability"
+                )
+            out[parameter] = -da * float(values[parameter]) / unavailability
+        else:
+            out[parameter] = da
+    return out
+
+
+def downtime_derivatives(
+    model: MarkovModel,
+    values: Mapping[str, float],
+    parameters: Sequence[str],
+) -> Dict[str, float]:
+    """Derivative of yearly downtime (minutes) per unit parameter change.
+
+    Directly actionable numbers: "one more failure per year costs X
+    minutes of annual downtime".
+    """
+    derivatives = availability_derivatives(model, values, parameters)
+    return {
+        name: -value * MINUTES_PER_YEAR
+        for name, value in derivatives.items()
+    }

@@ -1,0 +1,50 @@
+"""Range-based parameter importance.
+
+Ranks parameters by how much the metric swings when each one traverses
+its plausible range while the others stay at base values — a simple,
+robust "tornado diagram" measure that complements the derivative-based
+:mod:`repro.sensitivity.local` (which can understate parameters whose
+effect is nonlinear over the range).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.exceptions import EstimationError
+
+MetricFunction = Callable[[Dict[str, float]], float]
+
+
+def downtime_importance(
+    metric: MetricFunction,
+    ranges: Mapping[str, Tuple[float, float]],
+    base_values: Mapping[str, float],
+) -> Dict[str, float]:
+    """One-at-a-time swing of the metric over each parameter's range.
+
+    Args:
+        metric: Callable from a parameter dict to the metric value.
+        ranges: ``{parameter: (low, high)}`` plausible ranges (the same
+            ranges the uncertainty analysis samples from).
+        base_values: Values for all parameters at the operating point.
+
+    Returns:
+        ``{parameter: |metric(high) - metric(low)|}``, sorted descending
+        by swing, so iterating the dict yields the most influential
+        parameter first.
+    """
+    if not ranges:
+        raise EstimationError("at least one parameter range is required")
+    swings: Dict[str, float] = {}
+    for name, (low, high) in ranges.items():
+        if low > high:
+            raise EstimationError(
+                f"range for {name!r} is inverted: ({low}, {high})"
+            )
+        at_low = dict(base_values)
+        at_low[name] = float(low)
+        at_high = dict(base_values)
+        at_high[name] = float(high)
+        swings[name] = abs(float(metric(at_high)) - float(metric(at_low)))
+    return dict(sorted(swings.items(), key=lambda kv: kv[1], reverse=True))

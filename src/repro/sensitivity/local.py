@@ -1,0 +1,63 @@
+"""Local (derivative-based) sensitivity analysis."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence
+
+from repro.exceptions import EstimationError
+
+MetricFunction = Callable[[Dict[str, float]], float]
+
+
+def local_sensitivities(
+    metric: MetricFunction,
+    parameters: Sequence[str],
+    base_values: Mapping[str, float],
+    relative_step: float = 1e-4,
+    scaled: bool = True,
+) -> Dict[str, float]:
+    """Central finite-difference sensitivities of a metric.
+
+    Args:
+        metric: Callable from a parameter dict to the metric value.
+        parameters: Names to differentiate with respect to.
+        base_values: The operating point.
+        relative_step: Step size as a fraction of each parameter value.
+        scaled: If True (default) return *elasticities*
+            ``(x / f) * df/dx`` — the percent change in the metric per
+            percent change in the parameter — which are comparable across
+            parameters with wildly different units.  If False, raw
+            derivatives.
+
+    Returns:
+        ``{parameter: sensitivity}``.
+    """
+    if relative_step <= 0.0:
+        raise EstimationError(f"step must be positive, got {relative_step}")
+    base = dict(base_values)
+    f0 = float(metric(base))
+    out: Dict[str, float] = {}
+    for name in parameters:
+        if name not in base:
+            raise EstimationError(
+                f"parameter {name!r} is not in the base values"
+            )
+        x = base[name]
+        step = abs(x) * relative_step
+        if step == 0.0:
+            step = relative_step
+        up = dict(base)
+        down = dict(base)
+        up[name] = x + step
+        down[name] = x - step
+        derivative = (float(metric(up)) - float(metric(down))) / (2.0 * step)
+        if scaled:
+            if f0 == 0.0:
+                raise EstimationError(
+                    "cannot scale sensitivities: metric is zero at the "
+                    "base point"
+                )
+            out[name] = derivative * x / f0
+        else:
+            out[name] = derivative
+    return out

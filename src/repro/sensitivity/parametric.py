@@ -1,0 +1,127 @@
+"""Parametric sweeps: metric vs. one or two parameters.
+
+This is RAScad's "parametric analysis capability" used for the paper's
+Figs. 5 and 6 (availability vs. the AS HW/OS failure recovery time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+MetricFunction = Callable[[Dict[str, float]], float]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Result of a one-dimensional parametric sweep.
+
+    Attributes:
+        parameter: Swept parameter name.
+        grid: The parameter values evaluated.
+        values: Metric value at each grid point.
+        metric_name: Label for reports.
+    """
+
+    parameter: str
+    grid: Tuple[float, ...]
+    values: Tuple[float, ...]
+    metric_name: str = "metric"
+
+    def crossing(self, threshold: float) -> float:
+        """First grid abscissa where the metric crosses the threshold.
+
+        Linear interpolation between the bracketing grid points; raises
+        if the metric never crosses.  Used to find where availability
+        drops below "five 9s" in the Fig. 5 reproduction.
+        """
+        values = np.asarray(self.values)
+        above = values >= threshold
+        if above.all() or (~above).all():
+            raise EstimationError(
+                f"metric never crosses {threshold!r} on the grid"
+            )
+        for i in range(len(values) - 1):
+            if above[i] != above[i + 1]:
+                x0, x1 = self.grid[i], self.grid[i + 1]
+                y0, y1 = values[i], values[i + 1]
+                if y1 == y0:
+                    return float(x0)
+                return float(x0 + (threshold - y0) * (x1 - x0) / (y1 - y0))
+        raise EstimationError("no crossing found")  # pragma: no cover
+
+    def as_rows(self) -> List[Tuple[float, float]]:
+        """(grid value, metric value) pairs — the figure's data series."""
+        return list(zip(self.grid, self.values))
+
+    def ascii_plot(self, width: int = 60, height: int = 12) -> str:
+        """Minimal ASCII rendering of the series, for terminal reports."""
+        values = np.asarray(self.values, dtype=float)
+        lo, hi = float(values.min()), float(values.max())
+        span = hi - lo or 1.0
+        columns = np.linspace(0, len(values) - 1, width).round().astype(int)
+        rows = []
+        for level in range(height, -1, -1):
+            cut = lo + span * level / height
+            line = "".join(
+                "*" if values[c] >= cut else " " for c in columns
+            )
+            label = f"{cut:.7f}" if span < 1e-2 else f"{cut:.4g}"
+            rows.append(f"{label} |{line}")
+        rows.append(
+            " " * 10
+            + f"{self.parameter}: {self.grid[0]:.3g} .. {self.grid[-1]:.3g}"
+        )
+        return "\n".join(rows)
+
+
+def parametric_sweep(
+    metric: MetricFunction,
+    parameter: str,
+    grid: Sequence[float],
+    base_values: Mapping[str, float],
+    metric_name: str = "metric",
+) -> SweepResult:
+    """Evaluate ``metric`` with ``parameter`` set to each grid value.
+
+    ``base_values`` supplies every other parameter; the swept parameter
+    need not pre-exist in it.
+    """
+    if len(grid) < 2:
+        raise EstimationError("a sweep needs at least two grid points")
+    values = []
+    for point in grid:
+        merged = dict(base_values)
+        merged[parameter] = float(point)
+        values.append(float(metric(merged)))
+    return SweepResult(
+        parameter=parameter,
+        grid=tuple(float(g) for g in grid),
+        values=tuple(values),
+        metric_name=metric_name,
+    )
+
+
+def parametric_sweep_2d(
+    metric: MetricFunction,
+    parameter_x: str,
+    grid_x: Sequence[float],
+    parameter_y: str,
+    grid_y: Sequence[float],
+    base_values: Mapping[str, float],
+) -> np.ndarray:
+    """2-D sweep; returns a ``(len(grid_x), len(grid_y))`` metric array."""
+    if len(grid_x) < 2 or len(grid_y) < 2:
+        raise EstimationError("2-D sweeps need at least two points per axis")
+    out = np.empty((len(grid_x), len(grid_y)))
+    for i, x in enumerate(grid_x):
+        for j, y in enumerate(grid_y):
+            merged = dict(base_values)
+            merged[parameter_x] = float(x)
+            merged[parameter_y] = float(y)
+            out[i, j] = float(metric(merged))
+    return out

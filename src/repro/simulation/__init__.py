@@ -1,0 +1,41 @@
+"""Discrete-event simulation: the library's "measurement" substrate.
+
+Two layers:
+
+* a generic event-calendar engine (:mod:`repro.simulation.engine`) with
+  random-variate distributions (:mod:`repro.simulation.distributions`),
+  used by the simulated testbed in :mod:`repro.testbed`;
+* a Monte Carlo CTMC simulator (:mod:`repro.simulation.ctmc_sim`) that
+  replays any :class:`~repro.core.model.MarkovModel` stochastically and
+  accounts uptime/downtime — the independent cross-check for the
+  analytic solvers, with replication statistics in
+  :mod:`repro.simulation.replication`.
+"""
+
+from repro.simulation.engine import Event, SimulationEngine
+from repro.simulation.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    RandomVariate,
+    Weibull,
+)
+from repro.simulation.ctmc_sim import CtmcSimulationResult, simulate_ctmc
+from repro.simulation.replication import (
+    ReplicationSummary,
+    run_replications,
+)
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "RandomVariate",
+    "Exponential",
+    "Deterministic",
+    "LogNormal",
+    "Weibull",
+    "CtmcSimulationResult",
+    "simulate_ctmc",
+    "ReplicationSummary",
+    "run_replications",
+]

@@ -1,0 +1,128 @@
+"""Random variates for the discrete-event simulator.
+
+The analytic models are exponential throughout (Markov assumption), but
+the *measured* world is not: restart times are near-deterministic and
+repair times are skewed.  The testbed therefore draws from a family of
+distributions so the simulation-vs-analytic benchmarks can quantify how
+much the exponential assumption matters (one of the ablations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+class RandomVariate:
+    """Interface: draw positive durations from a distribution."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Exponential(RandomVariate):
+    """Exponential with the given rate (per hour)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0 or not math.isfinite(self.rate):
+            raise SimulationError(
+                f"exponential rate must be positive and finite, got {self.rate}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+
+@dataclass(frozen=True)
+class Deterministic(RandomVariate):
+    """A fixed duration — restart timers are close to this in practice."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0.0 or not math.isfinite(self.value):
+            raise SimulationError(
+                f"deterministic duration must be positive, got {self.value}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LogNormal(RandomVariate):
+    """Log-normal parameterized by its mean and coefficient of variation.
+
+    Convenient for skewed repair times: ``LogNormal(mean=0.5, cv=0.8)``.
+    """
+
+    mean_value: float
+    cv: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0.0:
+            raise SimulationError(
+                f"log-normal mean must be positive, got {self.mean_value}"
+            )
+        if self.cv <= 0.0:
+            raise SimulationError(
+                f"log-normal cv must be positive, got {self.cv}"
+            )
+
+    def _params(self) -> tuple:
+        sigma2 = math.log(1.0 + self.cv**2)
+        mu = math.log(self.mean_value) - sigma2 / 2.0
+        return mu, math.sqrt(sigma2)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        mu, sigma = self._params()
+        return float(rng.lognormal(mu, sigma))
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class Weibull(RandomVariate):
+    """Weibull with shape k and scale lambda (hours).
+
+    Shape < 1 gives infant-mortality behaviour, shape > 1 wear-out —
+    useful for the non-exponential failure ablation.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0.0 or self.scale <= 0.0:
+            raise SimulationError(
+                f"Weibull shape and scale must be positive, got "
+                f"({self.shape}, {self.scale})"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    @property
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)

@@ -1,0 +1,37 @@
+"""Generalized stochastic Petri nets (GSPN) compiled to CTMCs.
+
+The paper notes that stochastic Petri nets are the standard higher-level
+front-end for specifying Markov availability models (citing SPNP [2] and
+UltraSAN [14]).  This package provides that layer:
+
+* build a :class:`~repro.spn.net.PetriNet` from places, timed/immediate
+  transitions and arcs (including inhibitor arcs); timed rates may
+  reference place names for marking-dependent rates (e.g. the paper's
+  workload-acceleration law as ``"Up * La * 2 ** Down"``);
+* generate its reachability graph, eliminating vanishing markings;
+* compile the tangible reachability graph into a
+  :class:`~repro.core.model.MarkovModel` with a caller-supplied reward
+  function over markings, ready for every solver in :mod:`repro.ctmc`.
+"""
+
+from repro.spn.net import (
+    ImmediateTransition,
+    PetriNet,
+    Place,
+    TimedTransition,
+)
+from repro.spn.marking import Marking
+from repro.spn.reachability import ReachabilityGraph, build_reachability_graph
+from repro.spn.analysis import petri_net_to_markov_model, solve_petri_net
+
+__all__ = [
+    "PetriNet",
+    "Place",
+    "TimedTransition",
+    "ImmediateTransition",
+    "Marking",
+    "ReachabilityGraph",
+    "build_reachability_graph",
+    "petri_net_to_markov_model",
+    "solve_petri_net",
+]

@@ -1,0 +1,64 @@
+"""Markings: immutable token-count vectors over a net's places."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.exceptions import PetriNetError
+
+
+class Marking:
+    """An immutable assignment of token counts to places.
+
+    Markings are hashable (used as reachability-graph keys) and render
+    compactly: ``"Up=2, Down=0"``.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Dict[str, int]) -> None:
+        for place, tokens in counts.items():
+            if tokens < 0:
+                raise PetriNetError(
+                    f"negative token count {tokens} in place {place!r}"
+                )
+        self._counts: Tuple[Tuple[str, int], ...] = tuple(
+            sorted(counts.items())
+        )
+
+    def tokens(self, place: str) -> int:
+        """Token count in a place (0 if the place is absent)."""
+        for name, count in self._counts:
+            if name == place:
+                return count
+        return 0
+
+    def __getitem__(self, place: str) -> int:
+        return self.tokens(place)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def updated(self, deltas: Dict[str, int]) -> "Marking":
+        """New marking with token deltas applied (validated >= 0)."""
+        counts = dict(self._counts)
+        for place, delta in deltas.items():
+            counts[place] = counts.get(place, 0) + delta
+            if counts[place] < 0:
+                raise PetriNetError(
+                    f"firing would drive place {place!r} negative"
+                )
+        return Marking(counts)
+
+    def label(self) -> str:
+        """Canonical state name used in the compiled Markov model."""
+        return ",".join(f"{place}={count}" for place, count in self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Marking) and other._counts == self._counts
+
+    def __hash__(self) -> int:
+        return hash(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Marking({self.label()})"

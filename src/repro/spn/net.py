@@ -1,0 +1,270 @@
+"""GSPN structure: places, transitions, arcs.
+
+Supported features (the subset needed for availability modeling, matching
+the common core of SPNP):
+
+* timed transitions with symbolic rates and single- or infinite-server
+  semantics (infinite-server multiplies the rate by the enabling degree);
+* immediate transitions with weights and priorities (fired instantly,
+  resolved during reachability analysis by vanishing-marking
+  elimination);
+* input, output and inhibitor arcs with integer multiplicities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.expressions import Expression, RateLike, compile_expression
+from repro.exceptions import PetriNetError
+from repro.spn.marking import Marking
+
+SERVER_SEMANTICS = ("single", "infinite")
+
+
+@dataclass(frozen=True)
+class Place:
+    """A token holder."""
+
+    name: str
+    initial_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PetriNetError("place name must be non-empty")
+        if self.initial_tokens < 0:
+            raise PetriNetError(
+                f"place {self.name!r} has negative initial tokens"
+            )
+
+
+@dataclass(frozen=True)
+class TimedTransition:
+    """An exponentially-timed transition with a symbolic base rate."""
+
+    name: str
+    rate: Expression
+    server: str = "single"
+
+    def __post_init__(self) -> None:
+        if self.server not in SERVER_SEMANTICS:
+            raise PetriNetError(
+                f"transition {self.name!r} has unknown server semantics "
+                f"{self.server!r}; expected one of {SERVER_SEMANTICS}"
+            )
+
+
+@dataclass(frozen=True)
+class ImmediateTransition:
+    """A zero-delay transition with a weight and a priority.
+
+    When several immediate transitions are enabled in a marking, the
+    highest priority wins; ties fire probabilistically by normalized
+    weight.
+    """
+
+    name: str
+    weight: float = 1.0
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0.0:
+            raise PetriNetError(
+                f"immediate transition {self.name!r} needs positive weight"
+            )
+        if self.priority < 1:
+            raise PetriNetError(
+                f"immediate transition {self.name!r} needs priority >= 1"
+            )
+
+
+@dataclass
+class _Arcs:
+    inputs: Dict[str, int] = field(default_factory=dict)
+    outputs: Dict[str, int] = field(default_factory=dict)
+    inhibitors: Dict[str, int] = field(default_factory=dict)
+
+
+class PetriNet:
+    """A generalized stochastic Petri net under construction."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise PetriNetError("net name must be non-empty")
+        self.name = name
+        self._places: Dict[str, Place] = {}
+        self._timed: Dict[str, TimedTransition] = {}
+        self._immediate: Dict[str, ImmediateTransition] = {}
+        self._arcs: Dict[str, _Arcs] = {}
+
+    # Construction -------------------------------------------------------
+
+    def add_place(self, name: str, initial_tokens: int = 0) -> Place:
+        if name in self._places:
+            raise PetriNetError(f"duplicate place {name!r}")
+        place = Place(name, initial_tokens)
+        self._places[name] = place
+        return place
+
+    def add_timed_transition(
+        self, name: str, rate: RateLike, server: str = "single"
+    ) -> TimedTransition:
+        self._check_new_transition(name)
+        transition = TimedTransition(
+            name, compile_expression(rate), server=server
+        )
+        self._timed[name] = transition
+        self._arcs[name] = _Arcs()
+        return transition
+
+    def add_immediate_transition(
+        self, name: str, weight: float = 1.0, priority: int = 1
+    ) -> ImmediateTransition:
+        self._check_new_transition(name)
+        transition = ImmediateTransition(name, weight, priority)
+        self._immediate[name] = transition
+        self._arcs[name] = _Arcs()
+        return transition
+
+    def _check_new_transition(self, name: str) -> None:
+        if not name:
+            raise PetriNetError("transition name must be non-empty")
+        if name in self._timed or name in self._immediate:
+            raise PetriNetError(f"duplicate transition {name!r}")
+
+    def _check_arc(self, transition: str, place: str, multiplicity: int) -> None:
+        if transition not in self._arcs:
+            raise PetriNetError(f"unknown transition {transition!r}")
+        if place not in self._places:
+            raise PetriNetError(f"unknown place {place!r}")
+        if multiplicity < 1:
+            raise PetriNetError(
+                f"arc multiplicity must be >= 1, got {multiplicity}"
+            )
+
+    def add_input_arc(
+        self, place: str, transition: str, multiplicity: int = 1
+    ) -> None:
+        """Tokens consumed from ``place`` when ``transition`` fires."""
+        self._check_arc(transition, place, multiplicity)
+        self._arcs[transition].inputs[place] = multiplicity
+
+    def add_output_arc(
+        self, transition: str, place: str, multiplicity: int = 1
+    ) -> None:
+        """Tokens deposited into ``place`` when ``transition`` fires."""
+        self._check_arc(transition, place, multiplicity)
+        self._arcs[transition].outputs[place] = multiplicity
+
+    def add_inhibitor_arc(
+        self, place: str, transition: str, multiplicity: int = 1
+    ) -> None:
+        """Disable ``transition`` while ``place`` holds >= multiplicity."""
+        self._check_arc(transition, place, multiplicity)
+        self._arcs[transition].inhibitors[place] = multiplicity
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def places(self) -> Tuple[Place, ...]:
+        return tuple(self._places.values())
+
+    @property
+    def timed_transitions(self) -> Tuple[TimedTransition, ...]:
+        return tuple(self._timed.values())
+
+    @property
+    def immediate_transitions(self) -> Tuple[ImmediateTransition, ...]:
+        return tuple(self._immediate.values())
+
+    def initial_marking(self) -> Marking:
+        return Marking(
+            {p.name: p.initial_tokens for p in self._places.values()}
+        )
+
+    def required_parameters(self) -> set:
+        names = set()
+        for transition in self._timed.values():
+            names |= set(transition.rate.variables)
+        return names
+
+    # Firing semantics ----------------------------------------------------
+
+    def is_enabled(self, transition: str, marking: Marking) -> bool:
+        """Token-level enablement (inputs available, inhibitors clear)."""
+        arcs = self._arcs[transition]
+        for place, need in arcs.inputs.items():
+            if marking.tokens(place) < need:
+                return False
+        for place, cap in arcs.inhibitors.items():
+            if marking.tokens(place) >= cap:
+                return False
+        return True
+
+    def enabling_degree(self, transition: str, marking: Marking) -> int:
+        """How many times the transition could fire back-to-back.
+
+        Used for infinite-server timed transitions.  Transitions with no
+        input arcs have degree 1 (a source transition fires at base rate).
+        """
+        arcs = self._arcs[transition]
+        if not self.is_enabled(transition, marking):
+            return 0
+        if not arcs.inputs:
+            return 1
+        return min(
+            marking.tokens(place) // need
+            for place, need in arcs.inputs.items()
+        )
+
+    def fire(self, transition: str, marking: Marking) -> Marking:
+        """The marking after one firing.
+
+        Raises:
+            PetriNetError: If the transition is not enabled.
+        """
+        if not self.is_enabled(transition, marking):
+            raise PetriNetError(
+                f"transition {transition!r} is not enabled in "
+                f"marking {marking.label()!r}"
+            )
+        arcs = self._arcs[transition]
+        deltas: Dict[str, int] = {}
+        for place, need in arcs.inputs.items():
+            deltas[place] = deltas.get(place, 0) - need
+        for place, give in arcs.outputs.items():
+            deltas[place] = deltas.get(place, 0) + give
+        return marking.updated(deltas)
+
+    def enabled_immediate(self, marking: Marking) -> List[ImmediateTransition]:
+        """Enabled immediate transitions at the highest enabled priority."""
+        enabled = [
+            t
+            for t in self._immediate.values()
+            if self.is_enabled(t.name, marking)
+        ]
+        if not enabled:
+            return []
+        top = max(t.priority for t in enabled)
+        return [t for t in enabled if t.priority == top]
+
+    def enabled_timed(self, marking: Marking) -> List[TimedTransition]:
+        return [
+            t
+            for t in self._timed.values()
+            if self.is_enabled(t.name, marking)
+        ]
+
+    def validate(self) -> None:
+        """Structural checks: nonempty, every transition has some arc."""
+        if not self._places:
+            raise PetriNetError(f"net {self.name!r} has no places")
+        if not self._timed and not self._immediate:
+            raise PetriNetError(f"net {self.name!r} has no transitions")
+        for name, arcs in self._arcs.items():
+            if not arcs.inputs and not arcs.outputs:
+                raise PetriNetError(
+                    f"transition {name!r} has no arcs; it would either "
+                    "never change the marking or fire unboundedly"
+                )

@@ -1,0 +1,187 @@
+"""Reachability-graph generation with vanishing-marking elimination.
+
+A marking is *vanishing* if any immediate transition is enabled there —
+the net leaves it in zero time — and *tangible* otherwise.  The CTMC is
+defined over tangible markings only; rates through vanishing markings
+are redistributed along the immediate-transition branching probabilities
+(on-the-fly elimination, with cycle detection so nets with immediate
+loops fail loudly instead of recursing forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+from repro.exceptions import PetriNetError
+from repro.spn.marking import Marking
+from repro.spn.net import PetriNet
+
+#: Safety cap on reachability exploration.
+DEFAULT_MAX_MARKINGS = 100_000
+
+#: Cap on chained vanishing markings between two tangible ones.
+_MAX_VANISHING_DEPTH = 1_000
+
+
+@dataclass
+class ReachabilityGraph:
+    """Tangible markings and the rate-labelled edges between them.
+
+    Attributes:
+        net_name: Source net.
+        markings: Tangible markings in discovery order.
+        edges: ``{(source_index, target_index): rate}``.
+        initial_index: Index of the tangible marking the net starts in
+            (after flushing any initial vanishing markings).
+    """
+
+    net_name: str
+    markings: List[Marking] = field(default_factory=list)
+    edges: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    initial_index: int = 0
+
+    @property
+    def n_markings(self) -> int:
+        return len(self.markings)
+
+    def index_of(self, marking: Marking) -> int:
+        try:
+            return self.markings.index(marking)
+        except ValueError:
+            raise PetriNetError(
+                f"marking {marking.label()!r} is not tangible-reachable"
+            ) from None
+
+
+def _immediate_branching(
+    net: PetriNet, marking: Marking
+) -> List[Tuple[Marking, float]]:
+    """Successor markings and probabilities after one immediate firing."""
+    enabled = net.enabled_immediate(marking)
+    total = sum(t.weight for t in enabled)
+    return [
+        (net.fire(t.name, marking), t.weight / total) for t in enabled
+    ]
+
+
+def _flush_vanishing(
+    net: PetriNet, marking: Marking, probability: float
+) -> List[Tuple[Marking, float]]:
+    """Follow immediate firings until tangible markings are reached.
+
+    Iterative worklist so deep vanishing chains cannot blow the Python
+    stack; an explicit expansion counter turns immediate-transition
+    loops into a clear error instead of an endless walk.
+    """
+    out: List[Tuple[Marking, float]] = []
+    worklist: List[Tuple[Marking, float]] = [(marking, probability)]
+    expansions = 0
+    while worklist:
+        current, mass = worklist.pop()
+        if not net.enabled_immediate(current):
+            out.append((current, mass))
+            continue
+        expansions += 1
+        if expansions > _MAX_VANISHING_DEPTH:
+            raise PetriNetError(
+                f"net {net.name!r} expanded over {_MAX_VANISHING_DEPTH} "
+                "vanishing markings between tangible ones (immediate-"
+                "transition loop?)"
+            )
+        for successor, branch_probability in _immediate_branching(net, current):
+            worklist.append((successor, mass * branch_probability))
+    return out
+
+
+def build_reachability_graph(
+    net: PetriNet,
+    values: Mapping[str, float],
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+) -> ReachabilityGraph:
+    """Explore the tangible reachability set and its transition rates.
+
+    Args:
+        net: The Petri net.
+        values: Parameter values for the timed transitions' symbolic
+            rates.
+        max_markings: Exploration cap; exceeding it raises (nets with
+            unbounded places would otherwise loop forever).
+
+    Raises:
+        PetriNetError: On unbounded exploration, rate errors, or
+            immediate-transition cycles.
+    """
+    net.validate()
+    # Rate expressions may reference place names: the token count of the
+    # current marking is substituted, enabling marking-dependent rates
+    # like the paper's workload-acceleration law ("La * 2 ** Down").
+    place_names = {place.name for place in net.places}
+    collisions = place_names & set(values)
+    if collisions:
+        raise PetriNetError(
+            f"parameter name(s) {sorted(collisions)} collide with place "
+            "names; marking-dependent rates would be ambiguous — rename "
+            "one side"
+        )
+    missing = net.required_parameters() - set(values) - place_names
+    if missing:
+        raise PetriNetError(
+            f"net {net.name!r} is missing parameter(s) {sorted(missing)}"
+        )
+    graph = ReachabilityGraph(net_name=net.name)
+    index: Dict[Marking, int] = {}
+
+    def intern(marking: Marking) -> int:
+        if marking not in index:
+            if len(index) >= max_markings:
+                raise PetriNetError(
+                    f"reachability exploration exceeded {max_markings} "
+                    f"tangible markings for net {net.name!r}; the net may "
+                    "be unbounded"
+                )
+            index[marking] = len(graph.markings)
+            graph.markings.append(marking)
+            frontier.append(marking)
+        return index[marking]
+
+    frontier: List[Marking] = []
+    initial_tangibles = _flush_vanishing(net, net.initial_marking(), 1.0)
+    if len(initial_tangibles) != 1:
+        raise PetriNetError(
+            f"net {net.name!r} branches immediately from its initial "
+            "marking; give it a deterministic tangible start"
+        )
+    graph.initial_index = intern(initial_tangibles[0][0])
+
+    while frontier:
+        marking = frontier.pop()
+        source = index[marking]
+        marking_values = None
+        for transition in net.enabled_timed(marking):
+            if transition.rate.variables & place_names:
+                if marking_values is None:
+                    marking_values = dict(values)
+                    marking_values.update(marking.as_dict())
+                base_rate = transition.rate(marking_values)
+            else:
+                base_rate = transition.rate(values)
+            if base_rate < 0.0:
+                raise PetriNetError(
+                    f"transition {transition.name!r} has negative rate "
+                    f"{base_rate}"
+                )
+            if base_rate == 0.0:
+                continue
+            if transition.server == "infinite":
+                base_rate *= net.enabling_degree(transition.name, marking)
+            fired = net.fire(transition.name, marking)
+            for tangible, probability in _flush_vanishing(net, fired, 1.0):
+                target = intern(tangible)
+                if target == source:
+                    continue  # rate back to self cancels in the generator
+                key = (source, target)
+                graph.edges[key] = (
+                    graph.edges.get(key, 0.0) + base_rate * probability
+                )
+    return graph

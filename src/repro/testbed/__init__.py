@@ -1,0 +1,67 @@
+"""A simulated measurement lab for the JSAS availability study.
+
+The paper's Section 3 lab (two E450s running AS instances, four Ultra 80s
+running HADB nodes, a load balancer, a commercial workload generator) is
+unavailable; this package substitutes a discrete-event simulated cluster
+with the same topology and recovery behaviours, so the full measurement
+pipeline — longevity tests, fault-injection campaigns, recovery-time
+measurement, parameter estimation — runs end-to-end:
+
+* :mod:`repro.testbed.entities` — AS instances and HADB nodes with
+  failure/restart state machines.
+* :mod:`repro.testbed.cluster` — the wired cluster: LBP health checks,
+  session failover, mirrored DRUs, spare rebuild, availability
+  bookkeeping.
+* :mod:`repro.testbed.workload` — session-oriented synthetic workload
+  matching the paper's envelope (50 KB sessions, ~7M requests/week).
+* :mod:`repro.testbed.faults` — the paper's fault menu (process kill,
+  node kill, network unplug, power pull, fast-fail).
+* :mod:`repro.testbed.campaign` — automated fault-injection campaigns
+  (the paper ran >3,000) producing coverage and recovery-time data.
+* :mod:`repro.testbed.longevity` — multi-day stability runs producing
+  exposure data for the Eq. 2 failure-rate bounds.
+"""
+
+from repro.testbed.entities import (
+    ASInstance,
+    HADBNode,
+    NodeState,
+    TimingProfile,
+)
+from repro.testbed.cluster import ClusterConfig, TestCluster
+from repro.testbed.workload import WorkloadProfile, WorkloadStats
+from repro.testbed.faults import FAULT_KINDS, FaultSpec, random_fault
+from repro.testbed.campaign import CampaignResult, run_fault_injection_campaign
+from repro.testbed.longevity import LongevityResult, run_longevity_test
+from repro.testbed.scenarios import (
+    MANUAL_SCENARIOS,
+    ScenarioOutcome,
+    run_manual_scenarios,
+    run_scenario,
+    scenarios_report,
+)
+from repro.testbed.export import export_log
+
+__all__ = [
+    "ASInstance",
+    "HADBNode",
+    "NodeState",
+    "TimingProfile",
+    "ClusterConfig",
+    "TestCluster",
+    "WorkloadProfile",
+    "WorkloadStats",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "random_fault",
+    "CampaignResult",
+    "run_fault_injection_campaign",
+    "LongevityResult",
+    "run_longevity_test",
+    "MANUAL_SCENARIOS",
+    "ScenarioOutcome",
+    "run_manual_scenarios",
+    "run_scenario",
+    "scenarios_report",
+    "export_log",
+]

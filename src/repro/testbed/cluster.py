@@ -1,0 +1,465 @@
+"""The wired test cluster: topology, recovery orchestration, bookkeeping.
+
+Reproduces the paper's Table 1 environment as a discrete-event system:
+
+* N AS instances behind a load-balancer plugin (LBP) doing sticky
+  round-robin with periodic health checks;
+* N HADB pairs (mirrored DRUs) plus spare nodes, with automatic restart,
+  spare rebuild on hardware failure, and human-driven pair restore after
+  a double failure;
+* availability bookkeeping using the paper's system-up definition
+  (at least one AS instance serving AND every pair has a live node);
+* a measurement log feeding the estimation pipeline.
+
+Observers (e.g. the workload runner) can subscribe to failure events to
+account session failovers and transaction losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TestbedError
+from repro.simulation.engine import SimulationEngine, StateTimeAccumulator
+from repro.testbed.entities import ASInstance, HADBNode, NodeState, TimingProfile
+from repro.testbed.faults import FaultSpec
+from repro.testbed.metrics import MeasurementLog, OutageRecord, RecoveryRecord
+
+
+@dataclass
+class ClusterConfig:
+    """Shape and behaviour of the simulated cluster.
+
+    Attributes:
+        n_as_instances: AS instances (the paper's lab ran 2).
+        n_hadb_pairs: Mirrored HADB node pairs (the lab ran 2).
+        n_spares: Idle HADB spare nodes (the modeled configs carry 2).
+        fir: Probability that an automatic HADB recovery is imperfect and
+            takes the companion down too.  The paper never observed this
+            in 3,287 injections, so the default is 0; campaigns studying
+            imperfect recovery set it explicitly.
+        timing: Recovery-operation durations.
+    """
+
+    n_as_instances: int = 2
+    n_hadb_pairs: int = 2
+    n_spares: int = 2
+    fir: float = 0.0
+    timing: TimingProfile = field(default_factory=TimingProfile)
+
+    def __post_init__(self) -> None:
+        if self.n_as_instances < 1:
+            raise TestbedError("need at least one AS instance")
+        if self.n_hadb_pairs < 1:
+            raise TestbedError("need at least one HADB pair")
+        if self.n_spares < 0:
+            raise TestbedError("negative spare count")
+        if not 0.0 <= self.fir <= 1.0:
+            raise TestbedError(f"fir must be a probability, got {self.fir}")
+
+
+class TestCluster:
+    """The orchestrated cluster under test."""
+
+    # Not a pytest test class, despite the domain-accurate name.
+    __test__ = False
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: ClusterConfig,
+        rng: Optional[np.random.Generator] = None,
+        log: Optional[MeasurementLog] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.rng = rng or np.random.default_rng()
+        self.log = log or MeasurementLog()
+
+        self.instances: Dict[str, ASInstance] = {
+            f"as{i + 1}": ASInstance(name=f"as{i + 1}")
+            for i in range(config.n_as_instances)
+        }
+        self.nodes: Dict[str, HADBNode] = {}
+        for pair in range(config.n_hadb_pairs):
+            for side in "ab":
+                name = f"hadb-{pair}{side}"
+                self.nodes[name] = HADBNode(name=name, pair_index=pair)
+        for spare in range(config.n_spares):
+            name = f"hadb-spare{spare + 1}"
+            self.nodes[name] = HADBNode(
+                name=name, pair_index=None, state=NodeState.SPARE
+            )
+
+        self._observers: List[object] = []
+        self._availability = StateTimeAccumulator(
+            "up" if self._compute_up() else "down", engine.now
+        )
+        self._outage_started: Optional[float] = None
+        self._outage_cause: str = ""
+        self._pair_restoring: Dict[int, bool] = {}
+        self._schedule_health_check()
+
+    # Observers ------------------------------------------------------------
+
+    def add_observer(self, observer: object) -> None:
+        """Subscribe to failure/recovery notifications.
+
+        Observers may implement any of ``on_instance_failed(name, now)``,
+        ``on_pair_down(pair_index, now)``, ``on_system_down(now)``,
+        ``on_system_up(now)``; missing methods are skipped.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, method: str, *args) -> None:
+        for observer in self._observers:
+            hook = getattr(observer, method, None)
+            if hook is not None:
+                hook(*args)
+
+    # System-state bookkeeping ----------------------------------------------
+
+    def serving_instances(self) -> List[ASInstance]:
+        return [i for i in self.instances.values() if i.serving]
+
+    def pair_members(self, pair_index: int) -> List[HADBNode]:
+        return [
+            n for n in self.nodes.values() if n.pair_index == pair_index
+        ]
+
+    def pair_live(self, pair_index: int) -> bool:
+        return any(n.active for n in self.pair_members(pair_index))
+
+    def _compute_up(self) -> bool:
+        if not any(i.serving for i in self.instances.values()):
+            return False
+        return all(
+            self.pair_live(pair) for pair in range(self.config.n_hadb_pairs)
+        )
+
+    @property
+    def system_up(self) -> bool:
+        return self._availability.state == "up"
+
+    def _refresh_system_state(self, cause: str = "") -> None:
+        now = self.engine.now
+        up = self._compute_up()
+        if up and self._availability.state == "down":
+            self._availability.change("up", now)
+            if self._outage_started is not None:
+                self.log.record_outage(
+                    OutageRecord(
+                        cause=self._outage_cause,
+                        started_at=self._outage_started,
+                        ended_at=now,
+                    )
+                )
+                self._outage_started = None
+            self._notify("on_system_up", now)
+        elif not up and self._availability.state == "up":
+            self._availability.change("down", now)
+            self._outage_started = now
+            self._outage_cause = cause or "unknown"
+            self._notify("on_system_down", now)
+
+    def availability_report(self, end_time: Optional[float] = None):
+        """``(uptime_hours, downtime_hours, availability)`` so far."""
+        end = end_time if end_time is not None else self.engine.now
+        totals = dict(self._availability.finalize(end))
+        up = totals.get("up", 0.0)
+        down = totals.get("down", 0.0)
+        total = up + down
+        return up, down, (up / total if total > 0 else 1.0)
+
+    # LBP health checks ------------------------------------------------------
+
+    def _schedule_health_check(self) -> None:
+        self.engine.schedule(
+            self.config.timing.health_check_interval,
+            self._health_check,
+            label="lbp_health_check",
+        )
+
+    def _health_check(self, engine: SimulationEngine, _payload) -> None:
+        """Periodic LBP probe: put recovered instances back in rotation."""
+        for instance in self.instances.values():
+            if instance.state is NodeState.UP and not instance.in_rotation:
+                instance.in_rotation = True
+                self._notify("on_instance_restored", instance.name, engine.now)
+        self._refresh_system_state()
+        self._schedule_health_check()
+
+    # Fault injection ---------------------------------------------------------
+
+    def inject(self, spec: FaultSpec) -> str:
+        """Inject a fault; returns the chosen target's name."""
+        if spec.target_kind == "as":
+            target = spec.target or self._pick_as_target()
+            self._fail_as_instance(target, spec.effect)
+        else:
+            target = spec.target or self._pick_hadb_target()
+            self._fail_hadb_node(target, spec.effect)
+        return target
+
+    def _pick_as_target(self) -> str:
+        candidates = [i.name for i in self.instances.values() if i.state is NodeState.UP]
+        if not candidates:
+            raise TestbedError("no healthy AS instance to inject into")
+        return str(self.rng.choice(sorted(candidates)))
+
+    def _pick_hadb_target(self) -> str:
+        candidates = [n.name for n in self.nodes.values() if n.active]
+        if not candidates:
+            raise TestbedError("no active HADB node to inject into")
+        return str(self.rng.choice(sorted(candidates)))
+
+    # AS failure path ----------------------------------------------------------
+
+    def _fail_as_instance(self, name: str, effect: str) -> None:
+        instance = self.instances.get(name)
+        if instance is None:
+            raise TestbedError(f"unknown AS instance {name!r}")
+        if instance.state is not NodeState.UP:
+            raise TestbedError(
+                f"instance {name!r} is already {instance.state.value}"
+            )
+        now = self.engine.now
+        self.log.record_failure(f"as_{effect}")
+        self._notify("on_instance_failed", name, now)
+
+        if effect == "software":
+            instance.take_down(NodeState.RESTARTING)
+            duration = self.config.timing.as_restart.sample(self.rng)
+            category = "as_restart"
+        elif effect == "os":
+            instance.take_down(NodeState.REBOOTING)
+            duration = self.config.timing.os_reboot.sample(self.rng)
+            category = "as_os_restart"
+        elif effect == "hardware":
+            instance.take_down(NodeState.REPAIRING)
+            duration = self.config.timing.physical_repair.sample(self.rng)
+            category = "as_hw_repair"
+        else:  # pragma: no cover - FaultSpec validates
+            raise TestbedError(f"unknown effect {effect!r}")
+
+        # Sessions fail over to a surviving instance if one is serving.
+        if self.serving_instances():
+            failover = self.config.timing.session_failover.sample(self.rng)
+            self.log.record_recovery(
+                RecoveryRecord(
+                    target=name,
+                    category="session_failover",
+                    started_at=now,
+                    completed_at=now + failover,
+                )
+            )
+        self._refresh_system_state(cause="as_all_down")
+        self.engine.schedule(
+            duration,
+            self._complete_as_recovery,
+            payload=(name, category, now),
+            label=f"recover:{name}",
+        )
+
+    def _complete_as_recovery(self, engine: SimulationEngine, payload) -> None:
+        name, category, started_at = payload
+        instance = self.instances[name]
+        instance.state = NodeState.UP
+        # Back in rotation only at the next LBP health check; record the
+        # component recovery itself now.
+        self.log.record_recovery(
+            RecoveryRecord(
+                target=name,
+                category=category,
+                started_at=started_at,
+                completed_at=engine.now,
+            )
+        )
+
+    # HADB failure path ----------------------------------------------------------
+
+    def _fail_hadb_node(self, name: str, effect: str) -> None:
+        node = self.nodes.get(name)
+        if node is None:
+            raise TestbedError(f"unknown HADB node {name!r}")
+        if not node.active:
+            raise TestbedError(f"node {name!r} is not an active pair member")
+        pair = node.pair_index
+        now = self.engine.now
+        self.log.record_failure(f"hadb_{effect}")
+
+        companion_alive = any(
+            other.active and other.name != name
+            for other in self.pair_members(pair)
+        )
+
+        if not companion_alive:
+            # Second failure in the pair: catastrophic.
+            node.state = NodeState.DOWN
+            self._pair_down(pair)
+            return
+
+        # Imperfect recovery: the companion is dragged down too.
+        if self.config.fir > 0.0 and self.rng.random() < self.config.fir:
+            node.state = NodeState.DOWN
+            for other in self.pair_members(pair):
+                if other.name != name:
+                    other.state = NodeState.DOWN
+            self.log.record_recovery(
+                RecoveryRecord(
+                    target=name,
+                    category=f"hadb_{effect}_recovery",
+                    started_at=now,
+                    completed_at=now,
+                    success=False,
+                )
+            )
+            self._pair_down(pair)
+            return
+
+        if effect == "software":
+            node.state = NodeState.RESTARTING
+            duration = self.config.timing.hadb_restart.sample(self.rng)
+            category = "hadb_restart"
+            completion = self._complete_hadb_restart
+        elif effect == "os":
+            node.state = NodeState.REBOOTING
+            duration = self.config.timing.os_reboot.sample(self.rng)
+            category = "hadb_os_restart"
+            completion = self._complete_hadb_restart
+        elif effect == "hardware":
+            node.state = NodeState.REPAIRING
+            self._start_spare_rebuild(pair, failed=node)
+            duration = self.config.timing.physical_repair.sample(self.rng)
+            category = "hadb_physical_repair"
+            completion = self._complete_physical_repair
+        else:  # pragma: no cover - FaultSpec validates
+            raise TestbedError(f"unknown effect {effect!r}")
+
+        self.engine.schedule(
+            duration,
+            completion,
+            payload=(name, category, now),
+            label=f"recover:{name}",
+        )
+
+    def _complete_hadb_restart(self, engine: SimulationEngine, payload) -> None:
+        name, category, started_at = payload
+        node = self.nodes[name]
+        if node.state in (NodeState.RESTARTING, NodeState.REBOOTING):
+            node.state = NodeState.UP
+            self.log.record_recovery(
+                RecoveryRecord(
+                    target=name,
+                    category=category,
+                    started_at=started_at,
+                    completed_at=engine.now,
+                )
+            )
+            self._refresh_system_state()
+        # If the node went DOWN meanwhile (pair catastrophe), the pair
+        # restore path owns its fate.
+
+    def _start_spare_rebuild(self, pair: int, failed: HADBNode) -> None:
+        spare = next(
+            (n for n in self.nodes.values() if n.is_spare), None
+        )
+        if spare is None:
+            # No spare: the pair runs on one node until physical repair
+            # returns the failed node itself.
+            return
+        spare.state = NodeState.REPAIRING  # being rebuilt with pair data
+        started = self.engine.now
+        duration = self.config.timing.spare_rebuild.sample(self.rng)
+        self.engine.schedule(
+            duration,
+            self._complete_spare_rebuild,
+            payload=(spare.name, pair, started),
+            label=f"rebuild:{spare.name}",
+        )
+
+    def _complete_spare_rebuild(self, engine: SimulationEngine, payload) -> None:
+        spare_name, pair, started_at = payload
+        spare = self.nodes[spare_name]
+        if not self.pair_live(pair):
+            # The pair died while rebuilding; restore path owns recovery.
+            spare.become_spare()
+            return
+        if len([n for n in self.pair_members(pair) if n.active]) >= 2:
+            # Pair already whole again (e.g. failed node repaired first).
+            spare.become_spare()
+            return
+        spare.pair_index = pair
+        spare.state = NodeState.UP
+        self.log.record_recovery(
+            RecoveryRecord(
+                target=spare_name,
+                category="spare_rebuild",
+                started_at=started_at,
+                completed_at=engine.now,
+            )
+        )
+        self._refresh_system_state()
+
+    def _complete_physical_repair(self, engine: SimulationEngine, payload) -> None:
+        name, category, started_at = payload
+        node = self.nodes[name]
+        if node.state is not NodeState.REPAIRING:
+            return  # overtaken by a pair catastrophe
+        pair = node.pair_index
+        self.log.record_recovery(
+            RecoveryRecord(
+                target=name,
+                category=category,
+                started_at=started_at,
+                completed_at=engine.now,
+            )
+        )
+        if pair is not None and not self._pair_whole(pair):
+            # No spare took over; the repaired node rejoins its pair.
+            node.state = NodeState.UP
+            self._refresh_system_state()
+        else:
+            # A spare replaced it; the repaired node becomes the new spare.
+            node.become_spare()
+
+    def _pair_whole(self, pair: int) -> bool:
+        return (
+            len([n for n in self.pair_members(pair) if n.active]) >= 2
+        )
+
+    def _pair_down(self, pair: int) -> None:
+        """Both nodes of a pair are gone: data loss, human restore."""
+        now = self.engine.now
+        if self._pair_restoring.get(pair):
+            return
+        self._pair_restoring[pair] = True
+        for node in self.pair_members(pair):
+            node.state = NodeState.DOWN
+        self._notify("on_pair_down", pair, now)
+        self._refresh_system_state(cause=f"hadb_pair_{pair}_down")
+        duration = self.config.timing.pair_restore.sample(self.rng)
+        self.engine.schedule(
+            duration,
+            self._complete_pair_restore,
+            payload=(pair, now),
+            label=f"restore:pair{pair}",
+        )
+
+    def _complete_pair_restore(self, engine: SimulationEngine, payload) -> None:
+        pair, started_at = payload
+        for node in self.pair_members(pair):
+            node.state = NodeState.UP
+        self._pair_restoring[pair] = False
+        self.log.record_recovery(
+            RecoveryRecord(
+                target=f"pair{pair}",
+                category="pair_restore",
+                started_at=started_at,
+                completed_at=engine.now,
+            )
+        )
+        self._refresh_system_state()

@@ -1,0 +1,146 @@
+"""Cluster entities: AS instances and HADB nodes.
+
+Entities are passive state holders; the event-driven behaviour (timers,
+failover, rebuild orchestration) lives in
+:class:`~repro.testbed.cluster.TestCluster` so that all cross-entity
+coordination is in one auditable place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import TestbedError
+from repro.simulation.distributions import Deterministic, RandomVariate
+from repro.units import minutes, seconds
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a node or instance."""
+
+    UP = "up"
+    RESTARTING = "restarting"        # software restart in progress
+    REBOOTING = "rebooting"          # OS reboot in progress
+    REPAIRING = "repairing"          # hardware repair / spare rebuild
+    DOWN = "down"                    # failed, recovery not yet started
+    SPARE = "spare"                  # healthy, idle (HADB spares)
+
+
+@dataclass
+class TimingProfile:
+    """Recovery-operation durations for the simulated lab.
+
+    Defaults follow the paper's *measured* values (not the conservative
+    model values): ~40 s HADB restart, ~25 s AS restart, 12 min/GB data
+    copy, sub-second session failover, 1-minute LBP health checks.
+    Each is a :class:`~repro.simulation.distributions.RandomVariate`, so
+    studies can inject realistic variance.
+    """
+
+    hadb_restart: RandomVariate = field(
+        default_factory=lambda: Deterministic(seconds(40))
+    )
+    os_reboot: RandomVariate = field(
+        default_factory=lambda: Deterministic(minutes(15))
+    )
+    spare_rebuild: RandomVariate = field(
+        default_factory=lambda: Deterministic(minutes(12))
+    )
+    physical_repair: RandomVariate = field(
+        default_factory=lambda: Deterministic(minutes(100))
+    )
+    as_restart: RandomVariate = field(
+        default_factory=lambda: Deterministic(seconds(25))
+    )
+    session_failover: RandomVariate = field(
+        default_factory=lambda: Deterministic(seconds(1))
+    )
+    pair_restore: RandomVariate = field(
+        default_factory=lambda: Deterministic(1.0)
+    )
+    cluster_restore: RandomVariate = field(
+        default_factory=lambda: Deterministic(minutes(30))
+    )
+    health_check_interval: float = minutes(1)
+
+    def __post_init__(self) -> None:
+        if self.health_check_interval <= 0.0:
+            raise TestbedError(
+                "health check interval must be positive, got "
+                f"{self.health_check_interval}"
+            )
+
+
+@dataclass
+class ASInstance:
+    """An Application Server instance on its own host.
+
+    Attributes:
+        name: Instance name (e.g. ``"as1"``).
+        state: Current lifecycle state.
+        in_rotation: Whether the LBP currently routes requests here.
+            An instance can be UP but not yet back in rotation — the LBP
+            only notices recovery at its next health check, which is why
+            the paper models a 90 s short restart around a ~25 s actual
+            restart.
+        sessions: Live sessions currently pinned to this instance.
+    """
+
+    name: str
+    state: NodeState = NodeState.UP
+    in_rotation: bool = True
+    sessions: int = 0
+
+    @property
+    def serving(self) -> bool:
+        return self.state is NodeState.UP and self.in_rotation
+
+    def take_down(self, new_state: NodeState) -> None:
+        if new_state not in (
+            NodeState.DOWN,
+            NodeState.RESTARTING,
+            NodeState.REBOOTING,
+            NodeState.REPAIRING,
+        ):
+            raise TestbedError(f"invalid failure state {new_state}")
+        self.state = new_state
+        self.in_rotation = False
+        self.sessions = 0
+
+
+@dataclass
+class HADBNode:
+    """One HADB node: processes + memory + disk on a dedicated host.
+
+    Attributes:
+        name: Node name (e.g. ``"hadb-0a"``).
+        pair_index: Which DRU-mirrored pair this node belongs to, or
+            ``None`` for spares.
+        state: Lifecycle state (``SPARE`` for idle spares).
+    """
+
+    name: str
+    pair_index: Optional[int]
+    state: NodeState = NodeState.UP
+
+    @property
+    def active(self) -> bool:
+        return self.state is NodeState.UP and self.pair_index is not None
+
+    @property
+    def is_spare(self) -> bool:
+        return self.state is NodeState.SPARE
+
+    def become_spare(self) -> None:
+        self.pair_index = None
+        self.state = NodeState.SPARE
+
+    def activate(self, pair_index: int) -> None:
+        if self.state is not NodeState.SPARE:
+            raise TestbedError(
+                f"cannot activate node {self.name!r} from state {self.state}"
+            )
+        self.pair_index = pair_index
+        self.state = NodeState.UP

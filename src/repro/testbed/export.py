@@ -1,0 +1,119 @@
+"""CSV export of testbed measurement logs.
+
+Lab data outlives the run that produced it: the paper's parameters were
+estimated offline from collected logs.  These helpers serialize a
+:class:`~repro.testbed.metrics.MeasurementLog` to CSV files (recoveries,
+outages, failure counts) that spreadsheet or pandas workflows can pick
+up, and read the recovery file back for round-trip estimation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import List, Union
+
+from repro.exceptions import TestbedError
+from repro.testbed.metrics import MeasurementLog, RecoveryRecord
+
+RECOVERY_FIELDS = ("target", "category", "started_at", "completed_at", "success")
+OUTAGE_FIELDS = ("cause", "started_at", "ended_at")
+FAILURE_FIELDS = ("category", "count")
+
+
+def recoveries_to_csv(log: MeasurementLog) -> str:
+    """Render all recovery records as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(RECOVERY_FIELDS)
+    for record in log.recoveries:
+        writer.writerow(
+            [
+                record.target,
+                record.category,
+                f"{record.started_at:.9f}",
+                f"{record.completed_at:.9f}",
+                int(record.success),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def outages_to_csv(log: MeasurementLog) -> str:
+    """Render all outage records as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(OUTAGE_FIELDS)
+    for record in log.outages:
+        writer.writerow(
+            [record.cause, f"{record.started_at:.9f}", f"{record.ended_at:.9f}"]
+        )
+    return buffer.getvalue()
+
+
+def failures_to_csv(log: MeasurementLog) -> str:
+    """Render failure counts by category as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(FAILURE_FIELDS)
+    for category in sorted(log.failures_by_category):
+        writer.writerow([category, log.failures_by_category[category]])
+    return buffer.getvalue()
+
+
+def export_log(
+    log: MeasurementLog, directory: Union[str, pathlib.Path]
+) -> List[pathlib.Path]:
+    """Write recoveries/outages/failures CSVs into a directory.
+
+    Returns the paths written.  The directory is created if needed.
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, content in (
+        ("recoveries.csv", recoveries_to_csv(log)),
+        ("outages.csv", outages_to_csv(log)),
+        ("failures.csv", failures_to_csv(log)),
+    ):
+        target = path / name
+        target.write_text(content)
+        written.append(target)
+    return written
+
+
+def recoveries_from_csv(text: str) -> List[RecoveryRecord]:
+    """Parse recovery records back from :func:`recoveries_to_csv` output."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise TestbedError("empty recoveries CSV") from None
+    if tuple(header) != RECOVERY_FIELDS:
+        raise TestbedError(
+            f"unexpected recoveries CSV header {header!r}; "
+            f"expected {list(RECOVERY_FIELDS)}"
+        )
+    records = []
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(RECOVERY_FIELDS):
+            raise TestbedError(
+                f"line {line_number}: expected {len(RECOVERY_FIELDS)} "
+                f"fields, got {len(row)}"
+            )
+        try:
+            records.append(
+                RecoveryRecord(
+                    target=row[0],
+                    category=row[1],
+                    started_at=float(row[2]),
+                    completed_at=float(row[3]),
+                    success=bool(int(row[4])),
+                )
+            )
+        except ValueError as exc:
+            raise TestbedError(f"line {line_number}: {exc}") from exc
+    return records

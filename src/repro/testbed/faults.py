@@ -1,0 +1,92 @@
+"""The fault menu: what the paper's campaigns injected.
+
+Manual injections (paper Section 3): HADB process kill, network unplug,
+power pull; AS process kill, network unplug, power pull.  Automated
+injections: full-node process kill, random single-process kill, fast-fail
+termination.
+
+Each fault maps to an *effect class* that the cluster understands:
+
+* ``"software"`` — processes die, node restarts in place (the paper's
+  "restart of the applications without a system reboot").
+* ``"os"`` — the OS goes down and cold-restarts everything.
+* ``"hardware"`` — the host is gone until physically repaired; HADB
+  responds with a spare rebuild, an AS instance waits out the repair.
+
+Network unplug is classified as ``software`` for HADB (the watchdog
+kills and restarts the isolated node's processes) and as ``os``-severity
+for AS (the LBP cannot reach the instance until the host is back),
+matching the recovery behaviours the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import TestbedError
+
+#: fault name -> (target kind, effect class)
+FAULT_KINDS: Dict[str, tuple] = {
+    # Automated HADB campaign faults.
+    "hadb_kill_all_processes": ("hadb", "software"),
+    "hadb_kill_random_process": ("hadb", "software"),
+    "hadb_fast_fail": ("hadb", "software"),
+    # Manual HADB faults.
+    "hadb_network_unplug": ("hadb", "software"),
+    "hadb_power_unplug": ("hadb", "hardware"),
+    "hadb_os_panic": ("hadb", "os"),
+    # AS faults.
+    "as_kill_processes": ("as", "software"),
+    "as_network_unplug": ("as", "os"),
+    "as_power_unplug": ("as", "hardware"),
+    "as_os_panic": ("as", "os"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A concrete injection: which fault, aimed at which target.
+
+    Attributes:
+        kind: A key of :data:`FAULT_KINDS`.
+        target: Entity name (instance or node); ``None`` lets the
+            campaign runner pick a random eligible target.
+    """
+
+    kind: str
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise TestbedError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{sorted(FAULT_KINDS)}"
+            )
+
+    @property
+    def target_kind(self) -> str:
+        """``"as"`` or ``"hadb"``."""
+        return FAULT_KINDS[self.kind][0]
+
+    @property
+    def effect(self) -> str:
+        """``"software"``, ``"os"`` or ``"hardware"``."""
+        return FAULT_KINDS[self.kind][1]
+
+
+def random_fault(
+    rng: np.random.Generator,
+    target_kind: Optional[str] = None,
+) -> FaultSpec:
+    """Draw a random fault kind, optionally restricted to one tier."""
+    kinds = sorted(
+        name
+        for name, (tier, _) in FAULT_KINDS.items()
+        if target_kind is None or tier == target_kind
+    )
+    if not kinds:
+        raise TestbedError(f"no faults for target kind {target_kind!r}")
+    return FaultSpec(kind=str(rng.choice(kinds)))

@@ -1,0 +1,193 @@
+"""Longevity (stability) tests: multi-day runs under workload.
+
+The paper ran multiple 7-day runs (plus one 24-day run) at a 60-70% load
+factor and observed zero AS failures, then used that *failure-free
+exposure* to bound the AS failure rate via Eq. 2.  The simulated
+longevity test reproduces the protocol:
+
+* drive the cluster with the synthetic workload for the run duration;
+* optionally enable background failure processes at configurable rates
+  (zero for the pure stability protocol — what the paper ran; nonzero
+  to generate failure data for rate estimation studies);
+* report exposure, observed failures, workload counters, and the Eq. 2
+  failure-rate bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.estimation import FailureRateEstimate, estimate_failure_rate
+from repro.exceptions import TestbedError
+from repro.simulation.engine import SimulationEngine
+from repro.testbed.cluster import ClusterConfig, TestCluster
+from repro.testbed.faults import FaultSpec
+from repro.testbed.metrics import MeasurementLog
+from repro.testbed.workload import WorkloadProfile, WorkloadRunner, WorkloadStats
+from repro.units import days
+
+
+@dataclass(frozen=True)
+class BackgroundFailureRates:
+    """Per-entity failure rates (per hour) for background fault arrival.
+
+    All zero (default) reproduces the paper's stability protocol.
+    """
+
+    as_software: float = 0.0
+    as_os: float = 0.0
+    as_hardware: float = 0.0
+    hadb_software: float = 0.0
+    hadb_os: float = 0.0
+    hadb_hardware: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.as_mapping().items():
+            if value < 0.0:
+                raise TestbedError(f"negative rate for {name}: {value}")
+
+    def as_mapping(self) -> Dict[str, float]:
+        return {
+            "as_software": self.as_software,
+            "as_os": self.as_os,
+            "as_hardware": self.as_hardware,
+            "hadb_software": self.hadb_software,
+            "hadb_os": self.hadb_os,
+            "hadb_hardware": self.hadb_hardware,
+        }
+
+
+#: Maps a background-rate key to the fault kind injected.
+_RATE_TO_FAULT = {
+    "as_software": "as_kill_processes",
+    "as_os": "as_os_panic",
+    "as_hardware": "as_power_unplug",
+    "hadb_software": "hadb_kill_all_processes",
+    "hadb_os": "hadb_os_panic",
+    "hadb_hardware": "hadb_power_unplug",
+}
+
+
+@dataclass
+class LongevityResult:
+    """Outcome of one longevity run.
+
+    Attributes:
+        duration_hours: Wall-clock length of the run.
+        n_entities: Units under observation for exposure accounting
+            (AS instances for the AS failure bound).
+        as_failures / hadb_failures: Observed failure counts by tier.
+        availability: Measured system availability over the run.
+        workload: Workload counters.
+        log: Raw measurement log.
+    """
+
+    duration_hours: float
+    n_entities: int
+    as_failures: int
+    hadb_failures: int
+    availability: float
+    workload: WorkloadStats
+    log: MeasurementLog
+
+    @property
+    def as_exposure_hours(self) -> float:
+        """Instance-hours of AS exposure (the Eq. 2 denominator)."""
+        return self.duration_hours * self.n_entities
+
+    def as_failure_rate_estimate(
+        self, confidence: float = 0.95
+    ) -> FailureRateEstimate:
+        """Eq. 2 bound on the per-instance AS failure rate (per hour)."""
+        return estimate_failure_rate(
+            self.as_failures, self.as_exposure_hours, confidence
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.duration_hours / 24:.0f}-day run: "
+            f"availability={self.availability:.5%}, "
+            f"AS failures={self.as_failures}, "
+            f"HADB failures={self.hadb_failures}; {self.workload.summary()}"
+        )
+
+
+def run_longevity_test(
+    duration_days: float = 7.0,
+    config: Optional[ClusterConfig] = None,
+    workload: Optional[WorkloadProfile] = None,
+    background: Optional[BackgroundFailureRates] = None,
+    seed: Optional[int] = None,
+) -> LongevityResult:
+    """Run one longevity test on a fresh simulated cluster.
+
+    Args:
+        duration_days: Run length (the paper: 7 days, one 24-day run).
+        config: Cluster shape; defaults to the paper's lab.
+        workload: Load envelope; defaults to a reduced-scale profile
+            (event counts stay test-friendly; use
+            ``WorkloadProfile.paper_scale()`` for the full 7M-request
+            envelope).
+        background: Failure processes; default all-zero (pure stability).
+        seed: Reproducibility.
+    """
+    if duration_days <= 0.0:
+        raise TestbedError(f"duration must be positive, got {duration_days}")
+    config = config or ClusterConfig()
+    workload = workload or WorkloadProfile()
+    background = background or BackgroundFailureRates()
+    rng = np.random.default_rng(seed)
+    engine = SimulationEngine()
+    cluster = TestCluster(engine, config, rng=rng)
+    runner = WorkloadRunner(engine, cluster, workload, rng=rng)
+    cluster.add_observer(runner)
+    runner.start()
+
+    horizon = days(duration_days)
+
+    def schedule_background(rate_key: str, rate: float) -> None:
+        if rate <= 0.0:
+            return
+
+        def fire(eng: SimulationEngine, _payload) -> None:
+            try:
+                cluster.inject(FaultSpec(kind=_RATE_TO_FAULT[rate_key]))
+            except TestbedError:
+                pass  # no eligible target right now; the process continues
+            eng.schedule(rng.exponential(1.0 / rate), fire, label=rate_key)
+
+        engine.schedule(rng.exponential(1.0 / rate), fire, label=rate_key)
+
+    for key, rate in background.as_mapping().items():
+        # Rates are per entity; aggregate by the number of targets.
+        if key.startswith("as_"):
+            aggregate = rate * config.n_as_instances
+        else:
+            aggregate = rate * config.n_hadb_pairs * 2
+        schedule_background(key, aggregate)
+
+    engine.run_until(horizon)
+
+    as_failures = sum(
+        count
+        for category, count in cluster.log.failures_by_category.items()
+        if category.startswith("as_")
+    )
+    hadb_failures = sum(
+        count
+        for category, count in cluster.log.failures_by_category.items()
+        if category.startswith("hadb_")
+    )
+    _up, _down, availability = cluster.availability_report(horizon)
+    return LongevityResult(
+        duration_hours=horizon,
+        n_entities=config.n_as_instances,
+        as_failures=as_failures,
+        hadb_failures=hadb_failures,
+        availability=availability,
+        workload=runner.stats,
+        log=cluster.log,
+    )

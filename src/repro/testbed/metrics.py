@@ -1,0 +1,96 @@
+"""Measurement log: the raw data a testbed run produces.
+
+Everything the estimation pipeline needs is an event list: failures,
+recoveries (with durations and categories), system outages, and workload
+counters.  The log is append-only during a run and summarized afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import TestbedError
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed recovery, as measured by the testbed.
+
+    Attributes:
+        target: Entity name.
+        category: e.g. ``"hadb_restart"``, ``"as_restart"``,
+            ``"spare_rebuild"``, ``"session_failover"``.
+        started_at / completed_at: Simulation timestamps (hours).
+        success: Whether the automatic recovery succeeded (False means
+            an imperfect recovery escalated to an outage).
+    """
+
+    target: str
+    category: str
+    started_at: float
+    completed_at: float
+    success: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass(frozen=True)
+class OutageRecord:
+    """A system-level outage interval with its cause."""
+
+    cause: str
+    started_at: float
+    ended_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at
+
+
+@dataclass
+class MeasurementLog:
+    """Accumulates events during a testbed run."""
+
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+    outages: List[OutageRecord] = field(default_factory=list)
+    failures_by_category: Dict[str, int] = field(default_factory=dict)
+
+    def record_failure(self, category: str) -> None:
+        self.failures_by_category[category] = (
+            self.failures_by_category.get(category, 0) + 1
+        )
+
+    def record_recovery(self, record: RecoveryRecord) -> None:
+        if record.completed_at < record.started_at:
+            raise TestbedError(
+                f"recovery for {record.target!r} ends before it starts"
+            )
+        self.recoveries.append(record)
+
+    def record_outage(self, record: OutageRecord) -> None:
+        if record.ended_at < record.started_at:
+            raise TestbedError("outage ends before it starts")
+        self.outages.append(record)
+
+    # Summaries -----------------------------------------------------------
+
+    def recovery_durations(self, category: str) -> Tuple[float, ...]:
+        """All measured durations for one recovery category (hours)."""
+        return tuple(
+            r.duration for r in self.recoveries if r.category == category
+        )
+
+    def recovery_success_counts(self) -> Tuple[int, int]:
+        """``(successes, total)`` over all recorded recoveries."""
+        total = len(self.recoveries)
+        successes = sum(1 for r in self.recoveries if r.success)
+        return successes, total
+
+    def total_outage_hours(self) -> float:
+        return sum(o.duration for o in self.outages)
+
+    def total_failures(self) -> int:
+        return sum(self.failures_by_category.values())

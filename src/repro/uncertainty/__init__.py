@@ -1,0 +1,35 @@
+"""Uncertainty analysis: random sampling over parameter ranges.
+
+Implements RAScad's "multivariate/uncertainty analysis" capability used
+for the paper's Figs. 7 and 8: draw N parameter snapshots from stated
+ranges, solve the model for each, and report the mean of the output
+metric with empirical confidence intervals.
+"""
+
+from repro.uncertainty.distributions import (
+    Distribution,
+    Fixed,
+    LogUniform,
+    Triangular,
+    Uniform,
+)
+from repro.uncertainty.sampling import (
+    latin_hypercube_samples,
+    monte_carlo_samples,
+)
+from repro.uncertainty.analysis import UncertaintyAnalysis
+from repro.uncertainty.results import UncertaintyResult
+from repro.uncertainty.decomposition import first_order_indices
+
+__all__ = [
+    "first_order_indices",
+    "Distribution",
+    "Fixed",
+    "LogUniform",
+    "Triangular",
+    "Uniform",
+    "latin_hypercube_samples",
+    "monte_carlo_samples",
+    "UncertaintyAnalysis",
+    "UncertaintyResult",
+]

@@ -1,0 +1,70 @@
+"""Sample generation: plain Monte Carlo and Latin hypercube.
+
+Both return a list of parameter dictionaries ("parameter snapshots" in
+RAScad's terminology) drawn from named distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.uncertainty.distributions import Distribution
+
+
+def _validate(distributions: Mapping[str, Distribution], n_samples: int) -> None:
+    if n_samples <= 0:
+        raise EstimationError(f"sample count must be positive, got {n_samples}")
+    if not distributions:
+        raise EstimationError("at least one parameter distribution is required")
+    for name, dist in distributions.items():
+        if not isinstance(dist, Distribution):
+            raise EstimationError(
+                f"distribution for {name!r} must be a Distribution, got "
+                f"{type(dist).__name__}"
+            )
+
+
+def monte_carlo_samples(
+    distributions: Mapping[str, Distribution],
+    n_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Dict[str, float]]:
+    """Independent uniform draws pushed through each inverse CDF."""
+    _validate(distributions, n_samples)
+    rng = rng or np.random.default_rng()
+    names = list(distributions)
+    u = rng.random((n_samples, len(names)))
+    return [
+        {
+            name: distributions[name].ppf(float(u[i, j]))
+            for j, name in enumerate(names)
+        }
+        for i in range(n_samples)
+    ]
+
+
+def latin_hypercube_samples(
+    distributions: Mapping[str, Distribution],
+    n_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Dict[str, float]]:
+    """Latin hypercube sampling: one draw per equal-probability stratum.
+
+    LHS reduces the variance of the estimated output mean for the same
+    sample count — useful because every sample costs a full hierarchical
+    model solve.  Strata are independently permuted per dimension.
+    """
+    _validate(distributions, n_samples)
+    rng = rng or np.random.default_rng()
+    names = list(distributions)
+    samples: List[Dict[str, float]] = [dict() for _ in range(n_samples)]
+    for name in names:
+        strata = (np.arange(n_samples) + rng.random(n_samples)) / n_samples
+        rng.shuffle(strata)
+        dist = distributions[name]
+        for i in range(n_samples):
+            samples[i][name] = dist.ppf(float(strata[i]))
+    return samples

@@ -1,0 +1,67 @@
+"""Unit tests for availability arithmetic helpers."""
+
+import pytest
+
+from repro.analysis.availability import (
+    downtime_budget,
+    downtime_minutes_to_availability,
+    nines_summary,
+)
+from repro.exceptions import ReproError
+from repro.units import MINUTES_PER_YEAR
+
+
+class TestNinesSummary:
+    def test_five_nines(self):
+        assert "(5 nines)" in nines_summary(0.9999933)
+
+    def test_three_nines(self):
+        assert "(3 nines)" in nines_summary(0.9995)
+
+    def test_perfect(self):
+        assert "perfect" in nines_summary(1.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ReproError):
+            nines_summary(1.2)
+
+
+class TestDowntimeBudget:
+    def test_budget_rows(self):
+        budget = downtime_budget({"as": 4e-6, "hadb": 2e-6})
+        assert list(budget) == ["as", "hadb"]  # sorted descending
+        assert budget["as"]["fraction"] == pytest.approx(2.0 / 3.0)
+        assert budget["as"]["minutes_per_year"] == pytest.approx(
+            4e-6 * MINUTES_PER_YEAR
+        )
+
+    def test_fractions_sum_to_one(self):
+        budget = downtime_budget({"a": 1e-6, "b": 3e-6, "c": 6e-6})
+        assert sum(row["fraction"] for row in budget.values()) == (
+            pytest.approx(1.0)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            downtime_budget({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            downtime_budget({"a": -1e-6})
+
+    def test_total_above_one_rejected(self):
+        with pytest.raises(ReproError):
+            downtime_budget({"a": 0.7, "b": 0.6})
+
+
+class TestDowntimeToAvailability:
+    def test_paper_value(self):
+        assert downtime_minutes_to_availability(3.49) == pytest.approx(
+            0.9999934, abs=1e-6
+        )
+
+    def test_bounds(self):
+        with pytest.raises(ReproError):
+            downtime_minutes_to_availability(-1.0)
+        with pytest.raises(ReproError):
+            downtime_minutes_to_availability(MINUTES_PER_YEAR + 1.0)

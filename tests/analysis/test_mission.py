@@ -1,0 +1,105 @@
+"""Unit tests for mission (interval) availability distributions."""
+
+import math
+
+import pytest
+
+from repro.analysis.mission import mission_availability
+from repro.exceptions import SimulationError
+
+
+class TestMissionAvailability:
+    def test_sample_mean_matches_analytic(self, two_state_model):
+        values = {"La": 0.05, "Mu": 1.0}
+        result = mission_availability(
+            two_state_model, mission_hours=100.0, n_missions=400,
+            values=values, seed=11,
+        )
+        # The analytic mean is the uniformization integral; sampling must
+        # land on it within Monte Carlo error.
+        standard_error = (
+            max(1e-6, float(result.sample_mean * (1 - result.sample_mean)))
+            ** 0.5
+        )
+        assert result.sample_mean == pytest.approx(
+            result.analytic_mean, abs=4 * standard_error / 20 + 2e-3
+        )
+
+    def test_probability_perfect_matches_no_failure_probability(
+        self, two_state_model
+    ):
+        """Starting Up, a perfect short mission means no failure at all:
+        P = exp(-La * T)."""
+        la = 0.05
+        values = {"La": la, "Mu": 5.0}
+        t = 2.0
+        result = mission_availability(
+            two_state_model, mission_hours=t, n_missions=2000,
+            values=values, seed=3,
+        )
+        assert result.probability_perfect() == pytest.approx(
+            math.exp(-la * t), abs=0.03
+        )
+
+    def test_probability_meeting_monotone_in_target(self, two_state_model):
+        values = {"La": 0.2, "Mu": 2.0}
+        result = mission_availability(
+            two_state_model, mission_hours=50.0, n_missions=300,
+            values=values, seed=5,
+        )
+        p_low = result.probability_meeting(0.90)
+        p_high = result.probability_meeting(0.99)
+        assert p_low >= p_high
+
+    def test_long_missions_concentrate_on_steady_state(self, two_state_model):
+        """Variance of A_T shrinks with T (ergodic averaging)."""
+        import numpy as np
+
+        values = {"La": 0.5, "Mu": 2.0}
+        short = mission_availability(
+            two_state_model, 20.0, 150, values=values, seed=7
+        )
+        long_ = mission_availability(
+            two_state_model, 2000.0, 150, values=values, seed=7
+        )
+        assert np.var(long_.samples) < np.var(short.samples) / 5
+
+    def test_initial_state_matters_for_short_missions(self, two_state_model):
+        values = {"La": 0.1, "Mu": 0.5}
+        from_up = mission_availability(
+            two_state_model, 1.0, 200, values=values, seed=9,
+            initial_state="Up",
+        )
+        from_down = mission_availability(
+            two_state_model, 1.0, 200, values=values, seed=9,
+            initial_state="Down",
+        )
+        assert from_up.sample_mean > from_down.sample_mean
+        assert from_up.analytic_mean > from_down.analytic_mean
+
+    def test_summary_text(self, two_state_model):
+        result = mission_availability(
+            two_state_model, 10.0, 50, values={"La": 0.1, "Mu": 1.0}, seed=1
+        )
+        assert "P(perfect)" in result.summary()
+
+    def test_invalid_arguments(self, two_state_model, two_state_values):
+        with pytest.raises(SimulationError):
+            mission_availability(
+                two_state_model, 0.0, 10, values=two_state_values
+            )
+        with pytest.raises(SimulationError):
+            mission_availability(
+                two_state_model, 1.0, 0, values=two_state_values
+            )
+        with pytest.raises(SimulationError, match="values"):
+            mission_availability(two_state_model, 1.0, 10)
+
+    def test_reproducible_with_seed(self, two_state_model, two_state_values):
+        a = mission_availability(
+            two_state_model, 5.0, 20, values=two_state_values, seed=42
+        )
+        b = mission_availability(
+            two_state_model, 5.0, 20, values=two_state_values, seed=42
+        )
+        assert a.samples == b.samples

@@ -1,0 +1,48 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.report import Table, render_table
+from repro.exceptions import ReproError
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbb"], [["xx", "y"], ["z", "wwww"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "---" in lines[1]
+        # All rows padded to consistent width per column.
+        assert lines[2].startswith("xx")
+        assert lines[3].startswith("z ")
+
+    def test_title_rendered(self):
+        text = render_table(["c"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert "=" in text.splitlines()[1]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ReproError, match="cells"):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ReproError):
+            render_table([], [])
+
+    def test_non_string_cells_coerced(self):
+        text = render_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestTable:
+    def test_incremental_build(self):
+        table = Table(columns=["x", "y"], title="T")
+        table.add_row(["1", "2"])
+        table.add_row([3, 4])
+        text = table.render()
+        assert "1" in text and "4" in text and "T" in text
+
+    def test_add_row_validates(self):
+        table = Table(columns=["x"])
+        with pytest.raises(ReproError):
+            table.add_row(["1", "2"])

@@ -1,0 +1,89 @@
+"""Unit tests for annual-downtime risk analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.risk import annual_downtime_risk
+from repro.exceptions import ReproError
+from repro.models.jsas import CONFIG_1, PAPER_PARAMETERS
+
+
+@pytest.fixture(scope="module")
+def solved():
+    return CONFIG_1.solve(PAPER_PARAMETERS)
+
+
+@pytest.fixture(scope="module")
+def risk(solved):
+    return annual_downtime_risk(solved, n_years=40_000, seed=17)
+
+
+class TestAnnualDowntimeRisk:
+    def test_mean_tracks_model_expectation(self, solved, risk):
+        assert risk.mean == pytest.approx(
+            solved.yearly_downtime_minutes, rel=0.05
+        )
+
+    @staticmethod
+    def _expected_rate_per_year(solved) -> float:
+        """Events/year recovered from attributed downtime and 1/Mu."""
+        from repro.units import MINUTES_PER_YEAR
+
+        return sum(
+            r.downtime_minutes
+            / MINUTES_PER_YEAR
+            * r.interface.recovery_rate
+            * 8766.0
+            for r in solved.submodels.values()
+        )
+
+    def test_most_years_have_zero_downtime(self, solved, risk):
+        """Config 1 sees ~0.1 outages/year, so ~90% of years are clean —
+        the 3.5-minute mean is carried by rare bad years."""
+        expected_p_zero = math.exp(-self._expected_rate_per_year(solved))
+        assert risk.p_zero == pytest.approx(expected_p_zero, rel=1e-6)
+        observed_zero = risk.probability_exceeding(0.0)
+        assert 1.0 - observed_zero == pytest.approx(risk.p_zero, abs=0.01)
+
+    def test_sla_violation_risk_nontrivial(self, risk):
+        """P(annual downtime > 5.25 min) is far from negligible even
+        though the *mean* is below 5.25 — the headline risk insight."""
+        p_violate = risk.probability_exceeding(5.25)
+        assert 0.02 < p_violate < 0.12
+
+    def test_percentiles_ordered(self, risk):
+        assert risk.percentile(50) <= risk.percentile(95) <= risk.percentile(99.9)
+
+    def test_outage_rate(self, solved, risk):
+        assert risk.outage_rate_per_year == pytest.approx(
+            self._expected_rate_per_year(solved), rel=1e-9
+        )
+
+    def test_hadb_scaling_included(self, paper_values):
+        """The compound model must count every pair: doubling N_pair
+        roughly doubles the HADB share of the outage rate."""
+        from repro.models.jsas import JsasConfiguration
+
+        two = annual_downtime_risk(
+            JsasConfiguration(2, 2).solve(paper_values),
+            n_years=100, seed=1,
+        )
+        four = annual_downtime_risk(
+            JsasConfiguration(2, 4).solve(paper_values),
+            n_years=100, seed=1,
+        )
+        assert four.outage_rate_per_year > two.outage_rate_per_year
+
+    def test_summary_text(self, risk):
+        text = risk.summary()
+        assert "P(zero-downtime year)" in text
+
+    def test_reproducible(self, solved):
+        a = annual_downtime_risk(solved, n_years=500, seed=3)
+        b = annual_downtime_risk(solved, n_years=500, seed=3)
+        assert a.samples == b.samples
+
+    def test_invalid_years(self, solved):
+        with pytest.raises(ReproError):
+            annual_downtime_risk(solved, n_years=0)

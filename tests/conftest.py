@@ -1,0 +1,49 @@
+"""Shared fixtures: canonical small models and the paper's parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.models.jsas import PAPER_PARAMETERS
+
+
+@pytest.fixture
+def paper_values() -> dict:
+    """The paper's Section 5 parameterization as a plain dict."""
+    return PAPER_PARAMETERS.to_dict()
+
+
+@pytest.fixture
+def two_state_model() -> MarkovModel:
+    """The classic repairable component: Up <-> Down."""
+    model = MarkovModel("component")
+    model.add_state("Up", reward=1.0)
+    model.add_state("Down", reward=0.0)
+    model.add_transition("Up", "Down", "La")
+    model.add_transition("Down", "Up", "Mu")
+    return model
+
+
+@pytest.fixture
+def two_state_values() -> dict:
+    return {"La": 0.01, "Mu": 1.0}
+
+
+@pytest.fixture
+def three_state_model() -> MarkovModel:
+    """Up -> Degraded -> Down -> Up, with a fast path Degraded -> Up."""
+    model = MarkovModel("triangle")
+    model.add_state("Up", reward=1.0)
+    model.add_state("Degraded", reward=1.0)
+    model.add_state("Down", reward=0.0)
+    model.add_transition("Up", "Degraded", 0.1)
+    model.add_transition("Degraded", "Up", 2.0)
+    model.add_transition("Degraded", "Down", 0.05)
+    model.add_transition("Down", "Up", 1.0)
+    return model
+
+
+def two_state_availability(la: float, mu: float) -> float:
+    """Closed form for the Up <-> Down chain."""
+    return mu / (la + mu)

@@ -1,0 +1,145 @@
+"""Unit tests for the safe rate-expression language."""
+
+import math
+
+import pytest
+
+from repro.core.expressions import (
+    Expression,
+    compile_expression,
+    variables_of,
+)
+from repro.exceptions import ExpressionError
+
+
+class TestCompile:
+    def test_simple_arithmetic(self):
+        assert compile_expression("1 + 2 * 3")({}) == 7.0
+
+    def test_paper_style_rate(self):
+        expr = compile_expression("2*La_hadb*(1-FIR)")
+        assert expr({"La_hadb": 0.5, "FIR": 0.1}) == pytest.approx(0.9)
+
+    def test_division(self):
+        expr = compile_expression("FSS / Trecovery")
+        assert expr({"FSS": 0.5, "Trecovery": 0.25}) == pytest.approx(2.0)
+
+    def test_power_operator(self):
+        expr = compile_expression("2 ** k")
+        assert expr({"k": 3}) == 8.0
+
+    def test_unary_minus(self):
+        assert compile_expression("-3 + 5")({}) == 2.0
+
+    def test_numeric_input_wrapped(self):
+        expr = compile_expression(0.25)
+        assert expr({}) == 0.25
+        assert expr.variables == frozenset()
+
+    def test_integer_input_wrapped(self):
+        assert compile_expression(3)({}) == 3.0
+
+    def test_expression_passthrough(self):
+        expr = compile_expression("La")
+        assert compile_expression(expr) is expr
+
+    def test_variables_discovered(self):
+        expr = compile_expression("a * b + exp(c)")
+        assert expr.variables == frozenset({"a", "b", "c"})
+
+    def test_allowed_functions(self):
+        assert compile_expression("exp(0)")({}) == 1.0
+        assert compile_expression("sqrt(4)")({}) == 2.0
+        assert compile_expression("min(2, 3)")({}) == 2.0
+        assert compile_expression("max(2, 3)")({}) == 3.0
+        assert compile_expression("log(e)")({}) == pytest.approx(1.0)
+
+    def test_constants(self):
+        assert compile_expression("pi")({}) == pytest.approx(math.pi)
+
+
+class TestRejections:
+    def test_empty_expression(self):
+        with pytest.raises(ExpressionError, match="empty"):
+            compile_expression("   ")
+
+    def test_syntax_error(self):
+        with pytest.raises(ExpressionError, match="cannot parse"):
+            compile_expression("2 *")
+
+    def test_attribute_access_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("os.system")
+
+    def test_call_of_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError, match="only calls"):
+            compile_expression("__import__('os')")
+
+    def test_subscript_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("a[0]")
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("lambda: 1")
+
+    def test_string_literal_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("'hello'")
+
+    def test_comparison_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("a < b")
+
+    def test_keyword_arguments_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("max(a, b=1)")
+
+    def test_non_string_non_number_rejected(self):
+        with pytest.raises(ExpressionError, match="rate must be"):
+            compile_expression([1, 2])
+
+    def test_boolean_ops_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("a and b")
+
+
+class TestEvaluation:
+    def test_missing_parameter_raises(self):
+        expr = compile_expression("La * 2")
+        with pytest.raises(ExpressionError, match="needs parameter"):
+            expr({})
+
+    def test_extra_parameters_ignored(self):
+        expr = compile_expression("La")
+        assert expr({"La": 1.0, "Mu": 5.0}) == 1.0
+
+    def test_division_by_zero_reports_values(self):
+        expr = compile_expression("1 / T")
+        with pytest.raises(ExpressionError, match="divided by zero"):
+            expr({"T": 0.0})
+
+    def test_evaluate_alias(self):
+        expr = compile_expression("x + 1")
+        assert expr.evaluate({"x": 1}) == 2.0
+
+    def test_equality_and_hash_by_source(self):
+        a = compile_expression("La * 2")
+        b = compile_expression("La * 2")
+        c = compile_expression("2 * La")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_shadowing_function_name_is_not_a_variable(self):
+        expr = compile_expression("exp(La)")
+        assert expr.variables == frozenset({"La"})
+
+
+class TestVariablesOf:
+    def test_union_across_expressions(self):
+        names = variables_of(["a + b", "b * c", 2.5])
+        assert names == {"a", "b", "c"}
+
+    def test_empty_iterable(self):
+        assert variables_of([]) == set()

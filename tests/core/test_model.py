@@ -1,0 +1,159 @@
+"""Unit tests for the Markov model builder."""
+
+import pytest
+
+from repro.core.model import MarkovModel, State, birth_death_model
+from repro.exceptions import ModelError
+
+
+class TestState:
+    def test_up_down_classification(self):
+        assert State("Ok", reward=1.0).is_up
+        assert State("Half", reward=0.5).is_up
+        assert not State("Down", reward=0.0).is_up
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(ModelError, match="reward"):
+            State("Bad", reward=-1.0)
+
+    def test_nan_reward_rejected(self):
+        with pytest.raises(ModelError):
+            State("Bad", reward=float("nan"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            State("")
+
+
+class TestConstruction:
+    def test_basic_build(self, two_state_model):
+        assert len(two_state_model) == 2
+        assert two_state_model.state_names == ("Up", "Down")
+        assert len(two_state_model.transitions) == 2
+
+    def test_empty_model_name_rejected(self):
+        with pytest.raises(ModelError):
+            MarkovModel("")
+
+    def test_duplicate_state_rejected(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        with pytest.raises(ModelError, match="duplicate state"):
+            m.add_state("A")
+
+    def test_transition_to_unknown_state_rejected(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        with pytest.raises(ModelError, match="unknown state"):
+            m.add_transition("A", "B", 1.0)
+
+    def test_self_loop_rejected(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        m.add_state("B")
+        with pytest.raises(ModelError, match="self-loop"):
+            m.add_transition("A", "A", 1.0)
+
+    def test_parallel_transition_rejected(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        m.add_state("B")
+        m.add_transition("A", "B", 1.0)
+        with pytest.raises(ModelError, match="duplicate transition"):
+            m.add_transition("A", "B", 2.0)
+
+    def test_opposite_direction_allowed(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        m.add_state("B")
+        m.add_transition("A", "B", 1.0)
+        m.add_transition("B", "A", 2.0)  # no error
+
+
+class TestIntrospection:
+    def test_up_down_partition(self, three_state_model):
+        assert three_state_model.up_states() == ("Up", "Degraded")
+        assert three_state_model.down_states() == ("Down",)
+
+    def test_reward_vector(self, three_state_model):
+        assert three_state_model.reward_vector() == [1.0, 1.0, 0.0]
+
+    def test_required_parameters(self, two_state_model):
+        assert two_state_model.required_parameters() == {"La", "Mu"}
+
+    def test_state_index(self, two_state_model):
+        assert two_state_model.state_index("Down") == 1
+        with pytest.raises(ModelError):
+            two_state_model.state_index("Nope")
+
+    def test_outgoing_incoming(self, three_state_model):
+        out = three_state_model.outgoing("Degraded")
+        assert {t.target for t in out} == {"Up", "Down"}
+        incoming = three_state_model.incoming("Up")
+        assert {t.source for t in incoming} == {"Degraded", "Down"}
+
+    def test_describe_lists_structure(self, two_state_model):
+        text = two_state_model.describe()
+        assert "Up" in text and "Down" in text and "La" in text
+
+    def test_copy_is_independent(self, two_state_model):
+        clone = two_state_model.copy("clone")
+        clone.add_state("Extra")
+        assert len(two_state_model) == 2
+        assert len(clone) == 3
+
+
+class TestValidation:
+    def test_no_states(self):
+        with pytest.raises(ModelError, match="no states"):
+            MarkovModel("m").validate()
+
+    def test_no_up_state(self):
+        m = MarkovModel("m")
+        m.add_state("Down", reward=0.0)
+        with pytest.raises(ModelError, match="no up"):
+            m.validate()
+
+    def test_island_state_detected(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        m.add_state("B")
+        m.add_state("Island")
+        m.add_transition("A", "B", 1.0)
+        with pytest.raises(ModelError, match="island"):
+            m.validate()
+
+    def test_missing_parameter_detected(self, two_state_model):
+        with pytest.raises(ModelError, match="missing parameter"):
+            two_state_model.validate({"La": 1.0})
+
+    def test_negative_rate_detected(self, two_state_model):
+        with pytest.raises(ModelError, match="invalid rate"):
+            two_state_model.validate({"La": -1.0, "Mu": 1.0})
+
+    def test_valid_model_passes(self, two_state_model, two_state_values):
+        two_state_model.validate(two_state_values)
+
+
+class TestBirthDeath:
+    def test_structure(self):
+        m = birth_death_model("bd", 3, [1.0, 2.0], [3.0, 4.0])
+        assert m.state_names == ("L0", "L1", "L2")
+        assert len(m.transitions) == 4
+        assert m.reward_vector() == [1.0, 1.0, 0.0]
+
+    def test_custom_rewards(self):
+        m = birth_death_model("bd", 2, [1.0], [1.0], rewards=[1.0, 0.5])
+        assert m.reward_vector() == [1.0, 0.5]
+
+    def test_too_few_levels(self):
+        with pytest.raises(ModelError):
+            birth_death_model("bd", 1, [], [])
+
+    def test_rate_count_mismatch(self):
+        with pytest.raises(ModelError, match="exactly"):
+            birth_death_model("bd", 3, [1.0], [1.0, 2.0])
+
+    def test_reward_count_mismatch(self):
+        with pytest.raises(ModelError, match="rewards"):
+            birth_death_model("bd", 2, [1.0], [1.0], rewards=[1.0])

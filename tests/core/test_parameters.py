@@ -1,0 +1,121 @@
+"""Unit tests for parameters and parameter sets."""
+
+import pytest
+
+from repro.core.parameters import Parameter, ParameterSet
+from repro.exceptions import ParameterError
+
+
+def make_set() -> ParameterSet:
+    return ParameterSet(
+        [
+            Parameter("La", 0.01, description="failure rate", unit="1/hour",
+                      provenance="measured", bounds=(0.001, 0.1)),
+            Parameter("Mu", 2.0, description="repair rate", unit="1/hour"),
+        ]
+    )
+
+
+class TestParameter:
+    def test_valid_construction(self):
+        p = Parameter("La", 0.5, provenance="field")
+        assert p.value == 0.5
+
+    def test_invalid_name(self):
+        with pytest.raises(ParameterError, match="identifier"):
+            Parameter("2bad", 1.0)
+
+    def test_empty_name(self):
+        with pytest.raises(ParameterError):
+            Parameter("", 1.0)
+
+    def test_non_finite_value(self):
+        with pytest.raises(ParameterError, match="non-finite"):
+            Parameter("La", float("nan"))
+
+    def test_unknown_provenance(self):
+        with pytest.raises(ParameterError, match="provenance"):
+            Parameter("La", 1.0, provenance="guessed")
+
+    def test_inverted_bounds(self):
+        with pytest.raises(ParameterError, match="inverted"):
+            Parameter("La", 1.0, bounds=(2.0, 1.0))
+
+    def test_with_value_preserves_metadata(self):
+        p = Parameter("La", 1.0, description="d", unit="u",
+                      provenance="field", bounds=(0.0, 5.0))
+        q = p.with_value(2.0)
+        assert q.value == 2.0
+        assert q.description == "d"
+        assert q.bounds == (0.0, 5.0)
+        assert p.value == 1.0  # original untouched
+
+
+class TestParameterSet:
+    def test_mapping_interface(self):
+        ps = make_set()
+        assert ps["La"] == 0.01
+        assert len(ps) == 2
+        assert set(ps) == {"La", "Mu"}
+        assert dict(ps) == {"La": 0.01, "Mu": 2.0}
+
+    def test_missing_key_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            make_set()["Nope"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            ParameterSet([Parameter("La", 1.0), Parameter("La", 2.0)])
+
+    def test_non_parameter_rejected(self):
+        with pytest.raises(ParameterError, match="expected a Parameter"):
+            ParameterSet([("La", 1.0)])
+
+    def test_parameter_accessor(self):
+        ps = make_set()
+        assert ps.parameter("La").unit == "1/hour"
+        with pytest.raises(ParameterError, match="unknown parameter"):
+            ps.parameter("Nope")
+
+    def test_updated_returns_new_set(self):
+        ps = make_set()
+        ps2 = ps.updated(La=0.05)
+        assert ps2["La"] == 0.05
+        assert ps["La"] == 0.01
+        # metadata preserved
+        assert ps2.parameter("La").provenance == "measured"
+
+    def test_updated_unknown_name_raises(self):
+        with pytest.raises(ParameterError, match="unknown parameter"):
+            make_set().updated(Typo=1.0)
+
+    def test_extended(self):
+        ps = make_set().extended(Parameter("T", 0.5))
+        assert ps["T"] == 0.5
+        assert len(ps) == 3
+
+    def test_extended_duplicate_raises(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            make_set().extended(Parameter("La", 9.0))
+
+    def test_subset(self):
+        sub = make_set().subset(["Mu"])
+        assert dict(sub) == {"Mu": 2.0}
+
+    def test_to_dict_is_copy(self):
+        ps = make_set()
+        d = ps.to_dict()
+        d["La"] = 99.0
+        assert ps["La"] == 0.01
+
+    def test_describe_contains_all_names(self):
+        text = make_set().describe()
+        assert "La" in text and "Mu" in text and "provenance" in text
+
+    def test_describe_empty(self):
+        assert "empty" in ParameterSet().describe()
+
+    def test_insertion_order_preserved(self):
+        ps = make_set()
+        assert list(ps) == ["La", "Mu"]
+        assert [p.name for p in ps.parameters()] == ["La", "Mu"]

@@ -1,0 +1,116 @@
+"""Unit tests for model serialization and DOT export."""
+
+import json
+
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.core.serialize import (
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_dot,
+    model_to_json,
+)
+from repro.exceptions import ModelError
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, two_state_model):
+        rebuilt = model_from_dict(model_to_dict(two_state_model))
+        assert rebuilt.state_names == two_state_model.state_names
+        assert rebuilt.reward_vector() == two_state_model.reward_vector()
+        assert [
+            (t.source, t.target, t.rate.source) for t in rebuilt.transitions
+        ] == [
+            (t.source, t.target, t.rate.source)
+            for t in two_state_model.transitions
+        ]
+
+    def test_json_round_trip_solves_identically(self, paper_values):
+        from repro.ctmc.rewards import steady_state_availability
+        from repro.models.jsas import build_hadb_pair_model
+
+        original = build_hadb_pair_model()
+        rebuilt = model_from_json(model_to_json(original))
+        a = steady_state_availability(original, paper_values)
+        b = steady_state_availability(rebuilt, paper_values)
+        assert a.availability == b.availability
+
+    def test_descriptions_preserved(self):
+        model = MarkovModel("m", "model doc")
+        model.add_state("A", description="state doc")
+        model.add_state("B", reward=0.0)
+        model.add_transition("A", "B", "La", description="arc doc")
+        data = model_to_dict(model)
+        rebuilt = model_from_dict(data)
+        assert rebuilt.description == "model doc"
+        assert rebuilt.state("A").description == "state doc"
+        assert rebuilt.transitions[0].description == "arc doc"
+
+    def test_json_is_valid_json(self, two_state_model):
+        parsed = json.loads(model_to_json(two_state_model))
+        assert parsed["name"] == "component"
+
+
+class TestMalformedInput:
+    def test_missing_keys(self):
+        with pytest.raises(ModelError, match="malformed"):
+            model_from_dict({"name": "x"})
+
+    def test_wrong_schema_version(self, two_state_model):
+        data = model_to_dict(two_state_model)
+        data["schema"] = 999
+        with pytest.raises(ModelError, match="schema"):
+            model_from_dict(data)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ModelError, match="invalid JSON"):
+            model_from_json("{not json")
+
+    def test_bad_rate_expression_rejected(self, two_state_model):
+        data = model_to_dict(two_state_model)
+        data["transitions"][0]["rate"] = "__import__('os')"
+        with pytest.raises(ModelError):
+            model_from_dict(data)
+
+
+class TestDotExport:
+    def test_structure(self, two_state_model):
+        dot = model_to_dot(two_state_model)
+        assert dot.startswith('digraph "component"')
+        assert '"Up" [shape=circle' in dot
+        assert '"Down" [shape=doublecircle' in dot
+        assert '"Up" -> "Down" [label="La"]' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_fractional_reward_in_label(self):
+        model = MarkovModel("perf")
+        model.add_state("Half", reward=0.5)
+        model.add_state("Down", reward=0.0)
+        model.add_transition("Half", "Down", 1.0)
+        model.add_transition("Down", "Half", 1.0)
+        assert "reward=0.5" in model_to_dot(model)
+
+    def test_quotes_escaped(self):
+        model = MarkovModel('with"quote')
+        model.add_state("A")
+        model.add_state("B")
+        model.add_transition("A", "B", 1.0)
+        dot = model_to_dot(model)
+        assert '\\"' in dot
+
+    def test_invalid_rankdir(self, two_state_model):
+        with pytest.raises(ModelError):
+            model_to_dot(two_state_model, rankdir="XX")
+
+    def test_paper_models_render(self, paper_values):
+        from repro.models.jsas import (
+            build_appserver_model,
+            build_hadb_pair_model,
+        )
+
+        for model in (build_hadb_pair_model(), build_appserver_model(2)):
+            dot = model_to_dot(model)
+            for state in model.state_names:
+                assert f'"{state}"' in dot

@@ -1,0 +1,103 @@
+"""Unit tests for generator-matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.ctmc.generator import SPARSE_THRESHOLD, build_generator
+from repro.exceptions import ModelError
+
+
+class TestBuildGenerator:
+    def test_rows_sum_to_zero(self, two_state_model, two_state_values):
+        g = build_generator(two_state_model, two_state_values)
+        assert np.allclose(g.dense().sum(axis=1), 0.0)
+
+    def test_rates_placed_correctly(self, two_state_model, two_state_values):
+        g = build_generator(two_state_model, two_state_values)
+        assert g.rate("Up", "Down") == 0.01
+        assert g.rate("Down", "Up") == 1.0
+        q = g.dense()
+        assert q[0, 0] == -0.01
+        assert q[1, 1] == -1.0
+
+    def test_missing_parameter(self, two_state_model):
+        with pytest.raises(ModelError, match="missing parameter"):
+            build_generator(two_state_model, {"La": 0.1})
+
+    def test_negative_rate_rejected(self, two_state_model):
+        with pytest.raises(ModelError, match="invalid rate"):
+            build_generator(two_state_model, {"La": -1.0, "Mu": 1.0})
+
+    def test_zero_rate_dropped_by_default(self, two_state_model):
+        g = build_generator(two_state_model, {"La": 0.0, "Mu": 1.0})
+        assert g.rate("Up", "Down") == 0.0
+
+    def test_zero_rate_error_when_not_dropping(self, two_state_model):
+        with pytest.raises(ModelError, match="zero rate"):
+            build_generator(
+                two_state_model, {"La": 0.0, "Mu": 1.0}, drop_zero_rates=False
+            )
+
+    def test_symbolic_rates_evaluated(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        m.add_state("B", reward=0.0)
+        m.add_transition("A", "B", "2 * La * (1 - FIR)")
+        m.add_transition("B", "A", "1 / T")
+        g = build_generator(m, {"La": 0.5, "FIR": 0.1, "T": 0.25})
+        assert g.rate("A", "B") == pytest.approx(0.9)
+        assert g.rate("B", "A") == pytest.approx(4.0)
+
+    def test_sparse_vs_dense_agree(self, three_state_model):
+        dense = build_generator(three_state_model, {}, sparse=False)
+        sparse = build_generator(three_state_model, {}, sparse=True)
+        assert sparse.is_sparse
+        assert not dense.is_sparse
+        assert np.allclose(dense.dense(), sparse.dense())
+
+    def test_sparse_threshold_applied(self):
+        n = SPARSE_THRESHOLD + 5
+        m = MarkovModel("ring")
+        for i in range(n):
+            m.add_state(f"S{i}", reward=1.0 if i else 1.0)
+        for i in range(n):
+            m.add_transition(f"S{i}", f"S{(i + 1) % n}", 1.0)
+        g = build_generator(m, {})
+        assert g.is_sparse
+
+
+class TestGeneratorMatrix:
+    def test_exit_rates(self, three_state_model):
+        g = build_generator(three_state_model, {})
+        rates = g.exit_rates()
+        assert rates[g.index_of("Degraded")] == pytest.approx(2.05)
+
+    def test_up_mask(self, three_state_model):
+        g = build_generator(three_state_model, {})
+        assert list(g.up_mask()) == [True, True, False]
+
+    def test_index_of_unknown_raises(self, two_state_model, two_state_values):
+        g = build_generator(two_state_model, two_state_values)
+        with pytest.raises(ModelError):
+            g.index_of("Nope")
+
+    def test_diagonal_rate_access_rejected(
+        self, two_state_model, two_state_values
+    ):
+        g = build_generator(two_state_model, two_state_values)
+        with pytest.raises(ModelError):
+            g.rate("Up", "Up")
+
+    def test_restricted_drops_states(self, three_state_model):
+        g = build_generator(three_state_model, {})
+        sub = g.restricted(["Up", "Degraded"])
+        assert sub.state_names == ("Up", "Degraded")
+        # The Degraded -> Down rate disappears; row sums go negative.
+        assert sub.dense()[1].sum() < 0.0
+
+    def test_dense_returns_copy(self, two_state_model, two_state_values):
+        g = build_generator(two_state_model, two_state_values)
+        d = g.dense()
+        d[0, 0] = 123.0
+        assert g.dense()[0, 0] != 123.0

@@ -1,0 +1,113 @@
+"""Unit tests for mean first-passage analysis."""
+
+import pytest
+
+from repro.core.model import MarkovModel, birth_death_model
+from repro.ctmc.mfpt import (
+    expected_visits,
+    kemeny_constant,
+    mean_first_passage_matrix,
+    mean_return_times,
+)
+from repro.exceptions import SolverError, StructureError
+
+
+class TestMeanFirstPassageMatrix:
+    def test_two_state_closed_form(self, two_state_model, two_state_values):
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        matrix = mean_first_passage_matrix(two_state_model, two_state_values)
+        assert matrix["Up"]["Down"] == pytest.approx(1.0 / la)
+        assert matrix["Down"]["Up"] == pytest.approx(1.0 / mu)
+        assert matrix["Up"]["Up"] == 0.0
+
+    def test_triangle_inequality_direction(self, three_state_model):
+        """Passage via an intermediate can't beat the direct passage."""
+        matrix = mean_first_passage_matrix(three_state_model, {})
+        assert (
+            matrix["Up"]["Down"]
+            <= matrix["Up"]["Degraded"] + matrix["Degraded"]["Down"] + 1e-9
+        )
+
+    def test_reducible_rejected(self):
+        m = MarkovModel("absorbing")
+        m.add_state("A")
+        m.add_state("B", reward=0.0)
+        m.add_transition("A", "B", 1.0)
+        with pytest.raises(StructureError):
+            mean_first_passage_matrix(m, {})
+
+
+class TestMeanReturnTimes:
+    def test_matches_renewal_identity(self, two_state_model, two_state_values):
+        """Mean return time of j equals 1 / (entry frequency of j)."""
+        from repro.ctmc.generator import build_generator
+        from repro.ctmc.steady_state import steady_state_vector
+
+        generator = build_generator(two_state_model, two_state_values)
+        pi = steady_state_vector(generator)
+        q = generator.dense()
+        returns = mean_return_times(generator)
+        for j, name in enumerate(generator.state_names):
+            inflow = sum(
+                pi[i] * q[i, j] for i in range(len(pi)) if i != j
+            )
+            assert returns[name] == pytest.approx(1.0 / inflow, rel=1e-9)
+
+    def test_birth_death(self):
+        model = birth_death_model("bd", 3, [1.0, 0.5], [2.0, 3.0])
+        returns = mean_return_times(model, {})
+        assert all(value > 0 for value in returns.values())
+
+
+class TestKemenyConstant:
+    def test_start_state_independence(self, three_state_model):
+        """The defining property: sum_j pi_j M[i][j] is the same for
+        every i."""
+        from repro.ctmc.generator import build_generator
+        from repro.ctmc.steady_state import steady_state_vector
+
+        generator = build_generator(three_state_model, {})
+        pi = steady_state_vector(generator)
+        matrix = mean_first_passage_matrix(generator)
+        names = generator.state_names
+        constants = [
+            sum(pi[j] * matrix[source][target]
+                for j, target in enumerate(names))
+            for source in names
+        ]
+        for value in constants[1:]:
+            assert value == pytest.approx(constants[0], rel=1e-9)
+        assert kemeny_constant(generator) == pytest.approx(
+            constants[0], rel=1e-9
+        )
+
+
+class TestExpectedVisits:
+    def test_two_state_rates(self, two_state_model, two_state_values):
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        availability = mu / (la + mu)
+        visits = expected_visits(
+            two_state_model, 1000.0, two_state_values
+        )
+        # Entries into Down per unit time = pi_Up * la.
+        assert visits["Down"] == pytest.approx(
+            availability * la * 1000.0, rel=1e-9
+        )
+        # Ergodic balance: entries into Up == entries into Down.
+        assert visits["Up"] == pytest.approx(visits["Down"], rel=1e-9)
+
+    def test_paper_restart_counts(self, paper_values):
+        """The Fig. 3 model predicts ~2 HADB restarts per pair-year —
+        matching its 2/year La_hadb input (a consistency check between
+        the model and the testbed's failure bookkeeping)."""
+        from repro.models.jsas import build_hadb_pair_model
+
+        visits = expected_visits(
+            build_hadb_pair_model(), 8766.0, paper_values
+        )
+        assert visits["RestartShort"] == pytest.approx(4.0, rel=0.02)
+        # Two nodes, each La_hadb = 2/yr, coverage ~0.999: ~4 entries.
+
+    def test_invalid_horizon(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError):
+            expected_visits(two_state_model, 0.0, two_state_values)

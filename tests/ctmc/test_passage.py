@@ -1,0 +1,149 @@
+"""Unit tests for first-passage-time distributions."""
+
+import math
+
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.ctmc.passage import (
+    outage_duration_cdf,
+    passage_time_cdf,
+    passage_time_quantile,
+    passage_time_survival,
+)
+from repro.exceptions import SolverError, StructureError
+
+
+class TestPassageTimeCdf:
+    def test_single_exponential_step(self, two_state_model, two_state_values):
+        """From Up to Down directly: T ~ Exp(La)."""
+        la = two_state_values["La"]
+        for t in (1.0, 10.0, 100.0):
+            cdf = passage_time_cdf(
+                two_state_model, ["Down"], t, two_state_values
+            )
+            assert cdf == pytest.approx(1.0 - math.exp(-la * t), abs=1e-9)
+
+    def test_erlang_two_stages(self):
+        """A -> B -> C with equal rates: T ~ Erlang(2, r)."""
+        r = 2.0
+        m = MarkovModel("erlang")
+        m.add_state("A")
+        m.add_state("B")
+        m.add_state("C", reward=0.0)
+        m.add_transition("A", "B", r)
+        m.add_transition("B", "C", r)
+        m.add_transition("C", "A", 1.0)  # keep it ergodic
+        for t in (0.2, 1.0, 3.0):
+            expected = 1.0 - math.exp(-r * t) * (1.0 + r * t)
+            assert passage_time_cdf(m, ["C"], t, {}) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_zero_time(self, two_state_model, two_state_values):
+        assert passage_time_cdf(
+            two_state_model, ["Down"], 0.0, two_state_values
+        ) == 0.0
+
+    def test_monotone_in_t(self, three_state_model):
+        values = [
+            passage_time_cdf(three_state_model, ["Down"], t, {})
+            for t in (1.0, 5.0, 25.0, 125.0)
+        ]
+        assert values == sorted(values)
+        assert values[-1] <= 1.0
+
+    def test_survival_complements(self, three_state_model):
+        cdf = passage_time_cdf(three_state_model, ["Down"], 10.0, {})
+        survival = passage_time_survival(
+            three_state_model, ["Down"], 10.0, values={}
+        )
+        assert cdf + survival == pytest.approx(1.0)
+
+    def test_initial_on_target_rejected(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError, match="mass on target"):
+            passage_time_cdf(
+                two_state_model, ["Down"], 1.0, two_state_values,
+                initial="Down",
+            )
+
+    def test_unreachable_target_rejected(self):
+        m = MarkovModel("m")
+        m.add_state("A")
+        m.add_state("B")
+        m.add_state("Island", reward=0.0)
+        m.add_transition("A", "B", 1.0)
+        m.add_transition("B", "A", 1.0)
+        m.add_transition("Island", "A", 1.0)
+        with pytest.raises(StructureError, match="reachable"):
+            passage_time_cdf(m, ["Island"], 1.0, {})
+
+    def test_unknown_target(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError, match="unknown"):
+            passage_time_cdf(two_state_model, ["X"], 1.0, two_state_values)
+
+
+class TestQuantile:
+    def test_exponential_median(self, two_state_model, two_state_values):
+        la = two_state_values["La"]
+        median = passage_time_quantile(
+            two_state_model, ["Down"], 0.5, two_state_values
+        )
+        assert median == pytest.approx(math.log(2.0) / la, rel=1e-4)
+
+    def test_quantile_round_trips_cdf(self, three_state_model):
+        q95 = passage_time_quantile(three_state_model, ["Down"], 0.95, {})
+        assert passage_time_cdf(
+            three_state_model, ["Down"], q95, {}
+        ) == pytest.approx(0.95, abs=1e-4)
+
+    def test_invalid_quantile(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError):
+            passage_time_quantile(
+                two_state_model, ["Down"], 1.5, two_state_values
+            )
+
+
+class TestOutageDuration:
+    def test_two_state_outage_is_exponential(
+        self, two_state_model, two_state_values
+    ):
+        mu = two_state_values["Mu"]
+        cdf = outage_duration_cdf(two_state_model, 1.0, two_state_values)
+        assert cdf == pytest.approx(1.0 - math.exp(-mu), abs=1e-9)
+
+    def test_paper_hadb_outages_end_within_restore_scale(self, paper_values):
+        """HADB pair outages are Exp(1/Trestore): ~63% end within 1 h,
+        ~95% within 3 h."""
+        from repro.models.jsas import build_hadb_pair_model
+
+        model = build_hadb_pair_model()
+        assert outage_duration_cdf(model, 1.0, paper_values) == (
+            pytest.approx(1.0 - math.exp(-1.0), abs=1e-6)
+        )
+        assert outage_duration_cdf(model, 3.0, paper_values) == (
+            pytest.approx(1.0 - math.exp(-3.0), abs=1e-6)
+        )
+
+    def test_multiple_down_states_require_entry(self, paper_values):
+        from repro.models.jsas import build_single_instance_model
+
+        model = build_single_instance_model()
+        with pytest.raises(SolverError, match="entry_state"):
+            outage_duration_cdf(model, 0.5, paper_values)
+        short = outage_duration_cdf(
+            model, 0.05, paper_values, entry_state="DownShort"
+        )
+        long_ = outage_duration_cdf(
+            model, 0.05, paper_values, entry_state="DownLong"
+        )
+        assert short > long_  # short restarts end sooner
+
+    def test_no_down_states_rejected(self):
+        m = MarkovModel("all_up")
+        m.add_state("A")
+        m.add_state("B")
+        m.add_transition("A", "B", 1.0)
+        m.add_transition("B", "A", 1.0)
+        with pytest.raises(StructureError):
+            outage_duration_cdf(m, 1.0, {})

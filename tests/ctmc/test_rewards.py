@@ -1,0 +1,137 @@
+"""Unit tests for reward measures and the (Lambda, Mu) abstraction."""
+
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.ctmc.rewards import (
+    equivalent_failure_recovery_rates,
+    expected_steady_state_reward,
+    steady_state_availability,
+)
+from repro.exceptions import SolverError, StructureError
+from repro.units import MINUTES_PER_YEAR
+
+
+class TestExpectedReward:
+    def test_availability_model(self, two_state_model, two_state_values):
+        reward = expected_steady_state_reward(two_state_model, two_state_values)
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        assert reward == pytest.approx(mu / (la + mu))
+
+    def test_performability_model(self):
+        model = MarkovModel("perf")
+        model.add_state("Full", reward=1.0)
+        model.add_state("Half", reward=0.4)
+        model.add_transition("Full", "Half", 1.0)
+        model.add_transition("Half", "Full", 3.0)
+        # pi = (3/4, 1/4)
+        assert expected_steady_state_reward(model, {}) == pytest.approx(
+            0.75 * 1.0 + 0.25 * 0.4
+        )
+
+
+class TestEquivalentRates:
+    def test_two_state_both_abstractions_exact(
+        self, two_state_model, two_state_values
+    ):
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        for abstraction in ("mttf", "flow"):
+            lam, rec = equivalent_failure_recovery_rates(
+                two_state_model, two_state_values, abstraction=abstraction
+            )
+            assert lam == pytest.approx(la)
+            assert rec == pytest.approx(mu)
+
+    def test_flow_identity_availability(self, three_state_model):
+        lam, mu = equivalent_failure_recovery_rates(
+            three_state_model, {}, abstraction="flow"
+        )
+        result = steady_state_availability(three_state_model, {})
+        assert mu / (lam + mu) == pytest.approx(result.availability, rel=1e-12)
+
+    def test_mttf_abstraction_matches_first_passage(self, three_state_model):
+        from repro.ctmc.absorption import mean_time_to_failure
+
+        lam, _mu = equivalent_failure_recovery_rates(
+            three_state_model, {}, abstraction="mttf"
+        )
+        mttf = mean_time_to_failure(three_state_model, {})
+        assert lam == pytest.approx(1.0 / mttf, rel=1e-12)
+
+    def test_abstractions_differ_when_repair_lands_degraded(self):
+        """When repair returns to a degraded (non-initial) state, the mean
+        up period is shorter than the MTTF from the pristine state, so the
+        flow Lambda exceeds the mttf Lambda."""
+        m = MarkovModel("degraded_return")
+        m.add_state("Up", reward=1.0)
+        m.add_state("Deg", reward=1.0)
+        m.add_state("Down", reward=0.0)
+        m.add_transition("Up", "Deg", 1.0)
+        m.add_transition("Deg", "Up", 1.0)
+        m.add_transition("Deg", "Down", 1.0)
+        m.add_transition("Down", "Deg", 1.0)  # repair lands in Deg
+        lam_mttf, _ = equivalent_failure_recovery_rates(m, {}, abstraction="mttf")
+        lam_flow, _ = equivalent_failure_recovery_rates(m, {}, abstraction="flow")
+        # MTTF from Up: m_U = 1 + m_D; m_D = 1/2 + m_U/2 => m_U = 3.
+        assert lam_mttf == pytest.approx(1.0 / 3.0)
+        assert lam_flow > lam_mttf
+
+    def test_no_down_states(self):
+        m = MarkovModel("all_up")
+        m.add_state("A")
+        m.add_state("B")
+        m.add_transition("A", "B", 1.0)
+        m.add_transition("B", "A", 1.0)
+        lam, mu = equivalent_failure_recovery_rates(m, {})
+        assert lam == 0.0
+        assert mu == float("inf")
+
+    def test_unknown_abstraction(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError, match="abstraction"):
+            equivalent_failure_recovery_rates(
+                two_state_model, two_state_values, abstraction="magic"
+            )
+
+    def test_mttf_requires_up_initial_state(self, two_state_values):
+        m = MarkovModel("starts_down")
+        m.add_state("Down", reward=0.0)
+        m.add_state("Up", reward=1.0)
+        m.add_transition("Down", "Up", "Mu")
+        m.add_transition("Up", "Down", "La")
+        with pytest.raises(StructureError, match="down state"):
+            equivalent_failure_recovery_rates(
+                m, two_state_values, abstraction="mttf"
+            )
+
+
+class TestAvailabilityResult:
+    def test_fields_consistent(self, two_state_model, two_state_values):
+        result = steady_state_availability(two_state_model, two_state_values)
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        availability = mu / (la + mu)
+        assert result.availability == pytest.approx(availability)
+        assert result.unavailability == pytest.approx(1.0 - availability)
+        assert result.yearly_downtime_minutes == pytest.approx(
+            (1.0 - availability) * MINUTES_PER_YEAR
+        )
+        assert result.mtbf_hours == pytest.approx(1.0 / la)
+        assert result.mttr_hours == pytest.approx(1.0 / mu)
+        assert result.failure_rate == pytest.approx(la)
+        assert result.recovery_rate == pytest.approx(mu)
+
+    def test_downtime_by_state_sums_to_total(self, three_state_model):
+        result = steady_state_availability(three_state_model, {})
+        assert sum(result.downtime_by_state.values()) == pytest.approx(
+            result.yearly_downtime_minutes
+        )
+        assert set(result.downtime_by_state) == {"Down"}
+
+    def test_state_probabilities_sum_to_one(self, three_state_model):
+        result = steady_state_availability(three_state_model, {})
+        assert sum(result.state_probabilities.values()) == pytest.approx(1.0)
+
+    def test_summary_readable(self, two_state_model, two_state_values):
+        text = steady_state_availability(
+            two_state_model, two_state_values
+        ).summary()
+        assert "availability" in text and "MTBF" in text

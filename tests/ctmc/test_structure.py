@@ -1,0 +1,79 @@
+"""Unit tests for state-space structure analysis."""
+
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.ctmc.generator import build_generator
+from repro.ctmc.structure import (
+    classify_states,
+    communicating_classes,
+    is_irreducible,
+    reachable_from,
+)
+
+
+def chain(edges, states=None, rewards=None):
+    names = states or sorted({s for e in edges for s in e[:2]})
+    m = MarkovModel("g")
+    for name in names:
+        reward = rewards.get(name, 1.0) if rewards else 1.0
+        m.add_state(name, reward=reward)
+    for source, target, rate in edges:
+        m.add_transition(source, target, rate)
+    return build_generator(m, {})
+
+
+class TestCommunicatingClasses:
+    def test_irreducible_cycle(self):
+        g = chain([("A", "B", 1.0), ("B", "C", 1.0), ("C", "A", 1.0)])
+        assert communicating_classes(g) == [("A", "B", "C")]
+        assert is_irreducible(g)
+
+    def test_two_classes(self):
+        g = chain(
+            [("A", "B", 1.0), ("B", "A", 1.0), ("B", "C", 1.0),
+             ("C", "D", 1.0), ("D", "C", 1.0)]
+        )
+        classes = communicating_classes(g)
+        assert ("A", "B") in classes
+        assert ("C", "D") in classes
+        assert not is_irreducible(g)
+
+    def test_singleton_classes(self):
+        g = chain([("A", "B", 1.0), ("B", "C", 1.0), ("C", "B", 1.0)])
+        classes = communicating_classes(g)
+        assert ("A",) in classes
+
+
+class TestClassification:
+    def test_transient_and_recurrent(self):
+        g = chain(
+            [("A", "B", 1.0), ("B", "C", 1.0), ("C", "B", 1.0)]
+        )
+        c = classify_states(g)
+        assert c.transient_states == ("A",)
+        assert c.recurrent_classes == (("B", "C"),)
+        assert c.absorbing_states == ()
+
+    def test_absorbing_state(self):
+        g = chain([("A", "Dead", 1.0)])
+        c = classify_states(g)
+        assert c.absorbing_states == ("Dead",)
+        assert c.transient_states == ("A",)
+
+    def test_irreducible_has_single_class(self, two_state_model, two_state_values):
+        g = build_generator(two_state_model, two_state_values)
+        c = classify_states(g)
+        assert c.has_single_recurrent_class
+        assert not c.transient_states
+
+
+class TestReachability:
+    def test_reachable_from_start(self):
+        g = chain([("A", "B", 1.0), ("B", "C", 1.0), ("C", "B", 1.0)])
+        assert set(reachable_from(g, ["A"])) == {"A", "B", "C"}
+        assert set(reachable_from(g, ["B"])) == {"B", "C"}
+
+    def test_reachability_respects_direction(self):
+        g = chain([("A", "B", 1.0), ("C", "B", 1.0)])
+        assert set(reachable_from(g, ["A"])) == {"A", "B"}

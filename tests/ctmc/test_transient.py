@@ -1,0 +1,143 @@
+"""Unit tests for transient analysis (uniformization, expm, interval)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.ctmc.transient import (
+    interval_availability,
+    transient_distribution,
+    transient_reward,
+)
+from repro.exceptions import SolverError
+
+
+def two_state_pt_up(la, mu, t):
+    """Closed-form P(Up at t | Up at 0) for the 2-state chain."""
+    s = la + mu
+    return mu / s + la / s * math.exp(-s * t)
+
+
+class TestTransientDistribution:
+    def test_t_zero_returns_initial(self, two_state_model, two_state_values):
+        p = transient_distribution(two_state_model, 0.0, two_state_values)
+        assert p == {"Up": 1.0, "Down": 0.0}
+
+    @pytest.mark.parametrize("t", [0.01, 0.5, 2.0, 20.0])
+    def test_two_state_closed_form(self, two_state_model, two_state_values, t):
+        p = transient_distribution(two_state_model, t, two_state_values)
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        assert p["Up"] == pytest.approx(two_state_pt_up(la, mu, t), abs=1e-9)
+
+    @pytest.mark.parametrize("t", [0.1, 1.0, 10.0])
+    def test_uniformization_matches_expm(self, three_state_model, t):
+        a = transient_distribution(three_state_model, t, {}, method="uniformization")
+        b = transient_distribution(three_state_model, t, {}, method="expm")
+        for state in a:
+            assert a[state] == pytest.approx(b[state], abs=1e-8)
+
+    def test_long_horizon_approaches_steady_state(
+        self, two_state_model, two_state_values
+    ):
+        from repro.ctmc.steady_state import solve_steady_state
+
+        p = transient_distribution(two_state_model, 1e4, two_state_values)
+        pi = solve_steady_state(two_state_model, two_state_values)
+        assert p["Up"] == pytest.approx(pi["Up"], abs=1e-9)
+
+    def test_initial_state_by_name(self, two_state_model, two_state_values):
+        p = transient_distribution(
+            two_state_model, 0.0, two_state_values, initial="Down"
+        )
+        assert p["Down"] == 1.0
+
+    def test_initial_distribution_mapping(
+        self, two_state_model, two_state_values
+    ):
+        p = transient_distribution(
+            two_state_model, 0.0, two_state_values,
+            initial={"Up": 0.5, "Down": 0.5},
+        )
+        assert p["Up"] == pytest.approx(0.5)
+
+    def test_initial_vector(self, two_state_model, two_state_values):
+        p = transient_distribution(
+            two_state_model, 0.0, two_state_values, initial=[0.25, 0.75]
+        )
+        assert p["Down"] == pytest.approx(0.75)
+
+    def test_invalid_initial_sum(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError, match="sum to 1"):
+            transient_distribution(
+                two_state_model, 1.0, two_state_values,
+                initial={"Up": 0.9},
+            )
+
+    def test_negative_time_rejected(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError, match="non-negative"):
+            transient_distribution(two_state_model, -1.0, two_state_values)
+
+    def test_unknown_method(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError, match="unknown transient method"):
+            transient_distribution(
+                two_state_model, 1.0, two_state_values, method="magic"
+            )
+
+    def test_absurd_horizon_rejected_with_guidance(
+        self, two_state_model, two_state_values
+    ):
+        """lambda*t far past the mixing time raises a clear error instead
+        of grinding through ~1e8 uniformization terms."""
+        with pytest.raises(SolverError, match="steady-state"):
+            transient_distribution(
+                two_state_model, 1e9, two_state_values
+            )
+
+    def test_probabilities_sum_to_one(self, three_state_model):
+        p = transient_distribution(three_state_model, 3.7, {})
+        assert sum(p.values()) == pytest.approx(1.0)
+
+
+class TestTransientReward:
+    def test_point_availability(self, two_state_model, two_state_values):
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        a = transient_reward(two_state_model, 1.0, two_state_values)
+        assert a == pytest.approx(two_state_pt_up(la, mu, 1.0), abs=1e-9)
+
+    def test_fractional_rewards_weighted(self):
+        model = MarkovModel("perf")
+        model.add_state("Full", reward=1.0)
+        model.add_state("Half", reward=0.5)
+        model.add_transition("Full", "Half", 1.0)
+        model.add_transition("Half", "Full", 1.0)
+        reward = transient_reward(model, 100.0, {})
+        assert reward == pytest.approx(0.75, abs=1e-6)
+
+
+class TestIntervalAvailability:
+    def test_between_point_and_steady(self, two_state_model, two_state_values):
+        """Interval availability from Up starts at 1 and decreases toward
+        the steady-state availability."""
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        steady = mu / (la + mu)
+        short = interval_availability(two_state_model, 0.01, two_state_values)
+        long_ = interval_availability(two_state_model, 1e4, two_state_values)
+        assert short > long_ > steady - 1e-9
+        assert long_ == pytest.approx(steady, abs=1e-6)
+
+    def test_matches_numeric_integral(self, two_state_model, two_state_values):
+        la, mu = two_state_values["La"], two_state_values["Mu"]
+        t = 2.0
+        # Integrate the closed-form point availability numerically.
+        grid = np.linspace(0.0, t, 20001)
+        integral = np.trapezoid(
+            [two_state_pt_up(la, mu, s) for s in grid], grid
+        )
+        value = interval_availability(two_state_model, t, two_state_values)
+        assert value == pytest.approx(integral / t, abs=1e-6)
+
+    def test_zero_interval_rejected(self, two_state_model, two_state_values):
+        with pytest.raises(SolverError, match="positive"):
+            interval_availability(two_state_model, 0.0, two_state_values)

@@ -1,0 +1,107 @@
+"""Unit tests for Eq. 1 coverage bounds, including the paper's numbers."""
+
+import pytest
+
+from repro.estimation.coverage import (
+    coverage_lower_bound,
+    estimate_coverage,
+    fir_upper_bound,
+    required_injections_for_fir,
+)
+from repro.exceptions import EstimationError
+
+
+class TestPaperNumbers:
+    """3,287 all-successful injections: FIR below 0.1% at 95% confidence
+    and below 0.2% at 99.5% (the paper's quoted thresholds)."""
+
+    N = 3287
+
+    def test_95_percent_fir_below_one_tenth_percent(self):
+        fir = fir_upper_bound(self.N, self.N, 0.95)
+        assert fir < 0.001
+        # The exact bound is ~0.091%, close below the threshold.
+        assert fir == pytest.approx(0.000911, abs=2e-5)
+
+    def test_995_percent_fir_below_two_tenths_percent(self):
+        fir = fir_upper_bound(self.N, self.N, 0.995)
+        assert fir < 0.002
+        assert fir == pytest.approx(0.00161, abs=5e-5)
+
+    def test_model_default_is_conservative(self):
+        """FIR = 0.1% (model default) is above the 95% bound."""
+        assert 0.001 > fir_upper_bound(self.N, self.N, 0.95)
+
+
+class TestProperties:
+    def test_all_success_reduces_to_f_of_2_2n(self):
+        # For s == n, C_low = n / (n + F[1-a; 2, 2n]).
+        from scipy import stats
+
+        n = 100
+        f = stats.f.ppf(0.95, 2, 2 * n)
+        assert coverage_lower_bound(n, n, 0.95) == pytest.approx(
+            n / (n + f), rel=1e-12
+        )
+
+    def test_bound_below_point_estimate(self):
+        assert coverage_lower_bound(100, 98) < 0.98
+
+    def test_bound_improves_with_more_trials(self):
+        assert coverage_lower_bound(1000, 1000) > coverage_lower_bound(
+            100, 100
+        )
+
+    def test_bound_decreases_with_confidence(self):
+        assert coverage_lower_bound(100, 100, 0.99) < coverage_lower_bound(
+            100, 100, 0.90
+        )
+
+    def test_zero_successes(self):
+        assert coverage_lower_bound(10, 0) == 0.0
+
+    def test_with_failures_agrees_with_clopper_pearson(self):
+        # Cross-check against scipy's beta-based Clopper-Pearson bound.
+        from scipy import stats
+
+        n, s, confidence = 500, 495, 0.95
+        beta_low = stats.beta.ppf(1 - confidence, s, n - s + 1)
+        assert coverage_lower_bound(n, s, confidence) == pytest.approx(
+            beta_low, rel=1e-9
+        )
+
+    def test_estimate_dataclass(self):
+        est = estimate_coverage(200, 199)
+        assert est.point == pytest.approx(0.995)
+        assert est.fir_point == pytest.approx(0.005)
+        assert est.fir_upper == pytest.approx(1.0 - est.lower)
+
+
+class TestValidation:
+    def test_zero_trials(self):
+        with pytest.raises(EstimationError):
+            coverage_lower_bound(0, 0)
+
+    def test_successes_exceed_trials(self):
+        with pytest.raises(EstimationError):
+            coverage_lower_bound(10, 11)
+
+    def test_bad_confidence(self):
+        with pytest.raises(EstimationError):
+            coverage_lower_bound(10, 10, 0.0)
+
+
+class TestRequiredInjections:
+    def test_roundtrip(self):
+        n = required_injections_for_fir(0.001, 0.95)
+        assert fir_upper_bound(n, n, 0.95) <= 0.001
+        assert fir_upper_bound(n - 1, n - 1, 0.95) > 0.001
+
+    def test_paper_campaign_demonstrates_its_default(self):
+        """~3,000 injections is the right order for demonstrating 0.1%."""
+        n = required_injections_for_fir(0.001, 0.95)
+        assert 2500 < n < 3500
+
+    def test_invalid_target(self):
+        with pytest.raises(EstimationError):
+            required_injections_for_fir(1.5)

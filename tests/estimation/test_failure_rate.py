@@ -1,0 +1,104 @@
+"""Unit tests for Eq. 2 failure-rate bounds, including the paper's numbers."""
+
+import pytest
+
+from repro.estimation.failure_rate import (
+    estimate_failure_rate,
+    failure_rate_lower_bound,
+    failure_rate_upper_bound,
+    required_exposure_for_bound,
+)
+from repro.exceptions import EstimationError
+
+
+class TestPaperNumbers:
+    """The paper: 0 failures in a 24-day test of 2 AS instances gives
+    bounds of 1/16 days (95%) and 1/9 days (99.5%)."""
+
+    EXPOSURE_DAYS = 2 * 24
+
+    def test_95_percent_bound(self):
+        bound = failure_rate_upper_bound(0, self.EXPOSURE_DAYS, 0.95)
+        assert 1.0 / bound == pytest.approx(16.0, abs=0.1)
+
+    def test_995_percent_bound(self):
+        bound = failure_rate_upper_bound(0, self.EXPOSURE_DAYS, 0.995)
+        assert 1.0 / bound == pytest.approx(9.0, abs=0.1)
+
+    def test_conservative_model_value_exceeds_bound(self):
+        """The paper's 1/week modeling choice is above the measured bound."""
+        bound_per_day = failure_rate_upper_bound(0, self.EXPOSURE_DAYS, 0.95)
+        model_rate_per_day = 52.0 / 365.0
+        assert model_rate_per_day > bound_per_day
+
+
+class TestProperties:
+    def test_zero_failures_known_chi2(self):
+        # chi2.ppf(0.95, 2) = 5.9915, so bound = 5.9915 / (2T).
+        bound = failure_rate_upper_bound(0, 100.0, 0.95)
+        assert bound == pytest.approx(5.99146 / 200.0, rel=1e-4)
+
+    def test_bound_decreases_with_exposure(self):
+        assert failure_rate_upper_bound(0, 200.0) < failure_rate_upper_bound(
+            0, 100.0
+        )
+
+    def test_bound_increases_with_failures(self):
+        assert failure_rate_upper_bound(3, 100.0) > failure_rate_upper_bound(
+            0, 100.0
+        )
+
+    def test_bound_increases_with_confidence(self):
+        assert failure_rate_upper_bound(0, 100.0, 0.99) > (
+            failure_rate_upper_bound(0, 100.0, 0.90)
+        )
+
+    def test_upper_above_point_above_lower(self):
+        est = estimate_failure_rate(5, 1000.0)
+        assert est.lower < est.point < est.upper
+
+    def test_lower_bound_zero_when_no_failures(self):
+        assert failure_rate_lower_bound(0, 100.0) == 0.0
+
+    def test_point_is_mle(self):
+        est = estimate_failure_rate(4, 200.0)
+        assert est.point == pytest.approx(0.02)
+        assert est.mtbf_point == pytest.approx(50.0)
+
+    def test_mtbf_infinite_with_no_failures(self):
+        est = estimate_failure_rate(0, 100.0)
+        assert est.point == 0.0
+        assert est.mtbf_point == float("inf")
+        assert est.mtbf_lower == pytest.approx(1.0 / est.upper)
+
+
+class TestValidation:
+    def test_negative_failures(self):
+        with pytest.raises(EstimationError):
+            failure_rate_upper_bound(-1, 100.0)
+
+    def test_zero_exposure(self):
+        with pytest.raises(EstimationError):
+            failure_rate_upper_bound(0, 0.0)
+
+    def test_bad_confidence(self):
+        with pytest.raises(EstimationError):
+            failure_rate_upper_bound(0, 100.0, 1.5)
+
+
+class TestRequiredExposure:
+    def test_roundtrip(self):
+        target = 0.001
+        exposure = required_exposure_for_bound(target, 0.95)
+        assert failure_rate_upper_bound(0, exposure, 0.95) == pytest.approx(
+            target, rel=1e-9
+        )
+
+    def test_more_failures_need_more_exposure(self):
+        assert required_exposure_for_bound(0.01, n_failures=2) > (
+            required_exposure_for_bound(0.01, n_failures=0)
+        )
+
+    def test_invalid_target(self):
+        with pytest.raises(EstimationError):
+            required_exposure_for_bound(0.0)

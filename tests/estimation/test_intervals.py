@@ -1,0 +1,69 @@
+"""Unit tests for generic confidence-interval helpers."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.intervals import (
+    mean_confidence_interval,
+    percentile_interval,
+)
+from repro.exceptions import EstimationError
+
+
+class TestMeanConfidenceInterval:
+    def test_symmetric_around_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert mean == pytest.approx(2.5)
+        assert mean - low == pytest.approx(high - mean)
+        assert low < mean < high
+
+    def test_single_sample_degenerates(self):
+        assert mean_confidence_interval([3.0]) == (3.0, 3.0, 3.0)
+
+    def test_constant_sample_degenerates(self):
+        mean, low, high = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert (mean, low, high) == (2.0, 2.0, 2.0)
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _, low90, high90 = mean_confidence_interval(data, 0.90)
+        _, low99, high99 = mean_confidence_interval(data, 0.99)
+        assert high99 - low99 > high90 - low90
+
+    def test_coverage_on_normal_data(self):
+        """~95% of 95% CIs should contain the true mean."""
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            data = rng.normal(10.0, 2.0, size=20)
+            _, low, high = mean_confidence_interval(data, 0.95)
+            hits += low <= 10.0 <= high
+        assert 0.90 <= hits / trials <= 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            mean_confidence_interval([])
+
+    def test_bad_confidence(self):
+        with pytest.raises(EstimationError):
+            mean_confidence_interval([1.0, 2.0], 1.0)
+
+
+class TestPercentileInterval:
+    def test_80_percent_is_p10_p90(self):
+        data = list(range(101))  # 0..100
+        low, high = percentile_interval(data, 0.80)
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(90.0)
+
+    def test_contains_central_mass(self):
+        rng = np.random.default_rng(2)
+        data = rng.exponential(1.0, size=10_000)
+        low, high = percentile_interval(data, 0.80)
+        inside = ((data >= low) & (data <= high)).mean()
+        assert inside == pytest.approx(0.80, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            percentile_interval([])

@@ -1,0 +1,76 @@
+"""Unit tests for recovery-time summaries."""
+
+import pytest
+
+from repro.estimation.recovery_time import (
+    exponential_rate_mle,
+    summarize_recovery_times,
+)
+from repro.exceptions import EstimationError
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        s = summarize_recovery_times([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        s = summarize_recovery_times([2.0])
+        assert s.std == 0.0
+        assert s.p99 == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError, match="empty"):
+            summarize_recovery_times([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(EstimationError):
+            summarize_recovery_times([1.0, 0.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(EstimationError):
+            summarize_recovery_times([1.0, float("inf")])
+
+
+class TestConservativeValue:
+    def test_margin_applied(self):
+        s = summarize_recovery_times([1.0] * 100)
+        assert s.conservative_value(95.0, margin=1.5) == pytest.approx(1.5)
+
+    def test_paper_style_conservatism(self):
+        """40 s measured restarts -> a 1.5x p95 margin stays below the
+        paper's 60 s model value (which is even more conservative)."""
+        measured = [40.0 / 3600.0] * 50  # hours
+        s = summarize_recovery_times(measured)
+        model_value = 60.0 / 3600.0
+        assert s.conservative_value(95.0, margin=1.4) < model_value
+
+    def test_invalid_percentile(self):
+        s = summarize_recovery_times([1.0, 2.0])
+        with pytest.raises(EstimationError):
+            s.conservative_value(75.0)
+
+    def test_margin_below_one_rejected(self):
+        s = summarize_recovery_times([1.0, 2.0])
+        with pytest.raises(EstimationError):
+            s.conservative_value(95.0, margin=0.5)
+
+
+class TestExponentialMle:
+    def test_rate_recovered(self):
+        samples = [0.5, 1.5, 1.0]  # mean 1.0
+        rate, se = exponential_rate_mle(samples)
+        assert rate == pytest.approx(1.0)
+        assert se == pytest.approx(1.0 / 3**0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            exponential_rate_mle([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(EstimationError):
+            exponential_rate_mle([1.0, -2.0])

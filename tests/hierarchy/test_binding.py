@@ -1,0 +1,60 @@
+"""Unit tests for rate bindings."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.hierarchy.binding import RateBinding, resolve_bindings
+from repro.hierarchy.interface import abstract_submodel
+
+
+@pytest.fixture
+def interface(two_state_model, two_state_values):
+    return abstract_submodel(two_state_model, two_state_values)
+
+
+class TestRateBinding:
+    def test_failure_rate_output(self, interface):
+        binding = RateBinding("La_x", "component", "failure_rate")
+        assert binding.resolve(interface) == pytest.approx(0.01)
+
+    def test_recovery_rate_output(self, interface):
+        binding = RateBinding("Mu_x", "component", "recovery_rate")
+        assert binding.resolve(interface) == pytest.approx(1.0)
+
+    def test_availability_output(self, interface):
+        binding = RateBinding("A_x", "component", "availability")
+        assert binding.resolve(interface) == pytest.approx(1.0 / 1.01)
+
+    def test_unavailability_output(self, interface):
+        binding = RateBinding("U_x", "component", "unavailability")
+        assert binding.resolve(interface) == pytest.approx(0.01 / 1.01)
+
+    def test_scale_applied(self, interface):
+        binding = RateBinding("La_x", "component", "failure_rate", scale=4.0)
+        assert binding.resolve(interface) == pytest.approx(0.04)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ModelError, match="unknown output"):
+            RateBinding("x", "m", "magic")
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ModelError, match="scale"):
+            RateBinding("x", "m", "failure_rate", scale=0.0)
+
+
+class TestResolveBindings:
+    def test_resolution(self, interface):
+        bindings = {
+            "La_x": RateBinding("La_x", "component", "failure_rate"),
+            "Mu_x": RateBinding("Mu_x", "component", "recovery_rate"),
+        }
+        resolved = resolve_bindings(bindings, {"component": interface})
+        assert resolved == {
+            "La_x": pytest.approx(0.01),
+            "Mu_x": pytest.approx(1.0),
+        }
+
+    def test_unknown_submodel_rejected(self, interface):
+        bindings = {"x": RateBinding("x", "nope", "failure_rate")}
+        with pytest.raises(ModelError, match="unknown submodel"):
+            resolve_bindings(bindings, {"component": interface})

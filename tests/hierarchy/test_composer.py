@@ -1,0 +1,135 @@
+"""Unit tests for the hierarchical composer."""
+
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.exceptions import ModelError
+from repro.hierarchy import HierarchicalModel
+
+
+def make_component(name, la, mu):
+    m = MarkovModel(name)
+    m.add_state("Up", reward=1.0)
+    m.add_state("Down", reward=0.0)
+    m.add_transition("Up", "Down", la)
+    m.add_transition("Down", "Up", mu)
+    return m
+
+
+def make_top():
+    top = MarkovModel("top")
+    top.add_state("Ok", reward=1.0)
+    top.add_state("FailA", reward=0.0)
+    top.add_state("FailB", reward=0.0)
+    top.add_transition("Ok", "FailA", "La_a")
+    top.add_transition("FailA", "Ok", "Mu_a")
+    top.add_transition("Ok", "FailB", "La_b")
+    top.add_transition("FailB", "Ok", "Mu_b")
+    return top
+
+
+def build_two_component_hierarchy():
+    hierarchy = HierarchicalModel(make_top())
+    hierarchy.add_submodel(
+        make_component("a", 0.01, 1.0), attribute_states=("FailA",)
+    )
+    hierarchy.add_submodel(
+        make_component("b", 0.002, 0.5), attribute_states=("FailB",)
+    )
+    hierarchy.bind("La_a", "a", "failure_rate")
+    hierarchy.bind("Mu_a", "a", "recovery_rate")
+    hierarchy.bind("La_b", "b", "failure_rate")
+    hierarchy.bind("Mu_b", "b", "recovery_rate")
+    return hierarchy
+
+
+class TestSolve:
+    def test_two_component_series(self):
+        result = build_two_component_hierarchy().solve({})
+        # Top model: exact 3-state solution with the bound rates.
+        ua = 0.01 / 1.0
+        ub = 0.002 / 0.5
+        expected = 1.0 / (1.0 + ua + ub)
+        assert result.availability == pytest.approx(expected, rel=1e-9)
+
+    def test_downtime_attribution_sums(self):
+        result = build_two_component_hierarchy().solve({})
+        total = sum(
+            report.downtime_minutes for report in result.submodels.values()
+        )
+        assert total == pytest.approx(result.yearly_downtime_minutes)
+        fractions = sum(
+            report.downtime_fraction for report in result.submodels.values()
+        )
+        assert fractions == pytest.approx(1.0)
+
+    def test_bound_parameters_recorded(self):
+        result = build_two_component_hierarchy().solve({})
+        assert result.bound_parameters["La_a"] == pytest.approx(0.01)
+        assert result.bound_parameters["Mu_b"] == pytest.approx(0.5)
+
+    def test_summary_mentions_submodels(self):
+        text = build_two_component_hierarchy().solve({}).summary()
+        assert "a:" in text and "b:" in text and "system" in text
+
+    def test_extra_values_passed_through(self):
+        """Free parameters of submodels flow from the values mapping."""
+        top = MarkovModel("top")
+        top.add_state("Ok", reward=1.0)
+        top.add_state("Fail", reward=0.0)
+        top.add_transition("Ok", "Fail", "La_sub")
+        top.add_transition("Fail", "Ok", "Mu_sub")
+        sub = make_component("sub", "La", "Mu")
+        hierarchy = HierarchicalModel(top)
+        hierarchy.add_submodel(sub, attribute_states=("Fail",))
+        hierarchy.bind("La_sub", "sub", "failure_rate")
+        hierarchy.bind("Mu_sub", "sub", "recovery_rate")
+        result = hierarchy.solve({"La": 0.05, "Mu": 2.0})
+        assert result.availability == pytest.approx(2.0 / 2.05, rel=1e-9)
+
+
+class TestGuards:
+    def test_duplicate_submodel_rejected(self):
+        hierarchy = HierarchicalModel(make_top())
+        hierarchy.add_submodel(make_component("a", 1, 1))
+        with pytest.raises(ModelError, match="duplicate submodel"):
+            hierarchy.add_submodel(make_component("a", 1, 1))
+
+    def test_attribution_state_must_exist(self):
+        hierarchy = HierarchicalModel(make_top())
+        with pytest.raises(ModelError):
+            hierarchy.add_submodel(
+                make_component("a", 1, 1), attribute_states=("Nope",)
+            )
+
+    def test_attribution_state_must_be_down(self):
+        hierarchy = HierarchicalModel(make_top())
+        with pytest.raises(ModelError, match="up state"):
+            hierarchy.add_submodel(
+                make_component("a", 1, 1), attribute_states=("Ok",)
+            )
+
+    def test_bind_unknown_submodel(self):
+        hierarchy = HierarchicalModel(make_top())
+        with pytest.raises(ModelError, match="unknown submodel"):
+            hierarchy.bind("La_a", "ghost", "failure_rate")
+
+    def test_double_bind_rejected(self):
+        hierarchy = HierarchicalModel(make_top())
+        hierarchy.add_submodel(make_component("a", 1, 1))
+        hierarchy.bind("La_a", "a", "failure_rate")
+        with pytest.raises(ModelError, match="already bound"):
+            hierarchy.bind("La_a", "a", "recovery_rate")
+
+    def test_supplied_value_colliding_with_binding_rejected(self):
+        hierarchy = build_two_component_hierarchy()
+        with pytest.raises(ModelError, match="also appear"):
+            hierarchy.solve({"La_a": 123.0})
+
+
+class TestAbstractionChoice:
+    def test_flow_vs_mttf_close_for_ha_systems(self):
+        hierarchy = build_two_component_hierarchy()
+        a_flow = hierarchy.solve({}, abstraction="flow").availability
+        a_mttf = hierarchy.solve({}, abstraction="mttf").availability
+        assert a_flow == pytest.approx(a_mttf, abs=1e-4)

@@ -1,0 +1,130 @@
+"""Unit tests for the AS cluster models (Fig. 4 and generalization)."""
+
+import pytest
+
+from repro.ctmc import solve_steady_state, steady_state_availability
+from repro.exceptions import ModelError
+from repro.models.jsas.appserver import (
+    build_appserver_model,
+    build_single_instance_model,
+)
+
+
+class TestTwoInstanceStructure:
+    """The n=2 build must be exactly the paper's Fig. 4."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_appserver_model(2)
+
+    def test_fig4_state_names(self, model):
+        assert set(model.state_names) == {
+            "All_Work", "Recovery", "1DownShort", "1DownLong", "2_Down",
+        }
+        assert model.down_states() == ("2_Down",)
+
+    def test_fig4_transitions(self, model):
+        arcs = {(t.source, t.target) for t in model.transitions}
+        assert arcs == {
+            ("All_Work", "Recovery"),
+            ("Recovery", "1DownShort"),
+            ("Recovery", "1DownLong"),
+            ("1DownShort", "All_Work"),
+            ("1DownLong", "All_Work"),
+            ("Recovery", "2_Down"),
+            ("1DownShort", "2_Down"),
+            ("1DownLong", "2_Down"),
+            ("2_Down", "All_Work"),
+        }
+
+    def test_paper_downtime(self, model, paper_values):
+        result = steady_state_availability(model, paper_values)
+        assert result.yearly_downtime_minutes == pytest.approx(2.36, abs=0.03)
+
+    def test_equivalent_lambda_matches_paper_mtbf(self, model, paper_values):
+        """Paper's Config 1 MTBF implies La_appl ~ 8.93e-6/h."""
+        result = steady_state_availability(model, paper_values)
+        assert result.failure_rate == pytest.approx(8.933e-6, rel=0.002)
+        assert result.recovery_rate == pytest.approx(2.0, rel=1e-9)
+
+    def test_fss_split(self, model, paper_values):
+        """Short restarts dominate: FSS = 50/52 of recoveries go short.
+
+        Balance check: pi_state = inflow / exit_rate, where each down-one
+        state also leaks to 2_Down at the accelerated rate 2*La.
+        """
+        pi = solve_steady_state(model, paper_values)
+        la = 52.0 / 8760.0
+        fss = 50.0 / 52.0
+        exit_short = 3600.0 / 90.0 + 2.0 * la
+        exit_long = 1.0 + 2.0 * la
+        ratio_expected = (fss / exit_short) / ((1.0 - fss) / exit_long)
+        assert pi["1DownShort"] / pi["1DownLong"] == pytest.approx(
+            ratio_expected, rel=1e-9
+        )
+
+
+class TestGeneralizedModel:
+    def test_state_count_grows_linearly(self):
+        for n in (2, 3, 4, 6):
+            model = build_appserver_model(n)
+            assert len(model) == 3 * (n - 1) + 2
+
+    def test_four_instance_downtime_tiny(self, paper_values):
+        """Config 2's AS downtime is ~0.01 s/yr."""
+        model = build_appserver_model(4)
+        result = steady_state_availability(model, paper_values)
+        seconds = result.yearly_downtime_minutes * 60.0
+        assert seconds == pytest.approx(0.0073, rel=0.1)
+
+    def test_more_instances_more_available(self, paper_values):
+        downtimes = []
+        for n in (2, 3, 4):
+            model = build_appserver_model(n)
+            result = steady_state_availability(model, paper_values)
+            downtimes.append(result.yearly_downtime_minutes)
+        assert downtimes[0] > downtimes[1] > downtimes[2]
+
+    def test_parallel_policy_recovers_faster(self, paper_values):
+        sequential = steady_state_availability(
+            build_appserver_model(4, "sequential"), paper_values
+        )
+        parallel = steady_state_availability(
+            build_appserver_model(4, "parallel"), paper_values
+        )
+        assert (
+            parallel.yearly_downtime_minutes
+            < sequential.yearly_downtime_minutes
+        )
+
+    def test_policies_identical_at_two_instances(self, paper_values):
+        a = steady_state_availability(
+            build_appserver_model(2, "sequential"), paper_values
+        )
+        b = steady_state_availability(
+            build_appserver_model(2, "parallel"), paper_values
+        )
+        assert a.availability == pytest.approx(b.availability, rel=1e-12)
+
+    def test_invalid_instance_count(self):
+        with pytest.raises(ModelError):
+            build_appserver_model(1)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ModelError, match="policy"):
+            build_appserver_model(4, "psychic")
+
+
+class TestSingleInstance:
+    def test_paper_row1(self, paper_values):
+        """Table 3 row 1: 195 min/yr, MTBF 168 h."""
+        model = build_single_instance_model()
+        result = steady_state_availability(model, paper_values)
+        assert result.yearly_downtime_minutes == pytest.approx(195.0, rel=0.01)
+        assert result.mtbf_hours == pytest.approx(168.46, rel=0.005)
+        assert result.availability == pytest.approx(0.999629, abs=5e-6)
+
+    def test_structure(self):
+        model = build_single_instance_model()
+        assert set(model.state_names) == {"Up", "DownShort", "DownLong"}
+        assert set(model.down_states()) == {"DownShort", "DownLong"}

@@ -1,0 +1,70 @@
+"""Unit tests for the one-call assessment report."""
+
+import pytest
+
+from repro.models.jsas.assessment import generate_assessment
+from repro.models.jsas.system import JsasConfiguration
+
+
+@pytest.fixture(scope="module")
+def assessment():
+    return generate_assessment(
+        n_uncertainty_samples=120, n_risk_years=4000, seed=7
+    )
+
+
+class TestGenerateAssessment:
+    def test_headline_numbers(self, assessment):
+        assert assessment.headline_availability == pytest.approx(
+            0.9999933, abs=2e-6
+        )
+        assert assessment.headline_downtime_minutes == pytest.approx(
+            3.5, abs=0.05
+        )
+
+    def test_optimal_shape_from_compared_grid(self, assessment):
+        assert assessment.optimal_shape == (4, 4)
+
+    def test_uncertainty_section_consistent(self, assessment):
+        low, high = assessment.uncertainty_ci80
+        assert low < assessment.uncertainty_mean < high
+
+    def test_risk_probability_sane(self, assessment):
+        assert 0.0 < assessment.sla_violation_probability < 0.2
+
+    def test_report_renders_all_sections(self, assessment):
+        text = assessment.to_text()
+        for marker in (
+            "AVAILABILITY ASSESSMENT",
+            "Downtime budget by subsystem",
+            "Configuration comparison",
+            "Sensitivity",
+            "Uncertainty analysis",
+            "Single-year risk",
+        ):
+            assert marker in text, marker
+
+    def test_custom_primary_configuration(self):
+        assessment = generate_assessment(
+            primary=JsasConfiguration(4, 4),
+            shapes=((2, 2), (4, 4)),
+            n_uncertainty_samples=60,
+            n_risk_years=2000,
+            seed=3,
+        )
+        assert assessment.headline_downtime_minutes == pytest.approx(
+            2.29, abs=0.05
+        )
+        # Config 2 is flat in Tstart_long: the sensitivity section must
+        # say five 9s holds rather than report a crossing.
+        assert "stays above" in assessment.sections["sensitivity"]
+
+    def test_custom_parameters_flow_through(self, paper_values):
+        degraded = dict(paper_values, La_as=paper_values["La_as"] * 3)
+        assessment = generate_assessment(
+            values=degraded,
+            n_uncertainty_samples=60,
+            n_risk_years=2000,
+            seed=3,
+        )
+        assert assessment.headline_downtime_minutes > 3.6

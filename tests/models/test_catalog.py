@@ -1,0 +1,261 @@
+"""Unit tests: the model catalog against its closed forms."""
+
+import pytest
+
+from repro.ctmc.rewards import steady_state_availability
+from repro.exceptions import ModelError
+from repro.models.catalog import (
+    duplex_with_coverage,
+    erlang_repair_model,
+    k_of_n_availability,
+    k_of_n_model,
+    series_availability,
+    warm_standby,
+)
+
+
+class TestKOfN:
+    @pytest.mark.parametrize(
+        "n,k,crews", [(3, 2, 1), (5, 3, 2), (4, 4, 1), (6, 1, 3), (2, 1, 2)]
+    )
+    def test_model_matches_closed_form(self, n, k, crews):
+        la, mu = 0.05, 1.3
+        model = k_of_n_model(n, k, la, mu, repair_crews=crews)
+        result = steady_state_availability(model, {})
+        expected = k_of_n_availability(n, k, la, mu, repair_crews=crews)
+        assert result.availability == pytest.approx(expected, rel=1e-10)
+
+    def test_more_crews_help(self):
+        la, mu = 0.2, 1.0
+        one = k_of_n_availability(5, 3, la, mu, repair_crews=1)
+        three = k_of_n_availability(5, 3, la, mu, repair_crews=3)
+        assert three > one
+
+    def test_stricter_quorum_hurts(self):
+        la, mu = 0.1, 1.0
+        assert k_of_n_availability(5, 4, la, mu) < k_of_n_availability(
+            5, 2, la, mu
+        )
+
+    def test_one_of_one_is_two_state(self):
+        la, mu = 0.1, 2.0
+        assert k_of_n_availability(1, 1, la, mu) == pytest.approx(
+            mu / (la + mu)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ModelError):
+            k_of_n_model(3, 4, 0.1, 1.0)
+        with pytest.raises(ModelError):
+            k_of_n_model(3, 0, 0.1, 1.0)
+        with pytest.raises(ModelError):
+            k_of_n_model(3, 2, -0.1, 1.0)
+        with pytest.raises(ModelError):
+            k_of_n_model(3, 2, 0.1, 1.0, repair_crews=0)
+
+
+class TestDuplexWithCoverage:
+    def _closed_form(self, la, mu, c):
+        """Balance equations solved by hand for the 3-state chain."""
+        # pi_S * (la + mu) = pi_D2 * 2 la c + pi_Dn * mu
+        # pi_Dn * mu = pi_D2 * 2 la (1-c) + pi_S * la
+        # Let pi_D2 = 1:
+        # From the pair: solve the 2x2 system for (pi_S, pi_Dn).
+        import numpy as np
+
+        a = np.array([[la + mu, -mu], [-la, mu]])
+        b = np.array([2 * la * c, 2 * la * (1 - c)])
+        pi_s, pi_dn = np.linalg.solve(a, b)
+        total = 1.0 + pi_s + pi_dn
+        return (1.0 + pi_s) / total
+
+    @pytest.mark.parametrize("coverage", [0.0, 0.5, 0.9, 0.99, 1.0])
+    def test_matches_closed_form(self, coverage):
+        la, mu = 0.02, 0.8
+        model = duplex_with_coverage(la, mu, coverage)
+        result = steady_state_availability(model, {})
+        assert result.availability == pytest.approx(
+            self._closed_form(la, mu, coverage), rel=1e-10
+        )
+
+    def test_availability_monotone_in_coverage(self):
+        la, mu = 0.05, 1.0
+        values = [
+            steady_state_availability(
+                duplex_with_coverage(la, mu, c), {}
+            ).availability
+            for c in (0.5, 0.9, 0.99, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_coverage_limits_redundancy_payoff(self):
+        """At 90% coverage the duplex barely beats a simplex — the classic
+        lesson, and FIR's role in the paper."""
+        la, mu = 0.05, 1.0
+        simplex = mu / (la + mu)
+        duplex_poor = steady_state_availability(
+            duplex_with_coverage(la, mu, 0.5), {}
+        ).availability
+        duplex_good = steady_state_availability(
+            duplex_with_coverage(la, mu, 0.999), {}
+        ).availability
+        assert duplex_good > simplex
+        assert (1 - duplex_good) < (1 - duplex_poor) / 5
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ModelError):
+            duplex_with_coverage(0.1, 1.0, 1.5)
+
+
+class TestWarmStandby:
+    def test_cold_standby_beats_hot(self):
+        """A cold standby (no dormant failures) yields higher availability
+        than a hot one at the same rates."""
+        la, mu = 0.1, 1.0
+        cold = steady_state_availability(
+            warm_standby(la, 0.0, mu), {}
+        ).availability
+        hot = steady_state_availability(
+            warm_standby(la, la, mu), {}
+        ).availability
+        assert cold > hot
+
+    def test_perfect_switch_two_unit_closed_form(self):
+        """With hot standby and perfect switching this is 2-of-2..1-of-2:
+        a birth-death chain we can check directly."""
+        la, mu = 0.08, 0.9
+        model = warm_standby(la, la, mu, switch_coverage=1.0)
+        result = steady_state_availability(model, {})
+        # Birth-death: weights 1, 2la/mu, 2la^2/mu^2.
+        w = [1.0, 2 * la / mu, 2 * la * la / (mu * mu)]
+        expected = (w[0] + w[1]) / sum(w)
+        assert result.availability == pytest.approx(expected, rel=1e-10)
+
+    def test_switch_coverage_matters(self):
+        la, mu = 0.1, 1.0
+        good = steady_state_availability(
+            warm_standby(la, 0.01, mu, switch_coverage=0.999), {}
+        ).availability
+        poor = steady_state_availability(
+            warm_standby(la, 0.01, mu, switch_coverage=0.8), {}
+        ).availability
+        assert good > poor
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ModelError):
+            warm_standby(0.0, 0.0, 1.0)
+        with pytest.raises(ModelError):
+            warm_standby(0.1, -0.1, 1.0)
+        with pytest.raises(ModelError):
+            warm_standby(0.1, 0.1, 1.0, switch_coverage=2.0)
+
+
+class TestSeries:
+    def test_product_form(self):
+        components = [(0.1, 1.0), (0.05, 2.0), (0.01, 0.5)]
+        expected = 1.0
+        for la, mu in components:
+            expected *= mu / (la + mu)
+        assert series_availability(components) == pytest.approx(expected)
+
+    def test_matches_hierarchical_composition(self):
+        """A hierarchical series of two-state submodels reproduces the
+        product form (to the hierarchical approximation)."""
+        from repro.core.model import MarkovModel
+        from repro.hierarchy import HierarchicalModel
+
+        components = [(0.001, 1.0), (0.0005, 2.0)]
+        top = MarkovModel("series")
+        top.add_state("Ok", reward=1.0)
+        hierarchy_values = {}
+        hierarchy = HierarchicalModel(top)
+        for index, (la, mu) in enumerate(components):
+            fail_state = f"Fail{index}"
+            top.add_state(fail_state, reward=0.0)
+            top.add_transition("Ok", fail_state, f"La_{index}")
+            top.add_transition(fail_state, "Ok", f"Mu_{index}")
+            sub = MarkovModel(f"component{index}")
+            sub.add_state("Up", reward=1.0)
+            sub.add_state("Down", reward=0.0)
+            sub.add_transition("Up", "Down", la)
+            sub.add_transition("Down", "Up", mu)
+            hierarchy.add_submodel(sub, attribute_states=(fail_state,))
+            hierarchy.bind(f"La_{index}", f"component{index}", "failure_rate")
+            hierarchy.bind(f"Mu_{index}", f"component{index}", "recovery_rate")
+        result = hierarchy.solve(hierarchy_values)
+        assert result.availability == pytest.approx(
+            series_availability(components), rel=1e-6
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            series_availability([])
+
+
+class TestTmr:
+    def test_without_voter_is_two_of_three(self):
+        from repro.models.catalog import tmr_model
+
+        la, mu = 0.04, 1.1
+        result = steady_state_availability(tmr_model(la, mu), {})
+        expected = k_of_n_availability(3, 2, la, mu, repair_crews=1)
+        assert result.availability == pytest.approx(expected, rel=1e-10)
+
+    def test_voter_caps_availability(self):
+        """Even a very reliable simplex voter dominates the redundant
+        core's residual unavailability."""
+        from repro.models.catalog import tmr_model
+
+        la, mu = 0.01, 2.0
+        core_only = steady_state_availability(tmr_model(la, mu), {})
+        with_voter = steady_state_availability(
+            tmr_model(la, mu, voter_failure_rate=la / 10.0), {}
+        )
+        assert with_voter.availability < core_only.availability
+        voter_unavailability = (la / 10.0) / (la / 10.0 + mu)
+        assert 1.0 - with_voter.availability > voter_unavailability * 0.9
+
+    def test_invalid(self):
+        from repro.models.catalog import tmr_model
+
+        with pytest.raises(ModelError):
+            tmr_model(0.0, 1.0)
+        with pytest.raises(ModelError):
+            tmr_model(0.1, 1.0, voter_failure_rate=-1.0)
+
+
+class TestErlangRepair:
+    @pytest.mark.parametrize("stages", [1, 2, 5, 10])
+    def test_availability_independent_of_stages(self, stages):
+        """Steady-state availability depends only on MTTF and MTTR, not
+        the repair distribution's shape."""
+        la, mu = 0.02, 0.5
+        model = erlang_repair_model(la, mu, stages)
+        result = steady_state_availability(model, {})
+        expected = (1.0 / la) / (1.0 / la + 1.0 / mu)
+        assert result.availability == pytest.approx(expected, rel=1e-10)
+
+    def test_mttr_preserved(self):
+        la, mu = 0.02, 0.5
+        model = erlang_repair_model(la, mu, 4)
+        result = steady_state_availability(model, {})
+        assert result.mttr_hours == pytest.approx(1.0 / mu, rel=1e-9)
+
+    def test_outage_duration_shape_differs(self):
+        """The *distribution* does change: Erlang repairs have a much
+        lighter early tail than exponential ones."""
+        from repro.ctmc.passage import outage_duration_cdf
+
+        la, mu = 0.02, 0.5
+        exponential = erlang_repair_model(la, mu, 1)
+        erlang5 = erlang_repair_model(la, mu, 5)
+        t_small = 0.2  # well below the 2-hour mean repair
+        cdf_exp = outage_duration_cdf(exponential, t_small, {})
+        cdf_erl = outage_duration_cdf(
+            erlang5, t_small, {}, entry_state="Repair1"
+        )
+        assert cdf_erl < cdf_exp
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            erlang_repair_model(0.1, 1.0, 0)

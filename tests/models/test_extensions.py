@@ -1,0 +1,124 @@
+"""Unit tests for the human-error and online-upgrade extensions."""
+
+import pytest
+
+from repro.ctmc.rewards import steady_state_availability
+from repro.exceptions import ModelError
+from repro.models.jsas import PAPER_PARAMETERS, build_hadb_pair_model
+from repro.models.jsas.extensions import (
+    EXTENSION_PARAMETERS,
+    build_hadb_pair_model_with_human_error,
+    build_upgrade_appserver_model,
+    compare_upgrade_strategies,
+    extension_values,
+)
+
+
+@pytest.fixture
+def values(paper_values):
+    return extension_values(paper_values)
+
+
+class TestExtensionValues:
+    def test_defaults_added_not_overridden(self, paper_values):
+        merged = extension_values(dict(paper_values, La_human=0.5))
+        assert merged["La_human"] == 0.5  # caller's value wins
+        assert merged["Tupgrade"] == EXTENSION_PARAMETERS["Tupgrade"]
+
+    def test_paper_parameters_unchanged(self, values, paper_values):
+        for name in paper_values:
+            assert values[name] == paper_values[name]
+
+
+class TestHumanError:
+    def test_zero_rates_reproduce_fig3_exactly(self, values):
+        baseline = steady_state_availability(
+            build_hadb_pair_model(), values
+        )
+        no_human = steady_state_availability(
+            build_hadb_pair_model_with_human_error(),
+            dict(values, La_human=0.0),
+        )
+        assert no_human.availability == pytest.approx(
+            baseline.availability, rel=1e-12
+        )
+
+    def test_human_error_adds_downtime(self, values):
+        baseline = steady_state_availability(
+            build_hadb_pair_model(), values
+        )
+        with_human = steady_state_availability(
+            build_hadb_pair_model_with_human_error(), values
+        )
+        assert (
+            with_human.yearly_downtime_minutes
+            > baseline.yearly_downtime_minutes
+        )
+
+    def test_downtime_monotone_in_fhe(self, values):
+        model = build_hadb_pair_model_with_human_error()
+        low = steady_state_availability(model, dict(values, FHE=0.01))
+        high = steady_state_availability(model, dict(values, FHE=0.2))
+        assert (
+            high.yearly_downtime_minutes > low.yearly_downtime_minutes
+        )
+
+    def test_structure_only_touches_catastrophic_arcs(self):
+        base = build_hadb_pair_model()
+        human = build_hadb_pair_model_with_human_error()
+        assert len(human.transitions) == len(base.transitions)
+        changed = [
+            t for t in human.transitions if "La_human" in t.rate.variables
+        ]
+        assert len(changed) == 4
+        assert all(t.target == "2_Down" for t in changed)
+
+
+class TestUpgrades:
+    def test_upgrade_states_added(self):
+        model = build_upgrade_appserver_model(2)
+        assert "Upgrade_1" in model.state_names
+        assert "Upgrade_2" in model.state_names
+        # Upgrade states are up (N-1 instances still serve).
+        assert model.state("Upgrade_1").is_up
+
+    def test_zero_upgrade_rate_reproduces_fig4(self, values):
+        from repro.models.jsas import build_appserver_model
+
+        baseline = steady_state_availability(
+            build_appserver_model(2), values
+        )
+        disabled = steady_state_availability(
+            build_upgrade_appserver_model(2),
+            dict(values, La_upgrade=0.0),
+        )
+        assert disabled.availability == pytest.approx(
+            baseline.availability, rel=1e-12
+        )
+
+    def test_rolling_upgrade_costs_downtime_at_n2(self, values):
+        comparison = compare_upgrade_strategies(2, values)
+        assert comparison.single_cluster_rolling > comparison.no_upgrades
+
+    def test_dual_cluster_beats_single_cluster_at_n2(self, values):
+        """The paper's recommendation quantified: for 2 instances, the
+        dual-cluster strategy (brief planned switchover) beats rolling
+        upgrades of the only cluster."""
+        comparison = compare_upgrade_strategies(2, values)
+        assert comparison.dual_cluster < comparison.single_cluster_rolling
+
+    def test_larger_cluster_tolerates_rolling_upgrades(self, values):
+        """With 4 instances an aborted upgrade is not an outage, so the
+        rolling penalty collapses."""
+        two = compare_upgrade_strategies(2, values)
+        four = compare_upgrade_strategies(4, values)
+        penalty_two = two.single_cluster_rolling - two.no_upgrades
+        penalty_four = four.single_cluster_rolling - four.no_upgrades
+        assert penalty_four < penalty_two / 10.0
+
+    def test_single_instance_rejected(self):
+        with pytest.raises(ModelError):
+            build_upgrade_appserver_model(1)
+
+    def test_comparison_summary(self, values):
+        assert "dual-cluster" in compare_upgrade_strategies(2, values).summary()

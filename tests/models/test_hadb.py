@@ -1,0 +1,94 @@
+"""Unit tests for the HADB node-pair model (Fig. 3)."""
+
+import pytest
+
+from repro.ctmc import solve_steady_state, steady_state_availability
+from repro.models.jsas.hadb import build_hadb_pair_model, hadb_parameter_names
+from repro.units import MINUTES_PER_YEAR
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_hadb_pair_model()
+
+
+class TestStructure:
+    def test_states(self, model):
+        assert set(model.state_names) == {
+            "Ok", "RestartShort", "RestartLong", "Repair",
+            "Maintenance", "2_Down",
+        }
+        assert model.down_states() == ("2_Down",)
+
+    def test_transition_count(self, model):
+        # 5 exits from Ok, 4 returns, 4 second-failure arcs, 1 restore.
+        assert len(model.transitions) == 14
+
+    def test_parameters_needed(self, model):
+        assert model.required_parameters() == set(hadb_parameter_names())
+
+    def test_every_degraded_state_can_fail(self, model):
+        for state in ("RestartShort", "RestartLong", "Repair", "Maintenance"):
+            targets = {t.target for t in model.outgoing(state)}
+            assert targets == {"Ok", "2_Down"}
+
+
+class TestBehaviour:
+    def test_paper_downtime_per_pair(self, model, paper_values):
+        """One pair contributes ~0.57 min/yr (2 pairs -> Table 2's 1.15)."""
+        result = steady_state_availability(model, paper_values)
+        assert result.yearly_downtime_minutes == pytest.approx(0.574, abs=0.01)
+
+    def test_equivalent_rate_matches_published_mtbf_structure(
+        self, model, paper_values
+    ):
+        """Lambda ~ 1.09e-6/h (backed out of the paper's Table 3 MTBFs)."""
+        result = steady_state_availability(model, paper_values)
+        assert result.failure_rate == pytest.approx(1.0901e-6, rel=0.002)
+        assert result.recovery_rate == pytest.approx(1.0, rel=1e-9)
+
+    def test_perfect_coverage_removes_direct_path(self, model, paper_values):
+        values = dict(paper_values, FIR=0.0)
+        pi = solve_steady_state(model, values)
+        with_fir = solve_steady_state(model, paper_values)
+        assert pi["2_Down"] < with_fir["2_Down"]
+
+    def test_fir_dominates_pair_downtime(self, model, paper_values):
+        """The imperfect-recovery path carries most of the pair's risk."""
+        zero_fir = steady_state_availability(
+            model, dict(paper_values, FIR=0.0)
+        ).yearly_downtime_minutes
+        default = steady_state_availability(
+            model, paper_values
+        ).yearly_downtime_minutes
+        assert zero_fir < 0.3 * default
+
+    def test_faster_restore_lowers_downtime_not_mtbf(self, model, paper_values):
+        slow = steady_state_availability(model, paper_values)
+        fast = steady_state_availability(
+            model, dict(paper_values, Trestore=0.25)
+        )
+        assert fast.yearly_downtime_minutes < slow.yearly_downtime_minutes
+        assert fast.mtbf_hours == pytest.approx(slow.mtbf_hours, rel=1e-3)
+
+    def test_acceleration_increases_downtime(self, model, paper_values):
+        base = steady_state_availability(model, paper_values)
+        accelerated = steady_state_availability(
+            model, dict(paper_values, Acc=4.0)
+        )
+        assert (
+            accelerated.yearly_downtime_minutes > base.yearly_downtime_minutes
+        )
+
+    def test_maintenance_contributes_exposure(self, model, paper_values):
+        without = steady_state_availability(
+            model, dict(paper_values, La_mnt=0.0)
+        )
+        with_mnt = steady_state_availability(model, paper_values)
+        assert (
+            with_mnt.yearly_downtime_minutes > without.yearly_downtime_minutes
+        )
+
+    def test_availability_above_six_nines_per_pair(self, model, paper_values):
+        result = steady_state_availability(model, paper_values)
+        assert result.availability > 1.0 - 1.2e-6

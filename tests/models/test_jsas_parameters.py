@@ -1,0 +1,86 @@
+"""Unit tests for the paper's parameter set."""
+
+import pytest
+
+from repro.models.jsas.parameters import (
+    MEASURED_VALUES,
+    PAPER_PARAMETERS,
+    UNCERTAINTY_RANGES,
+    paper_values,
+    total_as_failure_rate,
+    total_hadb_failure_rate,
+)
+from repro.units import HOURS_PER_YEAR
+
+
+class TestPaperValues:
+    def test_headline_rates(self):
+        values = paper_values()
+        assert values["La_as"] * HOURS_PER_YEAR == pytest.approx(50.0)
+        assert values["La_hadb"] * HOURS_PER_YEAR == pytest.approx(2.0)
+        assert values["La_os"] * HOURS_PER_YEAR == pytest.approx(1.0)
+        assert values["La_hw"] * HOURS_PER_YEAR == pytest.approx(1.0)
+        assert values["La_mnt"] * HOURS_PER_YEAR == pytest.approx(4.0)
+
+    def test_times_in_hours(self):
+        values = paper_values()
+        assert values["Tstart_short_as"] == pytest.approx(90.0 / 3600.0)
+        assert values["Tstart_short_hadb"] == pytest.approx(1.0 / 60.0)
+        assert values["Tstart_long_hadb"] == pytest.approx(0.25)
+        assert values["Trepair"] == pytest.approx(0.5)
+        assert values["Trestore"] == 1.0
+        assert values["Tstart_all"] == 0.5
+        assert values["Trecovery"] == pytest.approx(5.0 / 3600.0)
+
+    def test_totals(self):
+        values = paper_values()
+        assert total_as_failure_rate(values) * HOURS_PER_YEAR == (
+            pytest.approx(52.0)
+        )
+        assert total_hadb_failure_rate(values) * HOURS_PER_YEAR == (
+            pytest.approx(4.0)
+        )
+
+    def test_fir_and_acceleration(self):
+        values = paper_values()
+        assert values["FIR"] == 0.001
+        assert values["Acc"] == 2.0
+
+    def test_provenance_documented(self):
+        for parameter in PAPER_PARAMETERS.parameters():
+            assert parameter.description, parameter.name
+            assert parameter.provenance
+
+
+class TestUncertaintyRanges:
+    def test_paper_section7_ranges(self):
+        assert UNCERTAINTY_RANGES["La_as"] == (
+            pytest.approx(10.0 / HOURS_PER_YEAR),
+            pytest.approx(50.0 / HOURS_PER_YEAR),
+        )
+        assert UNCERTAINTY_RANGES["FIR"] == (0.0, 0.002)
+        assert UNCERTAINTY_RANGES["Tstart_long_as"] == (0.5, 3.0)
+
+    def test_default_values_inside_ranges(self):
+        values = paper_values()
+        for name, (low, high) in UNCERTAINTY_RANGES.items():
+            assert low <= values[name] <= high, name
+
+
+class TestMeasuredValues:
+    def test_model_values_more_conservative_than_measured(self):
+        """The paper's conservatism: every model time exceeds the lab
+        measurement it came from."""
+        values = paper_values()
+        assert values["Tstart_short_hadb"] * 3600 > (
+            MEASURED_VALUES["hadb_restart_seconds"]
+        )
+        assert values["Tstart_short_as"] * 3600 > (
+            MEASURED_VALUES["as_restart_seconds"]
+        )
+        assert values["Trecovery"] * 3600 > (
+            MEASURED_VALUES["session_recovery_seconds"]
+        )
+        assert values["Trepair"] * 60 > (
+            MEASURED_VALUES["hadb_copy_minutes_per_gb"]
+        )

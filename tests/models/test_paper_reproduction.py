@@ -1,0 +1,205 @@
+"""The headline integration test: reproduce the paper's published numbers.
+
+Every assertion here targets a number printed in the paper (Tables 2-3,
+the Figs. 5-8 statements, and the Section 5/7 estimation results).  The
+tolerances reflect the paper's printed precision.
+"""
+
+import pytest
+
+from repro.models.jsas import (
+    CONFIG_1,
+    CONFIG_2,
+    PAPER_PARAMETERS,
+    JsasConfiguration,
+    compare_configurations,
+    optimal_configuration,
+    run_uncertainty,
+)
+from repro.sensitivity import parametric_sweep
+from repro.units import nines_to_availability
+
+
+class TestTable2:
+    """Table 2: System Results for Config 1 and Config 2."""
+
+    def test_config1_availability(self):
+        result = CONFIG_1.solve(PAPER_PARAMETERS)
+        assert result.availability == pytest.approx(0.9999933, abs=2e-7)
+
+    def test_config1_yearly_downtime(self):
+        result = CONFIG_1.solve(PAPER_PARAMETERS)
+        assert result.yearly_downtime_minutes == pytest.approx(3.49, abs=0.02)
+
+    def test_config1_downtime_split(self):
+        result = CONFIG_1.solve(PAPER_PARAMETERS)
+        as_report = result.submodels["appserver"]
+        hadb_report = result.submodels["hadb"]
+        assert as_report.downtime_minutes == pytest.approx(2.35, abs=0.01)
+        assert hadb_report.downtime_minutes == pytest.approx(1.15, abs=0.01)
+        assert as_report.downtime_fraction == pytest.approx(0.67, abs=0.01)
+        assert hadb_report.downtime_fraction == pytest.approx(0.33, abs=0.01)
+
+    def test_config2_availability(self):
+        result = CONFIG_2.solve(PAPER_PARAMETERS)
+        assert result.availability == pytest.approx(0.9999956, abs=2e-7)
+
+    def test_config2_yearly_downtime(self):
+        result = CONFIG_2.solve(PAPER_PARAMETERS)
+        assert result.yearly_downtime_minutes == pytest.approx(2.3, abs=0.02)
+
+    def test_config2_as_downtime_at_second_level(self):
+        """Paper: 0.01 sec, '<0.01%' of the total."""
+        result = CONFIG_2.solve(PAPER_PARAMETERS)
+        as_seconds = result.submodels["appserver"].downtime_minutes * 60.0
+        assert as_seconds == pytest.approx(0.01, abs=0.005)
+        assert result.submodels["appserver"].downtime_fraction < 0.0001
+        assert result.submodels["hadb"].downtime_fraction > 0.999
+
+
+class TestTable3:
+    """Table 3: Comparison of Configurations."""
+
+    #: (instances, pairs) -> (availability, yearly downtime min, MTBF h)
+    PAPER_ROWS = {
+        (1, 0): (0.999629, 195.0, 168.0),
+        (2, 2): (0.9999933, 3.49, 89_980.0),
+        (4, 4): (0.9999956, 2.29, 229_326.0),
+        (6, 6): (0.9999934, 3.44, 152_889.0),
+        (8, 8): (0.9999912, 4.58, 114_669.0),
+        (10, 10): (0.9999891, 5.73, 91_736.0),
+    }
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {
+            (r.n_instances, r.n_pairs): r for r in compare_configurations()
+        }
+
+    @pytest.mark.parametrize("key", sorted(PAPER_ROWS))
+    def test_availability(self, rows, key):
+        expected = self.PAPER_ROWS[key][0]
+        assert rows[key].availability == pytest.approx(expected, abs=3e-6)
+
+    @pytest.mark.parametrize("key", sorted(PAPER_ROWS))
+    def test_yearly_downtime(self, rows, key):
+        expected = self.PAPER_ROWS[key][1]
+        assert rows[key].yearly_downtime_minutes == pytest.approx(
+            expected, rel=0.01
+        )
+
+    @pytest.mark.parametrize("key", sorted(PAPER_ROWS))
+    def test_mtbf(self, rows, key):
+        expected = self.PAPER_ROWS[key][2]
+        assert rows[key].mtbf_hours == pytest.approx(expected, rel=0.005)
+
+    def test_optimal_configuration_is_4_and_4(self, rows):
+        best = optimal_configuration(list(rows.values()))
+        assert (best.n_instances, best.n_pairs) == (4, 4)
+
+    def test_two_nines_improvement_from_redundancy(self, rows):
+        """Paper: 1 -> 2 instances improves availability by two 9s."""
+        single = 1.0 - rows[(1, 0)].availability
+        double = 1.0 - rows[(2, 2)].availability
+        assert single / double > 50.0
+
+    def test_five_nines_lost_at_10_pairs(self, rows):
+        five_nines = nines_to_availability(5)
+        assert rows[(10, 10)].availability < five_nines
+        assert rows[(4, 4)].availability > five_nines
+
+
+class TestFig5Fig6:
+    """Parametric sweeps of the AS HW/OS recovery time."""
+
+    def _sweep(self, config):
+        def metric(values):
+            return config.solve(values).availability
+
+        return parametric_sweep(
+            metric,
+            "Tstart_long_as",
+            [0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+            PAPER_PARAMETERS.to_dict(),
+        )
+
+    def test_fig5_config1_shape(self):
+        sweep = self._sweep(CONFIG_1)
+        values = list(sweep.values)
+        assert values == sorted(values, reverse=True)  # monotone decreasing
+        # Paper endpoints: ~0.999995 at 0.5h, below 0.99999 at >= 2.5h.
+        assert values[0] == pytest.approx(0.9999947, abs=2e-6)
+        assert values[-2] < nines_to_availability(5)  # at 2.5 h
+
+    def test_fig5_five_nines_crossover(self):
+        """Paper: five 9s no longer retained when recovery reaches 2.5 h."""
+        crossing = self._sweep(CONFIG_1).crossing(nines_to_availability(5))
+        assert 2.0 < crossing < 2.5
+
+    def test_fig6_config2_flat_and_above_target(self):
+        """Paper: Config 2 retains 99.9995% even at 3 hours."""
+        sweep = self._sweep(CONFIG_2)
+        assert min(sweep.values) > 0.999995
+        # Essentially flat: total swing below 1e-8 (paper's Fig. 6 spans
+        # ~2e-9 on the y-axis).
+        assert max(sweep.values) - min(sweep.values) < 1e-7
+
+
+class TestFig7Fig8:
+    """Uncertainty analyses (reduced sample count for test speed; the
+    benchmarks run the full 1,000)."""
+
+    def test_fig7_config1(self):
+        result = run_uncertainty(CONFIG_1, n_samples=250, seed=11)
+        assert result.mean == pytest.approx(3.78, abs=0.45)
+        low, high = result.confidence_interval(0.80)
+        assert low == pytest.approx(1.89, abs=0.5)
+        assert high == pytest.approx(6.02, abs=0.7)
+        # Paper: over 80% of sampled systems below 5.25 min.
+        assert result.fraction_below(5.25) > 0.75
+
+    def test_fig8_config2(self):
+        result = run_uncertainty(CONFIG_2, n_samples=250, seed=11)
+        assert result.mean == pytest.approx(2.99, abs=0.45)
+        low, high = result.confidence_interval(0.80)
+        assert low == pytest.approx(1.01, abs=0.5)
+        assert high == pytest.approx(5.19, abs=0.7)
+        # Paper: over 90% of sampled systems below 5.25 min.
+        assert result.fraction_below(5.25) > 0.85
+
+
+class TestSection5Estimates:
+    def test_as_failure_rate_bounds(self):
+        from repro.estimation import failure_rate_upper_bound
+        from repro.models.jsas import (
+            LONGEVITY_TEST_DAYS,
+            LONGEVITY_TEST_INSTANCES,
+        )
+
+        exposure = LONGEVITY_TEST_DAYS * LONGEVITY_TEST_INSTANCES
+        assert 1.0 / failure_rate_upper_bound(0, exposure, 0.95) == (
+            pytest.approx(16.0, abs=0.1)
+        )
+        assert 1.0 / failure_rate_upper_bound(0, exposure, 0.995) == (
+            pytest.approx(9.0, abs=0.1)
+        )
+
+    def test_fir_bounds(self):
+        from repro.estimation import fir_upper_bound
+        from repro.models.jsas import (
+            FAULT_INJECTION_SUCCESSES,
+            FAULT_INJECTION_TRIALS,
+        )
+
+        assert (
+            fir_upper_bound(
+                FAULT_INJECTION_TRIALS, FAULT_INJECTION_SUCCESSES, 0.95
+            )
+            < 0.001
+        )
+        assert (
+            fir_upper_bound(
+                FAULT_INJECTION_TRIALS, FAULT_INJECTION_SUCCESSES, 0.995
+            )
+            < 0.002
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for the performability variants."""
+
+import pytest
+
+from repro.ctmc.rewards import expected_steady_state_reward
+from repro.models.jsas.performability import (
+    build_performability_appserver_model,
+    evaluate_performability,
+)
+
+
+class TestModelStructure:
+    def test_rewards_proportional_to_capacity(self):
+        model = build_performability_appserver_model(4)
+        assert model.state("All_Work").reward == 1.0
+        assert model.state("Recovery_1").reward == pytest.approx(0.75)
+        assert model.state("Short_2").reward == pytest.approx(0.5)
+        assert model.state("Long_3").reward == pytest.approx(0.25)
+        assert model.state("4_Down").reward == 0.0
+
+    def test_two_instance_names(self):
+        model = build_performability_appserver_model(2)
+        assert model.state("Recovery").reward == pytest.approx(0.5)
+        assert model.state("1DownShort").reward == pytest.approx(0.5)
+        assert model.state("2_Down").reward == 0.0
+
+    def test_same_transition_structure_as_base(self, paper_values):
+        from repro.models.jsas import build_appserver_model
+
+        base = build_appserver_model(3)
+        perf = build_performability_appserver_model(3)
+        base_arcs = {
+            (t.source, t.target, t.rate.source) for t in base.transitions
+        }
+        perf_arcs = {
+            (t.source, t.target, t.rate.source) for t in perf.transitions
+        }
+        assert base_arcs == perf_arcs
+
+
+class TestEvaluation:
+    def test_capacity_below_availability(self, paper_values):
+        """Degraded states make expected capacity strictly less than
+        strict availability."""
+        result = evaluate_performability(2, paper_values)
+        assert result.expected_capacity < result.availability
+        assert result.degraded_minutes > 0.0
+
+    def test_lost_capacity_decomposition(self, paper_values):
+        from repro.ctmc.rewards import steady_state_availability
+        from repro.models.jsas import build_appserver_model
+
+        result = evaluate_performability(2, paper_values)
+        strict = steady_state_availability(
+            build_appserver_model(2), paper_values
+        )
+        assert result.lost_capacity_minutes == pytest.approx(
+            result.degraded_minutes + strict.yearly_downtime_minutes,
+            rel=1e-9,
+        )
+
+    def test_degradation_dominates_outage_for_two_instances(
+        self, paper_values
+    ):
+        """For 2 instances at paper rates, degraded-service minutes far
+        exceed strict outage minutes — the headline performability
+        insight the availability number hides."""
+        result = evaluate_performability(2, paper_values)
+        assert result.degraded_minutes > 50.0 * 2.36
+
+    def test_more_instances_reduce_relative_degradation(self, paper_values):
+        two = evaluate_performability(2, paper_values)
+        four = evaluate_performability(4, paper_values)
+        assert four.expected_capacity > two.expected_capacity
+
+    def test_expected_reward_matches_direct_computation(self, paper_values):
+        model = build_performability_appserver_model(2)
+        direct = expected_steady_state_reward(model, paper_values)
+        result = evaluate_performability(2, paper_values)
+        assert result.expected_capacity == pytest.approx(direct, rel=1e-12)
+
+    def test_summary_text(self, paper_values):
+        assert "capacity" in evaluate_performability(2, paper_values).summary()

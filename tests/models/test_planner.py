@@ -1,0 +1,62 @@
+"""Unit tests for the deployment planner."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.models.jsas.planner import plan_configuration
+from repro.units import nines_to_availability
+
+
+class TestPlanConfiguration:
+    def test_five_nines_needs_the_paper_minimum(self, paper_values):
+        recommendation = plan_configuration(
+            nines_to_availability(5), paper_values
+        )
+        assert recommendation.feasible
+        config = recommendation.configuration
+        # The 2+2 shape already clears five 9s at paper parameters.
+        assert (config.n_instances, config.n_pairs) == (2, 2)
+        assert recommendation.availability >= nines_to_availability(5)
+
+    def test_four_nines_is_cheap(self, paper_values):
+        recommendation = plan_configuration(
+            nines_to_availability(4), paper_values
+        )
+        assert recommendation.feasible
+        assert recommendation.configuration.n_instances == 2
+
+    def test_unreachable_target_reports_best(self, paper_values):
+        recommendation = plan_configuration(
+            1.0 - 1e-9, paper_values, max_instances=6
+        )
+        assert not recommendation.feasible
+        assert recommendation.best_infeasible is not None
+        assert recommendation.availability < 1.0 - 1e-9
+        assert recommendation.candidates_evaluated > 3
+
+    def test_degraded_parameters_need_bigger_shape(self, paper_values):
+        """With a much worse AS failure rate the 2+2 shape falls below
+        five 9s and the planner must move up."""
+        worse = dict(paper_values, La_as=200.0 / 8760.0)
+        recommendation = plan_configuration(nines_to_availability(5), worse)
+        assert recommendation.feasible
+        assert recommendation.configuration.n_instances > 2
+
+    def test_cost_ordering_prefers_small(self, paper_values):
+        recommendation = plan_configuration(0.999, paper_values)
+        config = recommendation.configuration
+        assert config.n_instances + 2 * config.n_pairs <= 8
+
+    def test_invalid_target(self):
+        with pytest.raises(ReproError):
+            plan_configuration(1.5)
+
+    def test_invalid_bound(self):
+        with pytest.raises(ReproError):
+            plan_configuration(0.999, max_instances=0)
+
+    def test_explicit_pair_choices(self, paper_values):
+        recommendation = plan_configuration(
+            0.9999, paper_values, pair_choices=[4]
+        )
+        assert recommendation.configuration.n_pairs == 4

@@ -1,0 +1,93 @@
+"""Unit tests for the top-level system model and configurations."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models.jsas import PAPER_PARAMETERS
+from repro.models.jsas.system import (
+    CONFIG_1,
+    CONFIG_2,
+    JsasConfiguration,
+    build_configuration,
+    build_system_model,
+)
+
+
+class TestBuildSystemModel:
+    def test_fig2_structure(self):
+        model = build_system_model()
+        assert set(model.state_names) == {"Ok", "AS_Fail", "HADB_Fail"}
+        assert set(model.down_states()) == {"AS_Fail", "HADB_Fail"}
+        assert model.required_parameters() == {
+            "La_appl", "Mu_appl", "La_hadb_pair", "Mu_hadb_pair", "N_pair",
+        }
+
+    def test_without_hadb(self):
+        model = build_system_model(include_hadb=False)
+        assert set(model.state_names) == {"Ok", "AS_Fail"}
+        assert model.required_parameters() == {"La_appl", "Mu_appl"}
+
+
+class TestJsasConfiguration:
+    def test_presets(self):
+        assert (CONFIG_1.n_instances, CONFIG_1.n_pairs) == (2, 2)
+        assert (CONFIG_2.n_instances, CONFIG_2.n_pairs) == (4, 4)
+
+    def test_factory(self):
+        config = build_configuration(6, 6)
+        assert config.name == "jsas_6as_6pairs"
+
+    def test_invalid_counts(self):
+        with pytest.raises(ModelError):
+            JsasConfiguration(n_instances=0, n_pairs=2)
+        with pytest.raises(ModelError):
+            JsasConfiguration(n_instances=2, n_pairs=-1)
+        with pytest.raises(ModelError):
+            JsasConfiguration(n_instances=2, n_pairs=2, n_spares=-1)
+
+    def test_single_instance_uses_baseline_submodel(self):
+        config = JsasConfiguration(n_instances=1, n_pairs=0)
+        submodel = config.build_appserver_submodel()
+        assert "Up" in submodel.state_names
+
+    def test_n_pair_injected_automatically(self, paper_values):
+        result = CONFIG_1.solve(paper_values)
+        # Doubling pairs via a new configuration doubles HADB downtime.
+        four = JsasConfiguration(n_instances=2, n_pairs=4).solve(paper_values)
+        assert four.submodels["hadb"].downtime_minutes == pytest.approx(
+            2.0 * result.submodels["hadb"].downtime_minutes, rel=1e-3
+        )
+
+    def test_no_hadb_tier(self, paper_values):
+        result = JsasConfiguration(n_instances=2, n_pairs=0).solve(paper_values)
+        assert "hadb" not in result.submodels
+        assert result.availability > 0.9999
+
+    def test_parameter_set_accepted_directly(self):
+        result = CONFIG_1.solve(PAPER_PARAMETERS)
+        assert result.availability > 0.99999
+
+    def test_flow_abstraction_coincides_for_jsas(self, paper_values):
+        """For the JSAS submodels, repair always returns to the initial
+        all-up state, so the mean up period equals the MTTF and the two
+        abstractions coincide (they differ on chains whose repairs land
+        in degraded states — covered in tests/ctmc/test_rewards.py)."""
+        mttf = CONFIG_1.solve(paper_values, abstraction="mttf")
+        flow = CONFIG_1.solve(paper_values, abstraction="flow")
+        assert flow.availability == pytest.approx(
+            mttf.availability, abs=1e-9
+        )
+        assert flow.mtbf_hours == pytest.approx(mttf.mtbf_hours, rel=1e-9)
+
+
+class TestSolutionSanity:
+    def test_summary_text(self, paper_values):
+        text = CONFIG_1.solve(paper_values).summary()
+        assert "appserver" in text and "hadb" in text
+
+    def test_downtime_attribution_complete(self, paper_values):
+        result = CONFIG_1.solve(paper_values)
+        attributed = sum(
+            r.downtime_minutes for r in result.submodels.values()
+        )
+        assert attributed == pytest.approx(result.yearly_downtime_minutes)

@@ -1,0 +1,94 @@
+"""Property-based tests: catalog models vs closed forms, serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import MarkovModel
+from repro.core.serialize import model_from_json, model_to_json
+from repro.ctmc.rewards import steady_state_availability
+from repro.models.catalog import (
+    erlang_repair_model,
+    k_of_n_availability,
+    k_of_n_model,
+)
+
+rates = st.floats(min_value=1e-4, max_value=50.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 7),
+    data=st.data(),
+    la=rates,
+    mu=rates,
+    crews=st.integers(1, 4),
+)
+def test_k_of_n_model_matches_closed_form(n, data, la, mu, crews):
+    k = data.draw(st.integers(1, n))
+    model = k_of_n_model(n, k, la, mu, repair_crews=crews)
+    result = steady_state_availability(model, {})
+    expected = k_of_n_availability(n, k, la, mu, repair_crews=crews)
+    assert result.availability == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(la=rates, mu=rates, stages=st.integers(1, 8))
+def test_erlang_repair_availability_shape_free(la, mu, stages):
+    """Steady-state availability depends only on the repair *mean*."""
+    model = erlang_repair_model(la, mu, stages)
+    result = steady_state_availability(model, {})
+    expected = (1.0 / la) / (1.0 / la + 1.0 / mu)
+    assert result.availability == pytest.approx(expected, rel=1e-9)
+
+
+@st.composite
+def random_models(draw):
+    n = draw(st.integers(2, 6))
+    model = MarkovModel("random", description=draw(st.text(max_size=20)))
+    for i in range(n):
+        model.add_state(
+            f"S{i}",
+            reward=draw(st.sampled_from([0.0, 0.5, 1.0])) if i else 1.0,
+            description=draw(st.text(max_size=10)),
+        )
+    for i in range(n):
+        model.add_transition(
+            f"S{i}",
+            f"S{(i + 1) % n}",
+            draw(st.floats(1e-4, 1e3)),
+        )
+    return model
+
+
+@settings(max_examples=40, deadline=None)
+@given(model=random_models())
+def test_serialization_round_trip_preserves_solution(model):
+    rebuilt = model_from_json(model_to_json(model))
+    assert rebuilt.state_names == model.state_names
+    assert rebuilt.reward_vector() == model.reward_vector()
+    original = steady_state_availability(model, {})
+    restored = steady_state_availability(rebuilt, {})
+    assert restored.availability == pytest.approx(
+        original.availability, rel=1e-12
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    la=st.floats(1e-4, 1.0),
+    mu=st.floats(0.1, 50.0),
+    t=st.floats(0.01, 50.0),
+)
+def test_passage_cdf_bounds_and_exponential(la, mu, t):
+    import math
+
+    model = MarkovModel("m")
+    model.add_state("Up")
+    model.add_state("Down", reward=0.0)
+    model.add_transition("Up", "Down", la)
+    model.add_transition("Down", "Up", mu)
+    from repro.ctmc.passage import passage_time_cdf
+
+    cdf = passage_time_cdf(model, ["Down"], t, {})
+    assert 0.0 <= cdf <= 1.0
+    assert cdf == pytest.approx(1.0 - math.exp(-la * t), abs=1e-8)

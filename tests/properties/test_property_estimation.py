@@ -1,0 +1,75 @@
+"""Property-based tests on the estimation formulas."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimation.coverage import coverage_lower_bound
+from repro.estimation.failure_rate import (
+    failure_rate_lower_bound,
+    failure_rate_upper_bound,
+)
+from repro.estimation.intervals import percentile_interval
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(0, 50),
+    exposure=st.floats(1.0, 1e6),
+    confidence=st.floats(0.5, 0.999),
+)
+def test_failure_rate_bounds_bracket_mle(n, exposure, confidence):
+    upper = failure_rate_upper_bound(n, exposure, confidence)
+    lower = failure_rate_lower_bound(n, exposure, confidence)
+    mle = n / exposure
+    assert lower <= mle <= upper
+    assert upper > 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(0, 50),
+    exposure=st.floats(1.0, 1e6),
+)
+def test_failure_rate_upper_monotone_in_confidence(n, exposure):
+    assert failure_rate_upper_bound(n, exposure, 0.99) >= (
+        failure_rate_upper_bound(n, exposure, 0.9)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 10_000),
+    failures=st.integers(0, 50),
+    confidence=st.floats(0.5, 0.999),
+)
+def test_coverage_bound_below_point(n, failures, confidence):
+    failures = min(failures, n)
+    s = n - failures
+    bound = coverage_lower_bound(n, s, confidence)
+    assert 0.0 <= bound <= s / n + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(10, 5000), confidence=st.floats(0.5, 0.99))
+def test_coverage_all_success_monotone_in_n(n, confidence):
+    assert coverage_lower_bound(2 * n, 2 * n, confidence) >= (
+        coverage_lower_bound(n, n, confidence)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(st.floats(0.0, 100.0), min_size=5, max_size=200),
+    confidence=st.floats(0.1, 0.95),
+)
+def test_percentile_interval_ordered_and_within_range(data, confidence):
+    low, high = percentile_interval(data, confidence)
+    assert min(data) <= low <= high <= max(data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.lists(st.floats(0.0, 100.0), min_size=10, max_size=200))
+def test_percentile_interval_nested_by_confidence(data):
+    low80, high80 = percentile_interval(data, 0.80)
+    low95, high95 = percentile_interval(data, 0.95)
+    assert low95 <= low80 and high80 <= high95

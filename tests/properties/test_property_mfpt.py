@@ -1,0 +1,126 @@
+"""Property-based tests for first-passage and risk identities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import MarkovModel
+from repro.ctmc.generator import build_generator
+from repro.ctmc.mfpt import (
+    expected_visits,
+    mean_first_passage_matrix,
+    mean_return_times,
+)
+from repro.ctmc.steady_state import steady_state_vector
+
+rates = st.floats(min_value=1e-3, max_value=100.0)
+
+
+@st.composite
+def ergodic_chains(draw):
+    """Small random strongly-connected chains (cycle + extras)."""
+    n = draw(st.integers(2, 5))
+    model = MarkovModel("chain")
+    for i in range(n):
+        model.add_state(f"S{i}", reward=1.0 if i == 0 else draw(
+            st.sampled_from([0.0, 1.0])
+        ))
+    for i in range(n):
+        model.add_transition(f"S{i}", f"S{(i + 1) % n}", draw(rates))
+    extras = draw(st.integers(0, 3))
+    candidates = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j and j != (i + 1) % n
+    ]
+    for k in range(min(extras, len(candidates))):
+        i, j = candidates[k]
+        model.add_transition(f"S{i}", f"S{j}", draw(rates))
+    return model
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=ergodic_chains())
+def test_kemeny_start_state_independence(model):
+    generator = build_generator(model, {})
+    pi = steady_state_vector(generator)
+    matrix = mean_first_passage_matrix(generator)
+    names = generator.state_names
+    constants = [
+        sum(pi[j] * matrix[source][target]
+            for j, target in enumerate(names))
+        for source in names
+    ]
+    for value in constants[1:]:
+        assert value == pytest.approx(constants[0], rel=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=ergodic_chains())
+def test_return_time_is_reciprocal_entry_frequency(model):
+    """Renewal identity: mean return time of j == 1 / (steady entry rate)."""
+    generator = build_generator(model, {})
+    pi = steady_state_vector(generator)
+    q = generator.dense()
+    returns = mean_return_times(generator)
+    for j, name in enumerate(generator.state_names):
+        inflow = sum(
+            pi[i] * q[i, j] for i in range(len(pi)) if i != j
+        )
+        assert returns[name] == pytest.approx(1.0 / inflow, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=ergodic_chains(), horizon=st.floats(10.0, 1e5))
+def test_visit_flow_balance(model, horizon):
+    """Entries == exits for every state over a long window (flow
+    balance), and total visits scale linearly with the horizon."""
+    generator = build_generator(model, {})
+    visits = expected_visits(generator, horizon)
+    double = expected_visits(generator, 2.0 * horizon)
+    for name in generator.state_names:
+        assert double[name] == pytest.approx(2.0 * visits[name], rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    la_a=st.floats(1e-5, 1e-2),
+    mu_a=st.floats(0.5, 5.0),
+    la_b=st.floats(1e-5, 1e-2),
+    mu_b=st.floats(0.5, 5.0),
+)
+def test_annual_risk_mean_matches_hierarchy(la_a, mu_a, la_b, mu_b):
+    """The compound-Poisson annual-downtime mean equals the hierarchical
+    model's expected yearly downtime, for random two-component systems."""
+    from repro.analysis.risk import annual_downtime_risk
+    from repro.hierarchy import HierarchicalModel
+
+    def component(name, la, mu):
+        m = MarkovModel(name)
+        m.add_state("Up", reward=1.0)
+        m.add_state("Down", reward=0.0)
+        m.add_transition("Up", "Down", la)
+        m.add_transition("Down", "Up", mu)
+        return m
+
+    top = MarkovModel("top")
+    top.add_state("Ok", reward=1.0)
+    top.add_state("FailA", reward=0.0)
+    top.add_state("FailB", reward=0.0)
+    top.add_transition("Ok", "FailA", "La_a")
+    top.add_transition("FailA", "Ok", "Mu_a")
+    top.add_transition("Ok", "FailB", "La_b")
+    top.add_transition("FailB", "Ok", "Mu_b")
+    hierarchy = HierarchicalModel(top)
+    hierarchy.add_submodel(component("a", la_a, mu_a), ("FailA",))
+    hierarchy.add_submodel(component("b", la_b, mu_b), ("FailB",))
+    hierarchy.bind("La_a", "a", "failure_rate")
+    hierarchy.bind("Mu_a", "a", "recovery_rate")
+    hierarchy.bind("La_b", "b", "failure_rate")
+    hierarchy.bind("Mu_b", "b", "recovery_rate")
+    result = hierarchy.solve({})
+
+    risk = annual_downtime_risk(result, n_years=4000, seed=123)
+    expected = result.yearly_downtime_minutes
+    # 4000 sampled years: allow generous Monte Carlo slack.
+    assert risk.mean == pytest.approx(expected, rel=0.25, abs=0.5)

@@ -1,0 +1,105 @@
+"""Property-based tests on the JSAS models over random parameterizations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctmc.rewards import steady_state_availability
+from repro.models.jsas import (
+    PAPER_PARAMETERS,
+    JsasConfiguration,
+    build_appserver_model,
+)
+from repro.units import per_year
+
+#: Random but physically sensible parameter draws (rates per year,
+#: times in plausible hour ranges).
+param_sets = st.fixed_dictionaries(
+    {
+        "La_as": st.floats(per_year(1), per_year(100)),
+        "La_hadb": st.floats(per_year(0.5), per_year(10)),
+        "La_os": st.floats(per_year(0.1), per_year(5)),
+        "La_hw": st.floats(per_year(0.1), per_year(5)),
+        "La_mnt": st.floats(0.0, per_year(12)),
+        "FIR": st.floats(0.0, 0.01),
+        "Acc": st.floats(1.0, 4.0),
+        "Tmnt": st.floats(1 / 120, 0.5),
+        "Trepair": st.floats(0.1, 2.0),
+        "Trestore": st.floats(0.25, 4.0),
+        "Tstart_short_hadb": st.floats(1 / 360, 0.2),
+        "Tstart_long_hadb": st.floats(0.05, 1.0),
+        "Trecovery": st.floats(1 / 3600, 0.05),
+        "Tstart_short_as": st.floats(1 / 360, 0.2),
+        "Tstart_long_as": st.floats(0.1, 5.0),
+        "Tstart_all": st.floats(0.1, 2.0),
+    }
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=param_sets)
+def test_config1_solution_is_sane(values):
+    result = JsasConfiguration(2, 2).solve(values)
+    assert 0.9 < result.availability <= 1.0
+    assert result.yearly_downtime_minutes >= 0.0
+    assert result.mtbf_hours > 0.0
+    attributed = sum(r.downtime_minutes for r in result.submodels.values())
+    assert attributed == pytest.approx(result.yearly_downtime_minutes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=param_sets)
+def test_generalized_model_reduces_to_fig4_at_n2(values):
+    """The N-instance construction at N=2 must equal the paper's Fig. 4
+    model for every parameterization, both policies."""
+    reference = steady_state_availability(build_appserver_model(2), values)
+    for policy in ("sequential", "parallel"):
+        generalized = steady_state_availability(
+            build_appserver_model(2, repair_policy=policy), values
+        )
+        assert generalized.availability == pytest.approx(
+            reference.availability, rel=1e-12
+        )
+        assert generalized.failure_rate == pytest.approx(
+            reference.failure_rate, rel=1e-9
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(values=param_sets)
+def test_more_hadb_pairs_never_helps(values):
+    """Data partitioning means each extra pair adds loss exposure: HADB
+    downtime grows with pair count (the Table 3 trend)."""
+    results = [
+        JsasConfiguration(2, pairs).solve(values) for pairs in (2, 4, 6)
+    ]
+    hadb_downtimes = [
+        r.submodels["hadb"].downtime_minutes for r in results
+    ]
+    assert hadb_downtimes[0] <= hadb_downtimes[1] <= hadb_downtimes[2]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    fir_low=st.floats(0.0, 0.001),
+    fir_high=st.floats(0.002, 0.02),
+)
+def test_downtime_monotone_in_fir(fir_low, fir_high):
+    base = PAPER_PARAMETERS.to_dict()
+    low = JsasConfiguration(2, 2).solve(dict(base, FIR=fir_low))
+    high = JsasConfiguration(2, 2).solve(dict(base, FIR=fir_high))
+    assert (
+        high.yearly_downtime_minutes >= low.yearly_downtime_minutes
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(scale=st.floats(1.5, 5.0))
+def test_downtime_monotone_in_as_failure_rate(scale):
+    base = PAPER_PARAMETERS.to_dict()
+    reference = JsasConfiguration(2, 2).solve(base)
+    scaled = JsasConfiguration(2, 2).solve(
+        dict(base, La_as=base["La_as"] * scale)
+    )
+    assert (
+        scaled.yearly_downtime_minutes > reference.yearly_downtime_minutes
+    )

@@ -1,0 +1,102 @@
+"""Property-based tests: GSPN compilation vs hand-built chains."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import birth_death_model
+from repro.ctmc.rewards import steady_state_availability
+from repro.spn import PetriNet, petri_net_to_markov_model, solve_petri_net
+
+rates = st.floats(min_value=1e-3, max_value=100.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tokens=st.integers(1, 6),
+    la=rates,
+    mu=rates,
+    infinite_repair=st.booleans(),
+)
+def test_machine_repair_net_matches_birth_death(
+    tokens, la, mu, infinite_repair
+):
+    """The machine-repairman GSPN equals the corresponding birth-death
+    chain for any population, rates, and repair-server semantics."""
+    net = PetriNet("machines")
+    net.add_place("Up", tokens)
+    net.add_place("Down", 0)
+    net.add_timed_transition("fail", la, server="infinite")
+    net.add_input_arc("Up", "fail")
+    net.add_output_arc("fail", "Down")
+    net.add_timed_transition(
+        "repair", mu, server="infinite" if infinite_repair else "single"
+    )
+    net.add_input_arc("Down", "repair")
+    net.add_output_arc("repair", "Up")
+
+    spn_result = solve_petri_net(
+        net, {}, reward=lambda m: 1.0 if m["Up"] >= 1 else 0.0
+    )
+
+    births = [(tokens - k) * la for k in range(tokens)]
+    deaths = [
+        (k + 1) * mu if infinite_repair else mu for k in range(tokens)
+    ]
+    hand = birth_death_model("hand", tokens + 1, births, deaths)
+    hand_result = steady_state_availability(hand, {})
+
+    assert spn_result.availability == pytest.approx(
+        hand_result.availability, rel=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(tokens=st.integers(1, 5), la=rates, mu=rates)
+def test_reachability_size_is_token_count_plus_one(tokens, la, mu):
+    net = PetriNet("pair")
+    net.add_place("Up", tokens)
+    net.add_place("Down", 0)
+    net.add_timed_transition("fail", la, server="infinite")
+    net.add_input_arc("Up", "fail")
+    net.add_output_arc("fail", "Down")
+    net.add_timed_transition("repair", mu)
+    net.add_input_arc("Down", "repair")
+    net.add_output_arc("repair", "Up")
+    model = petri_net_to_markov_model(net, {})
+    assert len(model) == tokens + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(weight_a=st.floats(0.1, 10.0), weight_b=st.floats(0.1, 10.0))
+def test_immediate_weights_normalize(weight_a, weight_b):
+    """Branch probabilities equal normalized weights regardless of scale."""
+    net = PetriNet("branch")
+    net.add_place("Start", 1)
+    net.add_place("Mid", 0)
+    net.add_place("A", 0)
+    net.add_place("B", 0)
+    net.add_timed_transition("go", 1.0)
+    net.add_input_arc("Start", "go")
+    net.add_output_arc("go", "Mid")
+    net.add_immediate_transition("toA", weight=weight_a)
+    net.add_input_arc("Mid", "toA")
+    net.add_output_arc("toA", "A")
+    net.add_immediate_transition("toB", weight=weight_b)
+    net.add_input_arc("Mid", "toB")
+    net.add_output_arc("toB", "B")
+    net.add_timed_transition("backA", 1.0)
+    net.add_input_arc("A", "backA")
+    net.add_output_arc("backA", "Start")
+    net.add_timed_transition("backB", 1.0)
+    net.add_input_arc("B", "backB")
+    net.add_output_arc("backB", "Start")
+
+    from repro.ctmc import solve_steady_state
+
+    model = petri_net_to_markov_model(net, {})
+    pi = solve_steady_state(model, {})
+    mass_a = sum(p for name, p in pi.items() if "A=1" in name)
+    mass_b = sum(p for name, p in pi.items() if "B=1" in name)
+    assert mass_a / (mass_a + mass_b) == pytest.approx(
+        weight_a / (weight_a + weight_b), rel=1e-9
+    )

@@ -1,0 +1,57 @@
+"""Unit tests for range-based importance ranking."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.sensitivity.importance import downtime_importance
+
+
+def metric(values: dict) -> float:
+    return 10.0 * values["big"] + values["small"]
+
+
+class TestDowntimeImportance:
+    def test_swings_computed(self):
+        swings = downtime_importance(
+            metric,
+            {"big": (0.0, 1.0), "small": (0.0, 1.0)},
+            {"big": 0.5, "small": 0.5},
+        )
+        assert swings["big"] == pytest.approx(10.0)
+        assert swings["small"] == pytest.approx(1.0)
+
+    def test_sorted_descending(self):
+        swings = downtime_importance(
+            metric,
+            {"small": (0.0, 1.0), "big": (0.0, 1.0)},
+            {"big": 0.5, "small": 0.5},
+        )
+        assert list(swings) == ["big", "small"]
+
+    def test_base_point_not_mutated(self):
+        base = {"big": 0.5, "small": 0.5}
+        downtime_importance(metric, {"big": (0.0, 1.0)}, base)
+        assert base == {"big": 0.5, "small": 0.5}
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(EstimationError):
+            downtime_importance(metric, {}, {"big": 1.0, "small": 1.0})
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(EstimationError, match="inverted"):
+            downtime_importance(
+                metric, {"big": (1.0, 0.0)}, {"big": 0.5, "small": 0.5}
+            )
+
+    def test_paper_ranking_la_as_dominates_config1(self, paper_values):
+        """For Config 1 the AS failure rate swing dominates FIR's."""
+        from repro.models.jsas import CONFIG_1, UNCERTAINTY_RANGES
+
+        def downtime(values):
+            return CONFIG_1.solve(values).yearly_downtime_minutes
+
+        swings = downtime_importance(
+            downtime, UNCERTAINTY_RANGES, paper_values
+        )
+        assert list(swings)[0] in ("La_as", "Tstart_long_as")
+        assert swings["La_as"] > swings["FIR"]

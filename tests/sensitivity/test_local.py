@@ -1,0 +1,55 @@
+"""Unit tests for local (derivative) sensitivities."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.sensitivity.local import local_sensitivities
+
+
+def product_metric(values: dict) -> float:
+    return values["a"] ** 2 * values["b"]
+
+
+class TestLocalSensitivities:
+    def test_elasticities_of_power_law(self):
+        """For f = a^2 b the elasticities are exactly 2 and 1."""
+        sens = local_sensitivities(
+            product_metric, ["a", "b"], {"a": 3.0, "b": 5.0}
+        )
+        assert sens["a"] == pytest.approx(2.0, rel=1e-5)
+        assert sens["b"] == pytest.approx(1.0, rel=1e-5)
+
+    def test_raw_derivatives(self):
+        sens = local_sensitivities(
+            product_metric, ["a"], {"a": 3.0, "b": 5.0}, scaled=False
+        )
+        assert sens["a"] == pytest.approx(2.0 * 3.0 * 5.0, rel=1e-5)
+
+    def test_insensitive_parameter_is_zero(self):
+        sens = local_sensitivities(
+            lambda v: v["a"], ["b"], {"a": 1.0, "b": 9.0}
+        )
+        assert sens["b"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_valued_parameter_uses_absolute_step(self):
+        sens = local_sensitivities(
+            lambda v: v["x"] + 1.0, ["x"], {"x": 0.0}, scaled=False
+        )
+        assert sens["x"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(EstimationError, match="not in the base"):
+            local_sensitivities(product_metric, ["zz"], {"a": 1.0, "b": 1.0})
+
+    def test_zero_metric_cannot_scale(self):
+        with pytest.raises(EstimationError, match="zero"):
+            local_sensitivities(
+                lambda v: 0.0 * v["a"], ["a"], {"a": 1.0}
+            )
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(EstimationError):
+            local_sensitivities(
+                product_metric, ["a"], {"a": 1.0, "b": 1.0},
+                relative_step=0.0,
+            )

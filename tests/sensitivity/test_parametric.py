@@ -1,0 +1,76 @@
+"""Unit tests for parametric sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.sensitivity.parametric import (
+    parametric_sweep,
+    parametric_sweep_2d,
+)
+
+
+def quadratic(values: dict) -> float:
+    return values["x"] ** 2 + values.get("y", 0.0)
+
+
+class TestSweep:
+    def test_values_computed_on_grid(self):
+        sweep = parametric_sweep(quadratic, "x", [0.0, 1.0, 2.0], {})
+        assert sweep.values == (0.0, 1.0, 4.0)
+        assert sweep.grid == (0.0, 1.0, 2.0)
+
+    def test_base_values_supplied(self):
+        sweep = parametric_sweep(quadratic, "x", [1.0, 2.0], {"y": 10.0})
+        assert sweep.values == (11.0, 14.0)
+
+    def test_swept_param_need_not_exist_in_base(self):
+        sweep = parametric_sweep(quadratic, "x", [3.0, 4.0], {"y": 0.0})
+        assert sweep.values == (9.0, 16.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(EstimationError):
+            parametric_sweep(quadratic, "x", [1.0], {})
+
+    def test_as_rows(self):
+        sweep = parametric_sweep(quadratic, "x", [0.0, 2.0], {})
+        assert sweep.as_rows() == [(0.0, 0.0), (2.0, 4.0)]
+
+
+class TestCrossing:
+    def test_linear_interpolation(self):
+        sweep = parametric_sweep(
+            lambda v: v["x"], "x", [0.0, 1.0, 2.0], {}
+        )
+        assert sweep.crossing(1.5) == pytest.approx(1.5)
+
+    def test_decreasing_series(self):
+        sweep = parametric_sweep(
+            lambda v: 10.0 - v["x"], "x", [0.0, 5.0, 10.0], {}
+        )
+        assert sweep.crossing(7.5) == pytest.approx(2.5)
+
+    def test_no_crossing_raises(self):
+        sweep = parametric_sweep(lambda v: v["x"], "x", [1.0, 2.0], {})
+        with pytest.raises(EstimationError, match="never crosses"):
+            sweep.crossing(100.0)
+
+    def test_ascii_plot_renders(self):
+        sweep = parametric_sweep(
+            lambda v: np.sin(v["x"]), "x", list(np.linspace(0, 3, 10)), {}
+        )
+        art = sweep.ascii_plot(width=30, height=6)
+        assert "*" in art and "x:" in art
+
+
+class TestSweep2d:
+    def test_grid_shape_and_values(self):
+        grid = parametric_sweep_2d(
+            quadratic, "x", [0.0, 1.0], "y", [0.0, 10.0, 20.0], {}
+        )
+        assert grid.shape == (2, 3)
+        assert grid[1, 2] == pytest.approx(21.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(EstimationError):
+            parametric_sweep_2d(quadratic, "x", [1.0], "y", [1.0, 2.0], {})

@@ -1,0 +1,89 @@
+"""Unit tests for the Monte Carlo CTMC simulator."""
+
+import pytest
+
+from repro.core.model import MarkovModel
+from repro.exceptions import SimulationError
+from repro.simulation.ctmc_sim import simulate_ctmc
+
+
+class TestSimulateCtmc:
+    def test_converges_to_analytic_availability(
+        self, two_state_model
+    ):
+        """A moderately fast chain: simulated availability approaches
+        Mu/(La+Mu) over a long horizon."""
+        values = {"La": 0.5, "Mu": 2.0}
+        result = simulate_ctmc(
+            two_state_model, horizon=20_000.0, values=values, seed=42
+        )
+        assert result.availability == pytest.approx(2.0 / 2.5, abs=0.01)
+
+    def test_time_accounting_complete(self, two_state_model):
+        values = {"La": 0.5, "Mu": 2.0}
+        result = simulate_ctmc(
+            two_state_model, horizon=500.0, values=values, seed=1
+        )
+        assert sum(result.time_in_state.values()) == pytest.approx(500.0)
+
+    def test_failure_and_downtime_bookkeeping(self, two_state_model):
+        values = {"La": 0.5, "Mu": 2.0}
+        result = simulate_ctmc(
+            two_state_model, horizon=2000.0, values=values, seed=7
+        )
+        assert result.n_failures > 0
+        # Completed down periods average 1/Mu.
+        assert result.mean_downtime_hours == pytest.approx(0.5, rel=0.1)
+        # Downtime events can lag failures by at most the one open period.
+        assert (
+            result.n_failures - len(result.downtime_events) in (0, 1)
+        )
+
+    def test_reproducible_with_seed(self, two_state_model):
+        values = {"La": 0.5, "Mu": 2.0}
+        a = simulate_ctmc(two_state_model, 100.0, values, seed=5)
+        b = simulate_ctmc(two_state_model, 100.0, values, seed=5)
+        assert a.availability == b.availability
+        assert a.n_transitions == b.n_transitions
+
+    def test_initial_state_override(self, two_state_model):
+        values = {"La": 1e-9, "Mu": 1e-9}
+        result = simulate_ctmc(
+            two_state_model, 1.0, values, initial_state="Down", seed=0
+        )
+        assert result.availability == pytest.approx(0.0)
+
+    def test_absorbing_state_sits(self):
+        model = MarkovModel("absorbing")
+        model.add_state("Up")
+        model.add_state("Dead", reward=0.0)
+        model.add_transition("Up", "Dead", 100.0)
+        result = simulate_ctmc(model, 1000.0, {}, seed=3)
+        assert result.availability < 0.01
+        assert result.n_transitions == 1
+
+    def test_invalid_horizon(self, two_state_model, two_state_values):
+        with pytest.raises(SimulationError):
+            simulate_ctmc(two_state_model, 0.0, two_state_values)
+
+    def test_seed_and_rng_mutually_exclusive(
+        self, two_state_model, two_state_values
+    ):
+        import numpy as np
+
+        with pytest.raises(SimulationError):
+            simulate_ctmc(
+                two_state_model, 1.0, two_state_values,
+                seed=1, rng=np.random.default_rng(2),
+            )
+
+    def test_max_transitions_guard(self, two_state_model):
+        values = {"La": 1e6, "Mu": 1e6}
+        with pytest.raises(SimulationError, match="transitions"):
+            simulate_ctmc(
+                two_state_model, 10.0, values, seed=0, max_transitions=100
+            )
+
+    def test_values_required_with_model(self, two_state_model):
+        with pytest.raises(SimulationError, match="values"):
+            simulate_ctmc(two_state_model, 1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for random variates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Weibull,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        d = Exponential(rate=2.0)
+        assert d.mean == 0.5
+        samples = [d.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(0.5, rel=0.03)
+
+    def test_invalid_rate(self):
+        with pytest.raises(SimulationError):
+            Exponential(0.0)
+        with pytest.raises(SimulationError):
+            Exponential(float("inf"))
+
+
+class TestDeterministic:
+    def test_always_value(self, rng):
+        d = Deterministic(0.25)
+        assert d.sample(rng) == 0.25
+        assert d.mean == 0.25
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            Deterministic(0.0)
+
+
+class TestLogNormal:
+    def test_mean_matches_parameterization(self, rng):
+        d = LogNormal(mean_value=2.0, cv=0.5)
+        samples = [d.sample(rng) for _ in range(40_000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.03)
+        assert d.mean == 2.0
+
+    def test_cv_controls_spread(self, rng):
+        tight = LogNormal(1.0, 0.1)
+        wide = LogNormal(1.0, 1.5)
+        t = [tight.sample(rng) for _ in range(5000)]
+        w = [wide.sample(rng) for _ in range(5000)]
+        assert np.std(t) < np.std(w)
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            LogNormal(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            LogNormal(1.0, 0.0)
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential(self, rng):
+        d = Weibull(shape=1.0, scale=2.0)
+        assert d.mean == pytest.approx(2.0)
+        samples = [d.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.03)
+
+    def test_gamma_mean_formula(self, rng):
+        import math
+
+        d = Weibull(shape=2.0, scale=1.0)
+        assert d.mean == pytest.approx(math.gamma(1.5))
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            Weibull(0.0, 1.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine, StateTimeAccumulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda e, p: fired.append(p), payload="c")
+        engine.schedule(1.0, lambda e, p: fired.append(p), payload="a")
+        engine.schedule(2.0, lambda e, p: fired.append(p), payload="b")
+        engine.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for name in "xyz":
+            engine.schedule(1.0, lambda e, p: fired.append(p), payload=name)
+        engine.run_until(2.0)
+        assert fired == ["x", "y", "z"]
+
+    def test_clock_advances_to_horizon(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda e, p: None)
+        engine.run_until(5.0)
+        assert engine.now == 5.0
+
+    def test_events_beyond_horizon_stay_pending(self):
+        engine = SimulationEngine()
+        engine.schedule(7.0, lambda e, p: None)
+        engine.run_until(5.0)
+        assert engine.pending_events == 1
+        assert engine.events_fired == 0
+
+    def test_callback_can_schedule_more(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(eng, n):
+            fired.append(n)
+            if n < 3:
+                eng.schedule(1.0, chain, payload=n + 1)
+
+        engine.schedule(1.0, chain, payload=1)
+        engine.run_until(10.0)
+        assert fired == [1, 2, 3]
+
+    def test_cancellation(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda e, p: fired.append("no"))
+        event.cancel()
+        engine.run_until(5.0)
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError, match="delay"):
+            engine.schedule(-1.0, lambda e, p: None)
+
+    def test_run_backwards_rejected(self):
+        engine = SimulationEngine()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine()
+
+        def storm(eng, _):
+            eng.schedule(0.0, storm)
+
+        engine.schedule(0.0, storm)
+        with pytest.raises(SimulationError, match="runaway|exceeded"):
+            engine.run_until(1.0, max_events=100)
+
+    def test_run_all_drains_terminating_calendar(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(eng, n):
+            fired.append(n)
+            if n < 5:
+                eng.schedule(2.0, chain, payload=n + 1)
+
+        engine.schedule(1.0, chain, payload=1)
+        engine.run_all()
+        assert fired == [1, 2, 3, 4, 5]
+        assert engine.now == pytest.approx(9.0)
+
+
+class TestStateTimeAccumulator:
+    def test_accumulates_per_state(self):
+        acc = StateTimeAccumulator("up", 0.0)
+        acc.change("down", 3.0)
+        acc.change("up", 4.5)
+        totals = acc.finalize(10.0)
+        assert totals["up"] == pytest.approx(3.0 + 5.5)
+        assert totals["down"] == pytest.approx(1.5)
+
+    def test_time_going_backwards_rejected(self):
+        acc = StateTimeAccumulator("up", 5.0)
+        with pytest.raises(SimulationError):
+            acc.change("down", 1.0)
+
+    def test_finalize_before_last_change_rejected(self):
+        acc = StateTimeAccumulator("up", 0.0)
+        acc.change("down", 5.0)
+        with pytest.raises(SimulationError):
+            acc.finalize(4.0)
+
+    def test_repeated_same_state(self):
+        acc = StateTimeAccumulator("up", 0.0)
+        acc.change("up", 2.0)
+        totals = acc.finalize(4.0)
+        assert totals == {"up": pytest.approx(4.0)}

@@ -1,0 +1,49 @@
+"""Unit tests for replication statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.replication import run_replications
+
+
+class TestRunReplications:
+    def test_mean_and_interval(self):
+        def experiment(seed: int) -> float:
+            return float(np.random.default_rng(seed).normal(10.0, 1.0))
+
+        summary = run_replications(experiment, 50, master_seed=1)
+        assert summary.n == 50
+        assert summary.mean == pytest.approx(10.0, abs=0.5)
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.contains(10.0)
+
+    def test_reproducible_with_master_seed(self):
+        def experiment(seed: int) -> float:
+            return float(np.random.default_rng(seed).random())
+
+        a = run_replications(experiment, 10, master_seed=9)
+        b = run_replications(experiment, 10, master_seed=9)
+        assert a.values == b.values
+
+    def test_distinct_seeds_per_replication(self):
+        seeds = []
+        run_replications(lambda s: seeds.append(s) or 0.0, 20, master_seed=2)
+        assert len(set(seeds)) == 20
+
+    def test_minimum_replications(self):
+        with pytest.raises(SimulationError):
+            run_replications(lambda s: 0.0, 1)
+
+    def test_half_width(self):
+        def experiment(seed: int) -> float:
+            return float(np.random.default_rng(seed).normal())
+
+        summary = run_replications(experiment, 30, master_seed=3)
+        assert summary.half_width == pytest.approx(
+            (summary.ci_high - summary.ci_low) / 2.0
+        )
+
+    def test_summary_text(self):
+        summary = run_replications(lambda s: float(s % 7), 5, master_seed=4)
+        assert "replications" in summary.summary()

@@ -1,0 +1,44 @@
+"""Unit tests for markings."""
+
+import pytest
+
+from repro.exceptions import PetriNetError
+from repro.spn.marking import Marking
+
+
+class TestMarking:
+    def test_tokens_access(self):
+        m = Marking({"Up": 2, "Down": 0})
+        assert m.tokens("Up") == 2
+        assert m["Down"] == 0
+        assert m.tokens("Absent") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(PetriNetError):
+            Marking({"Up": -1})
+
+    def test_updated_applies_deltas(self):
+        m = Marking({"Up": 2, "Down": 0})
+        m2 = m.updated({"Up": -1, "Down": 1})
+        assert m2["Up"] == 1 and m2["Down"] == 1
+        assert m["Up"] == 2  # immutable
+
+    def test_updated_rejects_negative_result(self):
+        with pytest.raises(PetriNetError, match="negative"):
+            Marking({"Up": 0}).updated({"Up": -1})
+
+    def test_equality_and_hash(self):
+        a = Marking({"x": 1, "y": 2})
+        b = Marking({"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Marking({"x": 1, "y": 3})
+
+    def test_label_canonical_order(self):
+        assert Marking({"b": 1, "a": 2}).label() == "a=2,b=1"
+
+    def test_as_dict_copy(self):
+        m = Marking({"x": 1})
+        d = m.as_dict()
+        d["x"] = 99
+        assert m["x"] == 1

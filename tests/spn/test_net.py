@@ -1,0 +1,126 @@
+"""Unit tests for Petri net structure and firing semantics."""
+
+import pytest
+
+from repro.exceptions import PetriNetError
+from repro.spn.marking import Marking
+from repro.spn.net import PetriNet
+
+
+def simple_net() -> PetriNet:
+    net = PetriNet("simple")
+    net.add_place("Up", 2)
+    net.add_place("Down", 0)
+    net.add_timed_transition("fail", "La", server="infinite")
+    net.add_input_arc("Up", "fail")
+    net.add_output_arc("fail", "Down")
+    net.add_timed_transition("repair", "Mu")
+    net.add_input_arc("Down", "repair")
+    net.add_output_arc("repair", "Up")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_place(self):
+        net = PetriNet("n")
+        net.add_place("P")
+        with pytest.raises(PetriNetError, match="duplicate place"):
+            net.add_place("P")
+
+    def test_duplicate_transition(self):
+        net = PetriNet("n")
+        net.add_place("P")
+        net.add_timed_transition("t", 1.0)
+        with pytest.raises(PetriNetError, match="duplicate transition"):
+            net.add_immediate_transition("t")
+
+    def test_arc_to_unknown_place(self):
+        net = PetriNet("n")
+        net.add_place("P")
+        net.add_timed_transition("t", 1.0)
+        with pytest.raises(PetriNetError, match="unknown place"):
+            net.add_input_arc("Q", "t")
+
+    def test_arc_to_unknown_transition(self):
+        net = PetriNet("n")
+        net.add_place("P")
+        with pytest.raises(PetriNetError, match="unknown transition"):
+            net.add_input_arc("P", "t")
+
+    def test_bad_multiplicity(self):
+        net = simple_net()
+        with pytest.raises(PetriNetError, match="multiplicity"):
+            net.add_input_arc("Up", "fail", 0)
+
+    def test_bad_server_semantics(self):
+        net = PetriNet("n")
+        net.add_place("P")
+        with pytest.raises(PetriNetError, match="server"):
+            net.add_timed_transition("t", 1.0, server="multi")
+
+    def test_immediate_weight_positive(self):
+        net = PetriNet("n")
+        with pytest.raises(PetriNetError, match="weight"):
+            net.add_immediate_transition("t", weight=0.0)
+
+    def test_initial_marking(self):
+        assert simple_net().initial_marking() == Marking({"Up": 2, "Down": 0})
+
+    def test_required_parameters(self):
+        assert simple_net().required_parameters() == {"La", "Mu"}
+
+    def test_validate_rejects_arcless_transition(self):
+        net = PetriNet("n")
+        net.add_place("P", 1)
+        net.add_timed_transition("t", 1.0)
+        with pytest.raises(PetriNetError, match="no arcs"):
+            net.validate()
+
+
+class TestFiring:
+    def test_enablement(self):
+        net = simple_net()
+        m = net.initial_marking()
+        assert net.is_enabled("fail", m)
+        assert not net.is_enabled("repair", m)
+
+    def test_enabling_degree(self):
+        net = simple_net()
+        assert net.enabling_degree("fail", Marking({"Up": 2, "Down": 0})) == 2
+        assert net.enabling_degree("fail", Marking({"Up": 0, "Down": 2})) == 0
+
+    def test_fire_moves_tokens(self):
+        net = simple_net()
+        m = net.fire("fail", net.initial_marking())
+        assert m == Marking({"Up": 1, "Down": 1})
+
+    def test_fire_disabled_rejected(self):
+        net = simple_net()
+        with pytest.raises(PetriNetError, match="not enabled"):
+            net.fire("repair", net.initial_marking())
+
+    def test_inhibitor_arc_blocks(self):
+        net = PetriNet("inh")
+        net.add_place("P", 1)
+        net.add_place("Block", 1)
+        net.add_place("Q", 0)
+        net.add_timed_transition("t", 1.0)
+        net.add_input_arc("P", "t")
+        net.add_output_arc("t", "Q")
+        net.add_inhibitor_arc("Block", "t")
+        assert not net.is_enabled("t", net.initial_marking())
+        assert net.is_enabled("t", Marking({"P": 1, "Block": 0, "Q": 0}))
+
+    def test_priority_selects_highest(self):
+        net = PetriNet("prio")
+        net.add_place("P", 1)
+        net.add_place("A", 0)
+        net.add_place("B", 0)
+        net.add_immediate_transition("low", priority=1)
+        net.add_immediate_transition("high", priority=2)
+        net.add_input_arc("P", "low")
+        net.add_output_arc("low", "A")
+        net.add_input_arc("P", "high")
+        net.add_output_arc("high", "B")
+        enabled = net.enabled_immediate(net.initial_marking())
+        assert [t.name for t in enabled] == ["high"]

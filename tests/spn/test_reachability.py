@@ -1,0 +1,165 @@
+"""Unit tests for reachability-graph generation."""
+
+import pytest
+
+from repro.exceptions import PetriNetError
+from repro.spn.net import PetriNet
+from repro.spn.reachability import build_reachability_graph
+
+
+def pair_net() -> PetriNet:
+    net = PetriNet("pair")
+    net.add_place("Up", 2)
+    net.add_place("Down", 0)
+    net.add_timed_transition("fail", "La", server="infinite")
+    net.add_input_arc("Up", "fail")
+    net.add_output_arc("fail", "Down")
+    net.add_timed_transition("repair", "Mu")
+    net.add_input_arc("Down", "repair")
+    net.add_output_arc("repair", "Up")
+    return net
+
+
+class TestTangibleGraph:
+    def test_marking_count(self):
+        graph = build_reachability_graph(pair_net(), {"La": 1.0, "Mu": 2.0})
+        assert graph.n_markings == 3  # Up in {2,1,0}
+
+    def test_rates_respect_enabling_degree(self):
+        graph = build_reachability_graph(pair_net(), {"La": 1.0, "Mu": 2.0})
+        i2 = graph.index_of
+        from repro.spn.marking import Marking
+
+        full = i2(Marking({"Up": 2, "Down": 0}))
+        one = i2(Marking({"Up": 1, "Down": 1}))
+        zero = i2(Marking({"Up": 0, "Down": 2}))
+        assert graph.edges[(full, one)] == pytest.approx(2.0)  # 2 * La
+        assert graph.edges[(one, zero)] == pytest.approx(1.0)
+        assert graph.edges[(one, full)] == pytest.approx(2.0)  # single server
+
+    def test_initial_is_first(self):
+        graph = build_reachability_graph(pair_net(), {"La": 1.0, "Mu": 2.0})
+        assert graph.initial_index == 0
+        assert graph.markings[0]["Up"] == 2
+
+    def test_zero_rate_edges_dropped(self):
+        graph = build_reachability_graph(pair_net(), {"La": 0.0, "Mu": 2.0})
+        # Only the initial marking is reachable.
+        assert graph.n_markings == 1
+
+
+class TestVanishingElimination:
+    def test_immediate_branch_probabilities(self):
+        """Timed firing into a vanishing marking splits by weight."""
+        net = PetriNet("branch")
+        net.add_place("Start", 1)
+        net.add_place("Mid", 0)
+        net.add_place("A", 0)
+        net.add_place("B", 0)
+        net.add_timed_transition("go", 4.0)
+        net.add_input_arc("Start", "go")
+        net.add_output_arc("go", "Mid")
+        net.add_immediate_transition("toA", weight=1.0)
+        net.add_input_arc("Mid", "toA")
+        net.add_output_arc("toA", "A")
+        net.add_immediate_transition("toB", weight=3.0)
+        net.add_input_arc("Mid", "toB")
+        net.add_output_arc("toB", "B")
+        # Make it ergodic: A and B drain back to Start.
+        net.add_timed_transition("backA", 1.0)
+        net.add_input_arc("A", "backA")
+        net.add_output_arc("backA", "Start")
+        net.add_timed_transition("backB", 1.0)
+        net.add_input_arc("B", "backB")
+        net.add_output_arc("backB", "Start")
+
+        graph = build_reachability_graph(net, {})
+        from repro.spn.marking import Marking
+
+        start = graph.index_of(Marking({"Start": 1, "Mid": 0, "A": 0, "B": 0}))
+        a = graph.index_of(Marking({"Start": 0, "Mid": 0, "A": 1, "B": 0}))
+        b = graph.index_of(Marking({"Start": 0, "Mid": 0, "A": 0, "B": 1}))
+        assert graph.edges[(start, a)] == pytest.approx(1.0)  # 4 * 1/4
+        assert graph.edges[(start, b)] == pytest.approx(3.0)  # 4 * 3/4
+
+    def test_immediate_loop_detected(self):
+        net = PetriNet("loop")
+        net.add_place("P", 1)
+        net.add_place("Q", 0)
+        net.add_immediate_transition("pq")
+        net.add_input_arc("P", "pq")
+        net.add_output_arc("pq", "Q")
+        net.add_immediate_transition("qp")
+        net.add_input_arc("Q", "qp")
+        net.add_output_arc("qp", "P")
+        with pytest.raises(PetriNetError, match="vanishing"):
+            build_reachability_graph(net, {})
+
+
+class TestMarkingDependentRates:
+    def _accelerated_net(self) -> PetriNet:
+        """Failure rate doubles per already-down unit: the paper's
+        workload-acceleration law written directly in the rate."""
+        net = PetriNet("accelerated")
+        net.add_place("Up", 2)
+        net.add_place("Down", 0)
+        net.add_timed_transition("fail", "Up * La * 2 ** Down")
+        net.add_input_arc("Up", "fail")
+        net.add_output_arc("fail", "Down")
+        net.add_timed_transition("repair", "Mu")
+        net.add_input_arc("Down", "repair")
+        net.add_output_arc("repair", "Up")
+        return net
+
+    def test_rates_follow_the_marking(self):
+        graph = build_reachability_graph(
+            self._accelerated_net(), {"La": 1.0, "Mu": 5.0}
+        )
+        from repro.spn.marking import Marking
+
+        full = graph.index_of(Marking({"Up": 2, "Down": 0}))
+        one = graph.index_of(Marking({"Up": 1, "Down": 1}))
+        zero = graph.index_of(Marking({"Up": 0, "Down": 2}))
+        assert graph.edges[(full, one)] == pytest.approx(2.0)   # 2*La*2^0
+        assert graph.edges[(one, zero)] == pytest.approx(2.0)   # 1*La*2^1
+        assert graph.edges[(one, full)] == pytest.approx(5.0)
+
+    def test_matches_hand_built_accelerated_chain(self):
+        from repro.core.model import birth_death_model
+        from repro.ctmc.rewards import steady_state_availability
+        from repro.spn.analysis import solve_petri_net
+
+        la, mu = 0.05, 2.0
+        spn = solve_petri_net(
+            self._accelerated_net(), {"La": la, "Mu": mu},
+            reward=lambda m: 1.0 if m["Up"] >= 1 else 0.0,
+        )
+        hand = birth_death_model(
+            "hand", 3, [2 * la, 2 * la], [mu, mu]
+        )
+        reference = steady_state_availability(hand, {})
+        assert spn.availability == pytest.approx(
+            reference.availability, rel=1e-10
+        )
+
+    def test_place_parameter_collision_rejected(self):
+        net = self._accelerated_net()
+        with pytest.raises(PetriNetError, match="collide"):
+            build_reachability_graph(
+                net, {"La": 1.0, "Mu": 5.0, "Down": 3.0}
+            )
+
+
+class TestGuards:
+    def test_missing_parameter(self):
+        with pytest.raises(PetriNetError, match="missing parameter"):
+            build_reachability_graph(pair_net(), {"La": 1.0})
+
+    def test_unbounded_net_capped(self):
+        net = PetriNet("unbounded")
+        net.add_place("P", 1)
+        net.add_timed_transition("spawn", 1.0)
+        net.add_input_arc("P", "spawn")
+        net.add_output_arc("spawn", "P", multiplicity=2)
+        with pytest.raises(PetriNetError, match="exceeded"):
+            build_reachability_graph(net, {}, max_markings=50)

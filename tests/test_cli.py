@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.instances == 2 and args.pairs == 2
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        assert main(["solve"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Config 1" in out and "Config 2" in out
+        assert "YD due to AS" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimal: 4 instances / 4 pairs" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--points", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Tstart_long" in out
+        assert "crossover" in out
+
+    def test_sweep_config2_retains_five_nines(self, capsys):
+        assert main(
+            ["sweep", "--instances", "4", "--pairs", "4", "--points", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "retained" in out
+
+    def test_uncertainty(self, capsys):
+        assert main(["uncertainty", "--samples", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean" in out and "5.25" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", "--injections", "25", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "FIR" in out
+
+    def test_longevity(self, capsys):
+        assert main(["longevity", "--days", "0.5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "failure-rate bound" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,69 @@
+"""Unit tests for the extended CLI commands (risk, plan, export-dot)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRisk:
+    def test_risk_defaults(self, capsys):
+        assert main(["risk", "--years", "2000", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "P(zero-downtime year)" in out
+        assert "outages/year" in out
+
+    def test_risk_custom_sla(self, capsys):
+        assert main(
+            ["risk", "--years", "1000", "--sla", "10", "--seed", "5"]
+        ) == 0
+        assert "P(> 10 min)" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_plan_five_nines(self, capsys):
+        assert main(["plan", "--nines", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "2 instances / 2 pairs" in out
+
+    def test_plan_unreachable(self, capsys):
+        assert main(["plan", "--nines", "9", "--max-instances", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "no shape" in out
+
+
+class TestAssess:
+    def test_assess_report(self, capsys):
+        assert main(
+            ["assess", "--samples", "60", "--years", "2000", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "AVAILABILITY ASSESSMENT" in out
+        assert "Uncertainty analysis" in out
+        assert "Single-year risk" in out
+
+
+class TestMission:
+    def test_mission_runs(self, capsys):
+        assert main(
+            ["mission", "--hours", "100", "--missions", "30", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P(perfect)" in out and "mission 100" in out
+
+
+class TestExportDot:
+    @pytest.mark.parametrize("model", ["system", "hadb", "appserver"])
+    def test_export_models(self, capsys, model):
+        assert main(["export-dot", model]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert out.rstrip().endswith("}")
+
+    def test_appserver_instance_count(self, capsys):
+        assert main(["export-dot", "appserver", "--instances", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Recovery_3" in out
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["export-dot", "webserver"])

@@ -1,0 +1,137 @@
+"""Cross-module integration tests: the paper's full pipeline end-to-end.
+
+The paper's methodology is measurement -> estimation -> model -> analysis.
+These tests run that chain inside the library: drive the simulated lab,
+estimate parameters from its logs, plug them into the Markov models, and
+compare analytic predictions against independent Monte Carlo simulation.
+"""
+
+import pytest
+
+from repro.ctmc import build_generator, steady_state_availability
+from repro.models.jsas import (
+    PAPER_PARAMETERS,
+    JsasConfiguration,
+    build_hadb_pair_model,
+)
+from repro.simulation import run_replications, simulate_ctmc
+from repro.testbed import run_fault_injection_campaign, run_longevity_test
+from repro.units import HOURS_PER_YEAR
+
+
+class TestMeasurementToModelPipeline:
+    """Section 3 + Section 5: lab data becomes model parameters."""
+
+    def test_campaign_yields_conservative_model_parameters(self):
+        campaign = run_fault_injection_campaign(
+            150, target_kind="hadb", seed=10
+        )
+        # Eq. 1: the campaign bounds FIR; the model value must dominate it
+        # once the campaign is large enough (the paper needed >3,000 for
+        # 0.1%; 150 injections support a weaker bound).
+        coverage = campaign.coverage(0.95)
+        assert coverage.point == 1.0
+        assert coverage.fir_upper < 0.05
+
+        # Measured HADB restart times -> conservative model parameter.
+        summary = campaign.recovery_summary("hadb_restart")
+        conservative = summary.conservative_value(95.0, margin=1.5)
+        model_value = PAPER_PARAMETERS["Tstart_short_hadb"]
+        assert summary.mean < conservative
+        # 40 s measured * 1.5 margin = 60 s: exactly the paper's 1-minute
+        # model value (up to percentile interpolation round-off).
+        assert conservative == pytest.approx(model_value, rel=1e-6)
+
+    def test_longevity_supports_modeled_as_rate(self):
+        result = run_longevity_test(duration_days=7.0, seed=11)
+        assert result.as_failures == 0
+        estimate = result.as_failure_rate_estimate(0.95)
+        # The modeled 52/year (per instance) is far above what even this
+        # short failure-free run can exclude, i.e. the model is
+        # conservative relative to the evidence... the *bound* itself is
+        # what the evidence supports.
+        bound_per_year = estimate.upper * HOURS_PER_YEAR
+        assert bound_per_year > 52.0  # one week of data is weak evidence
+        long_run = run_longevity_test(duration_days=24.0, seed=12)
+        stronger = long_run.as_failure_rate_estimate(0.95)
+        assert stronger.upper < estimate.upper
+
+    def test_estimated_parameters_solve_in_model(self):
+        """Plug campaign-measured values into the HADB model and solve."""
+        campaign = run_fault_injection_campaign(
+            120, target_kind="hadb", seed=13
+        )
+        values = PAPER_PARAMETERS.to_dict()
+        values["Tstart_short_hadb"] = campaign.recovery_summary(
+            "hadb_restart"
+        ).conservative_value(95.0, margin=1.5)
+        values["FIR"] = campaign.coverage(0.95).fir_upper
+        result = steady_state_availability(build_hadb_pair_model(), values)
+        assert 0.999 < result.availability < 1.0
+
+
+class TestAnalyticVersusSimulation:
+    """The analytic engine audited by Monte Carlo."""
+
+    def test_hadb_model_simulation_agrees(self):
+        """Scale the HADB chain's rates up so down events are common, then
+        check the simulator lands on the analytic availability."""
+        values = PAPER_PARAMETERS.to_dict()
+        for key in ("La_hadb", "La_os", "La_hw", "La_mnt"):
+            values[key] *= 2000.0  # compress years into hours
+        model = build_hadb_pair_model()
+        analytic = steady_state_availability(model, values)
+        generator = build_generator(model, values)
+
+        summary = run_replications(
+            lambda seed: simulate_ctmc(
+                generator, horizon=4000.0, seed=seed
+            ).availability,
+            n_replications=10,
+            master_seed=99,
+            confidence=0.99,
+        )
+        assert summary.contains(analytic.availability)
+
+    def test_testbed_availability_tracks_model_prediction(self):
+        """Drive the testbed with background failures at inflated rates
+        and compare measured availability with the Fig. 3 model solved at
+        those rates (agreement within a factor reflecting the testbed's
+        non-exponential timers)."""
+        from repro.testbed.longevity import BackgroundFailureRates
+
+        inflation = 500.0
+        values = PAPER_PARAMETERS.to_dict()
+        values["La_hadb"] *= inflation
+        values["FIR"] = 0.0
+        values["La_os"] = 1e-12
+        values["La_hw"] = 1e-12
+        values["La_mnt"] = 1e-12
+        # Model with measured (not conservative) restart: 40 s.
+        values["Tstart_short_hadb"] = 40.0 / 3600.0
+
+        model_result = steady_state_availability(
+            build_hadb_pair_model(), values
+        )
+
+        background = BackgroundFailureRates(
+            hadb_software=values["La_hadb"]
+        )
+        downtimes = []
+        for seed in range(6):
+            run = run_longevity_test(
+                duration_days=30.0, background=background, seed=seed
+            )
+            downtimes.append(1.0 - run.availability)
+        measured_unavailability = sum(downtimes) / len(downtimes)
+        predicted = 1.0 - model_result.availability
+        assert measured_unavailability == pytest.approx(
+            2 * predicted, rel=1.0, abs=predicted * 3
+        )
+
+
+class TestFullStackSmoke:
+    def test_solve_all_paper_configurations_quickly(self):
+        for n_as, n_pairs in ((1, 0), (2, 2), (4, 4), (10, 10)):
+            result = JsasConfiguration(n_as, n_pairs).solve(PAPER_PARAMETERS)
+            assert 0.999 < result.availability < 1.0

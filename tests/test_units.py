@@ -1,0 +1,68 @@
+"""Unit tests for time-unit conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_per_year(self):
+        assert units.per_year(8760) == pytest.approx(1.0)
+        assert units.per_year(2) == pytest.approx(2.0 / 8760.0)
+
+    def test_per_day(self):
+        assert units.per_day(24) == pytest.approx(1.0)
+
+
+class TestDurationConversions:
+    def test_minutes(self):
+        assert units.minutes(90) == pytest.approx(1.5)
+
+    def test_seconds(self):
+        assert units.seconds(3600) == pytest.approx(1.0)
+
+    def test_days(self):
+        assert units.days(2) == pytest.approx(48.0)
+
+    def test_hours_identity(self):
+        assert units.hours(3.5) == 3.5
+
+
+class TestDowntime:
+    def test_paper_config1_roundtrip(self):
+        """Unavailability 6.635e-6 is the paper's 3.49 minutes."""
+        minutes = units.unavailability_to_yearly_downtime_minutes(6.635e-06)
+        assert minutes == pytest.approx(3.49, abs=0.01)
+        assert units.yearly_downtime_minutes_to_unavailability(
+            minutes
+        ) == pytest.approx(6.635e-06)
+
+    def test_roundtrip_random(self):
+        for u in (1e-7, 1e-5, 1e-3):
+            m = units.unavailability_to_yearly_downtime_minutes(u)
+            assert units.yearly_downtime_minutes_to_unavailability(m) == (
+                pytest.approx(u)
+            )
+
+
+class TestNines:
+    def test_exact_nines(self):
+        assert units.availability_to_nines(0.999) == pytest.approx(3.0)
+        assert units.availability_to_nines(0.99999) == pytest.approx(5.0)
+
+    def test_perfect(self):
+        assert units.availability_to_nines(1.0) == math.inf
+
+    def test_roundtrip(self):
+        for nines in (2.5, 4.0, 5.7):
+            a = units.nines_to_availability(nines)
+            assert units.availability_to_nines(a) == pytest.approx(nines)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            units.availability_to_nines(1.5)
+
+    def test_constants_consistent(self):
+        assert units.SECONDS_PER_YEAR == units.MINUTES_PER_YEAR * 60.0

@@ -1,0 +1,65 @@
+"""Unit tests for fault-injection campaigns."""
+
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.testbed.campaign import run_fault_injection_campaign
+from repro.testbed.cluster import ClusterConfig
+from repro.testbed.faults import FaultSpec
+
+
+class TestCampaign:
+    def test_small_campaign_all_successful(self):
+        result = run_fault_injection_campaign(60, seed=1)
+        assert result.n_injections == 60
+        assert result.n_successful == 60
+
+    def test_recovery_times_collected(self):
+        result = run_fault_injection_campaign(60, seed=2)
+        # Every category measured matches its configured timer.
+        summary = result.recovery_summary("hadb_restart")
+        assert summary.mean == pytest.approx(40.0 / 3600.0, rel=1e-6)
+
+    def test_coverage_estimate_flows_into_eq1(self):
+        result = run_fault_injection_campaign(50, seed=3)
+        estimate = result.coverage(0.95)
+        assert estimate.point == 1.0
+        assert estimate.fir_upper == pytest.approx(
+            1.0 - 50 / (50 + 3.18), abs=0.02
+        )
+
+    def test_target_kind_restriction(self):
+        result = run_fault_injection_campaign(40, target_kind="hadb", seed=4)
+        assert all(kind.startswith("hadb") for kind in result.injected_kinds)
+
+    def test_explicit_fault_menu_cycles(self):
+        menu = [
+            FaultSpec("hadb_kill_all_processes"),
+            FaultSpec("as_kill_processes"),
+        ]
+        result = run_fault_injection_campaign(20, fault_menu=menu, seed=5)
+        assert result.injected_kinds == {
+            "hadb_kill_all_processes": 10,
+            "as_kill_processes": 10,
+        }
+
+    def test_imperfect_recovery_counted_as_failure(self):
+        config = ClusterConfig(fir=1.0)
+        result = run_fault_injection_campaign(
+            20, config=config, target_kind="hadb", seed=6
+        )
+        assert result.n_successful < result.n_injections
+
+    def test_summary_text(self):
+        result = run_fault_injection_campaign(20, seed=7)
+        text = result.summary()
+        assert "injections" in text and "successful" in text
+
+    def test_unknown_category_raises(self):
+        result = run_fault_injection_campaign(10, target_kind="as", seed=8)
+        with pytest.raises(TestbedError, match="no recoveries"):
+            result.recovery_summary("hadb_restart")
+
+    def test_invalid_count(self):
+        with pytest.raises(TestbedError):
+            run_fault_injection_campaign(0)

@@ -1,0 +1,147 @@
+"""Unit tests for the orchestrated test cluster."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.simulation.engine import SimulationEngine
+from repro.testbed.cluster import ClusterConfig, TestCluster
+from repro.testbed.entities import NodeState
+from repro.testbed.faults import FaultSpec
+from repro.units import minutes, seconds
+
+
+def make_cluster(seed=0, **config_kwargs):
+    engine = SimulationEngine()
+    config = ClusterConfig(**config_kwargs)
+    cluster = TestCluster(engine, config, rng=np.random.default_rng(seed))
+    return engine, cluster
+
+
+class TestTopology:
+    def test_table1_layout(self):
+        _engine, cluster = make_cluster()
+        assert set(cluster.instances) == {"as1", "as2"}
+        assert {n.name for n in cluster.nodes.values()} == {
+            "hadb-0a", "hadb-0b", "hadb-1a", "hadb-1b",
+            "hadb-spare1", "hadb-spare2",
+        }
+        assert cluster.system_up
+
+    def test_config_validation(self):
+        with pytest.raises(TestbedError):
+            ClusterConfig(n_as_instances=0)
+        with pytest.raises(TestbedError):
+            ClusterConfig(fir=1.5)
+
+
+class TestASFailurePath:
+    def test_software_failure_recovers_via_health_check(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        assert cluster.instances["as1"].state is NodeState.RESTARTING
+        assert cluster.system_up  # as2 still serving
+        # After restart (25 s) plus a health check (<= 1 min), back in
+        # rotation.
+        engine.run_until(engine.now + minutes(2))
+        assert cluster.instances["as1"].serving
+
+    def test_failover_recorded_when_survivor_exists(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        categories = [r.category for r in cluster.log.recoveries]
+        assert "session_failover" in categories
+
+    def test_all_instances_down_is_outage(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        cluster.inject(FaultSpec("as_kill_processes", target="as2"))
+        assert not cluster.system_up
+        engine.run_until(engine.now + minutes(3))
+        assert cluster.system_up
+        assert len(cluster.log.outages) == 1
+        assert cluster.log.outages[0].cause == "as_all_down"
+
+    def test_double_injection_same_instance_rejected(self):
+        _engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        with pytest.raises(TestbedError, match="already"):
+            cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+
+    def test_hw_failure_takes_physical_repair_time(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("as_power_unplug", target="as1"))
+        engine.run_until(engine.now + minutes(99))
+        assert not cluster.instances["as1"].serving
+        engine.run_until(engine.now + minutes(3))
+        assert cluster.instances["as1"].serving
+
+
+class TestHADBFailurePath:
+    def test_software_restart(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("hadb_kill_all_processes", target="hadb-0a"))
+        assert cluster.nodes["hadb-0a"].state is NodeState.RESTARTING
+        assert cluster.system_up  # companion carries the pair
+        engine.run_until(engine.now + minutes(1))
+        assert cluster.nodes["hadb-0a"].state is NodeState.UP
+        assert cluster.log.recovery_durations("hadb_restart") == (
+            pytest.approx(seconds(40)),
+        )
+
+    def test_hardware_failure_triggers_spare_rebuild(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("hadb_power_unplug", target="hadb-0a"))
+        engine.run_until(engine.now + minutes(13))
+        # A spare took over pair 0.
+        members = [n.name for n in cluster.pair_members(0) if n.active]
+        assert any(name.startswith("hadb-spare") for name in members)
+        assert cluster.log.recovery_durations("spare_rebuild")
+        # The failed node later becomes the new spare.
+        engine.run_until(engine.now + minutes(100))
+        assert cluster.nodes["hadb-0a"].is_spare
+
+    def test_double_failure_in_pair_is_catastrophic(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("hadb_kill_all_processes", target="hadb-0a"))
+        cluster.inject(FaultSpec("hadb_kill_all_processes", target="hadb-0b"))
+        assert not cluster.system_up
+        engine.run_until(engine.now + 1.5)
+        assert cluster.system_up
+        assert cluster.log.outages[0].cause == "hadb_pair_0_down"
+        assert cluster.log.recovery_durations("pair_restore")
+
+    def test_imperfect_recovery_drags_pair_down(self):
+        engine, cluster = make_cluster(fir=1.0)  # force imperfection
+        cluster.inject(FaultSpec("hadb_kill_all_processes", target="hadb-0a"))
+        assert not cluster.system_up
+        successes, total = cluster.log.recovery_success_counts()
+        assert total >= 1 and successes < total
+
+    def test_no_spare_left_node_rejoins_after_repair(self):
+        engine, cluster = make_cluster(n_spares=0)
+        cluster.inject(FaultSpec("hadb_power_unplug", target="hadb-0a"))
+        engine.run_until(engine.now + minutes(99))
+        assert len([n for n in cluster.pair_members(0) if n.active]) == 1
+        engine.run_until(engine.now + minutes(3))
+        assert cluster.nodes["hadb-0a"].state is NodeState.UP
+        assert cluster.nodes["hadb-0a"].pair_index == 0
+
+
+class TestAvailabilityAccounting:
+    def test_availability_report(self):
+        engine, cluster = make_cluster()
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        cluster.inject(FaultSpec("as_kill_processes", target="as2"))
+        engine.run_until(10.0)
+        up, down, availability = cluster.availability_report(10.0)
+        assert up + down == pytest.approx(10.0)
+        assert 0.0 < down < 0.1
+        assert availability == pytest.approx(up / 10.0)
+
+    def test_healthy_cluster_fully_available(self):
+        engine, cluster = make_cluster()
+        engine.run_until(100.0)
+        _up, down, availability = cluster.availability_report(100.0)
+        assert down == 0.0
+        assert availability == 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for testbed entities."""
+
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.simulation.distributions import Deterministic
+from repro.testbed.entities import (
+    ASInstance,
+    HADBNode,
+    NodeState,
+    TimingProfile,
+)
+
+
+class TestTimingProfile:
+    def test_defaults_match_paper_measurements(self):
+        timing = TimingProfile()
+        assert timing.hadb_restart.mean == pytest.approx(40.0 / 3600.0)
+        assert timing.as_restart.mean == pytest.approx(25.0 / 3600.0)
+        assert timing.spare_rebuild.mean == pytest.approx(12.0 / 60.0)
+        assert timing.physical_repair.mean == pytest.approx(100.0 / 60.0)
+        assert timing.health_check_interval == pytest.approx(1.0 / 60.0)
+
+    def test_custom_variates(self):
+        timing = TimingProfile(hadb_restart=Deterministic(0.5))
+        assert timing.hadb_restart.mean == 0.5
+
+    def test_invalid_health_check(self):
+        with pytest.raises(TestbedError):
+            TimingProfile(health_check_interval=0.0)
+
+
+class TestASInstance:
+    def test_serving_requires_up_and_rotation(self):
+        instance = ASInstance("as1")
+        assert instance.serving
+        instance.in_rotation = False
+        assert not instance.serving
+
+    def test_take_down_clears_rotation_and_sessions(self):
+        instance = ASInstance("as1", sessions=5)
+        instance.take_down(NodeState.RESTARTING)
+        assert instance.state is NodeState.RESTARTING
+        assert not instance.in_rotation
+        assert instance.sessions == 0
+
+    def test_take_down_invalid_state(self):
+        with pytest.raises(TestbedError):
+            ASInstance("as1").take_down(NodeState.UP)
+
+
+class TestHADBNode:
+    def test_active_membership(self):
+        node = HADBNode("hadb-0a", pair_index=0)
+        assert node.active
+        assert not node.is_spare
+
+    def test_spare_lifecycle(self):
+        node = HADBNode("spare", pair_index=None, state=NodeState.SPARE)
+        assert node.is_spare
+        node.activate(pair_index=1)
+        assert node.active and node.pair_index == 1
+        node.become_spare()
+        assert node.is_spare and node.pair_index is None
+
+    def test_activate_requires_spare_state(self):
+        node = HADBNode("hadb-0a", pair_index=0)
+        with pytest.raises(TestbedError):
+            node.activate(1)

@@ -1,0 +1,97 @@
+"""Unit tests for measurement-log CSV export."""
+
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.testbed.export import (
+    export_log,
+    failures_to_csv,
+    outages_to_csv,
+    recoveries_from_csv,
+    recoveries_to_csv,
+)
+from repro.testbed.metrics import (
+    MeasurementLog,
+    OutageRecord,
+    RecoveryRecord,
+)
+
+
+@pytest.fixture
+def log():
+    log = MeasurementLog()
+    log.record_failure("as_software")
+    log.record_failure("hadb_hardware")
+    log.record_recovery(
+        RecoveryRecord("as1", "as_restart", 1.0, 1.007, success=True)
+    )
+    log.record_recovery(
+        RecoveryRecord("hadb-0a", "hadb_restart", 2.0, 2.011, success=False)
+    )
+    log.record_outage(OutageRecord("as_all_down", 3.0, 3.05))
+    return log
+
+
+class TestCsvRendering:
+    def test_recoveries_round_trip(self, log):
+        text = recoveries_to_csv(log)
+        records = recoveries_from_csv(text)
+        assert len(records) == 2
+        assert records[0].target == "as1"
+        assert records[0].duration == pytest.approx(0.007)
+        assert records[1].success is False
+
+    def test_outages_csv(self, log):
+        text = outages_to_csv(log)
+        lines = text.strip().splitlines()
+        assert lines[0] == "cause,started_at,ended_at"
+        assert lines[1].startswith("as_all_down,")
+
+    def test_failures_csv_sorted(self, log):
+        text = failures_to_csv(log)
+        lines = text.strip().splitlines()
+        assert lines[1].startswith("as_software,1")
+        assert lines[2].startswith("hadb_hardware,1")
+
+
+class TestExportLog:
+    def test_writes_three_files(self, log, tmp_path):
+        written = export_log(log, tmp_path / "run1")
+        names = sorted(p.name for p in written)
+        assert names == ["failures.csv", "outages.csv", "recoveries.csv"]
+        for path in written:
+            assert path.exists()
+            assert path.read_text().strip()
+
+    def test_campaign_log_exports(self, tmp_path):
+        from repro.testbed import run_fault_injection_campaign
+
+        campaign = run_fault_injection_campaign(25, seed=4)
+        written = export_log(campaign.log, tmp_path)
+        recoveries = recoveries_from_csv(
+            (tmp_path / "recoveries.csv").read_text()
+        )
+        assert len(recoveries) == len(campaign.log.recoveries)
+
+
+class TestMalformedInput:
+    def test_empty_text(self):
+        with pytest.raises(TestbedError, match="empty"):
+            recoveries_from_csv("")
+
+    def test_wrong_header(self):
+        with pytest.raises(TestbedError, match="header"):
+            recoveries_from_csv("a,b,c\n1,2,3\n")
+
+    def test_wrong_field_count(self):
+        text = "target,category,started_at,completed_at,success\nx,y,1.0\n"
+        with pytest.raises(TestbedError, match="fields"):
+            recoveries_from_csv(text)
+
+    def test_bad_number(self):
+        text = (
+            "target,category,started_at,completed_at,success\n"
+            "x,y,abc,2.0,1\n"
+        )
+        with pytest.raises(TestbedError, match="line 2"):
+            recoveries_from_csv(text)

@@ -1,0 +1,45 @@
+"""Unit tests for the fault menu."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.testbed.faults import FAULT_KINDS, FaultSpec, random_fault
+
+
+class TestFaultSpec:
+    def test_classification(self):
+        spec = FaultSpec("hadb_power_unplug")
+        assert spec.target_kind == "hadb"
+        assert spec.effect == "hardware"
+
+    def test_software_faults(self):
+        assert FaultSpec("as_kill_processes").effect == "software"
+        assert FaultSpec("hadb_fast_fail").effect == "software"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TestbedError, match="unknown fault"):
+            FaultSpec("cosmic_ray")
+
+    def test_menu_covers_both_tiers_and_all_effects(self):
+        tiers = {tier for tier, _ in FAULT_KINDS.values()}
+        effects = {effect for _, effect in FAULT_KINDS.values()}
+        assert tiers == {"as", "hadb"}
+        assert effects == {"software", "os", "hardware"}
+
+
+class TestRandomFault:
+    def test_respects_target_kind(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert random_fault(rng, "hadb").target_kind == "hadb"
+            assert random_fault(rng, "as").target_kind == "as"
+
+    def test_unrestricted_draws_from_menu(self):
+        rng = np.random.default_rng(1)
+        kinds = {random_fault(rng).kind for _ in range(200)}
+        assert len(kinds) > 5
+
+    def test_unknown_tier(self):
+        with pytest.raises(TestbedError):
+            random_fault(np.random.default_rng(0), "db")

@@ -1,0 +1,74 @@
+"""Unit tests for longevity (stability) tests."""
+
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.testbed.longevity import (
+    BackgroundFailureRates,
+    run_longevity_test,
+)
+from repro.units import per_year
+
+
+class TestStabilityProtocol:
+    def test_failure_free_run(self):
+        result = run_longevity_test(duration_days=1.0, seed=1)
+        assert result.as_failures == 0
+        assert result.hadb_failures == 0
+        assert result.availability == 1.0
+        assert result.workload.sessions_started > 0
+        assert result.workload.transactions_lost == 0
+
+    def test_exposure_accounting(self):
+        result = run_longevity_test(duration_days=2.0, seed=1)
+        assert result.duration_hours == pytest.approx(48.0)
+        assert result.as_exposure_hours == pytest.approx(96.0)  # 2 instances
+
+    def test_eq2_pipeline(self):
+        """Zero failures in the run produce the paper-style upper bound."""
+        result = run_longevity_test(duration_days=3.0, seed=2)
+        estimate = result.as_failure_rate_estimate(0.95)
+        assert estimate.point == 0.0
+        # chi2(0.95, 2)/(2 * 144 h) in per-hour units.
+        assert estimate.upper == pytest.approx(5.99146 / (2 * 144.0), rel=1e-4)
+
+    def test_summary_text(self):
+        result = run_longevity_test(duration_days=1.0, seed=3)
+        assert "availability" in result.summary()
+
+
+class TestBackgroundFailures:
+    def test_failures_injected_at_configured_rates(self):
+        background = BackgroundFailureRates(
+            as_software=0.05, hadb_software=0.05
+        )
+        result = run_longevity_test(
+            duration_days=4.0, background=background, seed=4
+        )
+        assert result.as_failures > 0
+        assert result.hadb_failures > 0
+        # Failovers happened but the cluster tolerated them.
+        assert result.workload.sessions_failed_over > 0
+
+    def test_rates_validation(self):
+        with pytest.raises(TestbedError):
+            BackgroundFailureRates(as_software=-1.0)
+
+    def test_paper_rate_run_mostly_clean(self):
+        """At the paper's real failure rates a 7-day run is usually
+        failure-free — consistent with the lab observing none."""
+        background = BackgroundFailureRates(
+            as_software=per_year(50),
+            hadb_software=per_year(2),
+        )
+        clean_runs = 0
+        for seed in range(5):
+            result = run_longevity_test(
+                duration_days=7.0, background=background, seed=seed
+            )
+            clean_runs += result.availability == 1.0
+        assert clean_runs >= 3
+
+    def test_invalid_duration(self):
+        with pytest.raises(TestbedError):
+            run_longevity_test(duration_days=0.0)

@@ -1,0 +1,58 @@
+"""Unit tests for the measurement log."""
+
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.testbed.metrics import (
+    MeasurementLog,
+    OutageRecord,
+    RecoveryRecord,
+)
+
+
+class TestRecords:
+    def test_recovery_duration(self):
+        record = RecoveryRecord("as1", "as_restart", 1.0, 1.5)
+        assert record.duration == pytest.approx(0.5)
+        assert record.success
+
+    def test_outage_duration(self):
+        record = OutageRecord("as_all_down", 2.0, 2.25)
+        assert record.duration == pytest.approx(0.25)
+
+
+class TestMeasurementLog:
+    def test_failure_counting(self):
+        log = MeasurementLog()
+        log.record_failure("as_software")
+        log.record_failure("as_software")
+        log.record_failure("hadb_hardware")
+        assert log.failures_by_category["as_software"] == 2
+        assert log.total_failures() == 3
+
+    def test_recovery_durations_by_category(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "x", 0.0, 1.0))
+        log.record_recovery(RecoveryRecord("b", "x", 0.0, 2.0))
+        log.record_recovery(RecoveryRecord("c", "y", 0.0, 3.0))
+        assert log.recovery_durations("x") == (1.0, 2.0)
+        assert log.recovery_durations("missing") == ()
+
+    def test_success_counts(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "x", 0.0, 1.0))
+        log.record_recovery(RecoveryRecord("b", "x", 0.0, 1.0, success=False))
+        assert log.recovery_success_counts() == (1, 2)
+
+    def test_total_outage_hours(self):
+        log = MeasurementLog()
+        log.record_outage(OutageRecord("c", 0.0, 0.5))
+        log.record_outage(OutageRecord("c", 1.0, 1.25))
+        assert log.total_outage_hours() == pytest.approx(0.75)
+
+    def test_invalid_intervals_rejected(self):
+        log = MeasurementLog()
+        with pytest.raises(TestbedError):
+            log.record_recovery(RecoveryRecord("a", "x", 2.0, 1.0))
+        with pytest.raises(TestbedError):
+            log.record_outage(OutageRecord("c", 2.0, 1.0))

@@ -1,0 +1,102 @@
+"""Unit tests: the Section 3 manual fault scenarios all pass."""
+
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.testbed.cluster import ClusterConfig
+from repro.testbed.faults import FaultSpec
+from repro.testbed.scenarios import (
+    MANUAL_SCENARIOS,
+    run_manual_scenarios,
+    run_scenario,
+    scenarios_report,
+)
+
+
+class TestManualScenarios:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_manual_scenarios(seed=11)
+
+    def test_every_scenario_passes(self, outcomes):
+        """The paper: 'the system continued functioning without any major
+        departure from the expected performance' for every manual fault."""
+        failures = [
+            name for name, outcome in outcomes.items() if not outcome.passed
+        ]
+        assert failures == []
+
+    def test_all_menu_entries_ran(self, outcomes):
+        assert set(outcomes) == {name for name, _ in MANUAL_SCENARIOS}
+
+    def test_as_faults_cause_failovers(self, outcomes):
+        assert outcomes["as_kill_processes"].failovers > 0
+        assert outcomes["as_power_unplug"].failovers > 0
+
+    def test_hadb_faults_are_transparent_to_sessions(self, outcomes):
+        """HADB-side faults never lose sessions — the companion node
+        carries the fragment throughout."""
+        outcome = outcomes["hadb_power_unplug"]
+        assert outcome.sessions_lost == 0
+
+    def test_report_renders(self, outcomes):
+        text = scenarios_report(outcomes)
+        assert "PASS" in text
+        assert "FAIL" not in text
+
+
+class TestScenarioMechanics:
+    def test_pair_double_fault_fails_the_criterion(self):
+        """A scenario the system is NOT designed to survive (both nodes
+        of one pair) must report failure — the harness can tell the
+        difference."""
+        outcome = run_scenario(
+            "both_nodes_of_pair_0",
+            (
+                FaultSpec("hadb_kill_all_processes", target="hadb-0a"),
+                FaultSpec("hadb_kill_all_processes", target="hadb-0b"),
+            ),
+            stagger_minutes=0.0,  # hit both before the 40 s restart ends
+            seed=5,
+        )
+        assert not outcome.survived
+        assert not outcome.passed
+
+    def test_staggered_same_pair_faults_are_survived(self):
+        """With a human-scale stagger the first node restarts (40 s)
+        before the second fault arrives — the pair never loses both."""
+        outcome = run_scenario(
+            "both_nodes_staggered",
+            (
+                FaultSpec("hadb_kill_all_processes", target="hadb-0a"),
+                FaultSpec("hadb_kill_all_processes", target="hadb-0b"),
+            ),
+            stagger_minutes=2.0,
+            seed=5,
+        )
+        assert outcome.survived
+
+    def test_recovery_needs_enough_observation_time(self):
+        """Power faults take ~100 min of physical repair: a short window
+        reports recovered=False for the AS instance, not a crash."""
+        outcome = run_scenario(
+            "impatient",
+            (FaultSpec("as_power_unplug", target="as1"),),
+            observation_hours=0.2,
+            seed=6,
+        )
+        assert outcome.survived
+        assert not outcome.recovered
+
+    def test_custom_config(self):
+        outcome = run_scenario(
+            "big_cluster",
+            (FaultSpec("hadb_kill_all_processes", target="hadb-2a"),),
+            config=ClusterConfig(n_as_instances=4, n_hadb_pairs=4),
+            seed=7,
+        )
+        assert outcome.passed
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(TestbedError):
+            scenarios_report({})

@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic workload."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TestbedError
+from repro.simulation.engine import SimulationEngine
+from repro.testbed.cluster import ClusterConfig, TestCluster
+from repro.testbed.faults import FaultSpec
+from repro.testbed.workload import WorkloadProfile, WorkloadRunner
+
+
+def make_rig(seed=0, profile=None, **config_kwargs):
+    engine = SimulationEngine()
+    cluster = TestCluster(
+        engine, ClusterConfig(**config_kwargs), rng=np.random.default_rng(seed)
+    )
+    runner = WorkloadRunner(
+        engine, cluster, profile or WorkloadProfile(), np.random.default_rng(seed)
+    )
+    cluster.add_observer(runner)
+    runner.start()
+    return engine, cluster, runner
+
+
+class TestWorkloadProfile:
+    def test_defaults_valid(self):
+        profile = WorkloadProfile()
+        assert profile.requests_per_hour == pytest.approx(600.0 * 70.0)
+
+    def test_paper_scale(self):
+        profile = WorkloadProfile.paper_scale()
+        # ~7M requests per 7-day week.
+        assert profile.requests_per_hour * 7 * 24 == pytest.approx(7e6)
+
+    def test_scale_factor(self):
+        half = WorkloadProfile.paper_scale(0.5)
+        assert half.requests_per_hour * 7 * 24 == pytest.approx(3.5e6)
+
+    def test_invalid(self):
+        with pytest.raises(TestbedError):
+            WorkloadProfile(session_arrival_rate=0.0)
+        with pytest.raises(TestbedError):
+            WorkloadProfile.paper_scale(0.0)
+
+
+class TestSteadyOperation:
+    def test_sessions_flow_without_failures(self):
+        engine, _cluster, runner = make_rig()
+        engine.run_until(10.0)
+        stats = runner.stats
+        assert stats.sessions_started > 1000
+        assert stats.sessions_completed > 0
+        assert stats.sessions_rejected == 0
+        assert stats.transactions_lost == 0
+
+    def test_round_robin_balances(self):
+        engine, cluster, runner = make_rig()
+        engine.run_until(5.0)
+        live = runner._live
+        total = sum(live.values())
+        if total > 100:
+            ratio = live["as1"] / max(1, live["as2"])
+            assert 0.7 < ratio < 1.4
+
+
+class TestFailureInteraction:
+    def test_failover_moves_sessions(self):
+        engine, cluster, runner = make_rig()
+        engine.run_until(2.0)
+        before = sum(runner._live.values())
+        assert before > 0
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        stats = runner.stats
+        assert stats.sessions_failed_over > 0
+        assert stats.transactions_lost == 0
+        assert runner._live["as1"] == 0
+
+    def test_total_outage_loses_transactions(self):
+        engine, cluster, runner = make_rig()
+        engine.run_until(2.0)
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        cluster.inject(FaultSpec("as_kill_processes", target="as2"))
+        assert runner.stats.transactions_lost > 0
+
+    def test_sessions_rejected_while_down(self):
+        engine, cluster, runner = make_rig()
+        engine.run_until(1.0)
+        cluster.inject(FaultSpec("as_kill_processes", target="as1"))
+        cluster.inject(FaultSpec("as_kill_processes", target="as2"))
+        engine.run_until(engine.now + 0.01)  # while both are down
+        assert runner.stats.sessions_rejected > 0
+
+    def test_pair_loss_destroys_session_state(self):
+        engine, cluster, runner = make_rig()
+        engine.run_until(2.0)
+        live_before = sum(runner._live.values())
+        assert live_before > 0
+        cluster.inject(FaultSpec("hadb_kill_all_processes", target="hadb-0a"))
+        cluster.inject(FaultSpec("hadb_kill_all_processes", target="hadb-0b"))
+        assert runner.stats.transactions_lost >= live_before

@@ -1,0 +1,111 @@
+"""Unit tests for the uncertainty-analysis driver and results."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.uncertainty import (
+    Uniform,
+    UncertaintyAnalysis,
+    UncertaintyResult,
+)
+
+
+def linear_metric(values: dict) -> float:
+    return 2.0 * values["x"] + values["offset"]
+
+
+def make_analysis(sampler="monte_carlo") -> UncertaintyAnalysis:
+    return UncertaintyAnalysis(
+        metric=linear_metric,
+        distributions={"x": Uniform(0.0, 1.0)},
+        base_values={"offset": 10.0},
+        metric_name="y",
+        sampler=sampler,
+    )
+
+
+class TestRun:
+    def test_linear_metric_mean(self):
+        result = make_analysis().run(n_samples=4000, seed=0)
+        # E[2x + 10] with x ~ U(0,1) is 11.
+        assert result.mean == pytest.approx(11.0, abs=0.03)
+
+    def test_latin_hypercube_mean(self):
+        result = make_analysis("latin_hypercube").run(n_samples=500, seed=0)
+        assert result.mean == pytest.approx(11.0, abs=0.01)
+
+    def test_reproducible_with_seed(self):
+        a = make_analysis().run(n_samples=20, seed=5)
+        b = make_analysis().run(n_samples=20, seed=5)
+        assert a.values == b.values
+
+    def test_snapshots_kept_by_default(self):
+        result = make_analysis().run(n_samples=10, seed=1)
+        assert len(result.snapshots) == 10
+        assert all("x" in s for s in result.snapshots)
+
+    def test_snapshots_dropped_on_request(self):
+        result = make_analysis().run(n_samples=10, seed=1, keep_snapshots=False)
+        assert result.snapshots == ()
+
+    def test_base_values_not_mutated(self):
+        analysis = make_analysis()
+        analysis.run(n_samples=5, seed=1)
+        assert analysis.base_values == {"offset": 10.0}
+
+    def test_run_at_means(self):
+        assert make_analysis().run_at_means() == pytest.approx(11.0)
+
+    def test_varied_param_overrides_base_value(self):
+        analysis = UncertaintyAnalysis(
+            metric=lambda v: v["x"],
+            distributions={"x": Uniform(5.0, 6.0)},
+            base_values={"x": 0.0},
+        )
+        result = analysis.run(n_samples=50, seed=0)
+        assert min(result.values) >= 5.0
+
+
+class TestGuards:
+    def test_non_callable_metric(self):
+        with pytest.raises(EstimationError):
+            UncertaintyAnalysis(
+                metric=42,
+                distributions={"x": Uniform(0, 1)},
+                base_values={},
+            )
+
+    def test_unknown_sampler(self):
+        with pytest.raises(EstimationError, match="sampler"):
+            make_analysis("bogus")
+
+
+class TestUncertaintyResult:
+    def test_statistics(self):
+        result = UncertaintyResult("m", tuple(float(i) for i in range(101)))
+        assert result.mean == pytest.approx(50.0)
+        assert result.percentile(50) == pytest.approx(50.0)
+        low, high = result.confidence_interval(0.80)
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(90.0)
+
+    def test_fraction_below(self):
+        result = UncertaintyResult("m", (1.0, 2.0, 3.0, 4.0))
+        assert result.fraction_below(2.5) == 0.5
+
+    def test_scatter_rows(self):
+        result = UncertaintyResult("m", (5.0, 6.0))
+        assert result.scatter_rows() == [(0, 5.0), (1, 6.0)]
+
+    def test_summary_text(self):
+        result = UncertaintyResult("downtime", (1.0, 2.0, 3.0))
+        text = result.summary()
+        assert "downtime" in text and "80%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            UncertaintyResult("m", ())
+
+    def test_snapshot_count_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            UncertaintyResult("m", (1.0, 2.0), ({"a": 1.0},))

@@ -1,0 +1,91 @@
+"""Unit tests for first-order variance decomposition."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.uncertainty import Uniform, UncertaintyAnalysis
+from repro.uncertainty.decomposition import first_order_indices
+from repro.uncertainty.results import UncertaintyResult
+
+
+def run_linear(weight_a=3.0, weight_b=1.0, n=3000, seed=0):
+    """Y = a*A + b*B with A, B ~ U(0,1): S_A = a^2 / (a^2 + b^2)."""
+    analysis = UncertaintyAnalysis(
+        metric=lambda v: weight_a * v["A"] + weight_b * v["B"],
+        distributions={"A": Uniform(0, 1), "B": Uniform(0, 1)},
+        base_values={},
+    )
+    return analysis.run(n_samples=n, seed=seed)
+
+
+class TestFirstOrderIndices:
+    def test_linear_model_exact_shares(self):
+        result = run_linear()
+        indices = first_order_indices(result)
+        expected_a = 9.0 / 10.0
+        assert indices["A"] == pytest.approx(expected_a, abs=0.06)
+        assert indices["B"] == pytest.approx(1.0 - expected_a, abs=0.06)
+
+    def test_sorted_descending(self):
+        indices = first_order_indices(run_linear())
+        assert list(indices) == ["A", "B"]
+
+    def test_irrelevant_parameter_near_zero(self):
+        analysis = UncertaintyAnalysis(
+            metric=lambda v: v["A"],
+            distributions={"A": Uniform(0, 1), "Noise": Uniform(0, 1)},
+            base_values={},
+        )
+        result = analysis.run(n_samples=3000, seed=1)
+        indices = first_order_indices(result)
+        assert indices["Noise"] < 0.03
+        assert indices["A"] > 0.9
+
+    def test_interaction_leaves_residual(self):
+        """Y = A * B is mostly interaction: first-order indices are small
+        and their sum well below 1."""
+        analysis = UncertaintyAnalysis(
+            metric=lambda v: (v["A"] - 0.5) * (v["B"] - 0.5),
+            distributions={"A": Uniform(0, 1), "B": Uniform(0, 1)},
+            base_values={},
+        )
+        result = analysis.run(n_samples=4000, seed=2)
+        indices = first_order_indices(result)
+        assert sum(indices.values()) < 0.2
+
+    def test_paper_downtime_attribution(self, paper_values):
+        """For the Fig. 7 analysis, the AS failure rate and the HW/OS
+        recovery time dominate the downtime variance."""
+        from repro.models.jsas import CONFIG_1, build_uncertainty_analysis
+
+        result = build_uncertainty_analysis(CONFIG_1).run(
+            n_samples=400, seed=7
+        )
+        indices = first_order_indices(result, n_bins=10)
+        top_two = list(indices)[:2]
+        assert set(top_two) <= {"La_as", "Tstart_long_as", "FIR"}
+        assert indices[top_two[0]] > indices.get("La_os", 0.0)
+
+    def test_requires_snapshots(self):
+        result = UncertaintyResult("m", (1.0, 2.0, 3.0))
+        with pytest.raises(EstimationError, match="snapshots"):
+            first_order_indices(result)
+
+    def test_unknown_parameter(self):
+        result = run_linear(n=200)
+        with pytest.raises(EstimationError, match="not in the snapshots"):
+            first_order_indices(result, parameters=["Zed"])
+
+    def test_zero_variance_rejected(self):
+        analysis = UncertaintyAnalysis(
+            metric=lambda v: 42.0,
+            distributions={"A": Uniform(0, 1)},
+            base_values={},
+        )
+        result = analysis.run(n_samples=100, seed=3)
+        with pytest.raises(EstimationError, match="variance"):
+            first_order_indices(result)
+
+    def test_bad_bins(self):
+        with pytest.raises(EstimationError, match="bins"):
+            first_order_indices(run_linear(n=200), n_bins=1)

@@ -1,0 +1,82 @@
+"""Unit tests for the sampling distributions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.uncertainty.distributions import (
+    Fixed,
+    LogUniform,
+    Triangular,
+    Uniform,
+)
+
+
+class TestUniform:
+    def test_ppf_endpoints(self):
+        d = Uniform(2.0, 6.0)
+        assert d.ppf(0.0) == 2.0
+        assert d.ppf(1.0) == 6.0
+        assert d.ppf(0.5) == 4.0
+
+    def test_mean_and_support(self):
+        d = Uniform(0.0, 10.0)
+        assert d.mean == 5.0
+        assert d.support() == (0.0, 10.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(EstimationError):
+            Uniform(2.0, 1.0)
+
+    def test_empirical_mean(self):
+        rng = np.random.default_rng(0)
+        d = Uniform(1.0, 3.0)
+        samples = [d.ppf(u) for u in rng.random(20_000)]
+        assert np.mean(samples) == pytest.approx(2.0, abs=0.02)
+
+
+class TestLogUniform:
+    def test_ppf_endpoints(self):
+        d = LogUniform(1.0, 100.0)
+        assert d.ppf(0.0) == pytest.approx(1.0)
+        assert d.ppf(1.0) == pytest.approx(100.0)
+        assert d.ppf(0.5) == pytest.approx(10.0)
+
+    def test_mean_formula(self):
+        d = LogUniform(1.0, np.e)
+        assert d.mean == pytest.approx(np.e - 1.0)
+
+    def test_requires_positive_low(self):
+        with pytest.raises(EstimationError):
+            LogUniform(0.0, 1.0)
+
+
+class TestTriangular:
+    def test_ppf_endpoints_and_mode(self):
+        d = Triangular(0.0, 1.0, 4.0)
+        assert d.ppf(0.0) == pytest.approx(0.0)
+        assert d.ppf(1.0) == pytest.approx(4.0)
+        # CDF at the mode is (mode-low)/(high-low) = 0.25.
+        assert d.ppf(0.25) == pytest.approx(1.0)
+
+    def test_mean(self):
+        assert Triangular(0.0, 3.0, 6.0).mean == pytest.approx(3.0)
+
+    def test_empirical_mean(self):
+        rng = np.random.default_rng(3)
+        d = Triangular(1.0, 2.0, 6.0)
+        samples = [d.ppf(u) for u in rng.random(20_000)]
+        assert np.mean(samples) == pytest.approx(3.0, abs=0.05)
+
+    def test_mode_outside_range_rejected(self):
+        with pytest.raises(EstimationError):
+            Triangular(0.0, 5.0, 4.0)
+
+
+class TestFixed:
+    def test_always_the_value(self):
+        d = Fixed(7.0)
+        assert d.ppf(0.0) == 7.0
+        assert d.ppf(0.99) == 7.0
+        assert d.mean == 7.0
+        assert d.support() == (7.0, 7.0)

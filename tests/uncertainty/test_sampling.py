@@ -1,0 +1,68 @@
+"""Unit tests for Monte Carlo and Latin hypercube sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.uncertainty.distributions import Uniform
+from repro.uncertainty.sampling import (
+    latin_hypercube_samples,
+    monte_carlo_samples,
+)
+
+DISTS = {"a": Uniform(0.0, 1.0), "b": Uniform(10.0, 20.0)}
+
+
+@pytest.mark.parametrize(
+    "sampler", [monte_carlo_samples, latin_hypercube_samples]
+)
+class TestCommon:
+    def test_shape_and_keys(self, sampler):
+        samples = sampler(DISTS, 50, np.random.default_rng(0))
+        assert len(samples) == 50
+        assert all(set(s) == {"a", "b"} for s in samples)
+
+    def test_values_in_support(self, sampler):
+        samples = sampler(DISTS, 200, np.random.default_rng(1))
+        assert all(0.0 <= s["a"] <= 1.0 for s in samples)
+        assert all(10.0 <= s["b"] <= 20.0 for s in samples)
+
+    def test_reproducible_with_seeded_rng(self, sampler):
+        a = sampler(DISTS, 10, np.random.default_rng(42))
+        b = sampler(DISTS, 10, np.random.default_rng(42))
+        assert a == b
+
+    def test_zero_samples_rejected(self, sampler):
+        with pytest.raises(EstimationError):
+            sampler(DISTS, 0)
+
+    def test_empty_distributions_rejected(self, sampler):
+        with pytest.raises(EstimationError):
+            sampler({}, 10)
+
+    def test_non_distribution_rejected(self, sampler):
+        with pytest.raises(EstimationError):
+            sampler({"a": (0.0, 1.0)}, 10)
+
+
+class TestLatinHypercubeStratification:
+    def test_one_sample_per_stratum(self):
+        n = 100
+        samples = latin_hypercube_samples(
+            {"x": Uniform(0.0, 1.0)}, n, np.random.default_rng(7)
+        )
+        strata = sorted(int(s["x"] * n) for s in samples)
+        assert strata == list(range(n))
+
+    def test_lower_mean_variance_than_monte_carlo(self):
+        """LHS mean estimates should be tighter than plain MC."""
+        n, reps = 40, 60
+        mc_means, lhs_means = [], []
+        for seed in range(reps):
+            rng = np.random.default_rng(seed)
+            mc = monte_carlo_samples({"x": Uniform(0.0, 1.0)}, n, rng)
+            rng = np.random.default_rng(seed)
+            lhs = latin_hypercube_samples({"x": Uniform(0.0, 1.0)}, n, rng)
+            mc_means.append(np.mean([s["x"] for s in mc]))
+            lhs_means.append(np.mean([s["x"] for s in lhs]))
+        assert np.var(lhs_means) < np.var(mc_means)
