@@ -6,6 +6,7 @@ reward rates plus transitions whose rates are either numbers or symbolic
 expressions over a :class:`~repro.core.parameters.ParameterSet`.
 """
 
+from repro.core.compiled import CompiledModel, compile_model
 from repro.core.expressions import Expression, compile_expression
 from repro.core.parameters import Parameter, ParameterSet
 from repro.core.model import MarkovModel, State, Transition
@@ -18,6 +19,8 @@ from repro.core.serialize import (
 )
 
 __all__ = [
+    "CompiledModel",
+    "compile_model",
     "Expression",
     "compile_expression",
     "Parameter",

@@ -40,7 +40,59 @@ ALLOWED_CONSTANTS: Dict[str, float] = {
 _ALLOWED_BINOPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow, ast.Mod, ast.FloorDiv)
 _ALLOWED_UNARYOPS = (ast.UAdd, ast.USub)
 
+#: Shared evaluation globals: constants + whitelisted functions.  Built
+#: once at import time so :meth:`Expression.__call__` only has to build
+#: the (small) per-call parameter overlay, not the whole namespace.
+_BASE_NAMESPACE: Dict[str, object] = {"__builtins__": {}}
+_BASE_NAMESPACE.update(ALLOWED_CONSTANTS)
+_BASE_NAMESPACE.update(ALLOWED_FUNCTIONS)
+
 RateLike = Union[str, float, int, "Expression"]
+
+
+def _vectorized_min(*args):
+    import functools
+
+    import numpy as np
+
+    return functools.reduce(np.minimum, args)
+
+
+def _vectorized_max(*args):
+    import functools
+
+    import numpy as np
+
+    return functools.reduce(np.maximum, args)
+
+
+def vector_namespace() -> Dict[str, object]:
+    """Evaluation namespace mapping the whitelist onto NumPy ufuncs.
+
+    Used by :mod:`repro.core.compiled` to evaluate many parameter samples
+    at once: every function accepts arrays (or plain floats) and
+    broadcasts.  Arithmetic on plain Python floats is untouched, so
+    expressions over non-varied parameters produce bit-identical scalars.
+    """
+    import numpy as np
+
+    namespace: Dict[str, object] = {"__builtins__": {}}
+    namespace.update(ALLOWED_CONSTANTS)
+    namespace.update(
+        {
+            "exp": np.exp,
+            "log": np.log,
+            "log10": np.log10,
+            "sqrt": np.sqrt,
+            "min": _vectorized_min,
+            "max": _vectorized_max,
+            "abs": np.abs,
+            "pow": np.power,
+            "floor": np.floor,
+            "ceil": np.ceil,
+        }
+    )
+    return namespace
 
 
 class Expression:
@@ -70,11 +122,13 @@ class Expression:
                 f"expression {self.source!r} needs parameter(s) "
                 f"{sorted(missing)} which were not supplied"
             )
-        namespace = dict(ALLOWED_CONSTANTS)
-        namespace.update(ALLOWED_FUNCTIONS)
-        namespace.update({name: float(values[name]) for name in self.variables})
+        # The constants+functions base lives in the shared (immutable)
+        # globals; only the parameter overlay is built per call.  Locals
+        # shadow globals during evaluation, preserving the old behavior
+        # where parameter values took precedence over constants.
+        overlay = {name: float(values[name]) for name in self.variables}
         try:
-            result = eval(self._code, {"__builtins__": {}}, namespace)  # noqa: S307
+            result = eval(self._code, _BASE_NAMESPACE, overlay)  # noqa: S307
         except ZeroDivisionError as exc:
             raise ExpressionError(
                 f"expression {self.source!r} divided by zero with values "

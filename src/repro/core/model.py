@@ -98,6 +98,11 @@ class MarkovModel:
         self._states: Dict[str, State] = {}
         self._transitions: List[Transition] = []
         self._transition_keys: Set[Tuple[str, str]] = set()
+        # Mutation counter: bumped on every add_state/add_transition so
+        # that structural-validation results (and compiled forms, see
+        # repro.core.compiled) can be memoized and safely invalidated.
+        self._version: int = 0
+        self._validated_version: Optional[int] = None
 
     # Construction -------------------------------------------------------
 
@@ -109,6 +114,7 @@ class MarkovModel:
             raise ModelError(f"duplicate state {name!r} in model {self.name!r}")
         state = State(name=name, reward=float(reward), description=description)
         self._states[name] = state
+        self._version += 1
         return state
 
     def add_transition(
@@ -149,6 +155,7 @@ class MarkovModel:
         )
         self._transitions.append(transition)
         self._transition_keys.add(key)
+        self._version += 1
         return transition
 
     # Introspection -------------------------------------------------------
@@ -212,6 +219,15 @@ class MarkovModel:
         self.state(name)
         return tuple(t for t in self._transitions if t.target == name)
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped by add_state/add_transition).
+
+        Callers that cache derived artifacts (validation verdicts,
+        compiled programs) key them on this value.
+        """
+        return self._version
+
     def __len__(self) -> int:
         return len(self._states)
 
@@ -236,14 +252,22 @@ class MarkovModel:
         exist for this parameterization, which the caller must decide
         explicitly (see :func:`repro.ctmc.generator.build_generator`'s
         ``drop_zero_rates`` flag).
+
+        The structural checks are memoized: once a given construction
+        state of the model has validated cleanly, repeat calls (e.g. from
+        :func:`repro.ctmc.generator.build_generator` inside a sweep loop)
+        return immediately until the model is mutated again.  The numeric
+        checks always run when ``values`` is supplied.
         """
-        if not self._states:
-            raise ModelError(f"model {self.name!r} has no states")
-        if not any(s.is_up for s in self._states.values()):
-            raise ModelError(
-                f"model {self.name!r} has no up (reward > 0) states"
-            )
-        self._check_weak_connectivity()
+        if self._validated_version != self._version:
+            if not self._states:
+                raise ModelError(f"model {self.name!r} has no states")
+            if not any(s.is_up for s in self._states.values()):
+                raise ModelError(
+                    f"model {self.name!r} has no up (reward > 0) states"
+                )
+            self._check_weak_connectivity()
+            self._validated_version = self._version
         if values is not None:
             missing = self.required_parameters() - set(values)
             if missing:

@@ -15,6 +15,11 @@ The public surface of this package:
   reward measures.
 """
 
+from repro.ctmc.batch import (
+    BatchAvailability,
+    batch_availability,
+    batch_steady_state,
+)
 from repro.ctmc.generator import GeneratorMatrix, build_generator
 from repro.ctmc.steady_state import solve_steady_state, steady_state_vector
 from repro.ctmc.transient import (
@@ -52,6 +57,9 @@ from repro.ctmc.mfpt import (
 )
 
 __all__ = [
+    "BatchAvailability",
+    "batch_availability",
+    "batch_steady_state",
     "GeneratorMatrix",
     "build_generator",
     "solve_steady_state",

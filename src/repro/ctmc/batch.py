@@ -1,0 +1,529 @@
+"""Batched CTMC solvers: many parameter samples, one compiled model.
+
+This is the numerical half of the compile-once / evaluate-many engine
+(:mod:`repro.core.compiled` is the symbolic half).  Given a compiled
+model and parameter columns it:
+
+* evaluates the ``(n_samples, n_transitions)`` rate matrix in one
+  vectorized program,
+* assembles all generators as one ``(n_samples, n, n)`` stack,
+* classifies the state space **once per transition zero-pattern** (not
+  once per sample) with results cached on the compiled model — a sampled
+  rate hitting exactly 0 changes the pattern and therefore gets its own
+  classification, so feature-switch-off parameterizations stay correct,
+* solves all steady-state systems with one stacked LU
+  (``numpy.linalg.solve`` on the whole batch), falling back to the
+  subtraction-free GTH elimination per sample for stiff chains when
+  ``method="auto"`` is selected,
+* mirrors the scalar reward pipeline (availability, equivalent
+  (Lambda, Mu) rates, yearly downtime, MTBF/MTTR) element-wise.
+
+For ``method="direct"`` the arithmetic is *bit-identical* to the scalar
+path on arithmetic-only rate expressions: the stacked LAPACK solves and
+reductions perform the same operations per sample as the scalar solver.
+The property tests in ``tests/ctmc/test_batch.py`` enforce exact
+equality on random chains and on the paper's models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.compiled import ColumnLike, CompiledModel, compile_model
+from repro.core.model import MarkovModel
+from repro.ctmc.generator import GeneratorMatrix
+from repro.ctmc.steady_state import _gth_reference
+from repro.ctmc.structure import classify_states, reachable_from
+from repro.exceptions import SolverError, StructureError
+from repro.units import unavailability_to_yearly_downtime_minutes
+
+ModelLike = Union[MarkovModel, CompiledModel]
+
+
+@dataclass(frozen=True)
+class PatternStructure:
+    """Cached structural classification for one transition zero-pattern.
+
+    Attributes:
+        n_recurrent_classes: Number of recurrent communicating classes.
+        recurrent_idx: State indices of the (single) recurrent class, in
+            classification order (matching the scalar solver's block
+            restriction order); ``None`` when classes != 1.
+        covers_all: True when the single recurrent class spans the whole
+            state space (the common irreducible case).
+        mtta_error: Error message when some up state cannot reach the
+            down set (the MTTF abstraction would raise); ``None`` if the
+            mean-time-to-absorption system is well posed or irrelevant.
+    """
+
+    n_recurrent_classes: int
+    recurrent_idx: Optional[np.ndarray]
+    covers_all: bool
+    mtta_error: Optional[str]
+
+
+def _pattern_generator(
+    compiled: CompiledModel, pattern: np.ndarray
+) -> GeneratorMatrix:
+    """A unit-rate generator with the pattern's adjacency (for structure)."""
+    n = compiled.n_states
+    matrix = np.zeros((n, n), dtype=float)
+    if compiled.n_transitions:
+        src = compiled.transition_sources[pattern]
+        tgt = compiled.transition_targets[pattern]
+        matrix[src, tgt] = 1.0
+    np.fill_diagonal(matrix, -matrix.sum(axis=1))
+    return GeneratorMatrix(
+        matrix=matrix,
+        state_names=compiled.state_names,
+        rewards=compiled.rewards.copy(),
+        model_name=compiled.model_name,
+    )
+
+
+def pattern_structure(
+    compiled: CompiledModel, pattern: np.ndarray
+) -> PatternStructure:
+    """Classify (and cache) the state space for one zero-pattern.
+
+    Classification depends only on which transition rates are non-zero,
+    so the (comparatively expensive) reachability analysis runs once per
+    distinct pattern across an entire batch.
+    """
+    key = np.asarray(pattern, dtype=bool).tobytes()
+    cached = compiled.structure_cache.get(key)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+
+    generator = _pattern_generator(compiled, pattern)
+    classification = classify_states(generator)
+    if classification.has_single_recurrent_class:
+        recurrent_names = classification.recurrent_classes[0]
+        recurrent_idx = np.array(
+            [compiled.index[name] for name in recurrent_names], dtype=np.intp
+        )
+        covers_all = len(recurrent_names) == compiled.n_states
+    else:
+        recurrent_idx = None
+        covers_all = False
+
+    mtta_error: Optional[str] = None
+    if compiled.down_idx.size and compiled.up_idx.size:
+        targets = {compiled.state_names[i] for i in compiled.down_idx}
+        for i in compiled.up_idx:
+            name = compiled.state_names[i]
+            reachable = set(reachable_from(generator, [name]))
+            if not (reachable & targets):
+                mtta_error = (
+                    f"state {name!r} cannot reach any target state "
+                    f"{sorted(targets)}; hitting time is infinite"
+                )
+                break
+
+    info = PatternStructure(
+        n_recurrent_classes=len(classification.recurrent_classes),
+        recurrent_idx=recurrent_idx,
+        covers_all=covers_all,
+        mtta_error=mtta_error,
+    )
+    compiled.structure_cache[key] = info
+    return info
+
+
+# Stacked linear algebra ----------------------------------------------------
+
+
+def _stacked_direct(mats: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve ``pi Q = 0, sum(pi) = 1`` for a stack of dense generators.
+
+    Returns ``(pis, solved)`` where ``solved`` marks samples whose LU
+    factorization succeeded (a singular sample never aborts the batch).
+    """
+    k, n, _ = mats.shape
+    a = mats.transpose(0, 2, 1).copy()
+    a[:, n - 1, :] = 1.0
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    solved = np.ones(k, dtype=bool)
+    try:
+        pis = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError:
+        # At least one sample is singular; redo sample-by-sample so the
+        # healthy ones still get their exact stacked-equivalent solution.
+        pis = np.zeros((k, n))
+        for s in range(k):
+            try:
+                pis[s] = np.linalg.solve(a[s], b)
+            except np.linalg.LinAlgError:
+                solved[s] = False
+    return np.asarray(pis, dtype=float), solved
+
+
+def _finalize_block(
+    pis: np.ndarray,
+    mats: np.ndarray,
+    solved: np.ndarray,
+    method: str,
+    model_name: str,
+    sample_ids: np.ndarray,
+) -> np.ndarray:
+    """Validate, clip and renormalize a block of solved vectors.
+
+    Mirrors the scalar ``_check_probability_vector`` checks per sample;
+    with ``method="auto"`` a failing sample is re-solved with the
+    subtraction-free GTH elimination instead of raising.
+    """
+    tol = 1e-8
+    finite = np.isfinite(pis).all(axis=1)
+    sums = pis.sum(axis=1)
+    ok = (
+        solved
+        & finite
+        & (pis.min(axis=1) >= -tol)
+        & (np.abs(sums - 1.0) <= 1e-6)
+    )
+    bad = np.flatnonzero(~ok)
+    if bad.size:
+        if method == "auto":
+            for s in bad:
+                pis[s] = _gth_reference(mats[s])
+        elif not solved[bad[0]]:
+            raise SolverError(
+                f"steady-state system is singular for model {model_name!r} "
+                f"(sample {int(sample_ids[bad[0]])})"
+            )
+        else:
+            raise SolverError(
+                f"steady-state solve produced an invalid probability "
+                f"vector for model {model_name!r} "
+                f"(sample {int(sample_ids[bad[0]])})"
+            )
+    np.clip(pis, 0.0, None, out=pis)
+    pis /= pis.sum(axis=1, keepdims=True)
+    return pis
+
+
+def _solve_group(
+    compiled: CompiledModel,
+    mats: np.ndarray,
+    info: PatternStructure,
+    method: str,
+    sample_ids: np.ndarray,
+) -> np.ndarray:
+    """Steady-state vectors for one zero-pattern group of samples."""
+    k, n, _ = mats.shape
+    if info.n_recurrent_classes != 1:
+        raise StructureError(
+            f"model {compiled.model_name!r} has "
+            f"{info.n_recurrent_classes} recurrent classes; the "
+            f"stationary distribution is not unique "
+            f"(sample {int(sample_ids[0])})"
+        )
+    if info.covers_all:
+        if method == "gth":
+            pis = np.stack([_gth_reference(mats[s]) for s in range(k)])
+            solved = np.ones(k, dtype=bool)
+        else:
+            pis, solved = _stacked_direct(mats)
+        return _finalize_block(
+            pis, mats, solved, method, compiled.model_name, sample_ids
+        )
+    # A unique stationary distribution still exists: zero mass on the
+    # transient states, solve within the recurrent class.
+    recurrent = info.recurrent_idx
+    assert recurrent is not None
+    full = np.zeros((k, n))
+    if recurrent.size == 1:
+        full[:, recurrent[0]] = 1.0
+        return full
+    blocks = mats[:, recurrent[:, None], recurrent[None, :]]
+    if method == "gth":
+        pis = np.stack([_gth_reference(blocks[s]) for s in range(k)])
+        solved = np.ones(k, dtype=bool)
+    else:
+        pis, solved = _stacked_direct(blocks)
+    pis = _finalize_block(
+        pis, blocks, solved, method, compiled.model_name, sample_ids
+    )
+    full[:, recurrent] = pis
+    return full
+
+
+def _grouped_steady_state(
+    compiled: CompiledModel,
+    rates: np.ndarray,
+    mats: np.ndarray,
+    method: str,
+) -> np.ndarray:
+    """Solve every sample, grouping the batch by transition zero-pattern."""
+    k = mats.shape[0]
+    pis = np.empty((k, compiled.n_states))
+    if compiled.n_transitions:
+        patterns = rates > 0.0
+        unique, inverse = np.unique(patterns, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).reshape(-1)
+    else:
+        unique = np.zeros((1, 0), dtype=bool)
+        inverse = np.zeros(k, dtype=np.intp)
+    for g in range(unique.shape[0]):
+        members = np.flatnonzero(inverse == g)
+        info = pattern_structure(compiled, unique[g])
+        pis[members] = _solve_group(
+            compiled, mats[members], info, method, members
+        )
+    return pis
+
+
+# Public API ----------------------------------------------------------------
+
+
+def batch_steady_state(
+    model: ModelLike,
+    values: Mapping[str, ColumnLike],
+    n_samples: Optional[int] = None,
+    method: str = "direct",
+) -> np.ndarray:
+    """Stationary distributions for a whole batch of parameter samples.
+
+    Args:
+        model: A :class:`MarkovModel` (compiled on the fly, with the
+            compilation cached on the model) or a ready
+            :class:`CompiledModel`.
+        values: Parameter columns — scalars broadcast, arrays supply one
+            value per sample.
+        n_samples: Number of samples; inferred from the first array
+            column when omitted.
+        method: ``"direct"`` (stacked LU; raises on failure exactly like
+            the scalar solver), ``"gth"`` (per-sample subtraction-free
+            elimination) or ``"auto"`` (stacked LU with per-sample GTH
+            fallback for stiff or singular samples).
+
+    Returns:
+        ``(n_samples, n_states)`` array of stationary vectors in the
+        compiled state order.
+    """
+    compiled = compile_model(model)
+    n_samples = _infer_samples(values, n_samples)
+    if method not in ("direct", "gth", "auto"):
+        raise SolverError(
+            f"unknown batch steady-state method {method!r}; "
+            "expected 'direct', 'gth' or 'auto'"
+        )
+    rates = compiled.rate_matrix(values, n_samples)
+    mats = compiled.generator_batch(rates)
+    return _grouped_steady_state(compiled, rates, mats, method)
+
+
+@dataclass(frozen=True)
+class BatchAvailability:
+    """Struct-of-arrays availability report for a batch of samples.
+
+    Each attribute is a ``(n_samples,)`` array mirroring one field of the
+    scalar :class:`~repro.ctmc.rewards.AvailabilityResult`; ``pis`` keeps
+    the full stationary vectors for per-state reporting.
+    """
+
+    state_names: Tuple[str, ...]
+    up_mask: np.ndarray
+    pis: np.ndarray
+    availability: np.ndarray
+    unavailability: np.ndarray
+    yearly_downtime_minutes: np.ndarray
+    failure_rate: np.ndarray
+    recovery_rate: np.ndarray
+    mtbf_hours: np.ndarray
+    mttr_hours: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return self.pis.shape[0]
+
+
+def batch_availability(
+    model: ModelLike,
+    values: Mapping[str, ColumnLike],
+    n_samples: Optional[int] = None,
+    method: str = "direct",
+    abstraction: str = "mttf",
+) -> BatchAvailability:
+    """Batched equivalent of :func:`repro.ctmc.rewards.steady_state_availability`.
+
+    Solves every sample's stationary distribution with the stacked
+    solver, then derives availability, the (Lambda, Mu) equivalent-rate
+    abstraction (``"mttf"`` or ``"flow"`` semantics, matching the scalar
+    path branch for branch), yearly downtime and MTBF/MTTR — all as
+    arrays over the batch.
+    """
+    if abstraction not in ("mttf", "flow"):
+        raise SolverError(
+            f"unknown abstraction {abstraction!r}; expected 'mttf' or 'flow'"
+        )
+    compiled = compile_model(model)
+    n_samples = _infer_samples(values, n_samples)
+    rates = compiled.rate_matrix(values, n_samples)
+    mats = compiled.generator_batch(rates)
+    pis = _grouped_steady_state(compiled, rates, mats, method)
+    k = n_samples
+
+    up = compiled.up_mask
+    up_idx, down_idx = compiled.up_idx, compiled.down_idx
+    # ascontiguousarray before reducing: mixed basic/advanced indexing
+    # returns F-ordered copies whose strided row sums accumulate in a
+    # different order than the scalar path's contiguous sums (ulp drift).
+    p_up = np.ascontiguousarray(pis[:, up]).sum(axis=1)
+    availability = np.minimum(1.0, np.maximum(0.0, p_up))
+    if down_idx.size:
+        unavailability = np.ascontiguousarray(pis[:, ~up]).sum(axis=1)
+    else:
+        unavailability = np.zeros(k)
+
+    lam, mu = _batch_equivalent_rates(
+        compiled, rates, mats, pis, method, abstraction
+    )
+
+    with np.errstate(divide="ignore"):
+        mtbf = np.where(lam > 0.0, 1.0 / lam, np.inf)
+        mttr = np.where(
+            mu == np.inf, 0.0, np.where(mu == 0.0, np.inf, 1.0 / mu)
+        )
+    return BatchAvailability(
+        state_names=compiled.state_names,
+        up_mask=up.copy(),
+        pis=pis,
+        availability=availability,
+        unavailability=unavailability,
+        yearly_downtime_minutes=unavailability_to_yearly_downtime_minutes(
+            unavailability
+        ),
+        failure_rate=lam,
+        recovery_rate=mu,
+        mtbf_hours=mtbf,
+        mttr_hours=mttr,
+    )
+
+
+def _batch_equivalent_rates(
+    compiled: CompiledModel,
+    rates: np.ndarray,
+    mats: np.ndarray,
+    pis: np.ndarray,
+    method: str,
+    abstraction: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`~repro.ctmc.rewards.equivalent_failure_recovery_rates`."""
+    k = mats.shape[0]
+    up = compiled.up_mask
+    up_idx, down_idx = compiled.up_idx, compiled.down_idx
+    if not up_idx.size:
+        raise StructureError(
+            f"model {compiled.model_name!r} has no up states"
+        )
+    if not down_idx.size:
+        return np.zeros(k), np.full(k, np.inf)
+
+    p_up = np.ascontiguousarray(pis[:, up]).sum(axis=1)
+    p_down = np.ascontiguousarray(pis[:, ~up]).sum(axis=1)
+    never_up = np.flatnonzero(p_up <= 0.0)
+    if never_up.size:
+        raise StructureError(
+            f"model {compiled.model_name!r} is never up in steady state "
+            f"(sample {int(never_up[0])})"
+        )
+
+    # flow_down[s] = pi_up . (row sums of the up->down block), exactly
+    # the scalar path's contraction (per-sample BLAS dot for bit parity;
+    # the rows must be contiguous — strided ddot sums in a different
+    # order and drifts by an ulp).
+    pis_up = np.ascontiguousarray(pis[:, up])
+    w_down = np.ascontiguousarray(
+        mats[:, up_idx[:, None], down_idx[None, :]]
+    ).sum(axis=2)
+    flow_down = np.empty(k)
+    for s in range(k):
+        flow_down[s] = np.dot(pis_up[s], w_down[s])
+
+    if abstraction == "mttf":
+        if not up[0]:
+            raise StructureError(
+                f"model {compiled.model_name!r} starts in a down state; "
+                "the MTTF abstraction requires an up initial state"
+            )
+        lam = np.zeros(k)
+        need = np.flatnonzero(flow_down > 0.0)
+        if need.size:
+            patterns = rates[need] > 0.0
+            for s, pattern in zip(need, patterns):
+                info = pattern_structure(compiled, pattern)
+                if info.mtta_error is not None:
+                    raise StructureError(
+                        f"{info.mtta_error} (sample {int(s)})"
+                    )
+            mtta0, solved = _stacked_mtta_initial(mats[need], up_idx)
+            fallback = flow_down[need] / p_up[need]
+            lam[need] = np.where(solved, 1.0 / mtta0, fallback)
+    else:
+        lam = flow_down / p_up
+
+    mu = np.full(k, np.inf)
+    reachable_down = np.flatnonzero(p_down > 0.0)
+    if reachable_down.size:
+        pis_down = np.ascontiguousarray(pis[:, ~up])
+        w_up = np.ascontiguousarray(
+            mats[:, down_idx[:, None], up_idx[None, :]]
+        ).sum(axis=2)
+        for s in reachable_down:
+            flow_up = np.dot(pis_down[s], w_up[s])
+            mu[s] = flow_up / p_down[s]
+    return lam, mu
+
+
+def _stacked_mtta_initial(
+    mats: np.ndarray, up_idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean time from the initial state into the down set, per sample.
+
+    Solves the stacked ``Q_UU m = -1`` systems over the up (transient)
+    block.  Returns ``(m0, solved)`` where ``solved`` is False for
+    samples whose system was singular or produced invalid times — the
+    caller falls back to the flow abstraction for those, mirroring the
+    scalar path's ``SolverError`` handling.
+    """
+    k = mats.shape[0]
+    blocks = mats[:, up_idx[:, None], up_idx[None, :]]
+    u = up_idx.size
+    rhs = -np.ones(u)
+    solved = np.ones(k, dtype=bool)
+    try:
+        m = np.linalg.solve(blocks, rhs)
+    except np.linalg.LinAlgError:
+        m = np.zeros((k, u))
+        for s in range(k):
+            try:
+                m[s] = np.linalg.solve(blocks[s], rhs)
+            except np.linalg.LinAlgError:
+                solved[s] = False
+    m = np.asarray(m, dtype=float)
+    valid = np.isfinite(m).all(axis=1) & (m.min(axis=1) >= 0.0)
+    solved &= valid
+    # The initial state (canonical index 0) is the first up state, so
+    # its position inside the up block is 0.
+    m0 = m[:, 0]
+    m0 = np.where(solved, m0, 1.0)  # placeholder; caller masks with `solved`
+    return m0, solved
+
+
+def _infer_samples(
+    values: Mapping[str, ColumnLike], n_samples: Optional[int]
+) -> int:
+    if n_samples is not None:
+        return int(n_samples)
+    for value in values.values():
+        if isinstance(value, np.ndarray) and np.asarray(value).ndim == 1:
+            return int(np.asarray(value).shape[0])
+    raise SolverError(
+        "cannot infer the sample count: no array-valued parameter column "
+        "was supplied; pass n_samples explicitly"
+    )

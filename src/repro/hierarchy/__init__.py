@@ -11,6 +11,8 @@ submodel (Fig. 3).
 from repro.hierarchy.interface import SubmodelInterface, abstract_submodel
 from repro.hierarchy.binding import Binding, RateBinding
 from repro.hierarchy.composer import (
+    BatchHierarchicalSolution,
+    CompiledHierarchy,
     HierarchicalModel,
     HierarchicalResult,
     SubmodelReport,
@@ -21,6 +23,8 @@ __all__ = [
     "abstract_submodel",
     "Binding",
     "RateBinding",
+    "BatchHierarchicalSolution",
+    "CompiledHierarchy",
     "HierarchicalModel",
     "HierarchicalResult",
     "SubmodelReport",

@@ -17,14 +17,19 @@ For the paper's Fig. 2 this is exact: ``AS_Fail`` is entered only via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.compiled import ColumnLike, CompiledModel, compile_model
 from repro.core.model import MarkovModel
 from repro.core.parameters import ParameterSet
+from repro.ctmc.batch import BatchAvailability, batch_availability
 from repro.ctmc.rewards import AvailabilityResult, steady_state_availability
 from repro.exceptions import ModelError
 from repro.hierarchy.binding import RateBinding, resolve_bindings
 from repro.hierarchy.interface import SubmodelInterface, abstract_submodel
+from repro.units import unavailability_to_yearly_downtime_minutes
 
 
 @dataclass(frozen=True)
@@ -103,6 +108,7 @@ class HierarchicalModel:
         self._submodels: Dict[str, MarkovModel] = {}
         self._attributions: Dict[str, Tuple[str, ...]] = {}
         self._bindings: Dict[str, RateBinding] = {}
+        self._compiled: Optional["CompiledHierarchy"] = None
 
     def add_submodel(
         self,
@@ -131,6 +137,7 @@ class HierarchicalModel:
                 )
         self._submodels[key] = model
         self._attributions[key] = tuple(attribute_states)
+        self._compiled = None
 
     def bind(
         self,
@@ -149,6 +156,7 @@ class HierarchicalModel:
         self._bindings[parameter] = RateBinding(
             parameter=parameter, submodel=submodel, output=output, scale=scale
         )
+        self._compiled = None
 
     @property
     def submodel_names(self) -> Tuple[str, ...]:
@@ -209,6 +217,37 @@ class HierarchicalModel:
             system=system, submodels=reports, bound_parameters=bound
         )
 
+    def compile(self) -> "CompiledHierarchy":
+        """Compile-once form for repeated solves (see :meth:`solve_batch`).
+
+        The compilation is cached and invalidated when submodels or
+        bindings are added, or when any constituent model is mutated.
+        """
+        cached = self._compiled
+        if cached is not None and cached.is_current():
+            return cached
+        compiled = CompiledHierarchy(self)
+        self._compiled = compiled
+        return compiled
+
+    def solve_batch(
+        self,
+        values: Mapping[str, ColumnLike],
+        n_samples: Optional[int] = None,
+        method: str = "direct",
+        abstraction: str = "mttf",
+    ) -> "BatchHierarchicalSolution":
+        """Solve the hierarchy for a whole batch of parameter samples.
+
+        ``values`` maps parameter names to scalars (shared by all
+        samples) or ``(n_samples,)`` arrays.  Equivalent to calling
+        :meth:`solve` once per sample, but compiled once and solved with
+        stacked linear algebra — see ``docs/performance_guide.md``.
+        """
+        return self.compile().solve_batch(
+            values, n_samples=n_samples, method=method, abstraction=abstraction
+        )
+
     def interval_availability(
         self,
         values: Mapping[str, float],
@@ -239,3 +278,225 @@ class HierarchicalModel:
         top_values = dict(values)
         top_values.update(bound)
         return interval_availability(self.top, t, top_values)
+
+
+class CompiledHierarchy:
+    """Compile-once / evaluate-many form of a :class:`HierarchicalModel`.
+
+    Every submodel and the top model are compiled (validated, frozen,
+    rates vectorized) exactly once; :meth:`solve_batch` then maps a whole
+    matrix of parameter samples through submodel abstraction, binding
+    resolution and the top-model solve using stacked linear algebra.
+
+    For ``method="direct"`` on arithmetic-only rate expressions the
+    per-sample results are bit-identical to :meth:`HierarchicalModel.solve`
+    (enforced by ``tests/hierarchy/test_compiled.py``).
+    """
+
+    def __init__(self, hierarchy: HierarchicalModel) -> None:
+        self.hierarchy = hierarchy
+        self.top: CompiledModel = compile_model(hierarchy.top)
+        self.submodels: Dict[str, CompiledModel] = {
+            key: compile_model(model)
+            for key, model in hierarchy._submodels.items()
+        }
+        self._bindings: Dict[str, RateBinding] = dict(hierarchy._bindings)
+        self._attributions: Dict[str, Tuple[str, ...]] = dict(
+            hierarchy._attributions
+        )
+        self._signature = self._current_signature(hierarchy)
+
+    @staticmethod
+    def _current_signature(hierarchy: HierarchicalModel):
+        return (
+            hierarchy.top.version,
+            tuple(
+                (key, model.version)
+                for key, model in hierarchy._submodels.items()
+            ),
+            tuple(sorted(hierarchy._bindings)),
+        )
+
+    def is_current(self) -> bool:
+        """True while the source hierarchy has not been mutated."""
+        return self._signature == self._current_signature(self.hierarchy)
+
+    def solve_batch(
+        self,
+        values: Mapping[str, ColumnLike],
+        n_samples: Optional[int] = None,
+        method: str = "direct",
+        abstraction: str = "mttf",
+    ) -> "BatchHierarchicalSolution":
+        """Solve submodels, bind, and solve the top model for all samples."""
+        if n_samples is None:
+            n_samples = _infer_batch_size(values)
+        interfaces: Dict[str, BatchAvailability] = {}
+        for key, compiled in self.submodels.items():
+            interfaces[key] = batch_availability(
+                compiled,
+                values,
+                n_samples=n_samples,
+                method=method,
+                abstraction=abstraction,
+            )
+        bound: Dict[str, np.ndarray] = {}
+        for parameter, binding in self._bindings.items():
+            interface = interfaces[binding.submodel]
+            if binding.output == "failure_rate":
+                output = interface.failure_rate
+            elif binding.output == "recovery_rate":
+                output = interface.recovery_rate
+            elif binding.output == "availability":
+                output = interface.availability
+            else:
+                output = 1.0 - interface.availability
+            bound[parameter] = output * binding.scale
+        overlap = set(bound) & set(values.keys())
+        if overlap:
+            raise ModelError(
+                f"bound parameter(s) {sorted(overlap)} also appear in the "
+                "supplied values; remove them from one side to avoid "
+                "ambiguity"
+            )
+        top_values: Dict[str, ColumnLike] = dict(values)
+        top_values.update(bound)
+        system = batch_availability(
+            self.top,
+            top_values,
+            n_samples=n_samples,
+            method=method,
+            abstraction=abstraction,
+        )
+        return BatchHierarchicalSolution(
+            system=system,
+            submodels=interfaces,
+            bound_parameters=bound,
+            attributions=dict(self._attributions),
+        )
+
+
+#: Metrics a batch solution can expose as plain arrays.
+BATCH_METRICS = ("availability", "yearly_downtime_minutes", "mtbf_hours")
+
+
+@dataclass(frozen=True)
+class BatchHierarchicalSolution:
+    """Struct-of-arrays result of a batched hierarchical solve.
+
+    Attributes:
+        system: Batched availability report of the top-level model.
+        submodels: Per-submodel batched reports (the (Lambda, Mu)
+            interfaces as arrays).
+        bound_parameters: Parameter arrays injected into the top model.
+        attributions: Down states of the top model attributed to each
+            submodel (for full-result reconstruction).
+    """
+
+    system: BatchAvailability
+    submodels: Dict[str, BatchAvailability]
+    bound_parameters: Dict[str, np.ndarray]
+    attributions: Dict[str, Tuple[str, ...]]
+
+    @property
+    def n_samples(self) -> int:
+        return self.system.n_samples
+
+    @property
+    def availability(self) -> np.ndarray:
+        return self.system.availability
+
+    @property
+    def yearly_downtime_minutes(self) -> np.ndarray:
+        return self.system.yearly_downtime_minutes
+
+    @property
+    def mtbf_hours(self) -> np.ndarray:
+        return self.system.mtbf_hours
+
+    def metric_array(self, metric: str) -> np.ndarray:
+        """One system metric for every sample, as a ``(n_samples,)`` array."""
+        if metric not in BATCH_METRICS:
+            raise ModelError(
+                f"unknown batch metric {metric!r}; expected one of "
+                f"{BATCH_METRICS}"
+            )
+        return getattr(self.system, metric)
+
+    def result_at(self, sample: int) -> HierarchicalResult:
+        """Materialize the full :class:`HierarchicalResult` for one sample.
+
+        Reconstructs exactly what :meth:`HierarchicalModel.solve` would
+        have returned for this sample's parameter values, including
+        per-state probabilities and the downtime attribution.
+        """
+        system = _availability_result_at(self.system, sample)
+        reports: Dict[str, SubmodelReport] = {}
+        total_downtime = system.yearly_downtime_minutes
+        for key, batch in self.submodels.items():
+            detail = _availability_result_at(batch, sample)
+            interface = SubmodelInterface(
+                name=key,
+                failure_rate=detail.failure_rate,
+                recovery_rate=detail.recovery_rate,
+                availability=detail.availability,
+                detail=detail,
+            )
+            minutes = sum(
+                system.downtime_by_state.get(state, 0.0)
+                for state in self.attributions[key]
+            )
+            fraction = (
+                minutes / total_downtime if total_downtime > 0 else 0.0
+            )
+            reports[key] = SubmodelReport(
+                interface=interface,
+                downtime_minutes=minutes,
+                downtime_fraction=fraction,
+            )
+        bound = {
+            name: float(column[sample])
+            for name, column in self.bound_parameters.items()
+        }
+        return HierarchicalResult(
+            system=system, submodels=reports, bound_parameters=bound
+        )
+
+    def results(self) -> Tuple[HierarchicalResult, ...]:
+        """Full per-sample results (materializes objects; prefer arrays)."""
+        return tuple(self.result_at(s) for s in range(self.n_samples))
+
+
+def _availability_result_at(
+    batch: BatchAvailability, sample: int
+) -> AvailabilityResult:
+    """Scalar :class:`AvailabilityResult` view of one batched sample."""
+    pi = batch.pis[sample]
+    up = batch.up_mask
+    return AvailabilityResult(
+        availability=float(batch.availability[sample]),
+        yearly_downtime_minutes=float(
+            batch.yearly_downtime_minutes[sample]
+        ),
+        mtbf_hours=float(batch.mtbf_hours[sample]),
+        mttr_hours=float(batch.mttr_hours[sample]),
+        failure_rate=float(batch.failure_rate[sample]),
+        recovery_rate=float(batch.recovery_rate[sample]),
+        state_probabilities=dict(zip(batch.state_names, pi.tolist())),
+        downtime_by_state={
+            name: unavailability_to_yearly_downtime_minutes(float(pi[i]))
+            for i, name in enumerate(batch.state_names)
+            if not up[i]
+        },
+    )
+
+
+def _infer_batch_size(values: Mapping[str, ColumnLike]) -> int:
+    for value in values.values():
+        if isinstance(value, np.ndarray) and np.asarray(value).ndim == 1:
+            return int(np.asarray(value).shape[0])
+    raise ModelError(
+        "cannot infer the sample count: no array-valued parameter column "
+        "was supplied; pass n_samples explicitly"
+    )
+

@@ -38,6 +38,7 @@ from repro.models.jsas.system import (
 from repro.models.jsas.configs import (
     TABLE3_CONFIGURATIONS,
     ConfigurationComparison,
+    HierarchicalConfigMetric,
     build_uncertainty_analysis,
     compare_configurations,
     optimal_configuration,
@@ -81,6 +82,7 @@ __all__ = [
     "build_configuration",
     "TABLE3_CONFIGURATIONS",
     "ConfigurationComparison",
+    "HierarchicalConfigMetric",
     "compare_configurations",
     "optimal_configuration",
     "build_uncertainty_analysis",

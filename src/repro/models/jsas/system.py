@@ -20,16 +20,28 @@ solves it for a parameter set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
+from repro.core.compiled import ColumnLike
 from repro.core.model import MarkovModel
 from repro.exceptions import ModelError
-from repro.hierarchy import HierarchicalModel, HierarchicalResult
+from repro.hierarchy import (
+    BatchHierarchicalSolution,
+    CompiledHierarchy,
+    HierarchicalModel,
+    HierarchicalResult,
+)
 from repro.models.jsas.appserver import (
     build_appserver_model,
     build_single_instance_model,
 )
 from repro.models.jsas.hadb import build_hadb_pair_model
+
+#: Shared hierarchy instances keyed by configuration shape, so repeated
+#: solves of the same configuration (Table 3 sweeps, uncertainty runs)
+#: reuse one compiled hierarchy instead of rebuilding and re-validating
+#: the models every call.
+_HIERARCHY_CACHE: Dict[Tuple[int, int, int, str], HierarchicalModel] = {}
 
 
 def build_system_model(
@@ -128,6 +140,38 @@ class JsasConfiguration:
             hierarchy.bind("Mu_hadb_pair", "hadb", "recovery_rate")
         return hierarchy
 
+    def hierarchy(self) -> HierarchicalModel:
+        """A shared, cached hierarchy for this configuration shape.
+
+        Unlike :meth:`build_hierarchy` (always fresh), this reuses one
+        instance per ``(n_instances, n_pairs, n_spares, repair_policy)``
+        so the compiled form survives across solver calls.
+        """
+        key = (
+            self.n_instances,
+            self.n_pairs,
+            self.n_spares,
+            self.repair_policy,
+        )
+        hierarchy = _HIERARCHY_CACHE.get(key)
+        if hierarchy is None:
+            hierarchy = self.build_hierarchy()
+            _HIERARCHY_CACHE[key] = hierarchy
+        return hierarchy
+
+    def compiled_hierarchy(self) -> CompiledHierarchy:
+        """The compiled (vectorized, validate-once) form of the hierarchy."""
+        return self.hierarchy().compile()
+
+    def merged_values(
+        self, values: Mapping[str, ColumnLike]
+    ) -> Dict[str, ColumnLike]:
+        """``values`` with ``N_pair`` supplied from the configuration."""
+        merged: Dict[str, ColumnLike] = dict(values)
+        if self.n_pairs > 0:
+            merged["N_pair"] = float(self.n_pairs)
+        return merged
+
     def solve(
         self,
         values: Mapping[str, float],
@@ -140,11 +184,49 @@ class JsasConfiguration:
         or any mapping providing the same names.  ``N_pair`` is supplied
         automatically from the configuration.
         """
-        merged = dict(values)
-        if self.n_pairs > 0:
-            merged["N_pair"] = float(self.n_pairs)
         return self.build_hierarchy().solve(
-            merged, method=method, abstraction=abstraction
+            self.merged_values(values), method=method, abstraction=abstraction
+        )
+
+    def solve_compiled(
+        self,
+        values: Mapping[str, float],
+        method: str = "direct",
+        abstraction: str = "mttf",
+    ) -> HierarchicalResult:
+        """Like :meth:`solve`, through the compiled engine.
+
+        Returns the identical :class:`HierarchicalResult` (bit-for-bit
+        with ``method="direct"``) but amortizes model construction,
+        validation and rate compilation across calls — the Table 3
+        comparison re-solves each configuration shape many times.
+        """
+        merged = {
+            name: float(value)
+            for name, value in self.merged_values(values).items()
+        }
+        solution = self.hierarchy().solve_batch(
+            merged, n_samples=1, method=method, abstraction=abstraction
+        )
+        return solution.result_at(0)
+
+    def solve_batch(
+        self,
+        values: Mapping[str, ColumnLike],
+        n_samples: Optional[int] = None,
+        method: str = "direct",
+        abstraction: str = "mttf",
+    ) -> BatchHierarchicalSolution:
+        """Solve the configuration for a whole batch of parameter samples.
+
+        ``values`` maps names to scalars or ``(n_samples,)`` arrays; see
+        :meth:`repro.hierarchy.HierarchicalModel.solve_batch`.
+        """
+        return self.hierarchy().solve_batch(
+            self.merged_values(values),
+            n_samples=n_samples,
+            method=method,
+            abstraction=abstraction,
         )
 
 

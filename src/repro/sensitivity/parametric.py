@@ -93,11 +93,20 @@ def parametric_sweep(
     """
     if len(grid) < 2:
         raise EstimationError("a sweep needs at least two grid points")
-    values = []
-    for point in grid:
-        merged = dict(base_values)
-        merged[parameter] = float(point)
-        values.append(float(metric(merged)))
+    if callable(getattr(metric, "evaluate_batch", None)):
+        # Batch-capable metric: evaluate the whole grid in one compiled
+        # solve (bit-identical to the per-point loop; see
+        # repro.core.compiled).
+        columns: Dict[str, object] = dict(base_values)
+        columns[parameter] = np.array([float(g) for g in grid], dtype=float)
+        raw = metric.evaluate_batch(columns, len(grid))
+        values = [float(v) for v in np.asarray(raw, dtype=float)]
+    else:
+        values = []
+        for point in grid:
+            merged = dict(base_values)
+            merged[parameter] = float(point)
+            values.append(float(metric(merged)))
     return SweepResult(
         parameter=parameter,
         grid=tuple(float(g) for g in grid),
@@ -117,7 +126,18 @@ def parametric_sweep_2d(
     """2-D sweep; returns a ``(len(grid_x), len(grid_y))`` metric array."""
     if len(grid_x) < 2 or len(grid_y) < 2:
         raise EstimationError("2-D sweeps need at least two points per axis")
-    out = np.empty((len(grid_x), len(grid_y)))
+    nx, ny = len(grid_x), len(grid_y)
+    if callable(getattr(metric, "evaluate_batch", None)):
+        # One compiled solve over the flattened grid (row-major, matching
+        # the loop order below).
+        xs = np.repeat(np.array([float(x) for x in grid_x]), ny)
+        ys = np.tile(np.array([float(y) for y in grid_y]), nx)
+        columns: Dict[str, object] = dict(base_values)
+        columns[parameter_x] = xs
+        columns[parameter_y] = ys
+        raw = metric.evaluate_batch(columns, nx * ny)
+        return np.asarray(raw, dtype=float).reshape(nx, ny)
+    out = np.empty((nx, ny))
     for i, x in enumerate(grid_x):
         for j, y in enumerate(grid_y):
             merged = dict(base_values)

@@ -54,22 +54,45 @@ def run_replications(
     n_replications: int,
     master_seed: Optional[int] = None,
     confidence: float = 0.95,
+    n_jobs: Optional[int] = 1,
 ) -> ReplicationSummary:
     """Run an experiment under independent seeds and summarize.
 
     Seeds are drawn from ``numpy``'s ``SeedSequence`` spawned off the
     master seed, guaranteeing independent streams.
+
+    Args:
+        n_jobs: Number of worker processes.  ``1`` (default) runs
+            sequentially in-process; ``None`` uses one worker per CPU.
+            Parallel runs execute in a ``ProcessPoolExecutor``, so
+            ``experiment`` must be picklable (a module-level function,
+            not a lambda or closure).  The seeds and the order of
+            ``values`` are identical regardless of ``n_jobs``, so a
+            seeded summary does not depend on the worker count.
     """
     if n_replications < 2:
         raise SimulationError(
             f"need at least 2 replications for a CI, got {n_replications}"
         )
+    if n_jobs is not None and n_jobs < 1:
+        raise SimulationError(f"n_jobs must be >= 1 or None, got {n_jobs}")
     sequence = np.random.SeedSequence(master_seed)
     children = sequence.spawn(n_replications)
-    values = [
-        float(experiment(int(child.generate_state(1)[0])))
-        for child in children
-    ]
+    seeds = [int(child.generate_state(1)[0]) for child in children]
+    if n_jobs == 1:
+        values = [float(experiment(seed)) for seed in seeds]
+    else:
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                values = [float(v) for v in pool.map(experiment, seeds)]
+        except (TypeError, AttributeError, pickle.PicklingError) as exc:
+            raise SimulationError(
+                "parallel replications require a picklable experiment "
+                f"(module-level function): {exc}"
+            ) from exc
     mean, low, high = mean_confidence_interval(values, confidence)
     return ReplicationSummary(
         values=tuple(values),

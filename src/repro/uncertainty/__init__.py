@@ -14,7 +14,9 @@ from repro.uncertainty.distributions import (
     Uniform,
 )
 from repro.uncertainty.sampling import (
+    latin_hypercube_matrix,
     latin_hypercube_samples,
+    monte_carlo_matrix,
     monte_carlo_samples,
 )
 from repro.uncertainty.analysis import UncertaintyAnalysis
@@ -28,7 +30,9 @@ __all__ = [
     "LogUniform",
     "Triangular",
     "Uniform",
+    "latin_hypercube_matrix",
     "latin_hypercube_samples",
+    "monte_carlo_matrix",
     "monte_carlo_samples",
     "UncertaintyAnalysis",
     "UncertaintyResult",

@@ -20,11 +20,18 @@ from repro.exceptions import EstimationError
 from repro.uncertainty.distributions import Distribution
 from repro.uncertainty.results import UncertaintyResult
 from repro.uncertainty.sampling import (
-    latin_hypercube_samples,
-    monte_carlo_samples,
+    latin_hypercube_matrix,
+    monte_carlo_matrix,
+    snapshots_from_columns,
 )
 
 MetricFunction = Callable[[Dict[str, float]], float]
+
+#: Protocol for batch-capable metrics: any callable that additionally
+#: exposes ``evaluate_batch(columns, n_samples) -> (n_samples,) array``,
+#: where ``columns`` maps parameter names to scalars or sample arrays.
+#: ``repro.models.jsas.configs.HierarchicalConfigMetric`` is the
+#: canonical implementation.
 
 
 class UncertaintyAnalysis:
@@ -76,6 +83,7 @@ class UncertaintyAnalysis:
         n_samples: int = 1000,
         seed: Optional[int] = None,
         keep_snapshots: bool = True,
+        batch: Optional[bool] = None,
     ) -> UncertaintyResult:
         """Sample, solve, and summarize.
 
@@ -85,21 +93,57 @@ class UncertaintyAnalysis:
             keep_snapshots: Store the sampled parameter dicts in the
                 result (needed for scatter plots and importance
                 post-processing; disable to save memory on huge runs).
+            batch: Execution path.  ``None`` (default) uses the batched
+                engine whenever the metric exposes ``evaluate_batch``
+                (see :mod:`repro.core.compiled`); ``True`` requires it;
+                ``False`` forces the per-snapshot callable path.  A
+                seeded run returns byte-identical results either way —
+                both paths draw the same samples and the batched solvers
+                reproduce the scalar arithmetic exactly.
         """
+        batch_capable = callable(getattr(self.metric, "evaluate_batch", None))
+        if batch is True and not batch_capable:
+            raise EstimationError(
+                "batch=True requires a metric with an evaluate_batch "
+                "method; see repro.models.jsas.configs."
+                "HierarchicalConfigMetric for the protocol"
+            )
+        use_batch = batch_capable if batch is None else bool(batch)
         rng = np.random.default_rng(seed)
         if self.sampler == "monte_carlo":
-            snapshots = monte_carlo_samples(self.distributions, n_samples, rng)
+            columns = monte_carlo_matrix(self.distributions, n_samples, rng)
         else:
-            snapshots = latin_hypercube_samples(self.distributions, n_samples, rng)
-        values = []
-        for snapshot in snapshots:
-            merged = dict(self.base_values)
+            columns = latin_hypercube_matrix(self.distributions, n_samples, rng)
+        if use_batch:
+            merged_columns: Dict[str, object] = dict(self.base_values)
+            merged_columns.update(columns)
+            raw = self.metric.evaluate_batch(merged_columns, n_samples)
+            values = tuple(float(v) for v in np.asarray(raw, dtype=float))
+            # With keep_snapshots=False the per-sample dicts are never
+            # materialized at all — the batched path works on columns.
+            snapshots = (
+                tuple(snapshots_from_columns(columns, n_samples))
+                if keep_snapshots
+                else ()
+            )
+            return UncertaintyResult(
+                metric_name=self.metric_name,
+                values=values,
+                snapshots=snapshots,
+            )
+        snapshot_dicts = snapshots_from_columns(columns, n_samples)
+        # One merged dict, updated in place: every snapshot carries the
+        # same key set, so overlaying each one on the previous state is
+        # equivalent to re-copying base_values per snapshot.
+        merged = dict(self.base_values)
+        scalar_values = []
+        for snapshot in snapshot_dicts:
             merged.update(snapshot)
-            values.append(float(self.metric(merged)))
+            scalar_values.append(float(self.metric(merged)))
         return UncertaintyResult(
             metric_name=self.metric_name,
-            values=tuple(values),
-            snapshots=tuple(snapshots) if keep_snapshots else (),
+            values=tuple(scalar_values),
+            snapshots=tuple(snapshot_dicts) if keep_snapshots else (),
         )
 
     def run_at_means(self) -> float:

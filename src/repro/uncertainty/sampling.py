@@ -1,7 +1,17 @@
 """Sample generation: plain Monte Carlo and Latin hypercube.
 
-Both return a list of parameter dictionaries ("parameter snapshots" in
-RAScad's terminology) drawn from named distributions.
+Two shapes of output are provided for each scheme:
+
+* the *matrix* form (``monte_carlo_matrix`` / ``latin_hypercube_matrix``)
+  returns ``{name: (n_samples,) array}`` parameter columns — the native
+  input of the batched solvers in :mod:`repro.ctmc.batch`;
+* the *dict* form (``monte_carlo_samples`` / ``latin_hypercube_samples``)
+  returns a list of parameter dictionaries ("parameter snapshots" in
+  RAScad's terminology), one per sample.
+
+The dict form is a thin view over the matrix form: both consume the RNG
+identically and produce bit-identical values, so a seeded analysis gives
+byte-identical results whichever execution path consumes the samples.
 """
 
 from __future__ import annotations
@@ -27,23 +37,73 @@ def _validate(distributions: Mapping[str, Distribution], n_samples: int) -> None
             )
 
 
+def monte_carlo_matrix(
+    distributions: Mapping[str, Distribution],
+    n_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Independent uniform draws pushed through each inverse CDF.
+
+    Returns ``{name: (n_samples,) array}`` columns in distribution order.
+    """
+    _validate(distributions, n_samples)
+    rng = rng or np.random.default_rng()
+    names = list(distributions)
+    u = rng.random((n_samples, len(names)))
+    return {
+        name: np.array(
+            [distributions[name].ppf(float(u[i, j])) for i in range(n_samples)],
+            dtype=float,
+        )
+        for j, name in enumerate(names)
+    }
+
+
+def latin_hypercube_matrix(
+    distributions: Mapping[str, Distribution],
+    n_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, np.ndarray]:
+    """Latin hypercube sampling: one draw per equal-probability stratum.
+
+    LHS reduces the variance of the estimated output mean for the same
+    sample count — useful because every sample costs a full hierarchical
+    model solve.  Strata are independently permuted per dimension.
+
+    Returns ``{name: (n_samples,) array}`` columns in distribution order.
+    """
+    _validate(distributions, n_samples)
+    rng = rng or np.random.default_rng()
+    columns: Dict[str, np.ndarray] = {}
+    for name in distributions:
+        strata = (np.arange(n_samples) + rng.random(n_samples)) / n_samples
+        rng.shuffle(strata)
+        dist = distributions[name]
+        columns[name] = np.array(
+            [dist.ppf(float(strata[i])) for i in range(n_samples)], dtype=float
+        )
+    return columns
+
+
+def snapshots_from_columns(
+    columns: Mapping[str, np.ndarray], n_samples: int
+) -> List[Dict[str, float]]:
+    """Per-sample parameter dicts from a column matrix (one dict per row)."""
+    names = list(columns)
+    return [
+        {name: float(columns[name][i]) for name in names}
+        for i in range(n_samples)
+    ]
+
+
 def monte_carlo_samples(
     distributions: Mapping[str, Distribution],
     n_samples: int,
     rng: Optional[np.random.Generator] = None,
 ) -> List[Dict[str, float]]:
-    """Independent uniform draws pushed through each inverse CDF."""
-    _validate(distributions, n_samples)
-    rng = rng or np.random.default_rng()
-    names = list(distributions)
-    u = rng.random((n_samples, len(names)))
-    return [
-        {
-            name: distributions[name].ppf(float(u[i, j]))
-            for j, name in enumerate(names)
-        }
-        for i in range(n_samples)
-    ]
+    """Dict-per-sample view of :func:`monte_carlo_matrix`."""
+    columns = monte_carlo_matrix(distributions, n_samples, rng)
+    return snapshots_from_columns(columns, n_samples)
 
 
 def latin_hypercube_samples(
@@ -51,20 +111,6 @@ def latin_hypercube_samples(
     n_samples: int,
     rng: Optional[np.random.Generator] = None,
 ) -> List[Dict[str, float]]:
-    """Latin hypercube sampling: one draw per equal-probability stratum.
-
-    LHS reduces the variance of the estimated output mean for the same
-    sample count — useful because every sample costs a full hierarchical
-    model solve.  Strata are independently permuted per dimension.
-    """
-    _validate(distributions, n_samples)
-    rng = rng or np.random.default_rng()
-    names = list(distributions)
-    samples: List[Dict[str, float]] = [dict() for _ in range(n_samples)]
-    for name in names:
-        strata = (np.arange(n_samples) + rng.random(n_samples)) / n_samples
-        rng.shuffle(strata)
-        dist = distributions[name]
-        for i in range(n_samples):
-            samples[i][name] = dist.ppf(float(strata[i]))
-    return samples
+    """Dict-per-sample view of :func:`latin_hypercube_matrix`."""
+    columns = latin_hypercube_matrix(distributions, n_samples, rng)
+    return snapshots_from_columns(columns, n_samples)

@@ -1,0 +1,174 @@
+"""Unit tests for the compile-once / evaluate-many model form."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import CompiledModel, compile_model
+from repro.core.model import MarkovModel, birth_death_model
+from repro.ctmc.generator import build_generator
+from repro.exceptions import ExpressionError, ModelError
+
+
+def two_state():
+    model = MarkovModel("component")
+    model.add_state("Up", reward=1.0)
+    model.add_state("Down", reward=0.0)
+    model.add_transition("Up", "Down", "La")
+    model.add_transition("Down", "Up", "Mu")
+    return model
+
+
+class TestCompilation:
+    def test_freezes_topology(self):
+        compiled = CompiledModel(two_state())
+        assert compiled.state_names == ("Up", "Down")
+        assert compiled.n_states == 2
+        assert compiled.n_transitions == 2
+        assert compiled.required_parameters == {"La", "Mu"}
+        assert list(compiled.up_idx) == [0]
+        assert list(compiled.down_idx) == [1]
+
+    def test_rejects_invalid_model(self):
+        model = MarkovModel("empty")
+        with pytest.raises(ModelError):
+            CompiledModel(model)
+
+    def test_cache_reused_until_mutation(self):
+        model = two_state()
+        first = compile_model(model)
+        assert compile_model(model) is first
+        model.add_state("Degraded", reward=1.0)
+        model.add_transition("Up", "Degraded", "D")
+        model.add_transition("Degraded", "Up", "R")
+        second = compile_model(model)
+        assert second is not first
+        assert second.n_states == 3
+
+    def test_compile_model_passthrough(self):
+        compiled = CompiledModel(two_state())
+        assert compile_model(compiled) is compiled
+
+    def test_snapshot_is_immutable_wrt_source(self):
+        model = two_state()
+        compiled = compile_model(model)
+        model.add_state("Extra", reward=0.0)
+        model.add_transition("Up", "Extra", "X")
+        model.add_transition("Extra", "Up", "Y")
+        assert compiled.n_states == 2  # frozen snapshot
+
+
+class TestRateMatrix:
+    def test_scalar_columns_broadcast(self):
+        compiled = compile_model(two_state())
+        rates = compiled.rate_matrix({"La": 0.5, "Mu": 2.0}, 4)
+        assert rates.shape == (4, 2)
+        assert (rates == np.array([0.5, 2.0])).all()
+
+    def test_array_columns_per_sample(self):
+        compiled = compile_model(two_state())
+        la = np.array([0.1, 0.2, 0.3])
+        rates = compiled.rate_matrix({"La": la, "Mu": 2.0}, 3)
+        assert (rates[:, 0] == la).all()
+        assert (rates[:, 1] == 2.0).all()
+
+    def test_matches_scalar_expression_eval_exactly(self):
+        model = MarkovModel("m")
+        model.add_state("A", reward=1.0)
+        model.add_state("B", reward=0.0)
+        model.add_transition("A", "B", "2*La*(1-FIR)/3.7")
+        model.add_transition("B", "A", "Mu")
+        compiled = compile_model(model)
+        la = np.array([0.123456, 7.89, 1e-7])
+        fir = np.array([0.01, 0.5, 0.999])
+        rates = compiled.rate_matrix({"La": la, "Mu": 3.0, "FIR": fir}, 3)
+        for s in range(3):
+            expected = model.transitions[0].rate(
+                {"La": float(la[s]), "FIR": float(fir[s])}
+            )
+            assert rates[s, 0] == expected  # bit-exact
+
+    def test_missing_parameter_message_matches_generator(self):
+        compiled = compile_model(two_state())
+        with pytest.raises(ModelError) as batch_err:
+            compiled.rate_matrix({"La": 1.0}, 2)
+        with pytest.raises(ModelError) as scalar_err:
+            build_generator(two_state(), {"La": 1.0})
+        assert str(batch_err.value) == str(scalar_err.value)
+
+    def test_wrong_column_shape(self):
+        compiled = compile_model(two_state())
+        with pytest.raises(ModelError, match="shape"):
+            compiled.rate_matrix({"La": np.ones(3), "Mu": 1.0}, 5)
+
+    def test_negative_rate_reports_sample(self):
+        compiled = compile_model(two_state())
+        la = np.array([0.5, -0.1, 0.5])
+        with pytest.raises(ModelError, match="sample 1"):
+            compiled.rate_matrix({"La": la, "Mu": 1.0}, 3)
+
+    def test_division_by_zero_raises_expression_error(self):
+        model = MarkovModel("m")
+        model.add_state("A", reward=1.0)
+        model.add_state("B", reward=0.0)
+        model.add_transition("A", "B", "La/T")
+        model.add_transition("B", "A", "Mu")
+        compiled = compile_model(model)
+        with pytest.raises(ExpressionError, match="divided by zero"):
+            compiled.rate_matrix({"La": 1.0, "T": 0.0, "Mu": 2.0}, 2)
+
+    def test_array_division_by_zero_raises_model_error(self):
+        model = MarkovModel("m")
+        model.add_state("A", reward=1.0)
+        model.add_state("B", reward=0.0)
+        model.add_transition("A", "B", "La/T")
+        model.add_transition("B", "A", "Mu")
+        compiled = compile_model(model)
+        t = np.array([1.0, 0.0])
+        with pytest.raises((ModelError, ExpressionError)):
+            compiled.rate_matrix({"La": 1.0, "T": t, "Mu": 2.0}, 2)
+
+
+class TestGeneratorBatch:
+    def test_matches_build_generator_bitwise(self):
+        model = birth_death_model(
+            "bd", 4, ["b0", "b1", "b2"], ["d0", "d1", "d2"]
+        )
+        values = {
+            "b0": 0.3, "b1": 0.2, "b2": 0.1,
+            "d0": 1.0, "d1": 2.0, "d2": 3.0,
+        }
+        compiled = compile_model(model)
+        rates = compiled.rate_matrix(values, 2)
+        mats = compiled.generator_batch(rates)
+        reference = build_generator(model, values).dense()
+        assert (mats[0] == reference).all()
+        assert (mats[1] == reference).all()
+
+    def test_zero_rate_drops_arc(self):
+        compiled = compile_model(two_state())
+        rates = compiled.rate_matrix(
+            {"La": np.array([0.0, 0.5]), "Mu": 1.0}, 2
+        )
+        mats = compiled.generator_batch(rates)
+        assert mats[0, 0, 1] == 0.0
+        assert mats[0, 0, 0] == 0.0
+        assert mats[1, 0, 1] == 0.5
+
+
+class TestValidationMemoization:
+    def test_validate_memoized_and_invalidated(self):
+        model = two_state()
+        v0 = model.version
+        model.validate()
+        model.validate()  # memoized second call
+        assert model.version == v0
+        model.add_state("S", reward=1.0)
+        assert model.version > v0
+        with pytest.raises(ModelError, match="island"):
+            model.validate()  # re-runs after mutation
+
+    def test_numeric_checks_always_run(self):
+        model = two_state()
+        model.validate()
+        with pytest.raises(ModelError, match="invalid rate"):
+            model.validate({"La": -1.0, "Mu": 1.0})

@@ -1,0 +1,69 @@
+"""Compiled JSAS configuration solves vs. the scalar engine."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.models.jsas.configs import (
+    TABLE3_CONFIGURATIONS,
+    compare_configurations,
+    optimal_configuration,
+)
+from repro.models.jsas.parameters import PAPER_PARAMETERS
+from repro.models.jsas.system import JsasConfiguration
+
+
+@pytest.mark.parametrize("shape", TABLE3_CONFIGURATIONS, ids=str)
+def test_solve_compiled_matches_solve(shape):
+    """Every Table 3 shape — including the HADB-less (1, 0) baseline."""
+    n_instances, n_pairs = shape
+    config = JsasConfiguration(n_instances=n_instances, n_pairs=n_pairs)
+    values = PAPER_PARAMETERS.to_dict()
+    scalar = config.solve(values)
+    compiled = config.solve_compiled(values)
+    assert compiled.system == scalar.system
+    assert compiled.bound_parameters == scalar.bound_parameters
+    assert compiled.submodels == scalar.submodels
+
+
+def test_compare_configurations_engines_agree():
+    rows_compiled = compare_configurations()
+    rows_scalar = compare_configurations(engine="scalar")
+    assert len(rows_compiled) == len(rows_scalar)
+    for compiled, scalar in zip(rows_compiled, rows_scalar):
+        assert compiled.availability == scalar.availability
+        assert (
+            compiled.yearly_downtime_minutes == scalar.yearly_downtime_minutes
+        )
+        assert compiled.mtbf_hours == scalar.mtbf_hours
+    # The paper's conclusion survives either engine: 4 AS + 4 pairs wins.
+    assert optimal_configuration(rows_compiled).n_instances == 4
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(EstimationError, match="unknown engine"):
+        compare_configurations(engine="quantum")
+
+
+def test_hierarchy_cache_shared_between_equal_shapes():
+    a = JsasConfiguration(n_instances=2, n_pairs=2)
+    b = JsasConfiguration(n_instances=2, n_pairs=2)
+    assert a.hierarchy() is b.hierarchy()
+    assert a.compiled_hierarchy() is b.compiled_hierarchy()
+    c = JsasConfiguration(n_instances=2, n_pairs=2, repair_policy="parallel")
+    assert c.hierarchy() is not a.hierarchy()
+
+
+def test_solve_batch_on_configuration():
+    import numpy as np
+
+    config = JsasConfiguration(n_instances=2, n_pairs=2)
+    base = PAPER_PARAMETERS.to_dict()
+    n = 5
+    columns = dict(base)
+    first = sorted(base)[0]
+    columns[first] = base[first] * np.linspace(0.5, 1.5, n)
+    solution = config.solve_batch(columns, n_samples=n)
+    for s in range(n):
+        values = dict(base)
+        values[first] = float(columns[first][s])
+        assert solution.result_at(s) == config.solve(values)

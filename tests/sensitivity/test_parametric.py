@@ -74,3 +74,48 @@ class TestSweep2d:
     def test_too_few_points_rejected(self):
         with pytest.raises(EstimationError):
             parametric_sweep_2d(quadratic, "x", [1.0], "y", [1.0, 2.0], {})
+
+
+class BatchQuadratic:
+    """Same function as ``quadratic`` but with a vectorized fast path."""
+
+    def __init__(self):
+        self.batch_calls = 0
+
+    def __call__(self, values: dict) -> float:
+        return quadratic(values)
+
+    def evaluate_batch(self, columns: dict, n_samples: int) -> np.ndarray:
+        self.batch_calls += 1
+        x = np.broadcast_to(np.asarray(columns["x"], dtype=float), n_samples)
+        y = np.broadcast_to(
+            np.asarray(columns.get("y", 0.0), dtype=float), n_samples
+        )
+        return x**2 + y
+
+
+class TestBatchFastPath:
+    def test_sweep_matches_callable_path(self):
+        metric = BatchQuadratic()
+        fast = parametric_sweep(metric, "x", [0.0, 1.0, 2.0], {"y": 3.0})
+        slow = parametric_sweep(quadratic, "x", [0.0, 1.0, 2.0], {"y": 3.0})
+        assert metric.batch_calls == 1
+        assert fast.grid == slow.grid
+        assert fast.values == slow.values
+        assert fast.parameter == slow.parameter
+
+    def test_sweep_2d_matches_callable_path(self):
+        metric = BatchQuadratic()
+        fast = parametric_sweep_2d(
+            metric, "x", [0.0, 1.0], "y", [0.0, 10.0, 20.0], {}
+        )
+        slow = parametric_sweep_2d(
+            quadratic, "x", [0.0, 1.0], "y", [0.0, 10.0, 20.0], {}
+        )
+        assert metric.batch_calls == 1
+        assert fast.shape == slow.shape
+        assert (fast == slow).all()
+
+    def test_crossing_works_on_fast_path_result(self):
+        sweep = parametric_sweep(BatchQuadratic(), "x", [0.0, 1.0, 2.0], {})
+        assert sweep.crossing(2.5) == pytest.approx(1.5)

@@ -7,6 +7,11 @@ from repro.exceptions import SimulationError
 from repro.simulation.replication import run_replications
 
 
+def picklable_experiment(seed: int) -> float:
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    return float(np.random.default_rng(seed).normal(5.0, 2.0))
+
+
 class TestRunReplications:
     def test_mean_and_interval(self):
         def experiment(seed: int) -> float:
@@ -47,3 +52,23 @@ class TestRunReplications:
     def test_summary_text(self):
         summary = run_replications(lambda s: float(s % 7), 5, master_seed=4)
         assert "replications" in summary.summary()
+
+
+class TestParallelReplications:
+    def test_parallel_matches_sequential(self):
+        sequential = run_replications(picklable_experiment, 12, master_seed=7)
+        parallel = run_replications(
+            picklable_experiment, 12, master_seed=7, n_jobs=2
+        )
+        assert parallel.values == sequential.values
+        assert parallel.mean == sequential.mean
+        assert parallel.ci_low == sequential.ci_low
+        assert parallel.ci_high == sequential.ci_high
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(SimulationError):
+            run_replications(picklable_experiment, 5, master_seed=1, n_jobs=0)
+
+    def test_unpicklable_experiment_raises(self):
+        with pytest.raises(SimulationError, match="picklable"):
+            run_replications(lambda s: 0.0, 5, master_seed=1, n_jobs=2)
