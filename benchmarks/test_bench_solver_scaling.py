@@ -4,15 +4,153 @@ Times the three steady-state solvers on generalized AS cluster models of
 growing size (the N-instance chain has 3N-1 states) and on a large GSPN-
 generated chain, demonstrating that the library comfortably covers the
 model sizes hierarchical availability studies produce.
+
+``test_bench_state_space_scaling`` is the headline: a 100-point
+``Tstart_long_as`` capacity-planning sweep of the 64-instance AS model,
+dense scalar loop vs the structured batch engine, plus a states-vs-time
+curve over growing N.  It writes ``BENCH_scale.json`` at the repo root
+and asserts the structured path is at least 10x faster while matching
+GTH elimination within 1e-10.
 """
 
+import json
+import pathlib
+import time
+
+import numpy as np
 import pytest
 
-from repro.ctmc import build_generator, steady_state_vector
+from repro.core.compiled import compile_model
+from repro.ctmc import batch_steady_state, build_generator, steady_state_vector
+from repro.ctmc.steady_state import _gth_reference
 from repro.models.jsas import PAPER_PARAMETERS, build_appserver_model
 from repro.spn import PetriNet, petri_net_to_markov_model
 
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 VALUES = PAPER_PARAMETERS.to_dict()
+SWEEP_POINTS = 100
+SWEEP_INSTANCES = 64
+SCALING_INSTANCES = (8, 16, 32, 64, 128, 256)
+REPS = 3
+
+
+def _median_ms(run) -> float:
+    timings = []
+    for _ in range(REPS):
+        start = time.perf_counter()
+        run()
+        timings.append((time.perf_counter() - start) * 1000.0)
+    timings.sort()
+    return timings[len(timings) // 2]
+
+
+def _sweep_values(points: int) -> dict:
+    values = dict(VALUES)
+    values["Tstart_long_as"] = np.linspace(5.0, 60.0, points)
+    return values
+
+
+@pytest.mark.benchmark(group="state-space-scaling")
+def test_bench_state_space_scaling(benchmark, save_artifact):
+    model = build_appserver_model(SWEEP_INSTANCES)
+    compiled = compile_model(model)
+    values = _sweep_values(SWEEP_POINTS)
+    sweep = values["Tstart_long_as"]
+
+    def scalar_sweep():
+        out = np.empty((SWEEP_POINTS, compiled.n_states))
+        for s in range(SWEEP_POINTS):
+            point = dict(VALUES)
+            point["Tstart_long_as"] = float(sweep[s])
+            generator = build_generator(model, point)
+            out[s] = steady_state_vector(generator, method="direct")
+        return out
+
+    def structured_sweep():
+        return batch_steady_state(
+            compiled, values, n_samples=SWEEP_POINTS, method="auto"
+        )
+
+    scalar_ms = _median_ms(scalar_sweep)
+    structured_ms = _median_ms(structured_sweep)
+    pis = benchmark.pedantic(structured_sweep, rounds=1, iterations=1)
+
+    # Accuracy: every point of the sweep against subtraction-free GTH.
+    max_err = 0.0
+    for s in range(SWEEP_POINTS):
+        point = dict(VALUES)
+        point["Tstart_long_as"] = float(sweep[s])
+        reference = _gth_reference(build_generator(model, point).dense())
+        max_err = max(max_err, float(np.abs(pis[s] - reference).max()))
+
+    # States-vs-time curve: the structured batch engine over growing N.
+    curve = []
+    for n_instances in SCALING_INSTANCES:
+        size_model = build_appserver_model(n_instances)
+        size_compiled = compile_model(size_model)
+        size_values = _sweep_values(SWEEP_POINTS)
+
+        batch_ms = _median_ms(
+            lambda: batch_steady_state(
+                size_compiled, size_values,
+                n_samples=SWEEP_POINTS, method="auto",
+            )
+        )
+        single = dict(VALUES)
+        single["Tstart_long_as"] = float(size_values["Tstart_long_as"][0])
+        size_generator = build_generator(size_model, single)
+        dense_ms = _median_ms(
+            lambda: steady_state_vector(size_generator, method="direct")
+        )
+        curve.append(
+            {
+                "n_instances": n_instances,
+                "n_states": size_compiled.n_states,
+                "structured_batch_ms": batch_ms,
+                "structured_per_sample_ms": batch_ms / SWEEP_POINTS,
+                "dense_single_solve_ms": dense_ms,
+            }
+        )
+
+    speedup = scalar_ms / structured_ms
+    payload = {
+        "workload": (
+            f"{SWEEP_POINTS}-point Tstart_long_as sweep of the "
+            f"n_instances={SWEEP_INSTANCES} AS model"
+        ),
+        "sweep_points": SWEEP_POINTS,
+        "n_instances": SWEEP_INSTANCES,
+        "n_states": compiled.n_states,
+        "scalar_sweep_ms": scalar_ms,
+        "structured_sweep_ms": structured_ms,
+        "speedup": speedup,
+        "max_abs_error_vs_gth": max_err,
+        "scaling": curve,
+    }
+    (REPO_ROOT / "BENCH_scale.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    lines = [
+        "Structured batch engine vs dense scalar loop "
+        f"({SWEEP_POINTS}-point Tstart_long_as sweep, N={SWEEP_INSTANCES})",
+        "",
+        f"scalar:     {scalar_ms:10.2f} ms total",
+        f"structured: {structured_ms:10.2f} ms total",
+        f"speedup:    {speedup:10.1f}x",
+        f"max |pi - GTH|: {max_err:.3e}",
+        "",
+        "states-vs-time (structured batch, per sweep):",
+    ]
+    for row in curve:
+        lines.append(
+            f"  N={row['n_instances']:>4} ({row['n_states']:>4} states): "
+            f"{row['structured_batch_ms']:8.2f} ms batch, "
+            f"{row['dense_single_solve_ms']:7.2f} ms dense single solve"
+        )
+    save_artifact("state_space_scaling", "\n".join(lines))
+
+    assert max_err < 1e-10
+    assert speedup >= 10.0
 
 
 @pytest.mark.benchmark(group="solver-scaling")

@@ -26,7 +26,6 @@ from repro.models.jsas import (
     JsasConfiguration,
     compare_configurations,
     optimal_configuration,
-    run_uncertainty,
 )
 from repro.sensitivity import parametric_sweep
 from repro.units import nines_to_availability
@@ -34,10 +33,19 @@ from repro.units import nines_to_availability
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--instances", type=int, default=2, help="AS instances (default 2)"
+        "--instances", "--n-instances", type=int, default=2,
+        dest="instances", help="AS instances (default 2)",
     )
     parser.add_argument(
         "--pairs", type=int, default=2, help="HADB node pairs (default 2)"
+    )
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=("scalar", "compiled"), default="compiled",
+        help="solver engine: 'compiled' (vectorized, default) or "
+        "'scalar' (interpreted reference path)",
     )
 
 
@@ -46,7 +54,11 @@ def _configuration(args: argparse.Namespace) -> JsasConfiguration:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    result = _configuration(args).solve(PAPER_PARAMETERS)
+    config = _configuration(args)
+    if args.engine == "compiled":
+        result = config.solve_compiled(PAPER_PARAMETERS)
+    else:
+        result = config.solve(PAPER_PARAMETERS)
     print(result.summary())
     return 0
 
@@ -83,7 +95,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
-    rows = compare_configurations()
+    rows = compare_configurations(engine=args.engine)
     print(
         render_table(
             ["# Instances", "# HADB Pairs", "Availability",
@@ -101,10 +113,16 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = _configuration(args)
+    from repro.models.jsas.configs import HierarchicalConfigMetric
 
-    def metric(values: dict) -> float:
-        return config.solve(values).availability
+    config = _configuration(args)
+    if args.engine == "compiled":
+        # Batch-capable metric: the whole grid solves as one stacked
+        # (or banded/sparse, for large --n-instances) linear-algebra call.
+        metric = HierarchicalConfigMetric(config, metric="availability")
+    else:
+        def metric(values: dict) -> float:
+            return config.solve(values).availability
 
     grid = list(np.linspace(args.start, args.stop, args.points))
     sweep = parametric_sweep(
@@ -134,8 +152,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_uncertainty(args: argparse.Namespace) -> int:
+    from repro.models.jsas.configs import build_uncertainty_analysis
+
     config = _configuration(args)
-    result = run_uncertainty(config, n_samples=args.samples, seed=args.seed)
+    analysis = build_uncertainty_analysis(config)
+    result = analysis.run(
+        n_samples=args.samples,
+        seed=args.seed,
+        batch=args.engine == "compiled",
+    )
     print(result.summary())
     print(
         f"fraction of sampled systems under 5.25 min/yr "
@@ -203,7 +228,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     target = nines_to_availability(args.nines)
     recommendation = plan_configuration(
-        target, PAPER_PARAMETERS, max_instances=args.max_instances
+        target,
+        PAPER_PARAMETERS,
+        max_instances=args.max_instances,
+        engine=args.engine,
     )
     if recommendation.feasible:
         config = recommendation.configuration
@@ -270,16 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solve", help="solve one configuration")
     _add_config_arguments(p)
+    _add_engine_argument(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("table2", help="reproduce Table 2")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("table3", help="reproduce Table 3")
+    _add_engine_argument(p)
     p.set_defaults(func=_cmd_table3)
 
     p = sub.add_parser("sweep", help="Figs. 5/6 Tstart_long sweep")
     _add_config_arguments(p)
+    _add_engine_argument(p)
     p.add_argument("--start", type=float, default=0.5)
     p.add_argument("--stop", type=float, default=3.0)
     p.add_argument("--points", type=int, default=11)
@@ -287,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("uncertainty", help="Figs. 7/8 uncertainty analysis")
     _add_config_arguments(p)
+    _add_engine_argument(p)
     p.add_argument("--samples", type=int, default=1000)
     p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_uncertainty)
@@ -331,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("plan", help="smallest shape for a nines target")
     p.add_argument("--nines", type=float, default=5.0)
     p.add_argument("--max-instances", type=int, default=12)
+    _add_engine_argument(p)
     p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser(

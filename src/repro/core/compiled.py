@@ -90,6 +90,9 @@ class CompiledModel:
         # repro.ctmc.batch so reachability analysis runs once per
         # pattern, not once per sample.
         self.structure_cache: Dict[bytes, object] = {}
+        # Named solver artifacts (banded structure, symbolic CSR
+        # patterns, ...) cached by repro.ctmc.batch / repro.ctmc.sparse.
+        self.solver_cache: Dict[str, object] = {}
 
     # Introspection -------------------------------------------------------
 
@@ -184,19 +187,39 @@ class CompiledModel:
             self._raise_invalid_rate(out, columns)
         return out
 
-    def generator_batch(self, rates: np.ndarray) -> np.ndarray:
+    def generator_batch(
+        self, rates: np.ndarray, allow_dense: bool = False
+    ) -> np.ndarray:
         """Assemble one generator matrix per sample.
 
         Zero rates simply leave the corresponding entry at zero, which is
         exactly the scalar path's ``drop_zero_rates=True`` behavior.
 
+        Models at or above :data:`repro.ctmc.generator.SPARSE_THRESHOLD`
+        states refuse to materialize the dense stack (a 1,000-sample
+        batch of a 10,000-state chain would need ~800 GB) unless
+        ``allow_dense=True``; the batch solvers route such models through
+        the banded/sparse engines in :mod:`repro.ctmc.sparse` instead.
+
         Returns:
             ``(n_samples, n_states, n_states)`` dense array; each slice
             has zero row sums.
         """
+        from repro.ctmc.generator import SPARSE_THRESHOLD
+
         rates = np.asarray(rates, dtype=float)
         n_samples = rates.shape[0]
         n = self.n_states
+        if n >= SPARSE_THRESHOLD and not allow_dense:
+            gib = n_samples * n * n * 8 / 2**30
+            raise ModelError(
+                f"model {self.model_name!r} has {n} states; materializing "
+                f"the dense ({n_samples}, {n}, {n}) generator stack would "
+                f"need ~{gib:.1f} GiB. Use repro.ctmc.batch_steady_state / "
+                "batch_availability (they route models this size through "
+                "the banded/sparse engines), or pass allow_dense=True to "
+                "force the dense stack."
+            )
         mats = np.zeros((n_samples, n, n), dtype=float)
         if self.n_transitions:
             mats[:, self.transition_sources, self.transition_targets] = rates

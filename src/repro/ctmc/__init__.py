@@ -16,11 +16,18 @@ The public surface of this package:
 """
 
 from repro.ctmc.batch import (
+    BATCH_METHODS,
     BatchAvailability,
     batch_availability,
     batch_steady_state,
 )
 from repro.ctmc.generator import GeneratorMatrix, build_generator
+from repro.ctmc.sparse import (
+    BandedStructure,
+    SparseSteadyStateSolver,
+    detect_banded_structure,
+    generator_banded_structure,
+)
 from repro.ctmc.steady_state import solve_steady_state, steady_state_vector
 from repro.ctmc.transient import (
     transient_distribution,
@@ -57,11 +64,16 @@ from repro.ctmc.mfpt import (
 )
 
 __all__ = [
+    "BATCH_METHODS",
     "BatchAvailability",
     "batch_availability",
     "batch_steady_state",
     "GeneratorMatrix",
     "build_generator",
+    "BandedStructure",
+    "SparseSteadyStateSolver",
+    "detect_banded_structure",
+    "generator_banded_structure",
     "solve_steady_state",
     "steady_state_vector",
     "transient_distribution",

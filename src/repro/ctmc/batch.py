@@ -23,6 +23,17 @@ path on arithmetic-only rate expressions: the stacked LAPACK solves and
 reductions perform the same operations per sample as the scalar solver.
 The property tests in ``tests/ctmc/test_batch.py`` enforce exact
 equality on random chains and on the paper's models.
+
+**Large state spaces.**  The dense stack is O(n^2) memory per sample, so
+models at or above :data:`~repro.ctmc.generator.SPARSE_THRESHOLD` states
+are routed through the structure-exploiting engines in
+:mod:`repro.ctmc.sparse` instead: batched banded GTH when the generator
+is banded-plus-spike (the generalized N-instance AS model), sparse LU
+with symbolic-pattern reuse otherwise.  ``method="auto"`` additionally
+picks the banded engine for medium-sized banded models (>=
+:data:`~repro.ctmc.sparse.BANDED_MIN_STATES` states) where it already
+beats the dense stacked LU.  The bit-parity contract applies to the
+dense paths; the structured engines match the dense reference to ~1e-12.
 """
 
 from __future__ import annotations
@@ -31,16 +42,32 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
 
 from repro.core.compiled import ColumnLike, CompiledModel, compile_model
 from repro.core.model import MarkovModel
-from repro.ctmc.generator import GeneratorMatrix
-from repro.ctmc.steady_state import _gth_reference
-from repro.ctmc.structure import classify_states, reachable_from
+from repro.ctmc.generator import SPARSE_THRESHOLD, GeneratorMatrix
+from repro.ctmc.sparse import (
+    BANDED_MIN_STATES,
+    MAX_BANDWIDTH,
+    BandedStructure,
+    SparseSteadyStateSolver,
+    SparseUpBlockSolver,
+    detect_banded_structure,
+    gth_banded_batch,
+)
+from repro.ctmc.steady_state import _gth_reference, steady_state_vector
+from repro.ctmc.structure import classify_states
 from repro.exceptions import SolverError, StructureError
 from repro.units import unavailability_to_yearly_downtime_minutes
 
 ModelLike = Union[MarkovModel, CompiledModel]
+
+#: Methods accepted by the batch solvers.  "direct", "gth" and "auto"
+#: keep their dense-path semantics below SPARSE_THRESHOLD; "banded" and
+#: "sparse" force a structured engine at any size.
+BATCH_METHODS = ("direct", "gth", "auto", "banded", "sparse")
 
 
 @dataclass(frozen=True)
@@ -70,18 +97,59 @@ def _pattern_generator(
 ) -> GeneratorMatrix:
     """A unit-rate generator with the pattern's adjacency (for structure)."""
     n = compiled.n_states
-    matrix = np.zeros((n, n), dtype=float)
-    if compiled.n_transitions:
+    if n >= SPARSE_THRESHOLD:
         src = compiled.transition_sources[pattern]
         tgt = compiled.transition_targets[pattern]
-        matrix[src, tgt] = 1.0
-    np.fill_diagonal(matrix, -matrix.sum(axis=1))
+        off = sp.coo_matrix(
+            (np.ones(src.size), (src, tgt)), shape=(n, n)
+        ).tocsr()
+        diagonal = -np.asarray(off.sum(axis=1)).ravel()
+        matrix = (off + sp.diags(diagonal)).tocsr()
+    else:
+        matrix = np.zeros((n, n), dtype=float)
+        if compiled.n_transitions:
+            src = compiled.transition_sources[pattern]
+            tgt = compiled.transition_targets[pattern]
+            matrix[src, tgt] = 1.0
+        np.fill_diagonal(matrix, -matrix.sum(axis=1))
     return GeneratorMatrix(
         matrix=matrix,
         state_names=compiled.state_names,
         rewards=compiled.rewards.copy(),
         model_name=compiled.model_name,
     )
+
+
+def _first_mtta_offender(
+    compiled: CompiledModel, pattern: np.ndarray
+) -> Optional[int]:
+    """Lowest-index up state that cannot reach the down set, or ``None``.
+
+    One reverse BFS from the whole down set (via a virtual super-source)
+    replaces the old per-up-state forward search — O(E) instead of
+    O(n_up * E), which matters once SPN-derived chains reach 10^4+
+    states.
+    """
+    n = compiled.n_states
+    src = compiled.transition_sources[pattern]
+    tgt = compiled.transition_targets[pattern]
+    down = compiled.down_idx
+    # Reverse edges (tgt -> src) plus a virtual root n feeding every
+    # down state; everything BFS reaches from the root can reach down.
+    rows = np.concatenate([tgt, np.full(down.size, n, dtype=np.intp)])
+    cols = np.concatenate([src, down])
+    adjacency = sp.coo_matrix(
+        (np.ones(rows.size), (rows, cols)), shape=(n + 1, n + 1)
+    ).tocsr()
+    order = csgraph.breadth_first_order(
+        adjacency, n, directed=True, return_predecessors=False
+    )
+    can_reach = np.zeros(n + 1, dtype=bool)
+    can_reach[order] = True
+    blocked = np.flatnonzero(~can_reach[compiled.up_idx])
+    if blocked.size:
+        return int(compiled.up_idx[blocked[0]])
+    return None
 
 
 def pattern_structure(
@@ -112,16 +180,14 @@ def pattern_structure(
 
     mtta_error: Optional[str] = None
     if compiled.down_idx.size and compiled.up_idx.size:
-        targets = {compiled.state_names[i] for i in compiled.down_idx}
-        for i in compiled.up_idx:
-            name = compiled.state_names[i]
-            reachable = set(reachable_from(generator, [name]))
-            if not (reachable & targets):
-                mtta_error = (
-                    f"state {name!r} cannot reach any target state "
-                    f"{sorted(targets)}; hitting time is infinite"
-                )
-                break
+        offender = _first_mtta_offender(compiled, np.asarray(pattern, bool))
+        if offender is not None:
+            targets = {compiled.state_names[i] for i in compiled.down_idx}
+            name = compiled.state_names[offender]
+            mtta_error = (
+                f"state {name!r} cannot reach any target state "
+                f"{sorted(targets)}; hitting time is infinite"
+            )
 
     info = PatternStructure(
         n_recurrent_classes=len(classification.recurrent_classes),
@@ -277,6 +343,267 @@ def _grouped_steady_state(
     return pis
 
 
+# Structured / sparse engines -----------------------------------------------
+
+
+def banded_structure_of(compiled: CompiledModel) -> Optional[BandedStructure]:
+    """Detect (and cache) the model's banded-plus-spike structure."""
+    cache = compiled.solver_cache
+    if "banded" not in cache:
+        cache["banded"] = detect_banded_structure(
+            compiled.n_states,
+            compiled.transition_sources,
+            compiled.transition_targets,
+        )
+    return cache["banded"]  # type: ignore[return-value]
+
+
+def _sparse_solver_of(compiled: CompiledModel) -> SparseSteadyStateSolver:
+    cache = compiled.solver_cache
+    if "sparse_steady" not in cache:
+        cache["sparse_steady"] = SparseSteadyStateSolver(
+            compiled.n_states,
+            compiled.transition_sources,
+            compiled.transition_targets,
+        )
+    return cache["sparse_steady"]  # type: ignore[return-value]
+
+
+def _upblock_solver_of(compiled: CompiledModel) -> SparseUpBlockSolver:
+    cache = compiled.solver_cache
+    if "sparse_upblock" not in cache:
+        cache["sparse_upblock"] = SparseUpBlockSolver(
+            compiled.n_states,
+            compiled.transition_sources,
+            compiled.transition_targets,
+            compiled.up_idx,
+        )
+    return cache["sparse_upblock"]  # type: ignore[return-value]
+
+
+def _resolve_engine(compiled: CompiledModel, method: str) -> str:
+    """Map a requested method to the engine that will actually run.
+
+    Returns one of ``"direct"``, ``"gth"``, ``"auto"`` (dense stacked
+    paths) or ``"banded"``, ``"sparse"`` (structured engines).  Dense
+    methods on models at or above SPARSE_THRESHOLD states are redirected
+    to a structured engine — mirroring the scalar path, which switches
+    to sparse assembly at the same size — instead of materializing an
+    O(n^2)-per-sample dense stack.
+    """
+    if method not in BATCH_METHODS:
+        raise SolverError(
+            f"unknown batch steady-state method {method!r}; "
+            f"expected one of {BATCH_METHODS}"
+        )
+    n = compiled.n_states
+    if method in ("direct", "gth"):
+        if n < SPARSE_THRESHOLD:
+            return method
+        if banded_structure_of(compiled) is not None:
+            return "banded"
+        return "sparse"
+    if method == "auto":
+        if (
+            n >= BANDED_MIN_STATES
+            and banded_structure_of(compiled) is not None
+        ):
+            return "banded"
+        if n >= SPARSE_THRESHOLD:
+            return "sparse"
+        return "auto"
+    if method == "banded":
+        if banded_structure_of(compiled) is None:
+            raise SolverError(
+                f"model {compiled.model_name!r} has no banded-plus-spike "
+                f"structure (bandwidth over {MAX_BANDWIDTH} or too few "
+                "states); use method='sparse' or 'auto'"
+            )
+        return "banded"
+    return "sparse"
+
+
+def _sample_generator(
+    compiled: CompiledModel, rates_row: np.ndarray
+) -> GeneratorMatrix:
+    """One sample's sparse generator (zero rates dropped, as scalar)."""
+    n = compiled.n_states
+    mask = rates_row > 0.0
+    src = compiled.transition_sources[mask]
+    tgt = compiled.transition_targets[mask]
+    off = sp.coo_matrix((rates_row[mask], (src, tgt)), shape=(n, n)).tocsr()
+    diagonal = -np.asarray(off.sum(axis=1)).ravel()
+    matrix = (off + sp.diags(diagonal)).tocsr()
+    return GeneratorMatrix(
+        matrix=matrix,
+        state_names=compiled.state_names,
+        rewards=compiled.rewards.copy(),
+        model_name=compiled.model_name,
+    )
+
+
+def _structured_solve_block(
+    compiled: CompiledModel,
+    rates: np.ndarray,
+    engine: str,
+    sample_ids: np.ndarray,
+) -> np.ndarray:
+    """Solve one irreducible zero-pattern group with a structured engine."""
+    if engine == "banded":
+        structure = banded_structure_of(compiled)
+        assert structure is not None
+        pis = gth_banded_batch(structure, rates)
+    else:
+        solver = _sparse_solver_of(compiled)
+        pis = np.empty((rates.shape[0], compiled.n_states))
+        for i in range(rates.shape[0]):
+            try:
+                pis[i] = solver.solve(rates[i])
+            except SolverError as exc:
+                raise SolverError(
+                    f"{exc} (model {compiled.model_name!r}, "
+                    f"sample {int(sample_ids[i])})"
+                ) from exc
+    finite = np.isfinite(pis).all(axis=1)
+    ok = finite & (pis.min(axis=1) >= -1e-8)
+    bad = np.flatnonzero(~ok)
+    if bad.size:
+        raise SolverError(
+            f"structured steady-state solve produced an invalid "
+            f"probability vector for model {compiled.model_name!r} "
+            f"(sample {int(sample_ids[bad[0]])})"
+        )
+    np.clip(pis, 0.0, None, out=pis)
+    pis /= pis.sum(axis=1, keepdims=True)
+    return pis
+
+
+def _structured_steady_state(
+    compiled: CompiledModel, rates: np.ndarray, engine: str
+) -> np.ndarray:
+    """Grouped steady-state solve through a structured engine.
+
+    Mirrors :func:`_grouped_steady_state`: samples are grouped by
+    transition zero-pattern and classified once per pattern.  Irreducible
+    groups go through the batched banded GTH or the pattern-reusing
+    sparse LU; the (rare) reducible-but-unique patterns fall back to the
+    scalar sparse solver per sample, which handles the recurrent-class
+    restriction.
+    """
+    k = rates.shape[0]
+    pis = np.empty((k, compiled.n_states))
+    if compiled.n_transitions:
+        patterns = rates > 0.0
+        unique, inverse = np.unique(patterns, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).reshape(-1)
+    else:
+        unique = np.zeros((1, 0), dtype=bool)
+        inverse = np.zeros(k, dtype=np.intp)
+    for g in range(unique.shape[0]):
+        members = np.flatnonzero(inverse == g)
+        info = pattern_structure(compiled, unique[g])
+        if info.n_recurrent_classes != 1:
+            raise StructureError(
+                f"model {compiled.model_name!r} has "
+                f"{info.n_recurrent_classes} recurrent classes; the "
+                f"stationary distribution is not unique "
+                f"(sample {int(members[0])})"
+            )
+        if info.covers_all:
+            pis[members] = _structured_solve_block(
+                compiled, rates[members], engine, members
+            )
+        else:
+            for s in members:
+                pis[s] = steady_state_vector(
+                    _sample_generator(compiled, rates[s]), method="direct"
+                )
+    return pis
+
+
+def _structured_equivalent_rates(
+    compiled: CompiledModel,
+    rates: np.ndarray,
+    pis: np.ndarray,
+    abstraction: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Equivalent (Lambda, Mu) rates without dense generator stacks.
+
+    Same semantics as :func:`_batch_equivalent_rates`, but all flows are
+    contracted directly over the transition list (O(T) per sample) and
+    the MTTF solve goes through the pattern-reusing sparse up-block
+    solver.
+    """
+    k = rates.shape[0]
+    up = compiled.up_mask
+    up_idx, down_idx = compiled.up_idx, compiled.down_idx
+    if not up_idx.size:
+        raise StructureError(
+            f"model {compiled.model_name!r} has no up states"
+        )
+    if not down_idx.size:
+        return np.zeros(k), np.full(k, np.inf)
+
+    p_up = np.ascontiguousarray(pis[:, up]).sum(axis=1)
+    p_down = np.ascontiguousarray(pis[:, ~up]).sum(axis=1)
+    never_up = np.flatnonzero(p_up <= 0.0)
+    if never_up.size:
+        raise StructureError(
+            f"model {compiled.model_name!r} is never up in steady state "
+            f"(sample {int(never_up[0])})"
+        )
+
+    src, tgt = compiled.transition_sources, compiled.transition_targets
+    ud = up[src] & ~up[tgt]
+    if ud.any():
+        flow_down = np.einsum(
+            "kt,kt->k", rates[:, ud], pis[:, src[ud]]
+        )
+    else:
+        flow_down = np.zeros(k)
+
+    if abstraction == "mttf":
+        if not up[0]:
+            raise StructureError(
+                f"model {compiled.model_name!r} starts in a down state; "
+                "the MTTF abstraction requires an up initial state"
+            )
+        lam = np.zeros(k)
+        need = np.flatnonzero(flow_down > 0.0)
+        if need.size:
+            for s in need:
+                info = pattern_structure(compiled, rates[s] > 0.0)
+                if info.mtta_error is not None:
+                    raise StructureError(
+                        f"{info.mtta_error} (sample {int(s)})"
+                    )
+            solver = _upblock_solver_of(compiled)
+            for s in need:
+                mtta0 = solver.mtta_initial(rates[s])
+                if mtta0 is not None and mtta0 > 0.0:
+                    lam[s] = 1.0 / mtta0
+                else:
+                    # Hitting times beyond float64 reach: the flow
+                    # abstraction coincides with 1/MTTF to
+                    # O(unavailability), exactly the scalar fallback.
+                    lam[s] = flow_down[s] / p_up[s]
+    else:
+        lam = flow_down / p_up
+
+    mu = np.full(k, np.inf)
+    du = ~up[src] & up[tgt]
+    reachable_down = np.flatnonzero(p_down > 0.0)
+    if reachable_down.size:
+        if du.any():
+            flow_up = np.einsum("kt,kt->k", rates[:, du], pis[:, src[du]])
+        else:
+            flow_up = np.zeros(k)
+        mu[reachable_down] = (
+            flow_up[reachable_down] / p_down[reachable_down]
+        )
+    return lam, mu
+
+
 # Public API ----------------------------------------------------------------
 
 
@@ -298,8 +625,13 @@ def batch_steady_state(
             column when omitted.
         method: ``"direct"`` (stacked LU; raises on failure exactly like
             the scalar solver), ``"gth"`` (per-sample subtraction-free
-            elimination) or ``"auto"`` (stacked LU with per-sample GTH
-            fallback for stiff or singular samples).
+            elimination), ``"auto"`` (stacked LU with per-sample GTH
+            fallback, switching to the banded engine for medium/large
+            banded models), ``"banded"`` (force the batched banded GTH;
+            raises when the model has no banded-plus-spike structure) or
+            ``"sparse"`` (force the pattern-reusing sparse LU).  Dense
+            methods on models at or above SPARSE_THRESHOLD states are
+            transparently redirected to a structured engine.
 
     Returns:
         ``(n_samples, n_states)`` array of stationary vectors in the
@@ -307,14 +639,12 @@ def batch_steady_state(
     """
     compiled = compile_model(model)
     n_samples = _infer_samples(values, n_samples)
-    if method not in ("direct", "gth", "auto"):
-        raise SolverError(
-            f"unknown batch steady-state method {method!r}; "
-            "expected 'direct', 'gth' or 'auto'"
-        )
+    engine = _resolve_engine(compiled, method)
     rates = compiled.rate_matrix(values, n_samples)
-    mats = compiled.generator_batch(rates)
-    return _grouped_steady_state(compiled, rates, mats, method)
+    if engine in ("banded", "sparse"):
+        return _structured_steady_state(compiled, rates, engine)
+    mats = compiled.generator_batch(rates, allow_dense=True)
+    return _grouped_steady_state(compiled, rates, mats, engine)
 
 
 @dataclass(frozen=True)
@@ -363,9 +693,19 @@ def batch_availability(
         )
     compiled = compile_model(model)
     n_samples = _infer_samples(values, n_samples)
+    engine = _resolve_engine(compiled, method)
     rates = compiled.rate_matrix(values, n_samples)
-    mats = compiled.generator_batch(rates)
-    pis = _grouped_steady_state(compiled, rates, mats, method)
+    if engine in ("banded", "sparse"):
+        pis = _structured_steady_state(compiled, rates, engine)
+        lam, mu = _structured_equivalent_rates(
+            compiled, rates, pis, abstraction
+        )
+    else:
+        mats = compiled.generator_batch(rates, allow_dense=True)
+        pis = _grouped_steady_state(compiled, rates, mats, engine)
+        lam, mu = _batch_equivalent_rates(
+            compiled, rates, mats, pis, engine, abstraction
+        )
     k = n_samples
 
     up = compiled.up_mask
@@ -379,10 +719,6 @@ def batch_availability(
         unavailability = np.ascontiguousarray(pis[:, ~up]).sum(axis=1)
     else:
         unavailability = np.zeros(k)
-
-    lam, mu = _batch_equivalent_rates(
-        compiled, rates, mats, pis, method, abstraction
-    )
 
     with np.errstate(divide="ignore"):
         mtbf = np.where(lam > 0.0, 1.0 / lam, np.inf)

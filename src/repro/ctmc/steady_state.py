@@ -13,9 +13,21 @@ Three algorithms are provided:
 * ``"power"`` — power iteration on the uniformized DTMC; mostly useful as
   an independent cross-check and for very large sparse chains.
 
-All three agree to tight tolerances on the paper's models; the property
-tests in ``tests/ctmc/test_steady_state.py`` enforce this on random
-chains.
+Two structure-exploiting methods (see :mod:`repro.ctmc.sparse`) extend
+the reach to large state spaces:
+
+* ``"banded"`` — subtraction-free GTH elimination restricted to the
+  generator's band plus the column-0 repair spike; O(n b^2) instead of
+  O(n^3).  Only valid for banded-plus-spike chains (the generalized
+  N-instance AS model, birth-death chains).
+* ``"gmres"`` — ILU-preconditioned GMRES on the sparse augmented
+  system; the iterative fallback for large unstructured chains.
+
+``"auto"`` picks for you: banded when the structure is detected on a
+large enough chain, otherwise direct.  All methods agree to tight
+tolerances on the paper's models; the property tests in
+``tests/ctmc/test_steady_state.py`` and ``tests/ctmc/test_sparse.py``
+enforce this on random chains.
 """
 
 from __future__ import annotations
@@ -28,10 +40,16 @@ import scipy.sparse.linalg as spla
 
 from repro.core.model import MarkovModel
 from repro.ctmc.generator import GeneratorMatrix, build_generator
+from repro.ctmc.sparse import (
+    BANDED_MIN_STATES,
+    generator_banded_structure,
+    solve_banded_generator,
+    solve_gmres_generator,
+)
 from repro.ctmc.structure import classify_states
 from repro.exceptions import SolverError, StructureError
 
-Method = str  # "direct" | "gth" | "power"
+Method = str  # "direct" | "gth" | "power" | "banded" | "gmres" | "auto"
 
 _DEFAULT_TOL = 1e-12
 
@@ -47,7 +65,8 @@ def steady_state_vector(
 
     Args:
         generator: The bound generator matrix.
-        method: One of ``"direct"``, ``"gth"``, ``"power"``.
+        method: One of ``"direct"``, ``"gth"``, ``"power"``, ``"banded"``,
+            ``"gmres"`` or ``"auto"``.
         tol: Residual tolerance (used by the iterative method and the
             final sanity check).
         max_iterations: Iteration cap for ``"power"``.
@@ -96,16 +115,25 @@ def steady_state_vector(
             for name, mass in zip(recurrent, block_pi):
                 pi[generator.index_of(name)] = mass
             return pi
+    if method == "auto":
+        method = "direct"
+        if generator.n_states >= BANDED_MIN_STATES:
+            if generator_banded_structure(generator) is not None:
+                method = "banded"
     if method == "direct":
         pi = _solve_direct(generator)
     elif method == "gth":
         pi = _solve_gth(generator)
     elif method == "power":
         pi = _solve_power(generator, tol=tol, max_iterations=max_iterations)
+    elif method == "banded":
+        pi = solve_banded_generator(generator)
+    elif method == "gmres":
+        pi = solve_gmres_generator(generator, tol=max(tol, 1e-12))
     else:
         raise SolverError(
             f"unknown steady-state method {method!r}; "
-            "expected 'direct', 'gth' or 'power'"
+            "expected 'direct', 'gth', 'power', 'banded', 'gmres' or 'auto'"
         )
     _check_probability_vector(pi, generator, tol=1e-8)
     return pi

@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
 import scipy.linalg
+import scipy.special
 
 from repro.core.model import MarkovModel
 from repro.ctmc.generator import GeneratorMatrix, build_generator
@@ -205,31 +206,54 @@ def _poisson_truncation(rate: float, tol: float) -> int:
     return k_max
 
 
+def _poisson_window(rate: float, tol: float):
+    """Fox–Glynn-style Poisson weight window.
+
+    Returns ``(left, right, weights)`` where ``weights[k - left]`` is the
+    Poisson(rate) pmf at ``k`` for ``k`` in ``[left, right]``.  The mass
+    outside the window is below ~1e-15 on each side (8-sigma bounds), so
+    the uniformization loop can skip accumulation below ``left`` and stop
+    at ``right``.  Weights are evaluated in one vectorized ``gammaln``
+    pass instead of a per-term log/exp recurrence.
+    """
+    right = _poisson_truncation(rate, tol)
+    left = max(0, int(rate - 8.0 * math.sqrt(rate) - 20.0))
+    ks = np.arange(left, right + 1, dtype=float)
+    log_weights = ks * math.log(rate) - rate - scipy.special.gammaln(ks + 1.0)
+    with np.errstate(under="ignore"):
+        weights = np.exp(log_weights)
+    return left, right, weights
+
+
 def _uniformization(
     generator: GeneratorMatrix, p0: np.ndarray, t: float, tol: float
 ) -> np.ndarray:
     p, lam = _uniformized_dtmc(generator)
     rate = lam * t
-    k_max = _poisson_truncation(rate, tol)
-    # Poisson weights computed iteratively in log space to avoid overflow.
-    log_weight = -rate
-    weight = math.exp(log_weight) if log_weight > -745 else 0.0
+    left, right, weights = _poisson_window(rate, tol)
+    cum_weights = np.cumsum(weights)
     vector = p0.copy()
-    result = weight * vector
-    cumulative = weight
+    result = np.zeros_like(vector)
+    cumulative = 0.0
+    if left == 0:
+        result += weights[0] * vector
+        cumulative = cum_weights[0]
     # Run to the analytic truncation point; stop early once the Poisson
     # mass is accounted for.  Floating-point summation of ~1e3 weights can
-    # plateau a hair below 1 - tol, so k_max (tail < 1e-15) is the
-    # authoritative stop, not the cumulative check.
-    for k in range(1, k_max + 1):
+    # plateau a hair below 1 - tol, so the window's right edge (tail <
+    # 1e-15) is the authoritative stop, not the cumulative check.  Below
+    # the window's left edge only the DTMC powers advance — the weights
+    # there are negligible by construction.
+    for k in range(1, right + 1):
         vector = vector @ p
         if hasattr(vector, "ravel"):
             vector = np.asarray(vector).ravel()
-        log_weight += math.log(rate) - math.log(k)
-        weight = math.exp(log_weight) if log_weight > -745 else 0.0
+        if k < left:
+            continue
+        weight = weights[k - left]
         if weight > 0.0:
             result = result + weight * vector
-            cumulative += weight
+            cumulative = cum_weights[k - left]
             if cumulative >= 1.0 - tol and k >= rate:
                 break
     # Renormalize the truncated mixture so truncation error cannot leak
@@ -246,24 +270,25 @@ def _uniformization_integral(
 
     Uses the identity
     ``∫_0^t p(s) ds = (1/lam) * sum_{k>=0} P_tail(k) * p0 P^k``
-    where ``P_tail(k) = P(Poisson(lam t) > k)``.
+    where ``P_tail(k) = P(Poisson(lam t) > k)``.  Below the Fox–Glynn
+    window the tail is 1 to within the truncation error, so those terms
+    add the DTMC power unweighted.
     """
     p, lam = _uniformized_dtmc(generator)
     rate = lam * t
-    k_max = _poisson_truncation(rate, tol)
-    log_weight = -rate
-    weight = math.exp(log_weight) if log_weight > -745 else 0.0
-    cumulative = weight
+    left, right, weights = _poisson_window(rate, tol)
+    cum_weights = np.cumsum(weights)
     vector = p0.copy()
-    integral = (1.0 - cumulative) * vector
-    for k in range(1, k_max + 1):
+    tail0 = 1.0 if left > 0 else max(0.0, 1.0 - cum_weights[0])
+    integral = tail0 * vector
+    for k in range(1, right + 1):
         vector = vector @ p
         if hasattr(vector, "ravel"):
             vector = np.asarray(vector).ravel()
-        log_weight += math.log(rate) - math.log(k)
-        weight = math.exp(log_weight) if log_weight > -745 else 0.0
-        cumulative += weight
-        tail = max(0.0, 1.0 - cumulative)
+        if k < left:
+            tail = 1.0
+        else:
+            tail = max(0.0, 1.0 - cum_weights[k - left])
         if tail == 0.0 and k >= rate:
             break
         integral = integral + tail * vector

@@ -165,7 +165,7 @@ class HierarchicalModel:
     def solve(
         self,
         values: Mapping[str, float],
-        method: str = "direct",
+        method: str = "auto",
         abstraction: str = "mttf",
     ) -> HierarchicalResult:
         """Solve submodels, bind, solve the top model, attribute downtime.
@@ -176,6 +176,11 @@ class HierarchicalModel:
         :class:`~repro.core.parameters.ParameterSet`.
 
         Args:
+            method: Steady-state method for every constituent solve.  The
+                default ``"auto"`` behaves exactly like ``"direct"`` on
+                small submodels and switches to the structured banded
+                solver when a large submodel (a generalized N-instance AS
+                chain, say) exposes the banded-plus-spike topology.
             abstraction: Equivalent-rate semantics for the submodels,
                 ``"mttf"`` (RAScad, default) or ``"flow"`` (exact
                 steady-state flow).  See
@@ -234,7 +239,7 @@ class HierarchicalModel:
         self,
         values: Mapping[str, ColumnLike],
         n_samples: Optional[int] = None,
-        method: str = "direct",
+        method: str = "auto",
         abstraction: str = "mttf",
     ) -> "BatchHierarchicalSolution":
         """Solve the hierarchy for a whole batch of parameter samples.
@@ -242,7 +247,10 @@ class HierarchicalModel:
         ``values`` maps parameter names to scalars (shared by all
         samples) or ``(n_samples,)`` arrays.  Equivalent to calling
         :meth:`solve` once per sample, but compiled once and solved with
-        stacked linear algebra — see ``docs/performance_guide.md``.
+        stacked linear algebra — see ``docs/performance_guide.md``.  The
+        default ``method="auto"`` routes large structured submodels
+        through the banded/sparse engines (see
+        :data:`repro.ctmc.batch.BATCH_METHODS`).
         """
         return self.compile().solve_batch(
             values, n_samples=n_samples, method=method, abstraction=abstraction
@@ -252,7 +260,7 @@ class HierarchicalModel:
         self,
         values: Mapping[str, float],
         t: float,
-        method: str = "direct",
+        method: str = "auto",
         abstraction: str = "mttf",
     ) -> float:
         """Expected interval availability of the composed system over [0, t].
@@ -325,7 +333,7 @@ class CompiledHierarchy:
         self,
         values: Mapping[str, ColumnLike],
         n_samples: Optional[int] = None,
-        method: str = "direct",
+        method: str = "auto",
         abstraction: str = "mttf",
     ) -> "BatchHierarchicalSolution":
         """Solve submodels, bind, and solve the top model for all samples."""

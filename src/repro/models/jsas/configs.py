@@ -76,6 +76,7 @@ class HierarchicalConfigMetric:
         config: JsasConfiguration,
         metric: str = "yearly_downtime_minutes",
         abstraction: str = "mttf",
+        method: str = "auto",
     ) -> None:
         if metric not in CONFIG_METRICS:
             raise EstimationError(
@@ -85,16 +86,22 @@ class HierarchicalConfigMetric:
         self.config = config
         self.metric = metric
         self.abstraction = abstraction
+        self.method = method
 
     def __call__(self, sampled: Mapping[str, float]) -> float:
-        result = self.config.solve(sampled, abstraction=self.abstraction)
+        result = self.config.solve(
+            sampled, method=self.method, abstraction=self.abstraction
+        )
         return float(getattr(result, self.metric))
 
     def evaluate_batch(
         self, columns: Mapping[str, ColumnLike], n_samples: int
     ) -> np.ndarray:
         solution = self.config.solve_batch(
-            columns, n_samples=n_samples, abstraction=self.abstraction
+            columns,
+            n_samples=n_samples,
+            method=self.method,
+            abstraction=self.abstraction,
         )
         return solution.metric_array(self.metric)
 
@@ -110,6 +117,7 @@ def compare_configurations(
     values: Optional[Mapping[str, float]] = None,
     abstraction: str = "mttf",
     engine: str = "compiled",
+    method: str = "auto",
 ) -> List[ConfigurationComparison]:
     """Solve each configuration and collect the Table 3 metrics.
 
@@ -117,6 +125,10 @@ def compare_configurations(
         engine: ``"compiled"`` (default) solves through the cached
             compiled hierarchies; ``"scalar"`` rebuilds and solves each
             model the interpreted way.  Both produce identical rows.
+        method: Steady-state method; the default ``"auto"`` picks the
+            structured banded solver for large-N AS submodels, so a
+            configuration sweep can include ``n_instances`` in the
+            hundreds without falling off the dense-solver cliff.
     """
     if engine not in ("compiled", "scalar"):
         raise EstimationError(
@@ -127,9 +139,13 @@ def compare_configurations(
     for n_instances, n_pairs in configurations:
         config = JsasConfiguration(n_instances=n_instances, n_pairs=n_pairs)
         if engine == "compiled":
-            result = config.solve_compiled(values, abstraction=abstraction)
+            result = config.solve_compiled(
+                values, method=method, abstraction=abstraction
+            )
         else:
-            result = config.solve(values, abstraction=abstraction)
+            result = config.solve(
+                values, method=method, abstraction=abstraction
+            )
         rows.append(
             ConfigurationComparison(
                 n_instances=n_instances,
@@ -165,6 +181,7 @@ def build_uncertainty_analysis(
     values: Optional[Mapping[str, float]] = None,
     metric: str = "yearly_downtime_minutes",
     abstraction: str = "mttf",
+    method: str = "auto",
 ) -> UncertaintyAnalysis:
     """The paper's Figs. 7-8 analysis for a configuration.
 
@@ -174,7 +191,7 @@ def build_uncertainty_analysis(
     base = dict(values) if values is not None else PAPER_PARAMETERS.to_dict()
     return UncertaintyAnalysis(
         metric=HierarchicalConfigMetric(
-            config, metric=metric, abstraction=abstraction
+            config, metric=metric, abstraction=abstraction, method=method
         ),
         distributions=uncertainty_distributions(),
         base_values=base,

@@ -45,6 +45,8 @@ def plan_configuration(
     max_instances: int = 12,
     pair_choices: Optional[Sequence[int]] = None,
     require_redundancy: bool = True,
+    engine: str = "compiled",
+    method: str = "auto",
 ) -> PlannerRecommendation:
     """Find the smallest deployment meeting an availability target.
 
@@ -54,12 +56,18 @@ def plan_configuration(
     Args:
         target_availability: e.g. ``0.99999`` for five 9s.
         values: Model parameters; defaults to the paper's.
-        max_instances: Search bound on the AS tier.
+        max_instances: Search bound on the AS tier.  Large bounds are
+            fine: ``method="auto"`` keeps big AS submodels on the O(n)
+            banded solver instead of the dense O(n^3) path.
         pair_choices: HADB pair counts to consider; defaults to matching
             the instance count (the paper's convention) plus the
             smaller half-count option.
         require_redundancy: Skip single-instance shapes (no failover),
             which can never be HA anyway.
+        engine: ``"compiled"`` (default) solves candidates through the
+            cached compiled hierarchies; ``"scalar"`` rebuilds each model
+            per solve.  Identical answers either way.
+        method: Steady-state method passed to each candidate solve.
     """
     if not 0.0 < target_availability < 1.0:
         raise ReproError(
@@ -67,6 +75,10 @@ def plan_configuration(
         )
     if max_instances < 1:
         raise ReproError(f"max_instances must be >= 1, got {max_instances}")
+    if engine not in ("compiled", "scalar"):
+        raise ReproError(
+            f"unknown engine {engine!r}; expected 'compiled' or 'scalar'"
+        )
     values = dict(values) if values is not None else PAPER_PARAMETERS.to_dict()
 
     candidates = []
@@ -92,7 +104,11 @@ def plan_configuration(
     best_seen: Optional[Tuple[float, JsasConfiguration]] = None
     evaluated = 0
     for configuration in candidates:
-        availability = configuration.solve(values).availability
+        if engine == "compiled":
+            result = configuration.solve_compiled(values, method=method)
+        else:
+            result = configuration.solve(values, method=method)
+        availability = result.availability
         evaluated += 1
         if best_seen is None or availability > best_seen[0]:
             best_seen = (availability, configuration)

@@ -175,7 +175,7 @@ class JsasConfiguration:
     def solve(
         self,
         values: Mapping[str, float],
-        method: str = "direct",
+        method: str = "auto",
         abstraction: str = "mttf",
     ) -> HierarchicalResult:
         """Solve the configuration for the given parameter values.
@@ -183,6 +183,10 @@ class JsasConfiguration:
         ``values`` may be :data:`~repro.models.jsas.parameters.PAPER_PARAMETERS`
         or any mapping providing the same names.  ``N_pair`` is supplied
         automatically from the configuration.
+
+        The default ``method="auto"`` is identical to ``"direct"`` for
+        the paper-sized shapes and switches the AS submodel to the O(n)
+        banded solver once ``n_instances`` makes it large.
         """
         return self.build_hierarchy().solve(
             self.merged_values(values), method=method, abstraction=abstraction
@@ -191,7 +195,7 @@ class JsasConfiguration:
     def solve_compiled(
         self,
         values: Mapping[str, float],
-        method: str = "direct",
+        method: str = "auto",
         abstraction: str = "mttf",
     ) -> HierarchicalResult:
         """Like :meth:`solve`, through the compiled engine.
@@ -214,7 +218,7 @@ class JsasConfiguration:
         self,
         values: Mapping[str, ColumnLike],
         n_samples: Optional[int] = None,
-        method: str = "direct",
+        method: str = "auto",
         abstraction: str = "mttf",
     ) -> BatchHierarchicalSolution:
         """Solve the configuration for a whole batch of parameter samples.

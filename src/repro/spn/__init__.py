@@ -21,8 +21,16 @@ from repro.spn.net import (
     TimedTransition,
 )
 from repro.spn.marking import Marking
-from repro.spn.reachability import ReachabilityGraph, build_reachability_graph
-from repro.spn.analysis import petri_net_to_markov_model, solve_petri_net
+from repro.spn.reachability import (
+    ExplorationStats,
+    ReachabilityGraph,
+    build_reachability_graph,
+)
+from repro.spn.analysis import (
+    petri_net_to_generator,
+    petri_net_to_markov_model,
+    solve_petri_net,
+)
 
 __all__ = [
     "PetriNet",
@@ -30,8 +38,10 @@ __all__ = [
     "TimedTransition",
     "ImmediateTransition",
     "Marking",
+    "ExplorationStats",
     "ReachabilityGraph",
     "build_reachability_graph",
+    "petri_net_to_generator",
     "petri_net_to_markov_model",
     "solve_petri_net",
 ]

@@ -6,12 +6,28 @@ defined over tangible markings only; rates through vanishing markings
 are redistributed along the immediate-transition branching probabilities
 (on-the-fly elimination, with cycle detection so nets with immediate
 loops fail loudly instead of recursing forever).
+
+The explorer is built for reachability sets with 10^4–10^5 markings:
+
+* markings are explored as plain integer tuples over a frozen place
+  ordering (hashable, cheap to intern in one dict lookup) and only
+  wrapped back into :class:`~repro.spn.marking.Marking` objects for the
+  public graph;
+* transitions are compiled once per exploration into index-based
+  enablement/firing records, with parameter-only rates evaluated a
+  single time up front (marking-dependent rates re-evaluate per
+  marking, as they must);
+* the frontier is processed in breadth-first batches, and the tangible
+  closure of every fired marking is memoized, so a vanishing hub shared
+  by many timed firings is eliminated once instead of once per
+  predecessor (no quadratic rework);
+* an :class:`ExplorationStats` record reports what the exploration did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import PetriNetError
 from repro.spn.marking import Marking
@@ -25,6 +41,29 @@ _MAX_VANISHING_DEPTH = 1_000
 
 
 @dataclass
+class ExplorationStats:
+    """Counters from one reachability exploration.
+
+    Attributes:
+        n_tangible: Tangible markings discovered.
+        n_vanishing: Fired markings that required vanishing elimination.
+        n_timed_firings: Timed-transition firings evaluated.
+        n_immediate_firings: Immediate-transition firings evaluated
+            during vanishing elimination (cache misses only).
+        closure_cache_hits: Fired markings whose tangible closure was
+            answered from the memo instead of re-eliminated.
+        frontier_batches: Breadth-first levels processed.
+    """
+
+    n_tangible: int = 0
+    n_vanishing: int = 0
+    n_timed_firings: int = 0
+    n_immediate_firings: int = 0
+    closure_cache_hits: int = 0
+    frontier_batches: int = 0
+
+
+@dataclass
 class ReachabilityGraph:
     """Tangible markings and the rate-labelled edges between them.
 
@@ -34,64 +73,144 @@ class ReachabilityGraph:
         edges: ``{(source_index, target_index): rate}``.
         initial_index: Index of the tangible marking the net starts in
             (after flushing any initial vanishing markings).
+        stats: Exploration counters (None for hand-built graphs).
     """
 
     net_name: str
     markings: List[Marking] = field(default_factory=list)
     edges: Dict[Tuple[int, int], float] = field(default_factory=dict)
     initial_index: int = 0
+    stats: Optional[ExplorationStats] = None
+    _index: Optional[Dict[Marking, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_markings(self) -> int:
         return len(self.markings)
 
     def index_of(self, marking: Marking) -> int:
+        if self._index is None or len(self._index) != len(self.markings):
+            self._index = {m: i for i, m in enumerate(self.markings)}
         try:
-            return self.markings.index(marking)
-        except ValueError:
+            return self._index[marking]
+        except KeyError:
             raise PetriNetError(
                 f"marking {marking.label()!r} is not tangible-reachable"
             ) from None
 
 
-def _immediate_branching(
-    net: PetriNet, marking: Marking
-) -> List[Tuple[Marking, float]]:
-    """Successor markings and probabilities after one immediate firing."""
-    enabled = net.enabled_immediate(marking)
-    total = sum(t.weight for t in enabled)
-    return [
-        (net.fire(t.name, marking), t.weight / total) for t in enabled
-    ]
+class _CompiledTransition:
+    """Index-based enablement and firing data for one transition."""
+
+    __slots__ = ("name", "inputs", "inhibitors", "deltas")
+
+    def __init__(
+        self,
+        name: str,
+        place_index: Dict[str, int],
+        inputs: Mapping[str, int],
+        outputs: Mapping[str, int],
+        inhibitors: Mapping[str, int],
+    ) -> None:
+        self.name = name
+        self.inputs: Tuple[Tuple[int, int], ...] = tuple(
+            (place_index[p], need) for p, need in inputs.items()
+        )
+        self.inhibitors: Tuple[Tuple[int, int], ...] = tuple(
+            (place_index[p], cap) for p, cap in inhibitors.items()
+        )
+        deltas: Dict[int, int] = {}
+        for p, need in inputs.items():
+            deltas[place_index[p]] = deltas.get(place_index[p], 0) - need
+        for p, give in outputs.items():
+            deltas[place_index[p]] = deltas.get(place_index[p], 0) + give
+        self.deltas: Tuple[Tuple[int, int], ...] = tuple(
+            (i, d) for i, d in deltas.items() if d != 0
+        )
+
+    def enabled(self, tokens: Tuple[int, ...]) -> bool:
+        for i, need in self.inputs:
+            if tokens[i] < need:
+                return False
+        for i, cap in self.inhibitors:
+            if tokens[i] >= cap:
+                return False
+        return True
+
+    def degree(self, tokens: Tuple[int, ...]) -> int:
+        if not self.inputs:
+            return 1
+        return min(tokens[i] // need for i, need in self.inputs)
+
+    def fire(self, tokens: Tuple[int, ...]) -> Tuple[int, ...]:
+        out = list(tokens)
+        for i, d in self.deltas:
+            out[i] += d
+        return tuple(out)
 
 
-def _flush_vanishing(
-    net: PetriNet, marking: Marking, probability: float
-) -> List[Tuple[Marking, float]]:
-    """Follow immediate firings until tangible markings are reached.
+class _CompiledNet:
+    """One-exploration compilation of a net over a frozen place order."""
 
-    Iterative worklist so deep vanishing chains cannot blow the Python
-    stack; an explicit expansion counter turns immediate-transition
-    loops into a clear error instead of an endless walk.
-    """
-    out: List[Tuple[Marking, float]] = []
-    worklist: List[Tuple[Marking, float]] = [(marking, probability)]
-    expansions = 0
-    while worklist:
-        current, mass = worklist.pop()
-        if not net.enabled_immediate(current):
-            out.append((current, mass))
-            continue
-        expansions += 1
-        if expansions > _MAX_VANISHING_DEPTH:
-            raise PetriNetError(
-                f"net {net.name!r} expanded over {_MAX_VANISHING_DEPTH} "
-                "vanishing markings between tangible ones (immediate-"
-                "transition loop?)"
+    def __init__(self, net: PetriNet, values: Mapping[str, float]) -> None:
+        self.net = net
+        self.place_names: Tuple[str, ...] = tuple(
+            p.name for p in net.places
+        )
+        place_index = {name: i for i, name in enumerate(self.place_names)}
+        self.initial: Tuple[int, ...] = tuple(
+            p.initial_tokens for p in net.places
+        )
+        place_set = set(self.place_names)
+        # Timed transitions: (compiled, rate_expr or None, const_rate,
+        # infinite_server).  rate_expr is None when the rate does not
+        # reference place names and was evaluated once up front.
+        self.timed = []
+        for t in net.timed_transitions:
+            arcs = net._arcs[t.name]
+            compiled = _CompiledTransition(
+                t.name, place_index, arcs.inputs, arcs.outputs,
+                arcs.inhibitors,
             )
-        for successor, branch_probability in _immediate_branching(net, current):
-            worklist.append((successor, mass * branch_probability))
-    return out
+            if t.rate.variables & place_set:
+                self.timed.append((compiled, t.rate, 0.0, t.server == "infinite"))
+            else:
+                rate = t.rate(values)
+                if rate < 0.0:
+                    raise PetriNetError(
+                        f"transition {t.name!r} has negative rate {rate}"
+                    )
+                if rate == 0.0:
+                    continue  # never contributes an edge
+                self.timed.append((compiled, None, rate, t.server == "infinite"))
+        # Immediate transitions sorted by descending priority so the
+        # highest enabled priority class is the first non-empty group.
+        self.immediate = []
+        for t in sorted(
+            net.immediate_transitions, key=lambda t: -t.priority
+        ):
+            arcs = net._arcs[t.name]
+            compiled = _CompiledTransition(
+                t.name, place_index, arcs.inputs, arcs.outputs,
+                arcs.inhibitors,
+            )
+            self.immediate.append((compiled, t.weight, t.priority))
+
+    def marking_of(self, tokens: Tuple[int, ...]) -> Marking:
+        return Marking(dict(zip(self.place_names, tokens)))
+
+    def enabled_immediate(self, tokens: Tuple[int, ...]):
+        """Enabled immediate transitions at the highest enabled priority."""
+        winners = []
+        top: Optional[int] = None
+        for compiled, weight, priority in self.immediate:
+            if top is not None and priority < top:
+                break  # sorted by priority: lower classes cannot win
+            if compiled.enabled(tokens):
+                winners.append((compiled, weight))
+                top = priority
+        return winners
 
 
 def build_reachability_graph(
@@ -129,24 +248,77 @@ def build_reachability_graph(
         raise PetriNetError(
             f"net {net.name!r} is missing parameter(s) {sorted(missing)}"
         )
-    graph = ReachabilityGraph(net_name=net.name)
-    index: Dict[Marking, int] = {}
+    compiled = _CompiledNet(net, values)
+    stats = ExplorationStats()
+    graph = ReachabilityGraph(net_name=net.name, stats=stats)
+    index: Dict[Tuple[int, ...], int] = {}
+    frontier: List[Tuple[int, ...]] = []
+    # Tangible closure of a fired marking, memoized so a vanishing hub
+    # reached by many timed firings is eliminated exactly once.
+    closure_cache: Dict[
+        Tuple[int, ...], Tuple[Tuple[Tuple[int, ...], float], ...]
+    ] = {}
 
-    def intern(marking: Marking) -> int:
-        if marking not in index:
+    def intern(tokens: Tuple[int, ...]) -> int:
+        slot = index.get(tokens)
+        if slot is None:
             if len(index) >= max_markings:
                 raise PetriNetError(
                     f"reachability exploration exceeded {max_markings} "
                     f"tangible markings for net {net.name!r}; the net may "
                     "be unbounded"
                 )
-            index[marking] = len(graph.markings)
-            graph.markings.append(marking)
-            frontier.append(marking)
-        return index[marking]
+            slot = len(index)
+            index[tokens] = slot
+            graph.markings.append(compiled.marking_of(tokens))
+            frontier.append(tokens)
+        return slot
 
-    frontier: List[Marking] = []
-    initial_tangibles = _flush_vanishing(net, net.initial_marking(), 1.0)
+    def tangible_closure(
+        tokens: Tuple[int, ...]
+    ) -> Tuple[Tuple[Tuple[int, ...], float], ...]:
+        cached = closure_cache.get(tokens)
+        if cached is not None:
+            stats.closure_cache_hits += 1
+            return cached
+        out: Dict[Tuple[int, ...], float] = {}
+        worklist: List[Tuple[Tuple[int, ...], float]] = [(tokens, 1.0)]
+        expansions = 0
+        while worklist:
+            current, mass = worklist.pop()
+            if current != tokens:
+                nested = closure_cache.get(current)
+                if nested is not None:
+                    stats.closure_cache_hits += 1
+                    for tangible, probability in nested:
+                        out[tangible] = (
+                            out.get(tangible, 0.0) + mass * probability
+                        )
+                    continue
+            enabled = compiled.enabled_immediate(current)
+            if not enabled:
+                out[current] = out.get(current, 0.0) + mass
+                continue
+            expansions += 1
+            if expansions > _MAX_VANISHING_DEPTH:
+                raise PetriNetError(
+                    f"net {net.name!r} expanded over {_MAX_VANISHING_DEPTH} "
+                    "vanishing markings between tangible ones (immediate-"
+                    "transition loop?)"
+                )
+            if current == tokens:
+                stats.n_vanishing += 1
+            total = sum(weight for _, weight in enabled)
+            for transition, weight in enabled:
+                stats.n_immediate_firings += 1
+                worklist.append(
+                    (transition.fire(current), mass * weight / total)
+                )
+        result = tuple(out.items())
+        closure_cache[tokens] = result
+        return result
+
+    initial_tangibles = tangible_closure(compiled.initial)
     if len(initial_tangibles) != 1:
         raise PetriNetError(
             f"net {net.name!r} branches immediately from its initial "
@@ -154,34 +326,43 @@ def build_reachability_graph(
         )
     graph.initial_index = intern(initial_tangibles[0][0])
 
+    place_tuple = compiled.place_names
     while frontier:
-        marking = frontier.pop()
-        source = index[marking]
-        marking_values = None
-        for transition in net.enabled_timed(marking):
-            if transition.rate.variables & place_names:
-                if marking_values is None:
-                    marking_values = dict(values)
-                    marking_values.update(marking.as_dict())
-                base_rate = transition.rate(marking_values)
-            else:
-                base_rate = transition.rate(values)
-            if base_rate < 0.0:
-                raise PetriNetError(
-                    f"transition {transition.name!r} has negative rate "
-                    f"{base_rate}"
-                )
-            if base_rate == 0.0:
-                continue
-            if transition.server == "infinite":
-                base_rate *= net.enabling_degree(transition.name, marking)
-            fired = net.fire(transition.name, marking)
-            for tangible, probability in _flush_vanishing(net, fired, 1.0):
-                target = intern(tangible)
-                if target == source:
-                    continue  # rate back to self cancels in the generator
-                key = (source, target)
-                graph.edges[key] = (
-                    graph.edges.get(key, 0.0) + base_rate * probability
-                )
+        stats.frontier_batches += 1
+        batch, frontier = frontier, []
+        for tokens in batch:
+            source = index[tokens]
+            marking_values = None
+            for transition, rate_expr, const_rate, infinite in compiled.timed:
+                if not transition.enabled(tokens):
+                    continue
+                if rate_expr is not None:
+                    if marking_values is None:
+                        marking_values = dict(values)
+                        marking_values.update(zip(place_tuple, tokens))
+                    else:
+                        marking_values.update(zip(place_tuple, tokens))
+                    base_rate = rate_expr(marking_values)
+                    if base_rate < 0.0:
+                        raise PetriNetError(
+                            f"transition {transition.name!r} has negative "
+                            f"rate {base_rate}"
+                        )
+                    if base_rate == 0.0:
+                        continue
+                else:
+                    base_rate = const_rate
+                if infinite:
+                    base_rate *= transition.degree(tokens)
+                stats.n_timed_firings += 1
+                fired = transition.fire(tokens)
+                for tangible, probability in tangible_closure(fired):
+                    target = intern(tangible)
+                    if target == source:
+                        continue  # rate back to self cancels in the generator
+                    key = (source, target)
+                    graph.edges[key] = (
+                        graph.edges.get(key, 0.0) + base_rate * probability
+                    )
+    stats.n_tangible = len(graph.markings)
     return graph

@@ -150,6 +150,69 @@ class TestMarkingDependentRates:
             )
 
 
+class TestExplorationStats:
+    def test_stats_populated(self):
+        graph = build_reachability_graph(pair_net(), {"La": 1.0, "Mu": 2.0})
+        stats = graph.stats
+        assert stats is not None
+        assert stats.n_tangible == graph.n_markings == 3
+        assert stats.n_timed_firings > 0
+        assert stats.frontier_batches >= 1
+
+    def test_vanishing_hub_eliminated_once(self):
+        """A vanishing marking shared by several timed firings is
+        eliminated on the first visit and answered from the memo after."""
+        net = PetriNet("hub")
+        net.add_place("A", 1)
+        net.add_place("B", 0)
+        net.add_place("Mid", 0)
+        net.add_place("Out", 0)
+        # Two timed routes into the same vanishing hub marking.
+        net.add_timed_transition("goA", 1.0)
+        net.add_input_arc("A", "goA")
+        net.add_output_arc("goA", "Mid")
+        net.add_timed_transition("swap", 2.0)
+        net.add_input_arc("A", "swap")
+        net.add_output_arc("swap", "B")
+        net.add_timed_transition("goB", 3.0)
+        net.add_input_arc("B", "goB")
+        net.add_output_arc("goB", "Mid")
+        net.add_immediate_transition("drain")
+        net.add_input_arc("Mid", "drain")
+        net.add_output_arc("drain", "Out")
+        net.add_timed_transition("reset", 1.0)
+        net.add_input_arc("Out", "reset")
+        net.add_output_arc("reset", "A")
+        graph = build_reachability_graph(net, {})
+        stats = graph.stats
+        assert stats.n_vanishing == 1  # the hub, eliminated exactly once
+        assert stats.closure_cache_hits >= 1  # second route hits the memo
+        assert stats.n_immediate_firings == 1
+
+    def test_direct_generator_matches_model_roundtrip(self):
+        import numpy as np
+
+        from repro.ctmc.generator import build_generator
+        from repro.ctmc.steady_state import steady_state_vector
+        from repro.spn.analysis import (
+            petri_net_to_generator,
+            petri_net_to_markov_model,
+        )
+
+        net = pair_net()
+        values = {"La": 1.0, "Mu": 2.0}
+        reward = lambda m: 1.0 if m["Up"] >= 1 else 0.0  # noqa: E731
+        direct = petri_net_to_generator(net, values, reward=reward)
+        roundtrip = build_generator(
+            petri_net_to_markov_model(net, values, reward=reward), {}
+        )
+        assert direct.state_names == roundtrip.state_names
+        assert (direct.rewards == roundtrip.rewards).all()
+        pi_direct = steady_state_vector(direct)
+        pi_roundtrip = steady_state_vector(roundtrip)
+        assert np.abs(pi_direct - pi_roundtrip).max() < 1e-12
+
+
 class TestGuards:
     def test_missing_parameter(self):
         with pytest.raises(PetriNetError, match="missing parameter"):
