@@ -10,10 +10,38 @@ with the paper.
 from __future__ import annotations
 
 import pathlib
+import platform
+from typing import Dict
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Version of the BENCH_*.json payload layout.  Bump when renaming or
+#: removing fields so downstream consumers (CI artifact diffing, perf
+#: dashboards) can dispatch on the shape instead of guessing.
+BENCH_SCHEMA_VERSION = 2
+
+
+def bench_metadata(engine: str, method: str, **extra: object) -> Dict[str, object]:
+    """Common metadata block for every BENCH_*.json payload.
+
+    Records which solve engine and steady-state method the benchmark
+    exercised, the payload schema version, and enough environment
+    context to interpret absolute timings.
+    """
+    from repro._version import __version__
+
+    meta: Dict[str, object] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "engine": engine,
+        "method": method,
+        "repro_version": __version__,
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    meta.update(extra)
+    return meta
 
 
 @pytest.fixture(scope="session")

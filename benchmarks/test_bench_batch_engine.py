@@ -13,6 +13,7 @@ import time
 
 import pytest
 
+from conftest import bench_metadata
 from repro.models.jsas.configs import build_uncertainty_analysis
 from repro.models.jsas.system import CONFIG_1
 
@@ -59,6 +60,7 @@ def test_bench_batch_engine(benchmark, save_artifact):
 
     speedup = scalar_ms / batched_ms
     payload = {
+        **bench_metadata(engine="compiled", method="auto"),
         "workload": "fig7 Config 1 hierarchical uncertainty analysis",
         "seed": SEED,
         "scalar_samples": N_SCALAR,

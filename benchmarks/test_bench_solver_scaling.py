@@ -20,6 +20,7 @@ import time
 import numpy as np
 import pytest
 
+from conftest import bench_metadata
 from repro.core.compiled import compile_model
 from repro.ctmc import batch_steady_state, build_generator, steady_state_vector
 from repro.ctmc.steady_state import _gth_reference
@@ -114,6 +115,7 @@ def test_bench_state_space_scaling(benchmark, save_artifact):
 
     speedup = scalar_ms / structured_ms
     payload = {
+        **bench_metadata(engine="structured-batch", method="auto"),
         "workload": (
             f"{SWEEP_POINTS}-point Tstart_long_as sweep of the "
             f"n_instances={SWEEP_INSTANCES} AS model"

@@ -8,6 +8,15 @@ Subcommands mirror the paper's analyses:
 * ``uncertainty`` — Figs. 7/8 random-sampling analysis.
 * ``campaign`` — run a simulated fault-injection campaign.
 * ``longevity`` — run a simulated stability test.
+* ``obs report`` — render a recorded trace as a span-tree report.
+
+Global observability flags (before the subcommand):
+
+* ``--trace FILE`` — record the run as JSONL structured events/spans;
+* ``--metrics FILE`` — write the run's metrics in Prometheus text format.
+
+``solve``, ``sweep`` and ``uncertainty`` additionally accept ``--json``
+to emit one machine-readable JSON document instead of tables.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from repro.models.jsas import (
     compare_configurations,
     optimal_configuration,
 )
+from repro.obs.console import Reporter
 from repro.sensitivity import parametric_sweep
 from repro.units import nines_to_availability
 
@@ -49,21 +59,54 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON document instead of text",
+    )
+
+
+def _reporter(args: argparse.Namespace) -> Reporter:
+    return Reporter(json_mode=getattr(args, "json", False))
+
+
 def _configuration(args: argparse.Namespace) -> JsasConfiguration:
     return JsasConfiguration(n_instances=args.instances, n_pairs=args.pairs)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    reporter = _reporter(args)
     config = _configuration(args)
     if args.engine == "compiled":
         result = config.solve_compiled(PAPER_PARAMETERS)
     else:
         result = config.solve(PAPER_PARAMETERS)
-    print(result.summary())
+    reporter.line(result.summary())
+    reporter.finish(
+        command="solve",
+        configuration={
+            "n_instances": config.n_instances,
+            "n_pairs": config.n_pairs,
+        },
+        engine=args.engine,
+        availability=result.availability,
+        yearly_downtime_minutes=result.yearly_downtime_minutes,
+        mtbf_hours=result.mtbf_hours,
+        submodels={
+            name: {
+                "downtime_minutes": report.downtime_minutes,
+                "downtime_fraction": report.downtime_fraction,
+                "failure_rate": report.interface.failure_rate,
+                "recovery_rate": report.interface.recovery_rate,
+            }
+            for name, report in result.submodels.items()
+        },
+    )
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
+    reporter = _reporter(args)
     rows = []
     for label, (n_as, n_pairs) in (
         ("Config 1", (2, 2)),
@@ -83,7 +126,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
                 f"({hadb_report.downtime_fraction:.0%})",
             ]
         )
-    print(
+    reporter.line(
         render_table(
             ["Configuration", "Availability", "Yearly Downtime",
              "YD due to AS", "YD due to HADB"],
@@ -95,8 +138,9 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
+    reporter = _reporter(args)
     rows = compare_configurations(engine=args.engine)
-    print(
+    reporter.line(
         render_table(
             ["# Instances", "# HADB Pairs", "Availability",
              "Yearly Downtime", "MTBF (hr)"],
@@ -105,7 +149,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         )
     )
     best = optimal_configuration(rows)
-    print(
+    reporter.line(
         f"\nOptimal: {best.n_instances} instances / {best.n_pairs} pairs "
         f"({best.availability:.5%})"
     )
@@ -115,6 +159,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.models.jsas.configs import HierarchicalConfigMetric
 
+    reporter = _reporter(args)
     config = _configuration(args)
     if args.engine == "compiled":
         # Batch-capable metric: the whole grid solves as one stacked
@@ -132,7 +177,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         PAPER_PARAMETERS.to_dict(),
         metric_name="availability",
     )
-    print(
+    reporter.line(
         render_table(
             ["Tstart_long (hours)", "Availability"],
             [(f"{x:.2f}", f"{y:.7%}") for x, y in sweep.as_rows()],
@@ -142,18 +187,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    reporter.record(
+        command="sweep",
+        parameter="Tstart_long_as",
+        engine=args.engine,
+        configuration={
+            "n_instances": config.n_instances,
+            "n_pairs": config.n_pairs,
+        },
+        points=[
+            {"Tstart_long_as": x, "availability": y}
+            for x, y in sweep.as_rows()
+        ],
+    )
     five_nines = nines_to_availability(5)
     try:
         crossing = sweep.crossing(five_nines)
-        print(f"\nFive-9s crossover at Tstart_long = {crossing:.2f} h")
+        reporter.line(
+            f"\nFive-9s crossover at Tstart_long = {crossing:.2f} h"
+        )
+        reporter.record(five_nines_crossing_hours=crossing)
     except Exception:
-        print("\nFive-9s level is retained across the whole sweep")
+        reporter.line("\nFive-9s level is retained across the whole sweep")
+        reporter.record(five_nines_crossing_hours=None)
+    reporter.finish()
     return 0
 
 
 def _cmd_uncertainty(args: argparse.Namespace) -> int:
     from repro.models.jsas.configs import build_uncertainty_analysis
 
+    reporter = _reporter(args)
     config = _configuration(args)
     analysis = build_uncertainty_analysis(config)
     result = analysis.run(
@@ -161,10 +225,27 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch=args.engine == "compiled",
     )
-    print(result.summary())
-    print(
+    reporter.line(result.summary())
+    reporter.line(
         f"fraction of sampled systems under 5.25 min/yr "
         f"(>= five 9s): {result.fraction_below(5.25):.1%}"
+    )
+    reporter.finish(
+        command="uncertainty",
+        configuration={
+            "n_instances": config.n_instances,
+            "n_pairs": config.n_pairs,
+        },
+        engine=args.engine,
+        n_samples=args.samples,
+        seed=args.seed,
+        metric=result.metric_name,
+        mean=result.mean,
+        std=result.std,
+        median=result.percentile(50),
+        minimum=min(result.values),
+        maximum=max(result.values),
+        fraction_below_five_nines=result.fraction_below(5.25),
     )
     return 0
 
@@ -172,10 +253,11 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.testbed import run_fault_injection_campaign
 
+    reporter = _reporter(args)
     result = run_fault_injection_campaign(args.injections, seed=args.seed)
-    print(result.summary())
+    reporter.line(result.summary())
     coverage = result.coverage()
-    print(
+    reporter.line(
         f"Eq.1 coverage bound at 95%: FIR <= {coverage.fir_upper:.4%} "
         f"({result.n_successful}/{result.n_injections} successful)"
     )
@@ -185,10 +267,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_risk(args: argparse.Namespace) -> int:
     from repro.analysis.risk import annual_downtime_risk
 
+    reporter = _reporter(args)
     result = _configuration(args).solve(PAPER_PARAMETERS)
     risk = annual_downtime_risk(result, n_years=args.years, seed=args.seed)
-    print(risk.summary(sla_minutes=args.sla))
-    print(
+    reporter.line(risk.summary(sla_minutes=args.sla))
+    reporter.line(
         f"expected outages/year: {risk.outage_rate_per_year:.3f}; "
         f"p99 annual downtime: {risk.percentile(99):.1f} min"
     )
@@ -198,13 +281,14 @@ def _cmd_risk(args: argparse.Namespace) -> int:
 def _cmd_assess(args: argparse.Namespace) -> int:
     from repro.models.jsas.assessment import generate_assessment
 
+    reporter = _reporter(args)
     assessment = generate_assessment(
         primary=_configuration(args),
         n_uncertainty_samples=args.samples,
         n_risk_years=args.years,
         seed=args.seed,
     )
-    print(assessment.to_text())
+    reporter.line(assessment.to_text())
     return 0
 
 
@@ -212,6 +296,7 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     from repro.analysis.mission import mission_availability
     from repro.models.jsas import build_hadb_pair_model
 
+    reporter = _reporter(args)
     result = mission_availability(
         build_hadb_pair_model(),
         mission_hours=args.hours,
@@ -219,13 +304,14 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         values=PAPER_PARAMETERS.to_dict(),
         seed=args.seed,
     )
-    print(result.summary(target=nines_to_availability(args.nines)))
+    reporter.line(result.summary(target=nines_to_availability(args.nines)))
     return 0
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.models.jsas.planner import plan_configuration
 
+    reporter = _reporter(args)
     target = nines_to_availability(args.nines)
     recommendation = plan_configuration(
         target,
@@ -235,7 +321,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     )
     if recommendation.feasible:
         config = recommendation.configuration
-        print(
+        reporter.line(
             f"smallest shape for {args.nines:g} nines "
             f"({target:.6%}): {config.n_instances} instances / "
             f"{config.n_pairs} pairs "
@@ -244,7 +330,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         )
         return 0
     best = recommendation.best_infeasible
-    print(
+    reporter.line(
         f"no shape up to {args.max_instances} instances reaches "
         f"{args.nines:g} nines; best was {best.n_instances}/"
         f"{best.n_pairs} at {recommendation.availability:.5%}"
@@ -260,25 +346,38 @@ def _cmd_export_dot(args: argparse.Namespace) -> int:
         build_system_model,
     )
 
+    reporter = _reporter(args)
     builders = {
         "system": lambda: build_system_model(),
         "hadb": lambda: build_hadb_pair_model(),
         "appserver": lambda: build_appserver_model(args.instances),
     }
-    print(model_to_dot(builders[args.model]()))
+    reporter.line(model_to_dot(builders[args.model]()))
     return 0
 
 
 def _cmd_longevity(args: argparse.Namespace) -> int:
     from repro.testbed import run_longevity_test
 
+    reporter = _reporter(args)
     result = run_longevity_test(duration_days=args.days, seed=args.seed)
-    print(result.summary())
+    reporter.line(result.summary())
     estimate = result.as_failure_rate_estimate()
-    print(
+    reporter.line(
         f"Eq.2 AS failure-rate bound at 95%: "
         f"{estimate.upper * 24:.4f}/day "
         f"(exposure {result.as_exposure_hours:.0f} instance-hours)"
+    )
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_trace_report
+
+    reporter = _reporter(args)
+    records = load_trace(args.trace_file)
+    reporter.line(
+        render_trace_report(records, title=f"Trace: {args.trace_file}")
     )
     return 0
 
@@ -294,11 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record the run as a JSONL trace of spans and events",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write the run's metrics in Prometheus text format",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("solve", help="solve one configuration")
     _add_config_arguments(p)
     _add_engine_argument(p)
+    _add_json_argument(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("table2", help="reproduce Table 2")
@@ -311,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="Figs. 5/6 Tstart_long sweep")
     _add_config_arguments(p)
     _add_engine_argument(p)
+    _add_json_argument(p)
     p.add_argument("--start", type=float, default=0.5)
     p.add_argument("--stop", type=float, default=3.0)
     p.add_argument("--points", type=int, default=11)
@@ -319,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("uncertainty", help="Figs. 7/8 uncertainty analysis")
     _add_config_arguments(p)
     _add_engine_argument(p)
+    _add_json_argument(p)
     p.add_argument("--samples", type=int, default=1000)
     p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_uncertainty)
@@ -375,12 +485,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--instances", type=int, default=2)
     p.set_defaults(func=_cmd_export_dot)
+
+    p = sub.add_parser(
+        "obs", help="observability utilities (trace reporting)"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "report", help="render a JSONL trace as a span-tree report"
+    )
+    p.add_argument("trace_file", help="trace file written by --trace")
+    p.set_defaults(func=_cmd_obs_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro import obs
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    recorder = None
+    previous = None
+    if args.trace or args.metrics:
+        sinks = []
+        if args.trace:
+            sinks.append(obs.JsonlSink(args.trace))
+        recorder = obs.Recorder(sinks=tuple(sinks), keep_records=False)
+        previous = obs.set_recorder(recorder)
     try:
         return args.func(args)
     except BrokenPipeError:
@@ -390,6 +520,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    finally:
+        if recorder is not None:
+            obs.set_recorder(previous)
+            if args.metrics:
+                obs.write_metrics(recorder.metrics, args.metrics)
+            recorder.flush()
+            recorder.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

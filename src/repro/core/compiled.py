@@ -34,6 +34,7 @@ from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.expressions import vector_namespace
 from repro.core.model import MarkovModel
 from repro.exceptions import ExpressionError, ModelError
@@ -295,7 +296,15 @@ def compile_model(model: Union[MarkovModel, CompiledModel]) -> CompiledModel:
         return model
     cached: Optional[CompiledModel] = getattr(model, "_compiled_cache", None)
     if cached is not None and cached.source_version == model.version:
+        obs.counter("repro_compile_cache_total", outcome="hit").inc()
         return cached
-    compiled = CompiledModel(model)
+    obs.counter("repro_compile_cache_total", outcome="miss").inc()
+    with obs.span("core.compile", model=model.name) as sp:
+        compiled = CompiledModel(model)
+        sp.set(
+            n_states=compiled.n_states,
+            n_transitions=compiled.n_transitions,
+            version=compiled.source_version,
+        )
     model._compiled_cache = compiled
     return compiled

@@ -45,6 +45,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
+from repro import obs
 from repro.core.compiled import ColumnLike, CompiledModel, compile_model
 from repro.core.model import MarkovModel
 from repro.ctmc.generator import SPARSE_THRESHOLD, GeneratorMatrix
@@ -164,7 +165,9 @@ def pattern_structure(
     key = np.asarray(pattern, dtype=bool).tobytes()
     cached = compiled.structure_cache.get(key)
     if cached is not None:
+        obs.counter("ctmc_pattern_cache_total", outcome="hit").inc()
         return cached  # type: ignore[return-value]
+    obs.counter("ctmc_pattern_cache_total", outcome="miss").inc()
 
     generator = _pattern_generator(compiled, pattern)
     classification = classify_states(generator)
@@ -254,6 +257,13 @@ def _finalize_block(
     bad = np.flatnonzero(~ok)
     if bad.size:
         if method == "auto":
+            if obs.enabled():
+                obs.counter("ctmc_gth_fallbacks_total").inc(int(bad.size))
+                obs.event(
+                    "ctmc.gth_fallback",
+                    model=model_name,
+                    n_samples=int(bad.size),
+                )
             for s in bad:
                 pis[s] = _gth_reference(mats[s])
         elif not solved[bad[0]]:
@@ -637,14 +647,18 @@ def batch_steady_state(
         ``(n_samples, n_states)`` array of stationary vectors in the
         compiled state order.
     """
-    compiled = compile_model(model)
-    n_samples = _infer_samples(values, n_samples)
-    engine = _resolve_engine(compiled, method)
-    rates = compiled.rate_matrix(values, n_samples)
-    if engine in ("banded", "sparse"):
-        return _structured_steady_state(compiled, rates, engine)
-    mats = compiled.generator_batch(rates, allow_dense=True)
-    return _grouped_steady_state(compiled, rates, mats, engine)
+    with obs.span(
+        "ctmc.batch_solve", model=_model_name(model), method=method
+    ) as span:
+        compiled = compile_model(model)
+        n_samples = _infer_samples(values, n_samples)
+        engine = _resolve_engine(compiled, method)
+        span.set(engine=engine, n_samples=n_samples)
+        rates = compiled.rate_matrix(values, n_samples)
+        if engine in ("banded", "sparse"):
+            return _structured_steady_state(compiled, rates, engine)
+        mats = compiled.generator_batch(rates, allow_dense=True)
+        return _grouped_steady_state(compiled, rates, mats, engine)
 
 
 @dataclass(frozen=True)
@@ -691,21 +705,28 @@ def batch_availability(
         raise SolverError(
             f"unknown abstraction {abstraction!r}; expected 'mttf' or 'flow'"
         )
-    compiled = compile_model(model)
-    n_samples = _infer_samples(values, n_samples)
-    engine = _resolve_engine(compiled, method)
-    rates = compiled.rate_matrix(values, n_samples)
-    if engine in ("banded", "sparse"):
-        pis = _structured_steady_state(compiled, rates, engine)
-        lam, mu = _structured_equivalent_rates(
-            compiled, rates, pis, abstraction
-        )
-    else:
-        mats = compiled.generator_batch(rates, allow_dense=True)
-        pis = _grouped_steady_state(compiled, rates, mats, engine)
-        lam, mu = _batch_equivalent_rates(
-            compiled, rates, mats, pis, engine, abstraction
-        )
+    with obs.span(
+        "ctmc.batch_availability",
+        model=_model_name(model),
+        method=method,
+        abstraction=abstraction,
+    ) as span:
+        compiled = compile_model(model)
+        n_samples = _infer_samples(values, n_samples)
+        engine = _resolve_engine(compiled, method)
+        span.set(engine=engine, n_samples=n_samples)
+        rates = compiled.rate_matrix(values, n_samples)
+        if engine in ("banded", "sparse"):
+            pis = _structured_steady_state(compiled, rates, engine)
+            lam, mu = _structured_equivalent_rates(
+                compiled, rates, pis, abstraction
+            )
+        else:
+            mats = compiled.generator_batch(rates, allow_dense=True)
+            pis = _grouped_steady_state(compiled, rates, mats, engine)
+            lam, mu = _batch_equivalent_rates(
+                compiled, rates, mats, pis, engine, abstraction
+            )
     k = n_samples
 
     up = compiled.up_mask
@@ -849,6 +870,13 @@ def _stacked_mtta_initial(
     m0 = m[:, 0]
     m0 = np.where(solved, m0, 1.0)  # placeholder; caller masks with `solved`
     return m0, solved
+
+
+def _model_name(model: ModelLike) -> str:
+    name = getattr(model, "model_name", None)
+    if name is None:
+        name = getattr(model, "name", "?")
+    return str(name)
 
 
 def _infer_samples(

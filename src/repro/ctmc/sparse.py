@@ -42,6 +42,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.exceptions import SolverError
 
 #: Widest (lower + upper + 1) band the banded eliminator accepts; beyond
@@ -328,16 +329,27 @@ class SparseSteadyStateSolver:
     def solve(self, rates_row: np.ndarray, tol: float = 1e-10) -> np.ndarray:
         """Stationary vector for one sample (splu -> GMRES -> power)."""
         a = self._pattern.assemble(rates_row)
+        stage = "splu"
         pi = self._try_splu(a)
         if pi is None:
+            stage = "gmres"
+            obs.counter(
+                "ctmc_sparse_fallbacks_total", escalated_to="gmres"
+            ).inc()
             pi = self._try_gmres(a, tol)
         if pi is None:
+            stage = "power"
+            obs.counter(
+                "ctmc_sparse_fallbacks_total", escalated_to="power"
+            ).inc()
             pi = self._try_power(rates_row, tol)
         if pi is None:
+            obs.event("ctmc.sparse_ladder_exhausted", n_states=self.n)
             raise SolverError(
                 "sparse steady-state solve failed: splu, preconditioned "
                 "GMRES and power iteration all diverged"
             )
+        obs.counter("ctmc_sparse_solves_total", stage=stage).inc()
         return pi
 
     def solve_gmres(
@@ -374,6 +386,11 @@ class SparseSteadyStateSolver:
     def _try_gmres(
         self, a: sp.csr_matrix, tol: float
     ) -> Optional[np.ndarray]:
+        iterations = [0] if obs.enabled() else None
+
+        def _count(_residual) -> None:
+            iterations[0] += 1
+
         try:
             ilu = spla.spilu(a.tocsc(), drop_tol=1e-12, fill_factor=30.0)
             preconditioner = spla.LinearOperator(a.shape, ilu.solve)
@@ -384,9 +401,16 @@ class SparseSteadyStateSolver:
                 rtol=tol,
                 atol=0.0,
                 maxiter=200,
+                callback=_count if iterations is not None else None,
+                callback_type="pr_norm",
             )
         except (RuntimeError, ValueError):
             return None
+        if iterations is not None:
+            obs.histogram(
+                "ctmc_gmres_iterations",
+                buckets=(1, 2, 5, 10, 20, 50, 100, 200),
+            ).observe(iterations[0])
         if info != 0:
             return None
         return self._valid(x)

@@ -38,6 +38,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.core.model import MarkovModel
 from repro.ctmc.generator import GeneratorMatrix, build_generator
 from repro.ctmc.sparse import (
@@ -115,11 +116,21 @@ def steady_state_vector(
             for name, mass in zip(recurrent, block_pi):
                 pi[generator.index_of(name)] = mass
             return pi
+    requested = method
     if method == "auto":
         method = "direct"
         if generator.n_states >= BANDED_MIN_STATES:
             if generator_banded_structure(generator) is not None:
                 method = "banded"
+    if obs.enabled():
+        obs.counter("ctmc_steady_state_solves_total", method=method).inc()
+        if requested == "auto":
+            obs.event(
+                "ctmc.method_auto",
+                model=generator.model_name,
+                chosen=method,
+                n_states=generator.n_states,
+            )
     if method == "direct":
         pi = _solve_direct(generator)
     elif method == "gth":

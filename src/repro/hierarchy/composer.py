@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.compiled import ColumnLike, CompiledModel, compile_model
 from repro.core.model import MarkovModel
 from repro.core.parameters import ParameterSet
@@ -186,24 +187,36 @@ class HierarchicalModel:
                 steady-state flow).  See
                 :func:`repro.ctmc.rewards.equivalent_failure_recovery_rates`.
         """
-        interfaces: Dict[str, SubmodelInterface] = {}
-        for key, model in self._submodels.items():
-            interfaces[key] = abstract_submodel(
-                model, values, method=method, name=key, abstraction=abstraction
-            )
-        bound = resolve_bindings(self._bindings, interfaces)
-        top_values = dict(values)
-        overlap = set(bound) & set(top_values)
-        if overlap:
-            raise ModelError(
-                f"bound parameter(s) {sorted(overlap)} also appear in the "
-                "supplied values; remove them from one side to avoid "
-                "ambiguity"
-            )
-        top_values.update(bound)
-        system = steady_state_availability(
-            self.top, top_values, method=method, abstraction=abstraction
-        )
+        with obs.span(
+            "hierarchy.solve", model=self.top.name, method=method
+        ):
+            interfaces: Dict[str, SubmodelInterface] = {}
+            for key, model in self._submodels.items():
+                with obs.span("hierarchy.submodel", submodel=key):
+                    interfaces[key] = abstract_submodel(
+                        model,
+                        values,
+                        method=method,
+                        name=key,
+                        abstraction=abstraction,
+                    )
+            bound = resolve_bindings(self._bindings, interfaces)
+            top_values = dict(values)
+            overlap = set(bound) & set(top_values)
+            if overlap:
+                raise ModelError(
+                    f"bound parameter(s) {sorted(overlap)} also appear in "
+                    "the supplied values; remove them from one side to "
+                    "avoid ambiguity"
+                )
+            top_values.update(bound)
+            with obs.span("hierarchy.top", model=self.top.name):
+                system = steady_state_availability(
+                    self.top,
+                    top_values,
+                    method=method,
+                    abstraction=abstraction,
+                )
 
         reports: Dict[str, SubmodelReport] = {}
         total_downtime = system.yearly_downtime_minutes
@@ -339,43 +352,51 @@ class CompiledHierarchy:
         """Solve submodels, bind, and solve the top model for all samples."""
         if n_samples is None:
             n_samples = _infer_batch_size(values)
-        interfaces: Dict[str, BatchAvailability] = {}
-        for key, compiled in self.submodels.items():
-            interfaces[key] = batch_availability(
-                compiled,
-                values,
-                n_samples=n_samples,
-                method=method,
-                abstraction=abstraction,
-            )
-        bound: Dict[str, np.ndarray] = {}
-        for parameter, binding in self._bindings.items():
-            interface = interfaces[binding.submodel]
-            if binding.output == "failure_rate":
-                output = interface.failure_rate
-            elif binding.output == "recovery_rate":
-                output = interface.recovery_rate
-            elif binding.output == "availability":
-                output = interface.availability
-            else:
-                output = 1.0 - interface.availability
-            bound[parameter] = output * binding.scale
-        overlap = set(bound) & set(values.keys())
-        if overlap:
-            raise ModelError(
-                f"bound parameter(s) {sorted(overlap)} also appear in the "
-                "supplied values; remove them from one side to avoid "
-                "ambiguity"
-            )
-        top_values: Dict[str, ColumnLike] = dict(values)
-        top_values.update(bound)
-        system = batch_availability(
-            self.top,
-            top_values,
-            n_samples=n_samples,
+        with obs.span(
+            "hierarchy.solve_batch",
+            model=self.top.model_name,
             method=method,
-            abstraction=abstraction,
-        )
+            n_samples=n_samples,
+        ):
+            interfaces: Dict[str, BatchAvailability] = {}
+            for key, compiled in self.submodels.items():
+                with obs.span("hierarchy.submodel", submodel=key):
+                    interfaces[key] = batch_availability(
+                        compiled,
+                        values,
+                        n_samples=n_samples,
+                        method=method,
+                        abstraction=abstraction,
+                    )
+            bound: Dict[str, np.ndarray] = {}
+            for parameter, binding in self._bindings.items():
+                interface = interfaces[binding.submodel]
+                if binding.output == "failure_rate":
+                    output = interface.failure_rate
+                elif binding.output == "recovery_rate":
+                    output = interface.recovery_rate
+                elif binding.output == "availability":
+                    output = interface.availability
+                else:
+                    output = 1.0 - interface.availability
+                bound[parameter] = output * binding.scale
+            overlap = set(bound) & set(values.keys())
+            if overlap:
+                raise ModelError(
+                    f"bound parameter(s) {sorted(overlap)} also appear in "
+                    "the supplied values; remove them from one side to "
+                    "avoid ambiguity"
+                )
+            top_values: Dict[str, ColumnLike] = dict(values)
+            top_values.update(bound)
+            with obs.span("hierarchy.top", model=self.top.model_name):
+                system = batch_availability(
+                    self.top,
+                    top_values,
+                    n_samples=n_samples,
+                    method=method,
+                    abstraction=abstraction,
+                )
         return BatchHierarchicalSolution(
             system=system,
             submodels=interfaces,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.core.compiled import ColumnLike
 from repro.core.model import MarkovModel
 from repro.exceptions import ModelError
@@ -188,9 +189,12 @@ class JsasConfiguration:
         the paper-sized shapes and switches the AS submodel to the O(n)
         banded solver once ``n_instances`` makes it large.
         """
-        return self.build_hierarchy().solve(
-            self.merged_values(values), method=method, abstraction=abstraction
-        )
+        with obs.span("jsas.solve", config=self.name, method=method):
+            return self.build_hierarchy().solve(
+                self.merged_values(values),
+                method=method,
+                abstraction=abstraction,
+            )
 
     def solve_compiled(
         self,
@@ -226,12 +230,13 @@ class JsasConfiguration:
         ``values`` maps names to scalars or ``(n_samples,)`` arrays; see
         :meth:`repro.hierarchy.HierarchicalModel.solve_batch`.
         """
-        return self.hierarchy().solve_batch(
-            self.merged_values(values),
-            n_samples=n_samples,
-            method=method,
-            abstraction=abstraction,
-        )
+        with obs.span("jsas.solve_batch", config=self.name, method=method):
+            return self.hierarchy().solve_batch(
+                self.merged_values(values),
+                n_samples=n_samples,
+                method=method,
+                abstraction=abstraction,
+            )
 
 
 def build_configuration(

@@ -1,0 +1,75 @@
+"""Console reporting helper for the CLI.
+
+Every subcommand routes its human-readable output through a
+:class:`Reporter` instead of bare ``print()`` (a tier-1 lint guard,
+``tests/test_no_bare_print.py``, enforces this for the whole library).
+The reporter has two modes:
+
+* **text** (default) — ``line()`` writes to stdout exactly like the old
+  ``print`` calls, ``record()`` is a no-op for display but still
+  accumulates the structured payload;
+* **json** (``--json``) — ``line()`` is suppressed and ``finish()``
+  dumps the accumulated payload as one JSON document, so ``solve``,
+  ``sweep`` and ``uncertainty`` runs can feed dashboards and scripts
+  without scraping tables.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+
+class Reporter:
+    """Dual text/JSON command output.
+
+    Example::
+
+        reporter = Reporter(json_mode=args.json)
+        reporter.record(availability=result.availability)
+        reporter.line(result.summary())
+        reporter.finish(command="solve")
+    """
+
+    def __init__(
+        self, json_mode: bool = False, stream: Optional[TextIO] = None
+    ) -> None:
+        self.json_mode = json_mode
+        self.stream = stream if stream is not None else sys.stdout
+        self.payload: Dict[str, Any] = {}
+        self._finished = False
+
+    def line(self, text: str = "") -> None:
+        """Write one human-readable line (suppressed under ``--json``)."""
+        if not self.json_mode:
+            self.stream.write(f"{text}\n")
+
+    def record(self, **fields: Any) -> None:
+        """Merge fields into the machine-readable payload."""
+        self.payload.update(fields)
+
+    def finish(self, **fields: Any) -> None:
+        """Flush the JSON payload (once); a no-op in text mode."""
+        if self._finished:
+            return
+        self._finished = True
+        self.payload.update(fields)
+        if self.json_mode:
+            self.stream.write(
+                json.dumps(self.payload, indent=2, sort_keys=True,
+                           default=_jsonable)
+                + "\n"
+            )
+
+
+def _jsonable(value: Any) -> Any:
+    # tolist() before item(): arrays have both, and item() raises on
+    # anything with more than one element.
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return item()
+    return str(value)

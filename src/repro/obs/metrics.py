@@ -1,0 +1,202 @@
+"""Metric instruments: counters, gauges, and histograms.
+
+The registry follows the Prometheus data model closely enough that
+:func:`repro.obs.sinks.render_prometheus` can expose it as standard text
+exposition format, while staying dependency-free and cheap: instruments
+are plain Python objects keyed by ``(name, sorted labels)`` and updates
+are a float add or compare.
+
+Conventions:
+
+* counter names end in ``_total`` (enforced softly — the renderer does
+  not care, but the instrumented code sticks to it);
+* durations are recorded in the library's native unit, **hours** for
+  simulated time and **seconds** for wall/CPU time, with the unit spelled
+  out in the metric name (``..._hours``, ``..._seconds``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Default histogram buckets: log-spaced from microseconds to hours so
+#: one bucket family covers both fast solver stages and long recoveries.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** e for e in range(-6, 5)
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum/count/min/max tracking."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        # counts[i] observations <= buckets[i]; one extra slot for +Inf.
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Owns every instrument created during one observed run.
+
+    Instruments are created on first use and shared afterwards; the same
+    ``(name, labels)`` pair always returns the same object, so hot code
+    can cache the instrument or re-look it up, whichever reads better.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                name, key[1], buckets=buckets or DEFAULT_BUCKETS
+            )
+        return instrument
+
+    @property
+    def counters(self) -> Tuple[Counter, ...]:
+        return tuple(self._counters.values())
+
+    @property
+    def gauges(self) -> Tuple[Gauge, ...]:
+        return tuple(self._gauges.values())
+
+    @property
+    def histograms(self) -> Tuple[Histogram, ...]:
+        return tuple(self._histograms.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict view of every instrument (for JSON/testing)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for counter in self._counters.values():
+            out[_series_name(counter)] = {
+                "type": "counter", "value": counter.value
+            }
+        for gauge in self._gauges.values():
+            out[_series_name(gauge)] = {"type": "gauge", "value": gauge.value}
+        for histogram in self._histograms.values():
+            out[_series_name(histogram)] = {
+                "type": "histogram",
+                "count": histogram.count,
+                "sum": histogram.sum,
+                "mean": histogram.mean,
+                "min": histogram.min if histogram.count else None,
+                "max": histogram.max if histogram.count else None,
+            }
+        return out
+
+
+def _series_name(instrument) -> str:
+    if not instrument.labels:
+        return instrument.name
+    rendered = ",".join(f"{k}={v}" for k, v in instrument.labels)
+    return f"{instrument.name}{{{rendered}}}"

@@ -1,0 +1,173 @@
+"""Human-readable reporting over a recorded trace.
+
+Reconstructs the span tree from ``"span"`` records (children link to
+parents by id; a span record is emitted when the span *closes*, so the
+file order is children-before-parents and the tree is rebuilt from the
+links, not the line order) and renders a timing report:
+
+.. code-block:: text
+
+    uncertainty.run                         812.4 ms  (cpu 805.1 ms)
+      uncertainty.sample                      1.2 ms
+      uncertainty.solve                     790.7 ms  path=batch
+        hierarchy.solve_batch               789.9 ms
+          core.compile                        3.1 ms  model=jsas_2as_2pairs
+          ...
+
+Events are summarized per enclosing span (count by name) to keep the
+report readable even for traces with thousands of fine-grained events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Span fields that are shown inline in the tree (all others summarized).
+_HIDDEN_FIELDS = ("error",)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _format_fields(fields: Dict[str, Any], limit: int = 4) -> str:
+    shown = [
+        f"{key}={value}"
+        for key, value in fields.items()
+        if key not in _HIDDEN_FIELDS
+    ][:limit]
+    return "  ".join(shown)
+
+
+class SpanNode:
+    """One reconstructed span plus its children and attached events."""
+
+    def __init__(self, record: Dict[str, Any]) -> None:
+        self.record = record
+        self.children: List["SpanNode"] = []
+        self.event_counts: Dict[str, int] = {}
+
+    @property
+    def name(self) -> str:
+        return self.record.get("name", "?")
+
+    @property
+    def started_at(self) -> float:
+        return float(self.record.get("t", 0.0))
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.record.get("duration_s", 0.0))
+
+    @property
+    def cpu_s(self) -> float:
+        return float(self.record.get("cpu_s", 0.0))
+
+
+def build_span_tree(records: Sequence[Dict[str, Any]]) -> List[SpanNode]:
+    """Root span nodes (started-at order), with events attached."""
+    nodes: Dict[int, SpanNode] = {}
+    for record in records:
+        if record.get("kind") == "span" and record.get("span_id") is not None:
+            nodes[int(record["span_id"])] = SpanNode(record)
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent_id = node.record.get("parent_id")
+        parent = nodes.get(int(parent_id)) if parent_id is not None else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    orphan_events: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") != "event":
+            continue
+        parent_id = record.get("parent_id")
+        parent = nodes.get(int(parent_id)) if parent_id is not None else None
+        name = record.get("name", "?")
+        if parent is not None:
+            parent.event_counts[name] = parent.event_counts.get(name, 0) + 1
+        else:
+            orphan_events[name] = orphan_events.get(name, 0) + 1
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.started_at)
+    roots.sort(key=lambda node: node.started_at)
+    if orphan_events:
+        # Surface top-level events as a synthetic root so nothing is lost.
+        synthetic = SpanNode({"name": "(top-level events)", "t": -1.0,
+                              "duration_s": 0.0, "cpu_s": 0.0})
+        synthetic.event_counts = orphan_events
+        roots.insert(0, synthetic)
+    return roots
+
+
+def render_span_tree(records: Sequence[Dict[str, Any]]) -> str:
+    """The indented span-tree timing report for one trace."""
+    roots = build_span_tree(records)
+    if not roots:
+        return "(trace contains no spans)"
+    lines: List[str] = []
+
+    def walk(node: SpanNode, depth: int) -> None:
+        indent = "  " * depth
+        label = f"{indent}{node.name}"
+        timing = ""
+        if node.duration_s or node.cpu_s:
+            timing = (
+                f"{_format_seconds(node.duration_s):>10}  "
+                f"(cpu {_format_seconds(node.cpu_s)})"
+            )
+        status = node.record.get("status", "ok")
+        suffix = "" if status == "ok" else f"  [{status}]"
+        fields = _format_fields(node.record.get("fields", {}))
+        parts = [f"{label:<44}{timing}{suffix}"]
+        if fields:
+            parts.append(f"{indent}    {fields}")
+        for name in sorted(node.event_counts):
+            parts.append(
+                f"{indent}    * {name} x{node.event_counts[name]}"
+            )
+        lines.extend(parts)
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def summarize_events(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Event counts by name over the whole trace."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "event":
+            name = record.get("name", "?")
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def render_trace_report(
+    records: Sequence[Dict[str, Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Full report: span tree plus whole-trace event summary."""
+    n_spans = sum(1 for r in records if r.get("kind") == "span")
+    n_events = sum(1 for r in records if r.get("kind") == "event")
+    lines: List[str] = []
+    if title:
+        lines += [title, "=" * len(title), ""]
+    lines.append(
+        f"{len(records)} records: {n_spans} spans, {n_events} events"
+    )
+    lines += ["", "span tree (wall time, CPU time):", ""]
+    lines.append(render_span_tree(records))
+    counts = summarize_events(records)
+    if counts:
+        lines += ["", "events by name:"]
+        for name in sorted(counts):
+            lines.append(f"  {name:<40} {counts[name]}")
+    return "\n".join(lines)

@@ -16,9 +16,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro import obs
 from repro.exceptions import SimulationError
 
 EventCallback = Callable[["SimulationEngine", Any], None]
@@ -111,6 +113,12 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot run until {end_time}; clock is already at {self._now}"
             )
+        # Observability bookkeeping stays outside the event loop: one
+        # enabled() check up front, one gauge/counter update at the end.
+        instrumented = obs.enabled()
+        if instrumented:
+            fired_before = self._events_fired
+            wall_before = time.perf_counter()
         while self._calendar:
             event = self._calendar[0]
             if event.time > end_time:
@@ -129,6 +137,12 @@ class SimulationEngine:
                 )
             event.callback(self, event.payload)
         self._now = end_time
+        if instrumented:
+            fired = self._events_fired - fired_before
+            elapsed = time.perf_counter() - wall_before
+            obs.counter("sim_events_total").inc(fired)
+            if elapsed > 0.0 and fired:
+                obs.gauge("sim_events_per_second").set(fired / elapsed)
 
     def run_all(self, max_events: int = 10_000_000) -> None:
         """Drain the calendar completely (for terminating workloads)."""

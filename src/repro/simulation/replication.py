@@ -13,6 +13,7 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.estimation.intervals import mean_confidence_interval
 from repro.exceptions import SimulationError
 
@@ -79,20 +80,34 @@ def run_replications(
     sequence = np.random.SeedSequence(master_seed)
     children = sequence.spawn(n_replications)
     seeds = [int(child.generate_state(1)[0]) for child in children]
-    if n_jobs == 1:
-        values = [float(experiment(seed)) for seed in seeds]
-    else:
-        import pickle
-        from concurrent.futures import ProcessPoolExecutor
+    with obs.span(
+        "simulation.replications",
+        n_replications=n_replications,
+        n_jobs=n_jobs if n_jobs is not None else 0,
+    ):
+        if n_jobs == 1:
+            instrumented = obs.enabled()
+            values = []
+            for i, seed in enumerate(seeds):
+                values.append(float(experiment(seed)))
+                if instrumented:
+                    obs.event(
+                        "simulation.replication_done",
+                        replication=i,
+                        of=n_replications,
+                    )
+        else:
+            import pickle
+            from concurrent.futures import ProcessPoolExecutor
 
-        try:
-            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                values = [float(v) for v in pool.map(experiment, seeds)]
-        except (TypeError, AttributeError, pickle.PicklingError) as exc:
-            raise SimulationError(
-                "parallel replications require a picklable experiment "
-                f"(module-level function): {exc}"
-            ) from exc
+            try:
+                with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                    values = [float(v) for v in pool.map(experiment, seeds)]
+            except (TypeError, AttributeError, pickle.PicklingError) as exc:
+                raise SimulationError(
+                    "parallel replications require a picklable experiment "
+                    f"(module-level function): {exc}"
+                ) from exc
     mean, low, high = mean_confidence_interval(values, confidence)
     return ReplicationSummary(
         values=tuple(values),

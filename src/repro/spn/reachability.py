@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.exceptions import PetriNetError
 from repro.spn.marking import Marking
 from repro.spn.net import PetriNet
@@ -231,6 +232,32 @@ def build_reachability_graph(
         PetriNetError: On unbounded exploration, rate errors, or
             immediate-transition cycles.
     """
+    with obs.span("spn.reachability", net=net.name) as span:
+        graph = _build_reachability_graph(net, values, max_markings)
+        stats = graph.stats
+        span.set(
+            n_tangible=stats.n_tangible,
+            n_vanishing=stats.n_vanishing,
+        )
+        if obs.enabled():
+            obs.event(
+                "spn.exploration_stats",
+                net=net.name,
+                n_tangible=stats.n_tangible,
+                n_vanishing=stats.n_vanishing,
+                n_timed_firings=stats.n_timed_firings,
+                n_immediate_firings=stats.n_immediate_firings,
+                closure_cache_hits=stats.closure_cache_hits,
+                frontier_batches=stats.frontier_batches,
+            )
+    return graph
+
+
+def _build_reachability_graph(
+    net: PetriNet,
+    values: Mapping[str, float],
+    max_markings: int = DEFAULT_MAX_MARKINGS,
+) -> ReachabilityGraph:
     net.validate()
     # Rate expressions may reference place names: the token count of the
     # current marking is substituted, enabling marking-dependent rates

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.estimation import (
     CoverageEstimate,
     RecoveryTimeSummary,
@@ -33,7 +34,7 @@ from repro.exceptions import TestbedError
 from repro.simulation.engine import SimulationEngine
 from repro.testbed.cluster import ClusterConfig, TestCluster
 from repro.testbed.faults import FaultSpec, random_fault
-from repro.testbed.metrics import MeasurementLog
+from repro.testbed.metrics import MeasurementLog, publish_log_metrics
 
 
 @dataclass
@@ -124,36 +125,66 @@ def run_fault_injection_campaign(
     engine = SimulationEngine()
     cluster = TestCluster(engine, config, rng=rng)
 
-    n_successful = 0
-    injected_kinds: Dict[str, int] = {}
-    for i in range(n_injections):
-        if fault_menu:
-            spec = fault_menu[i % len(fault_menu)]
-        else:
-            spec = random_fault(rng, target_kind=target_kind)
-        # Workloads fluctuate between injections (paper: idle to fully
-        # loaded); the gap is randomized to decorrelate with timers.
-        engine.run_until(engine.now + settle_hours * (1.0 + rng.random()))
-        if not cluster.system_up:
-            # Give a struggling cluster time to finish recovering.
+    with obs.span(
+        "testbed.campaign",
+        n_injections=n_injections,
+        target_kind=target_kind or "any",
+    ) as span:
+        instrumented = obs.enabled()
+        n_successful = 0
+        injected_kinds: Dict[str, int] = {}
+        for i in range(n_injections):
+            if fault_menu:
+                spec = fault_menu[i % len(fault_menu)]
+            else:
+                spec = random_fault(rng, target_kind=target_kind)
+            # Workloads fluctuate between injections (paper: idle to fully
+            # loaded); the gap is randomized to decorrelate with timers.
+            engine.run_until(engine.now + settle_hours * (1.0 + rng.random()))
+            if not cluster.system_up:
+                # Give a struggling cluster time to finish recovering.
+                engine.run_until(engine.now + settle_hours * 4)
+            before = len(cluster.log.outages)
+            try:
+                cluster.inject(spec)
+            except TestbedError:
+                # No eligible target right now (e.g. every instance already
+                # restarting); skip this slot without counting it.
+                if instrumented:
+                    obs.counter(
+                        "testbed_injections_total",
+                        kind=spec.kind,
+                        outcome="skipped",
+                    ).inc()
+                continue
+            injected_kinds[spec.kind] = injected_kinds.get(spec.kind, 0) + 1
+            # Let the recovery complete.
             engine.run_until(engine.now + settle_hours * 4)
-        before = len(cluster.log.outages)
-        try:
-            cluster.inject(spec)
-        except TestbedError:
-            # No eligible target right now (e.g. every instance already
-            # restarting); skip this slot without counting it.
-            continue
-        injected_kinds[spec.kind] = injected_kinds.get(spec.kind, 0) + 1
-        # Let the recovery complete.
-        engine.run_until(engine.now + settle_hours * 4)
-        caused_outage = len(cluster.log.outages) > before or not cluster.system_up
-        if not caused_outage:
-            n_successful += 1
+            caused_outage = (
+                len(cluster.log.outages) > before or not cluster.system_up
+            )
+            if not caused_outage:
+                n_successful += 1
+            if instrumented:
+                outcome = "outage" if caused_outage else "recovered"
+                obs.counter(
+                    "testbed_injections_total",
+                    kind=spec.kind,
+                    outcome=outcome,
+                ).inc()
+                obs.event(
+                    "testbed.injection",
+                    index=i,
+                    kind=spec.kind,
+                    outcome=outcome,
+                    sim_time_hours=engine.now,
+                )
 
-    n_actual = sum(injected_kinds.values())
-    if n_actual == 0:
-        raise TestbedError("campaign performed no injections")
+        n_actual = sum(injected_kinds.values())
+        if n_actual == 0:
+            raise TestbedError("campaign performed no injections")
+        span.set(n_performed=n_actual, n_successful=n_successful)
+        publish_log_metrics(cluster.log, run="campaign")
     recovery_times = {
         category: cluster.log.recovery_durations(category)
         for category in sorted(

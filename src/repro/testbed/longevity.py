@@ -20,12 +20,13 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.estimation import FailureRateEstimate, estimate_failure_rate
 from repro.exceptions import TestbedError
 from repro.simulation.engine import SimulationEngine
 from repro.testbed.cluster import ClusterConfig, TestCluster
 from repro.testbed.faults import FaultSpec
-from repro.testbed.metrics import MeasurementLog
+from repro.testbed.metrics import MeasurementLog, publish_log_metrics
 from repro.testbed.workload import WorkloadProfile, WorkloadRunner, WorkloadStats
 from repro.units import days
 
@@ -169,19 +170,38 @@ def run_longevity_test(
             aggregate = rate * config.n_hadb_pairs * 2
         schedule_background(key, aggregate)
 
-    engine.run_until(horizon)
+    with obs.span(
+        "testbed.longevity", duration_days=duration_days
+    ) as span:
+        engine.run_until(horizon)
 
-    as_failures = sum(
-        count
-        for category, count in cluster.log.failures_by_category.items()
-        if category.startswith("as_")
-    )
-    hadb_failures = sum(
-        count
-        for category, count in cluster.log.failures_by_category.items()
-        if category.startswith("hadb_")
-    )
-    _up, _down, availability = cluster.availability_report(horizon)
+        as_failures = sum(
+            count
+            for category, count in cluster.log.failures_by_category.items()
+            if category.startswith("as_")
+        )
+        hadb_failures = sum(
+            count
+            for category, count in cluster.log.failures_by_category.items()
+            if category.startswith("hadb_")
+        )
+        _up, _down, availability = cluster.availability_report(horizon)
+        span.set(
+            as_failures=as_failures,
+            hadb_failures=hadb_failures,
+            availability=availability,
+        )
+        if obs.enabled():
+            obs.gauge("testbed_longevity_availability").set(availability)
+            obs.event(
+                "testbed.longevity_result",
+                duration_hours=horizon,
+                as_failures=as_failures,
+                hadb_failures=hadb_failures,
+                availability=availability,
+                events_fired=engine.events_fired,
+            )
+            publish_log_metrics(cluster.log, run="longevity")
     return LongevityResult(
         duration_hours=horizon,
         n_entities=config.n_as_instances,

@@ -10,7 +10,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.exceptions import TestbedError
+
+#: Histogram buckets for recovery/outage durations, in hours.  The menu
+#: spans ~30 s restarts to the ~100 min physical repair, so the buckets
+#: run from seconds to days.
+DURATION_BUCKETS_HOURS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 24.0
+)
 
 
 @dataclass(frozen=True)
@@ -94,3 +102,42 @@ class MeasurementLog:
 
     def total_failures(self) -> int:
         return sum(self.failures_by_category.values())
+
+
+def publish_log_metrics(log: MeasurementLog, run: str = "testbed") -> None:
+    """Publish a measurement log as first-class metric streams.
+
+    Called by the campaign and longevity drivers once per run (after the
+    simulation finishes, so the hot loop never touches the recorder).
+    A no-op when no recorder is installed.
+    """
+    if not obs.enabled():
+        return
+    for record in log.recoveries:
+        outcome = "success" if record.success else "failure"
+        obs.counter(
+            "testbed_recoveries_total",
+            category=record.category,
+            outcome=outcome,
+            run=run,
+        ).inc()
+        obs.histogram(
+            "testbed_recovery_hours",
+            buckets=DURATION_BUCKETS_HOURS,
+            category=record.category,
+            run=run,
+        ).observe(record.duration)
+    for outage in log.outages:
+        obs.counter(
+            "testbed_outages_total", cause=outage.cause, run=run
+        ).inc()
+        obs.histogram(
+            "testbed_outage_hours",
+            buckets=DURATION_BUCKETS_HOURS,
+            cause=outage.cause,
+            run=run,
+        ).observe(outage.duration)
+    for category, count in log.failures_by_category.items():
+        obs.counter(
+            "testbed_failures_total", category=category, run=run
+        ).inc(count)

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import EstimationError
 from repro.uncertainty.distributions import Distribution
 from repro.uncertainty.results import UncertaintyResult
@@ -109,42 +110,63 @@ class UncertaintyAnalysis:
                 "HierarchicalConfigMetric for the protocol"
             )
         use_batch = batch_capable if batch is None else bool(batch)
-        rng = np.random.default_rng(seed)
-        if self.sampler == "monte_carlo":
-            columns = monte_carlo_matrix(self.distributions, n_samples, rng)
-        else:
-            columns = latin_hypercube_matrix(self.distributions, n_samples, rng)
-        if use_batch:
-            merged_columns: Dict[str, object] = dict(self.base_values)
-            merged_columns.update(columns)
-            raw = self.metric.evaluate_batch(merged_columns, n_samples)
-            values = tuple(float(v) for v in np.asarray(raw, dtype=float))
-            # With keep_snapshots=False the per-sample dicts are never
-            # materialized at all — the batched path works on columns.
-            snapshots = (
-                tuple(snapshots_from_columns(columns, n_samples))
-                if keep_snapshots
-                else ()
-            )
-            return UncertaintyResult(
-                metric_name=self.metric_name,
-                values=values,
-                snapshots=snapshots,
-            )
-        snapshot_dicts = snapshots_from_columns(columns, n_samples)
-        # One merged dict, updated in place: every snapshot carries the
-        # same key set, so overlaying each one on the previous state is
-        # equivalent to re-copying base_values per snapshot.
-        merged = dict(self.base_values)
-        scalar_values = []
-        for snapshot in snapshot_dicts:
-            merged.update(snapshot)
-            scalar_values.append(float(self.metric(merged)))
-        return UncertaintyResult(
-            metric_name=self.metric_name,
-            values=tuple(scalar_values),
-            snapshots=tuple(snapshot_dicts) if keep_snapshots else (),
-        )
+        with obs.span(
+            "uncertainty.run",
+            metric=self.metric_name,
+            n_samples=n_samples,
+            sampler=self.sampler,
+            path="batch" if use_batch else "scalar",
+        ):
+            rng = np.random.default_rng(seed)
+            with obs.span("uncertainty.sample", sampler=self.sampler):
+                if self.sampler == "monte_carlo":
+                    columns = monte_carlo_matrix(
+                        self.distributions, n_samples, rng
+                    )
+                else:
+                    columns = latin_hypercube_matrix(
+                        self.distributions, n_samples, rng
+                    )
+            if use_batch:
+                merged_columns: Dict[str, object] = dict(self.base_values)
+                merged_columns.update(columns)
+                with obs.span("uncertainty.solve", path="batch"):
+                    raw = self.metric.evaluate_batch(
+                        merged_columns, n_samples
+                    )
+                with obs.span("uncertainty.summarize"):
+                    values = tuple(
+                        float(v) for v in np.asarray(raw, dtype=float)
+                    )
+                    # With keep_snapshots=False the per-sample dicts are
+                    # never materialized at all — the batched path works
+                    # on columns.
+                    snapshots = (
+                        tuple(snapshots_from_columns(columns, n_samples))
+                        if keep_snapshots
+                        else ()
+                    )
+                    return UncertaintyResult(
+                        metric_name=self.metric_name,
+                        values=values,
+                        snapshots=snapshots,
+                    )
+            snapshot_dicts = snapshots_from_columns(columns, n_samples)
+            # One merged dict, updated in place: every snapshot carries
+            # the same key set, so overlaying each one on the previous
+            # state is equivalent to re-copying base_values per snapshot.
+            merged = dict(self.base_values)
+            scalar_values = []
+            with obs.span("uncertainty.solve", path="scalar"):
+                for snapshot in snapshot_dicts:
+                    merged.update(snapshot)
+                    scalar_values.append(float(self.metric(merged)))
+            with obs.span("uncertainty.summarize"):
+                return UncertaintyResult(
+                    metric_name=self.metric_name,
+                    values=tuple(scalar_values),
+                    snapshots=tuple(snapshot_dicts) if keep_snapshots else (),
+                )
 
     def run_at_means(self) -> float:
         """Evaluate the metric with every varied parameter at its mean.

@@ -1,0 +1,54 @@
+"""Unit tests for the CLI Reporter (dual text/JSON output)."""
+
+import io
+import json
+
+from repro.obs.console import Reporter
+
+
+class TestTextMode:
+    def test_lines_pass_through(self):
+        stream = io.StringIO()
+        reporter = Reporter(stream=stream)
+        reporter.line("hello")
+        reporter.line()
+        assert stream.getvalue() == "hello\n\n"
+
+    def test_finish_emits_nothing(self):
+        stream = io.StringIO()
+        reporter = Reporter(stream=stream)
+        reporter.record(value=1)
+        reporter.finish(command="solve")
+        assert stream.getvalue() == ""
+
+
+class TestJsonMode:
+    def test_lines_suppressed_payload_dumped(self):
+        stream = io.StringIO()
+        reporter = Reporter(json_mode=True, stream=stream)
+        reporter.line("this is hidden")
+        reporter.record(availability=0.99999, config="Config 1")
+        reporter.finish(command="solve")
+        payload = json.loads(stream.getvalue())
+        assert payload == {
+            "availability": 0.99999,
+            "command": "solve",
+            "config": "Config 1",
+        }
+
+    def test_finish_is_idempotent(self):
+        stream = io.StringIO()
+        reporter = Reporter(json_mode=True, stream=stream)
+        reporter.finish(command="solve")
+        reporter.finish(command="other")
+        assert len(stream.getvalue().strip().splitlines()) > 0
+        assert json.loads(stream.getvalue()) == {"command": "solve"}
+
+    def test_numpy_values_coerced(self):
+        np = __import__("numpy")
+        stream = io.StringIO()
+        reporter = Reporter(json_mode=True, stream=stream)
+        reporter.finish(value=np.float64(1.5), points=np.array([1.0, 2.0]))
+        payload = json.loads(stream.getvalue())
+        assert payload["value"] == 1.5
+        assert payload["points"] == [1.0, 2.0]

@@ -1,0 +1,126 @@
+"""Unit tests for the metric instruments and registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("ops_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        counter = Counter("ops_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1.0)
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("level")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(4.0)
+        assert gauge.value == pytest.approx(3.0)
+
+
+class TestHistogram:
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", buckets=())
+
+    def test_buckets_sorted_on_construction(self):
+        histogram = Histogram("h", buckets=(10.0, 1.0, 5.0))
+        assert histogram.buckets == (1.0, 5.0, 10.0)
+
+    def test_observe_tracks_sum_count_min_max(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(22.5)
+        assert histogram.mean == pytest.approx(7.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 20.0
+
+    def test_cumulative_counts(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            histogram.observe(value)
+        assert histogram.cumulative_counts() == [
+            (1.0, 1), (10.0, 2), (math.inf, 3),
+        ]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus buckets are <= upper bound (le semantics).
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(1.0)
+        assert histogram.cumulative_counts()[0] == (1.0, 1)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h", buckets=(1.0,)).mean == 0.0
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total", k="v") is registry.counter(
+            "c_total", k="v"
+        )
+        assert registry.counter("c_total", k="v") is not registry.counter(
+            "c_total", k="other"
+        )
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g", a="1", b="2") is registry.gauge(
+            "g", b="2", a="1"
+        )
+
+    def test_histogram_custom_buckets_only_apply_on_creation(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        assert registry.histogram("h") is histogram
+        assert histogram.buckets == (1.0, 2.0)
+
+    def test_histogram_default_buckets(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h").buckets == tuple(
+            sorted(DEFAULT_BUCKETS)
+        )
+
+    def test_snapshot_series_names_sort_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", z="1", a="2").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["c_total{a=2,z=1}"] == {
+            "type": "counter", "value": 1.0,
+        }
+
+    def test_snapshot_empty_histogram_has_null_extrema(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        entry = registry.snapshot()["h"]
+        assert entry["count"] == 0
+        assert entry["min"] is None and entry["max"] is None
+
+    def test_instrument_tuples_expose_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        registry.gauge("g")
+        registry.histogram("h")
+        assert len(registry.counters) == 1
+        assert len(registry.gauges) == 1
+        assert len(registry.histograms) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for span-tree reconstruction and trace rendering."""
+
+from repro.obs import (
+    Recorder,
+    build_span_tree,
+    render_span_tree,
+    render_trace_report,
+    summarize_events,
+)
+
+
+def _traced_run():
+    """A small nested trace: root > (sample, solve > batch) + events."""
+    recorder = Recorder()
+    with recorder.span("root", metric="availability"):
+        with recorder.span("sample"):
+            pass
+        with recorder.span("solve", path="batch"):
+            with recorder.span("batch"):
+                recorder.event("fallback", n=2)
+            recorder.event("fallback", n=1)
+    return recorder.records
+
+
+class TestBuildSpanTree:
+    def test_reconstructs_nesting_from_links(self):
+        # Span records land children-before-parents; the tree must come
+        # from the id links, not the line order.
+        roots = build_span_tree(_traced_run())
+        (root,) = roots
+        assert root.name == "root"
+        assert [child.name for child in root.children] == ["sample", "solve"]
+        (batch,) = root.children[1].children
+        assert batch.name == "batch"
+
+    def test_events_attach_to_enclosing_span(self):
+        roots = build_span_tree(_traced_run())
+        solve = roots[0].children[1]
+        assert solve.event_counts == {"fallback": 1}
+        assert solve.children[0].event_counts == {"fallback": 1}
+
+    def test_orphan_events_get_synthetic_root(self):
+        records = [
+            {"kind": "event", "name": "loose", "parent_id": None,
+             "t": 0.0, "fields": {}},
+        ]
+        roots = build_span_tree(records)
+        assert roots[0].name == "(top-level events)"
+        assert roots[0].event_counts == {"loose": 1}
+
+    def test_empty_trace(self):
+        assert build_span_tree([]) == []
+
+
+class TestRendering:
+    def test_render_span_tree_indents_children(self):
+        text = render_span_tree(_traced_run())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert any(line.startswith("  sample") for line in lines)
+        assert any(line.startswith("    batch") for line in lines)
+        assert "path=batch" in text
+        assert "* fallback x1" in text
+
+    def test_render_span_tree_empty(self):
+        assert render_span_tree([]) == "(trace contains no spans)"
+
+    def test_error_status_shown(self):
+        recorder = Recorder()
+        try:
+            with recorder.span("doomed"):
+                raise RuntimeError()
+        except RuntimeError:
+            pass
+        assert "[error]" in render_span_tree(recorder.records)
+
+    def test_render_trace_report_counts_and_title(self):
+        text = render_trace_report(_traced_run(), title="demo run")
+        assert text.startswith("demo run\n========")
+        assert "4 spans, 2 events" in text
+        assert "events by name:" in text
+        assert "fallback" in text
+
+
+class TestSummarizeEvents:
+    def test_counts_by_name(self):
+        assert summarize_events(_traced_run()) == {"fallback": 2}
+
+    def test_ignores_spans(self):
+        recorder = Recorder()
+        with recorder.span("only-spans"):
+            pass
+        assert summarize_events(recorder.records) == {}

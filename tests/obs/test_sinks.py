@@ -1,0 +1,131 @@
+"""Unit tests for the JSONL trace sink and Prometheus exposition."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    Recorder,
+    load_trace,
+    render_prometheus,
+    write_metrics,
+)
+from repro.obs.sinks import TRACE_SCHEMA_VERSION, trace_schema_version
+
+
+class TestJsonlSink:
+    def test_first_line_is_trace_header(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "trace_header"
+        assert first["fields"]["schema_version"] == TRACE_SCHEMA_VERSION
+
+    def test_round_trip_through_load_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = Recorder(sinks=(JsonlSink(path),))
+        with recorder.span("outer", model="m"):
+            recorder.event("tick", step=1)
+        recorder.close()
+        records = load_trace(path)
+        assert trace_schema_version(records) == TRACE_SCHEMA_VERSION
+        kinds = [record["kind"] for record in records]
+        assert kinds == ["trace_header", "event", "span"]
+        assert records[2]["fields"] == {"model": "m"}
+
+    def test_accepts_open_stream(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.write({"kind": "event", "name": "x", "fields": {}})
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2  # header + event
+
+    def test_numpy_fields_serialize(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"kind": "event", "name": "x",
+                    "fields": {"n": np.int64(3)}})
+        sink.close()
+        assert load_trace(path)[1]["fields"]["n"] == 3
+
+
+class TestLoadTrace:
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(path)
+
+    def test_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_trace(path)
+
+    def test_skips_blank_lines(self):
+        records = load_trace(io.StringIO('{"kind": "event"}\n\n'))
+        assert len(records) == 1
+
+    def test_schema_version_absent_without_header(self):
+        assert trace_schema_version([{"kind": "event"}]) is None
+
+
+class TestInMemorySink:
+    def test_collects_records(self):
+        sink = InMemorySink()
+        recorder = Recorder(sinks=(sink,))
+        recorder.event("one")
+        recorder.event("two")
+        assert [record["name"] for record in sink.records] == ["one", "two"]
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("solves_total", method="gth").inc(3)
+        registry.gauge("throughput").set(12.5)
+        text = render_prometheus(registry)
+        assert "# TYPE solves_total counter" in text
+        assert 'solves_total{method="gth"} 3.0' in text
+        assert "# TYPE throughput gauge" in text
+        assert "throughput 12.5" in text
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = render_prometheus(registry)
+        assert 'latency_bucket{le="1.0"} 1' in text
+        assert 'latency_bucket{le="10.0"} 2' in text
+        assert 'latency_bucket{le="+Inf"} 2' in text
+        assert "latency_sum 5.5" in text
+        assert "latency_count 2" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", tag='with "quotes"').inc()
+        text = render_prometheus(registry)
+        assert 'tag="with \\"quotes\\""' in text
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz_total").inc()
+        registry.counter("aaa_total").inc()
+        text = render_prometheus(registry)
+        assert text.index("aaa_total") < text.index("zzz_total")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_write_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        target = write_metrics(registry, tmp_path / "metrics.prom")
+        assert target.read_text().startswith("# TYPE c_total counter")

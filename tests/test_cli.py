@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,3 +70,88 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestJsonOutput:
+    def test_solve_json(self, capsys):
+        assert main(["solve", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "solve"
+        assert 0.0 < payload["availability"] < 1.0
+        assert "yearly_downtime_minutes" in payload
+        assert "submodels" in payload
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "--points", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "sweep"
+        assert len(payload["points"]) == 4
+
+    def test_uncertainty_json(self, capsys):
+        assert main(
+            ["uncertainty", "--samples", "30", "--seed", "1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "uncertainty"
+        assert payload["minimum"] <= payload["median"] <= payload["maximum"]
+
+    def test_json_output_is_pure(self, capsys):
+        # --json must emit exactly one JSON document, no stray text.
+        assert main(["solve", "--json"]) == 0
+        out = capsys.readouterr().out
+        json.loads(out)  # whole stream parses
+
+
+class TestTracing:
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_trace
+        from repro.obs.sinks import trace_schema_version
+
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["--trace", str(trace), "solve"]
+        ) == 0
+        records = load_trace(trace)
+        assert trace_schema_version(records) == 1
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        assert "hierarchy.solve_batch" in names
+        assert "hierarchy.submodel" in names
+
+    def test_uncertainty_trace_covers_pipeline(self, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["--trace", str(trace),
+             "uncertainty", "--samples", "30", "--seed", "1"]
+        ) == 0
+        records = load_trace(trace)
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        assert {"uncertainty.run", "uncertainty.sample",
+                "uncertainty.solve", "uncertainty.summarize",
+                "ctmc.batch_availability"} <= names
+
+    def test_metrics_written_in_prometheus_format(self, tmp_path, capsys):
+        metrics = tmp_path / "run.prom"
+        assert main(
+            ["--metrics", str(metrics),
+             "uncertainty", "--samples", "30", "--seed", "1"]
+        ) == 0
+        text = metrics.read_text()
+        assert "# TYPE ctmc_pattern_cache_total counter" in text
+
+    def test_recorder_uninstalled_after_run(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs.recorder import NULL_RECORDER
+
+        assert main(["--trace", str(tmp_path / "t.jsonl"), "solve"]) == 0
+        assert obs.get_recorder() is NULL_RECORDER
+
+    def test_obs_report_renders_span_tree(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["--trace", str(trace), "solve"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "hierarchy.solve_batch" in out

@@ -1,0 +1,47 @@
+"""Lint guard: no bare ``print()`` calls in the library.
+
+Human-readable output belongs in :class:`repro.obs.console.Reporter`
+(which supports ``--json`` and keeps commands scriptable), diagnostics
+belong on the :mod:`repro.obs` event bus.  This test walks every module
+under ``src/repro`` and fails on any ``print`` call outside the two
+allowed sites: the CLI entry point and the console reporter itself.
+"""
+
+import ast
+import pathlib
+
+SRC_ROOT = pathlib.Path(__file__).parent.parent / "src" / "repro"
+
+#: Files allowed to write to stdout directly (relative to SRC_ROOT).
+ALLOWED = {
+    pathlib.PurePosixPath("cli.py"),
+    pathlib.PurePosixPath("obs/console.py"),
+}
+
+
+def _print_calls(tree: ast.AST):
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield node.lineno
+
+
+def test_no_bare_print_in_library():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = pathlib.PurePosixPath(
+            path.relative_to(SRC_ROOT).as_posix()
+        )
+        if relative in ALLOWED:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for lineno in _print_calls(tree):
+            offenders.append(f"src/repro/{relative}:{lineno}")
+    assert not offenders, (
+        "bare print() calls found (route output through "
+        "repro.obs.console.Reporter or the obs event bus):\n  "
+        + "\n  ".join(offenders)
+    )

@@ -74,6 +74,57 @@ class TestExportLog:
         assert len(recoveries) == len(campaign.log.recoveries)
 
 
+class TestRoundTrips:
+    def test_empty_log_round_trip(self, tmp_path):
+        log = MeasurementLog()
+        written = export_log(log, tmp_path)
+        assert sorted(p.name for p in written) == [
+            "failures.csv", "outages.csv", "recoveries.csv",
+        ]
+        records = recoveries_from_csv(
+            (tmp_path / "recoveries.csv").read_text()
+        )
+        assert records == []
+        # Headers survive even with no data rows.
+        assert (
+            (tmp_path / "outages.csv").read_text().strip()
+            == "cause,started_at,ended_at"
+        )
+        assert (
+            (tmp_path / "failures.csv").read_text().strip()
+            == "category,count"
+        )
+
+    def test_zero_duration_recovery_round_trip(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "x", 1.5, 1.5))
+        (record,) = recoveries_from_csv(recoveries_to_csv(log))
+        assert record.duration == 0.0
+        assert record.started_at == pytest.approx(1.5)
+
+    def test_round_trip_preserves_fields_exactly(self, log):
+        originals = log.recoveries
+        parsed = recoveries_from_csv(recoveries_to_csv(log))
+        assert len(parsed) == len(originals)
+        for original, restored in zip(originals, parsed):
+            assert restored.target == original.target
+            assert restored.category == original.category
+            assert restored.started_at == pytest.approx(
+                original.started_at, abs=1e-9
+            )
+            assert restored.completed_at == pytest.approx(
+                original.completed_at, abs=1e-9
+            )
+            assert restored.success is original.success
+
+    def test_double_round_trip_is_stable(self, log):
+        text = recoveries_to_csv(log)
+        restored = MeasurementLog()
+        for record in recoveries_from_csv(text):
+            restored.record_recovery(record)
+        assert recoveries_to_csv(restored) == text
+
+
 class TestMalformedInput:
     def test_empty_text(self):
         with pytest.raises(TestbedError, match="empty"):

@@ -2,11 +2,13 @@
 
 import pytest
 
+from repro import obs
 from repro.exceptions import TestbedError
 from repro.testbed.metrics import (
     MeasurementLog,
     OutageRecord,
     RecoveryRecord,
+    publish_log_metrics,
 )
 
 
@@ -56,3 +58,95 @@ class TestMeasurementLog:
             log.record_recovery(RecoveryRecord("a", "x", 2.0, 1.0))
         with pytest.raises(TestbedError):
             log.record_outage(OutageRecord("c", 2.0, 1.0))
+
+
+class TestEmptyLog:
+    def test_empty_log_summaries(self):
+        log = MeasurementLog()
+        assert log.recovery_durations("anything") == ()
+        assert log.recovery_success_counts() == (0, 0)
+        assert log.total_outage_hours() == 0.0
+        assert log.total_failures() == 0
+        assert log.failures_by_category == {}
+
+    def test_empty_log_publishes_nothing(self):
+        with obs.observe() as rec:
+            publish_log_metrics(MeasurementLog())
+        assert rec.metrics.counters == ()
+        assert rec.metrics.histograms == ()
+
+
+class TestZeroDurationRecords:
+    def test_zero_duration_recovery_allowed(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "x", 1.0, 1.0))
+        assert log.recovery_durations("x") == (0.0,)
+
+    def test_zero_duration_outage_allowed(self):
+        log = MeasurementLog()
+        log.record_outage(OutageRecord("c", 1.0, 1.0))
+        assert log.total_outage_hours() == 0.0
+
+
+class TestSuccessCountEdges:
+    def test_all_failed(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "x", 0.0, 1.0, success=False))
+        log.record_recovery(RecoveryRecord("b", "x", 0.0, 1.0, success=False))
+        assert log.recovery_success_counts() == (0, 2)
+
+    def test_all_succeeded(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "x", 0.0, 1.0))
+        assert log.recovery_success_counts() == (1, 1)
+
+
+class TestPublishLogMetrics:
+    def test_noop_when_disabled(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "x", 0.0, 1.0))
+        publish_log_metrics(log)  # NULL_RECORDER installed: must not raise
+
+    def test_publishes_counters_and_histograms(self):
+        log = MeasurementLog()
+        log.record_recovery(RecoveryRecord("a", "as_restart", 0.0, 0.01))
+        log.record_recovery(
+            RecoveryRecord("b", "as_restart", 0.0, 0.02, success=False)
+        )
+        log.record_outage(OutageRecord("as_all_down", 1.0, 1.5))
+        log.record_failure("as_software")
+        log.record_failure("as_software")
+        with obs.observe() as rec:
+            publish_log_metrics(log, run="unit")
+        snapshot = rec.metrics.snapshot()
+        assert (
+            snapshot[
+                "testbed_recoveries_total"
+                '{category=as_restart,outcome=success,run=unit}'
+            ]["value"]
+            == 1.0
+        )
+        assert (
+            snapshot[
+                "testbed_recoveries_total"
+                '{category=as_restart,outcome=failure,run=unit}'
+            ]["value"]
+            == 1.0
+        )
+        assert (
+            snapshot["testbed_outages_total{cause=as_all_down,run=unit}"][
+                "value"
+            ]
+            == 1.0
+        )
+        assert (
+            snapshot["testbed_failures_total{category=as_software,run=unit}"][
+                "value"
+            ]
+            == 2.0
+        )
+        hist = snapshot[
+            "testbed_recovery_hours{category=as_restart,run=unit}"
+        ]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.03)
