@@ -8,6 +8,7 @@ Subcommands mirror the paper's analyses:
 * ``uncertainty`` — Figs. 7/8 random-sampling analysis.
 * ``campaign`` — run a simulated fault-injection campaign.
 * ``longevity`` — run a simulated stability test.
+* ``serve`` — run the batching availability-evaluation server.
 * ``obs report`` — render a recorded trace as a span-tree report.
 
 Global observability flags (before the subcommand):
@@ -23,7 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, NoReturn, Optional
 
 import numpy as np
 
@@ -382,8 +383,52 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import AvailabilityServer, ServiceConfig
+
+    reporter = _reporter(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        cache_file=args.cache_file,
+    )
+    server = AvailabilityServer(config)
+    host, port = server.address
+    reporter.line(
+        f"serving availability evaluations on http://{host}:{port} "
+        f"({config.workers} workers, cache {config.cache_size}, "
+        f"max batch {config.max_batch}; Ctrl-C to stop)"
+    )
+    server.serve_forever()
+    return 0
+
+
+class _ReporterParser(argparse.ArgumentParser):
+    """Argparse parser whose errors go through the obs Reporter.
+
+    Unknown subcommands and bad flags used to bypass the library's
+    no-bare-output policy by printing straight to stderr; this routes
+    them through :class:`~repro.obs.console.Reporter` like every other
+    piece of CLI output (same stream, same discipline), then exits with
+    the conventional argparse status 2.
+    """
+
+    def error(self, message: str) -> NoReturn:
+        from repro.obs.console import Reporter
+
+        reporter = Reporter(stream=sys.stderr)
+        reporter.line(self.format_usage().rstrip())
+        reporter.line(f"{self.prog}: error: {message}")
+        raise SystemExit(2)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _ReporterParser(
         prog="repro-avail",
         description=(
             "Availability modeling for an application server "
@@ -475,6 +520,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-instances", type=int, default=12)
     _add_engine_argument(p)
     p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser(
+        "serve", help="run the batching availability-evaluation server"
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port; 0 picks a free port (default 8080)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="batch-dispatch worker threads (default 2)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="LRU solve-cache entries (default 1024)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="largest coalesced batch (default 32)")
+    p.add_argument("--max-wait-ms", type=float, default=5.0,
+                   help="coalescing window in milliseconds (default 5)")
+    p.add_argument("--queue-limit", type=int, default=256,
+                   help="pending-request bound before 429 shedding "
+                        "(default 256)")
+    p.add_argument("--cache-file", default=None,
+                   help="JSONL spill/warm-start file for the solve cache")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "export-dot", help="print a model as a Graphviz digraph"

@@ -12,11 +12,15 @@ module provides:
 * :func:`model_to_dot` — a Graphviz digraph with down states drawn as
   double circles and arcs labelled by their rate expressions, matching
   the visual conventions of the paper's figures.
+* :func:`canonical_json` — a deterministic, byte-stable JSON encoding
+  (sorted keys, normalized numbers) used as the basis for
+  content-addressed fingerprints in :mod:`repro.service.fingerprint`.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict
 
 from repro.core.model import MarkovModel
@@ -100,6 +104,69 @@ def model_from_json(text: str) -> MarkovModel:
     except json.JSONDecodeError as exc:
         raise ModelError(f"invalid JSON: {exc}") from exc
     return model_from_dict(data)
+
+
+def normalize_canonical(value: Any) -> Any:
+    """Recursively normalize a JSON-able value for canonical encoding.
+
+    * dict keys are coerced to ``str`` (JSON requires it; doing it here
+      makes the coercion explicit and order-independent);
+    * floats are normalized: ``-0.0`` becomes ``0.0`` so the two zero
+      bit patterns hash identically; non-finite values are rejected
+      because their JSON spelling is implementation-defined;
+    * bools and ints pass through unchanged (``True`` stays ``true``,
+      never ``1.0``);
+    * tuples become lists.
+
+    Integral floats deliberately stay floats (``2.0`` encodes as
+    ``2.0``, not ``2``): callers that want ``2`` and ``2.0`` to hash the
+    same coerce to ``float`` first, the way
+    :func:`repro.service.fingerprint.parameter_fingerprint` does.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ModelError(
+                f"non-finite value {value!r} has no canonical JSON form"
+            )
+        return 0.0 if value == 0.0 else value
+    if isinstance(value, dict):
+        out: Dict[str, Any] = {}
+        for key, item in value.items():
+            skey = str(key)
+            if skey in out:
+                raise ModelError(
+                    f"duplicate canonical key {skey!r} after str() coercion"
+                )
+            out[skey] = normalize_canonical(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [normalize_canonical(item) for item in value]
+    raise ModelError(
+        f"value of type {type(value).__name__} is not canonically "
+        "JSON-serializable"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: same value, same bytes, any process.
+
+    Keys are sorted, separators are compact, output is pure ASCII, and
+    numbers go through :func:`normalize_canonical` (``-0.0`` -> ``0.0``,
+    NaN/Inf rejected).  Python's ``repr`` of a float is the shortest
+    round-tripping decimal form on every supported platform, so float
+    text is stable across processes and machines — this is what makes
+    :mod:`repro.service` cache keys content-addressed rather than
+    process-local.
+    """
+    return json.dumps(
+        normalize_canonical(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
 
 
 def _dot_escape(text: str) -> str:

@@ -163,6 +163,23 @@ class HierarchicalModel:
     def submodel_names(self) -> Tuple[str, ...]:
         return tuple(self._submodels)
 
+    def submodel(self, name: str) -> MarkovModel:
+        """The registered submodel called ``name``."""
+        try:
+            return self._submodels[name]
+        except KeyError:
+            raise ModelError(f"unknown submodel {name!r}") from None
+
+    @property
+    def bindings(self) -> Tuple[RateBinding, ...]:
+        """The rate bindings, in registration order."""
+        return tuple(self._bindings.values())
+
+    @property
+    def attributions(self) -> Dict[str, Tuple[str, ...]]:
+        """Downtime-attribution states per submodel (copy)."""
+        return dict(self._attributions)
+
     def solve(
         self,
         values: Mapping[str, float],

@@ -1,0 +1,248 @@
+"""Thread-safe, size-bounded LRU solve cache with single-flight compute.
+
+The cache maps content-addressed fingerprints
+(:mod:`repro.service.fingerprint`) to JSON-able response payloads.
+Three properties matter for a serving layer:
+
+* **LRU bound** — at most ``max_entries`` payloads are held; inserting
+  past the bound evicts the least-recently-used entry (reads refresh
+  recency).
+* **Single-flight** — concurrent :meth:`~SolveCache.get_or_compute`
+  calls for the same fingerprint run the compute exactly once; the
+  followers block on the leader's result instead of duplicating the
+  solve.  A leader failure propagates its exception to every follower
+  of that flight (the next request retries cleanly).
+* **Spill/warm-start** — optionally, every insert is appended to a
+  JSONL file and :meth:`~SolveCache.warm_start` replays such a file on
+  boot.  A corrupt file falls back to a cold cache with a warning
+  rather than failing the boot.
+
+Counters (``service_cache_hits_total``, ``..._misses_total``,
+``..._evictions_total``, the ``service_cache_size`` gauge, and
+single-flight/warm-start counts) are registered through the global
+:mod:`repro.obs` recorder, so ``/metrics`` exposes them when the server
+is running and they cost nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import warnings
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro import obs
+
+#: Schema stamped on every spill-file line so a future layout change
+#: cannot silently replay incompatible payloads.
+SPILL_SCHEMA = 1
+
+
+class _Flight:
+    """One in-progress compute that followers can wait on."""
+
+    __slots__ = ("done", "payload", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.payload: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SolveCache:
+    """LRU cache of solve payloads keyed by content fingerprint.
+
+    Args:
+        max_entries: Size bound; ``0`` disables storage entirely (every
+            lookup misses) while keeping the single-flight behavior, so
+            a cache-less deployment still coalesces identical requests.
+        spill_path: Optional JSONL file appended to on every insert.
+            Call :meth:`warm_start` (the server does) to replay it.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        spill_path: Union[str, pathlib.Path, None] = None,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError(f"negative cache size {max_entries}")
+        self.max_entries = int(max_entries)
+        self.spill_path = (
+            pathlib.Path(spill_path) if spill_path is not None else None
+        )
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._inflight: Dict[str, _Flight] = {}
+
+    # Introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Fingerprints from least- to most-recently used."""
+        with self._lock:
+            return tuple(self._entries)
+
+    # Core operations -----------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Any]:
+        """The cached payload, refreshing recency; ``None`` on a miss."""
+        with self._lock:
+            payload = self._get_locked(fingerprint)
+        if payload is None:
+            obs.counter("service_cache_misses_total").inc()
+        else:
+            obs.counter("service_cache_hits_total").inc()
+        return payload
+
+    def put(self, fingerprint: str, payload: Any) -> None:
+        """Insert (or refresh) an entry, evicting past the bound."""
+        with self._lock:
+            self._put_locked(fingerprint, payload)
+        self._spill(fingerprint, payload)
+
+    def get_or_compute(
+        self, fingerprint: str, compute: Callable[[], Any]
+    ) -> Tuple[Any, str]:
+        """Return ``(payload, source)`` computing at most once per key.
+
+        ``source`` is ``"hit"`` (served from the cache), ``"shared"``
+        (another thread was already computing this fingerprint; we
+        waited for its result) or ``"miss"`` (this call ran the
+        compute).
+        """
+        with self._lock:
+            payload = self._get_locked(fingerprint)
+            if payload is not None:
+                leader = False
+                flight = None
+            else:
+                flight = self._inflight.get(fingerprint)
+                leader = flight is None
+                if leader:
+                    flight = self._inflight[fingerprint] = _Flight()
+        if flight is None:
+            obs.counter("service_cache_hits_total").inc()
+            return payload, "hit"
+        if not leader:
+            obs.counter("service_cache_shared_total").inc()
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.payload, "shared"
+        obs.counter("service_cache_misses_total").inc()
+        try:
+            payload = compute()
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(fingerprint, None)
+            flight.error = exc
+            flight.done.set()
+            raise
+        with self._lock:
+            self._put_locked(fingerprint, payload)
+            self._inflight.pop(fingerprint, None)
+        flight.payload = payload
+        flight.done.set()
+        self._spill(fingerprint, payload)
+        return payload, "miss"
+
+    # Locked internals ----------------------------------------------------
+
+    def _get_locked(self, fingerprint: str) -> Optional[Any]:
+        payload = self._entries.get(fingerprint)
+        if payload is not None:
+            self._entries.move_to_end(fingerprint)
+        return payload
+
+    def _put_locked(self, fingerprint: str, payload: Any) -> None:
+        if self.max_entries == 0:
+            return
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+        self._entries[fingerprint] = payload
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            obs.counter("service_cache_evictions_total").inc()
+        obs.gauge("service_cache_size").set(len(self._entries))
+
+    # Spill / warm-start --------------------------------------------------
+
+    def _spill(self, fingerprint: str, payload: Any) -> None:
+        if self.spill_path is None:
+            return
+        line = json.dumps(
+            {
+                "schema": SPILL_SCHEMA,
+                "fingerprint": fingerprint,
+                "payload": payload,
+            },
+            sort_keys=True,
+        )
+        with self._lock:
+            with open(self.spill_path, "a", encoding="utf-8") as stream:
+                stream.write(line + "\n")
+        obs.counter("service_cache_spilled_total").inc()
+
+    def warm_start(
+        self, path: Union[str, pathlib.Path, None] = None
+    ) -> int:
+        """Replay a spill file; returns the number of entries loaded.
+
+        Later lines win over earlier ones (the file is an append-only
+        log), and the LRU bound applies as usual.  A missing file is a
+        cold start; a corrupt file (bad JSON, wrong schema, missing
+        keys) falls back to a **cold** cache with a warning — partial
+        state from a corrupt log is worse than none.
+        """
+        target = pathlib.Path(path) if path is not None else self.spill_path
+        if target is None:
+            raise ValueError("no warm-start path given and no spill_path set")
+        if not target.exists():
+            return 0
+        loaded: "OrderedDict[str, Any]" = OrderedDict()
+        try:
+            with open(target, "r", encoding="utf-8") as stream:
+                for lineno, line in enumerate(stream, start=1):
+                    if not line.strip():
+                        continue
+                    record = json.loads(line)
+                    if record["schema"] != SPILL_SCHEMA:
+                        raise ValueError(
+                            f"line {lineno}: unsupported spill schema "
+                            f"{record['schema']!r}"
+                        )
+                    fingerprint = record["fingerprint"]
+                    if not isinstance(fingerprint, str):
+                        raise ValueError(
+                            f"line {lineno}: non-string fingerprint"
+                        )
+                    payload = record["payload"]
+                    if fingerprint in loaded:
+                        loaded.move_to_end(fingerprint)
+                    loaded[fingerprint] = payload
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            obs.counter("service_cache_warm_start_errors_total").inc()
+            obs.event(
+                "service.cache.warm_start_corrupt",
+                path=str(target),
+                error=str(exc),
+            )
+            warnings.warn(
+                f"solve-cache warm-start file {target} is corrupt "
+                f"({exc}); starting cold",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
+        with self._lock:
+            for fingerprint, payload in loaded.items():
+                self._put_locked(fingerprint, payload)
+            count = len(self._entries)
+        obs.counter("service_cache_warm_started_total").inc(len(loaded))
+        return count

@@ -1,0 +1,177 @@
+"""Stdlib client for the evaluation server.
+
+A thin ``urllib`` wrapper so tests, the CLI and scripts can talk to a
+running server without extra dependencies::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    response = client.solve(n_instances=4, n_pairs=4)
+    print(response["availability"], response["serving"]["cache"])
+
+Error mapping: 429 raises
+:class:`~repro.service.errors.ServiceUnavailable` carrying the server's
+``Retry-After`` hint; every other non-2xx status raises
+:class:`~repro.service.errors.ServiceClientError` with the decoded error
+document attached.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.service.errors import ServiceClientError, ServiceUnavailable
+
+
+class ServiceClient:
+    """HTTP client for one :class:`~repro.service.server.AvailabilityServer`.
+
+    Args:
+        base_url: Server root, e.g. ``http://127.0.0.1:8080``.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # Transport -----------------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        document: Optional[Mapping[str, Any]] = None,
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        if document is None:
+            request = urllib.request.Request(url, method="GET")
+        else:
+            request = urllib.request.Request(
+                url,
+                data=json.dumps(dict(document)).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                body = reply.read().decode("utf-8")
+                content_type = reply.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raise self._error_from(exc) from None
+        if content_type.startswith("application/json"):
+            return json.loads(body)
+        return body
+
+    @staticmethod
+    def _error_from(exc: urllib.error.HTTPError) -> ServiceClientError:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            payload = None
+        message = (
+            payload.get("error")
+            if isinstance(payload, dict) and "error" in payload
+            else f"HTTP {exc.code}"
+        )
+        if exc.code == 429:
+            try:
+                retry_after = float(exc.headers.get("Retry-After") or 1.0)
+            except ValueError:
+                retry_after = 1.0
+            return ServiceUnavailable(
+                str(message),
+                retry_after_seconds=retry_after,
+                payload=payload if isinstance(payload, dict) else None,
+            )
+        return ServiceClientError(
+            str(message),
+            status=exc.code,
+            payload=payload if isinstance(payload, dict) else None,
+        )
+
+    # Endpoints -----------------------------------------------------------
+
+    def solve(
+        self,
+        parameters: Optional[Mapping[str, float]] = None,
+        n_instances: int = 2,
+        n_pairs: int = 2,
+        method: str = "auto",
+        abstraction: str = "mttf",
+        **config_fields: Any,
+    ) -> Dict[str, Any]:
+        """``POST /v1/solve`` — availability of one parameter point."""
+        document: Dict[str, Any] = {
+            "n_instances": n_instances,
+            "n_pairs": n_pairs,
+            "method": method,
+            "abstraction": abstraction,
+            **config_fields,
+        }
+        if parameters:
+            document["parameters"] = dict(parameters)
+        return self._request("/v1/solve", document)
+
+    def sweep(
+        self,
+        parameter: str = "Tstart_long_as",
+        grid: Optional[Sequence[float]] = None,
+        start: float = 0.5,
+        stop: float = 3.0,
+        points: int = 11,
+        metric: str = "availability",
+        parameters: Optional[Mapping[str, float]] = None,
+        n_instances: int = 2,
+        n_pairs: int = 2,
+        **config_fields: Any,
+    ) -> Dict[str, Any]:
+        """``POST /v1/sweep`` — one metric over a parameter grid."""
+        document: Dict[str, Any] = {
+            "n_instances": n_instances,
+            "n_pairs": n_pairs,
+            "parameter": parameter,
+            "metric": metric,
+            **config_fields,
+        }
+        if grid is not None:
+            document["grid"] = [float(x) for x in grid]
+        else:
+            document.update(start=start, stop=stop, points=points)
+        if parameters:
+            document["parameters"] = dict(parameters)
+        return self._request("/v1/sweep", document)
+
+    def uncertainty(
+        self,
+        samples: int = 1000,
+        seed: Optional[int] = None,
+        metric: str = "yearly_downtime_minutes",
+        parameters: Optional[Mapping[str, float]] = None,
+        n_instances: int = 2,
+        n_pairs: int = 2,
+        **config_fields: Any,
+    ) -> Dict[str, Any]:
+        """``POST /v1/uncertainty`` — the Figs. 7/8 sampling analysis."""
+        document: Dict[str, Any] = {
+            "n_instances": n_instances,
+            "n_pairs": n_pairs,
+            "samples": samples,
+            "metric": metric,
+            **config_fields,
+        }
+        if seed is not None:
+            document["seed"] = seed
+        if parameters:
+            document["parameters"] = dict(parameters)
+        return self._request("/v1/uncertainty", document)
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` — liveness and queue/cache occupancy."""
+        return self._request("/healthz")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — Prometheus text exposition."""
+        return self._request("/metrics")

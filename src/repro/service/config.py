@@ -1,0 +1,83 @@
+"""Service configuration.
+
+One frozen dataclass carries every knob the server, scheduler and cache
+need, so the CLI, tests and embedding code construct the whole stack
+from a single value.  Defaults are sized for a laptop-class deployment
+of the paper's Config 1/2 shapes; ``docs/service_guide.md`` discusses
+how to size the cache and batch window for heavier traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.errors import BadRequest
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for one :class:`~repro.service.server.AvailabilityServer`.
+
+    Attributes:
+        host: Bind address (use ``127.0.0.1`` unless you mean to expose
+            the service).
+        port: TCP port; ``0`` asks the OS for a free port (tests).
+        workers: Batch-dispatch worker threads in the micro-batcher.
+        cache_size: Maximum entries held by the LRU solve cache.
+        max_batch: Largest coalesced batch one dispatch may carry.
+        max_wait_ms: How long a dispatcher waits for co-batchable
+            requests after the first one arrives.  ``0`` disables
+            coalescing (every request solves alone).
+        queue_limit: Bound on requests waiting in the scheduler; beyond
+            it the server sheds load with 429 + ``Retry-After``.
+        heavy_slots: Concurrent ``/v1/sweep`` + ``/v1/uncertainty``
+            evaluations admitted before shedding (these run whole
+            batches per request and bypass the micro-batcher).
+        cache_file: Optional JSONL spill/warm-start file for the solve
+            cache; loaded on boot, appended to on every insert.
+        retry_after_seconds: Value advertised in ``Retry-After`` when
+            shedding.
+        max_body_bytes: Reject request bodies larger than this (413).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    cache_size: int = 1024
+    max_batch: int = 32
+    max_wait_ms: float = 5.0
+    queue_limit: int = 256
+    heavy_slots: int = 4
+    cache_file: Optional[str] = None
+    retry_after_seconds: float = 1.0
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise BadRequest(f"invalid port {self.port}")
+        if self.workers < 1:
+            raise BadRequest(f"need at least one worker, got {self.workers}")
+        if self.cache_size < 0:
+            raise BadRequest(f"negative cache size {self.cache_size}")
+        if self.max_batch < 1:
+            raise BadRequest(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise BadRequest(f"negative max_wait_ms {self.max_wait_ms}")
+        if self.queue_limit < 1:
+            raise BadRequest(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.heavy_slots < 1:
+            raise BadRequest(
+                f"heavy_slots must be >= 1, got {self.heavy_slots}"
+            )
+        if self.retry_after_seconds <= 0:
+            raise BadRequest(
+                f"retry_after_seconds must be positive, "
+                f"got {self.retry_after_seconds}"
+            )
+        if self.max_body_bytes < 1:
+            raise BadRequest(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )

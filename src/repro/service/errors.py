@@ -1,0 +1,72 @@
+"""Exception hierarchy for the evaluation service.
+
+Every service-side failure derives from
+:class:`~repro.exceptions.ReproError` via :class:`ServiceError`, so
+embedding callers can keep a single ``except ReproError`` clause.  The
+HTTP layer maps these onto status codes:
+
+* :class:`BadRequest` -> 400 (malformed or invalid request document);
+* :class:`Overloaded` -> 429 with a ``Retry-After`` header (the bounded
+  work queue or heavy-endpoint slots are full — load is shed instead of
+  queueing unboundedly);
+* anything else -> 500.
+
+The client raises the mirror-image :class:`ServiceClientError` /
+:class:`ServiceUnavailable` when it receives those statuses back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for every error raised by :mod:`repro.service`."""
+
+
+class BadRequest(ServiceError):
+    """The request document is malformed or references unknown fields."""
+
+
+class Overloaded(ServiceError):
+    """The server's bounded work queue is full; retry after a delay."""
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+
+
+class SchedulerStopped(ServiceError):
+    """A request was submitted to a scheduler that has been shut down."""
+
+
+class ServiceClientError(ServiceError):
+    """The server answered with an error status.
+
+    Attributes:
+        status: HTTP status code.
+        payload: Decoded error document (``{"error": ...}``) when the
+            body was JSON, else ``None``.
+    """
+
+    def __init__(
+        self, message: str, status: int, payload: Optional[dict] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.payload = payload
+
+
+class ServiceUnavailable(ServiceClientError):
+    """The server shed this request (429); honor ``retry_after_seconds``."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_seconds: float = 1.0,
+        payload: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message, status=429, payload=payload)
+        self.retry_after_seconds = float(retry_after_seconds)

@@ -1,0 +1,191 @@
+"""Content-addressed fingerprints for solve requests.
+
+A fingerprint is the SHA-256 of a canonical JSON document
+(:func:`repro.core.serialize.canonical_json`) describing *what would be
+solved*: the fully serialized models of the hierarchy (not the
+configuration shorthand — so two configurations that happen to build
+identical models share cache entries, and a change to a model builder
+changes the hash), the bindings and attribution wiring, the solver
+method and abstraction semantics, and the normalized parameter
+assignment.
+
+Because the encoding is canonical (sorted keys, shortest-round-trip
+float text, ``-0.0`` -> ``0.0``), the same request hashes identically in
+any process on any supported platform — which is what lets the solve
+cache warm-start from a JSONL spill file written by an earlier server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Mapping, Tuple
+
+from repro.core.model import MarkovModel
+from repro.core.serialize import canonical_json, model_to_dict
+from repro.hierarchy import HierarchicalModel
+from repro.service.errors import BadRequest
+
+#: Version of the fingerprint document layout.  Bump on any change to
+#: the document shape so stale warm-start files can never alias fresh
+#: requests.
+FINGERPRINT_SCHEMA = 1
+
+
+def _digest(document: object) -> str:
+    return hashlib.sha256(canonical_json(document).encode("ascii")).hexdigest()
+
+
+def parameter_fingerprint(values: Mapping[str, float]) -> Dict[str, float]:
+    """Normalize a parameter assignment for fingerprinting.
+
+    Every value is coerced to ``float`` (so ``2`` and ``2.0`` hash the
+    same) and validated finite; the canonical encoder handles key order.
+    """
+    normalized: Dict[str, float] = {}
+    for name, value in values.items():
+        try:
+            as_float = float(value)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(
+                f"parameter {name!r} is not a number: {value!r}"
+            ) from exc
+        if as_float != as_float or as_float in (float("inf"), float("-inf")):
+            raise BadRequest(f"parameter {name!r} is not finite: {value!r}")
+        normalized[str(name)] = as_float
+    return normalized
+
+
+def model_fingerprint(model: MarkovModel) -> str:
+    """SHA-256 of the model's canonical serialized form."""
+    return _digest(model_to_dict(model))
+
+
+def hierarchy_document(hierarchy: HierarchicalModel) -> Dict[str, object]:
+    """The structural part of a fingerprint document for a hierarchy."""
+    return {
+        "fingerprint_schema": FINGERPRINT_SCHEMA,
+        "top": model_to_dict(hierarchy.top),
+        "submodels": {
+            name: model_to_dict(hierarchy.submodel(name))
+            for name in hierarchy.submodel_names
+        },
+        "bindings": [
+            {
+                "parameter": binding.parameter,
+                "submodel": binding.submodel,
+                "output": binding.output,
+                "scale": float(binding.scale),
+            }
+            for binding in hierarchy.bindings
+        ],
+        "attributions": {
+            name: list(states)
+            for name, states in hierarchy.attributions.items()
+        },
+    }
+
+
+def hierarchy_fingerprint(hierarchy: HierarchicalModel) -> str:
+    """SHA-256 of the hierarchy's structure (models + wiring)."""
+    return _digest(hierarchy_document(hierarchy))
+
+
+def solve_fingerprint(
+    structure: str,
+    values: Mapping[str, float],
+    method: str = "auto",
+    abstraction: str = "mttf",
+    kind: str = "solve",
+    **extra: object,
+) -> str:
+    """Fingerprint one evaluation request.
+
+    Args:
+        structure: A structural hash (:func:`hierarchy_fingerprint` or
+            :func:`model_fingerprint`) naming *what* is solved.
+        values: Parameter assignment (normalized via
+            :func:`parameter_fingerprint`).
+        method: Steady-state method requested.
+        abstraction: Submodel abstraction semantics.
+        kind: Request kind (``"solve"``, ``"sweep"``, ``"uncertainty"``)
+            so different endpoints can never collide.
+        extra: Endpoint-specific fields folded into the hash (sweep
+            grids, sample counts, seeds...).  Must be canonically
+            JSON-serializable.
+    """
+    document = {
+        "fingerprint_schema": FINGERPRINT_SCHEMA,
+        "kind": str(kind),
+        "structure": str(structure),
+        "method": str(method),
+        "abstraction": str(abstraction),
+        "values": parameter_fingerprint(values),
+    }
+    if extra:
+        document["extra"] = extra
+    return _digest(document)
+
+
+class HierarchyFingerprinter:
+    """Caches structural hashes so per-request hashing stays cheap.
+
+    Serializing a whole hierarchy per request would dominate cache-hit
+    latency; the structure only changes when a different configuration
+    shape is requested, so it is hashed once per shape key and reused.
+    Thread-safe: the server calls :meth:`structure` from handler threads.
+    """
+
+    #: Bound on the request-fingerprint memo.  Entries are tiny (a key
+    #: tuple and a hex digest) so this is generous; past the bound the
+    #: oldest entries are dropped FIFO.
+    MAX_REQUEST_MEMO = 4096
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._structures: Dict[Tuple, str] = {}
+        self._requests: Dict[Tuple, str] = {}
+
+    def structure(self, key: Tuple, hierarchy: HierarchicalModel) -> str:
+        with self._lock:
+            cached = self._structures.get(key)
+        if cached is not None:
+            return cached
+        computed = hierarchy_fingerprint(hierarchy)
+        with self._lock:
+            return self._structures.setdefault(key, computed)
+
+    def request(
+        self,
+        structure: str,
+        values: Mapping[str, float],
+        method: str = "auto",
+        abstraction: str = "mttf",
+        kind: str = "solve",
+    ) -> str:
+        """Memoized :func:`solve_fingerprint` for normalized values.
+
+        Canonical-JSON encoding dominates cache-hit latency, and repeat
+        requests re-encode the same content every time; since the
+        fingerprint is a pure function of its inputs, memoizing on the
+        sorted value items is exact.  ``values`` must already be
+        normalized (every value a finite ``float``, as produced by
+        :func:`parameter_fingerprint`) so ``2`` vs ``2.0`` cannot split
+        memo entries.
+        """
+        memo_key = (
+            structure, method, abstraction, kind,
+            tuple(sorted(values.items())),
+        )
+        with self._lock:
+            cached = self._requests.get(memo_key)
+        if cached is not None:
+            return cached
+        computed = solve_fingerprint(
+            structure, values,
+            method=method, abstraction=abstraction, kind=kind,
+        )
+        with self._lock:
+            while len(self._requests) >= self.MAX_REQUEST_MEMO:
+                del self._requests[next(iter(self._requests))]
+            return self._requests.setdefault(memo_key, computed)

@@ -1,0 +1,237 @@
+"""Request-coalescing micro-batcher.
+
+The compiled batch engine (:mod:`repro.ctmc.batch`) solves *k* parameter
+points against one model for barely more than the cost of one point —
+that is the whole reason PR 1 exists.  A serving layer should therefore
+never solve concurrent requests one by one: this scheduler collects
+requests that target the same *batch group* (same hierarchy shape, same
+method/abstraction, same parameter-name set) and dispatches them as a
+single ``solve_batch`` call.
+
+Mechanics:
+
+* :meth:`MicroBatcher.submit` enqueues a request and returns a ticket;
+  the caller blocks on :meth:`Ticket.result`.  When the queue already
+  holds ``queue_limit`` pending requests, ``submit`` raises
+  :class:`~repro.service.errors.Overloaded` instead of queueing — the
+  HTTP layer turns that into 429 + ``Retry-After`` (load shedding, not
+  unbounded buffering).
+* Each worker thread takes the oldest pending request, then waits up to
+  ``max_wait_ms`` for more requests of the same group (or until
+  ``max_batch`` are in hand) before dispatching the whole set through
+  the group's ``solve_many``.
+* Results (or the batch's exception) are delivered per-ticket.
+
+Per-sample results from a coalesced batch are bit-identical to solving
+each request alone — guaranteed by the batch engine for the direct
+method and enforced end-to-end by ``tests/service/test_server.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro import obs
+from repro.service.errors import Overloaded, SchedulerStopped
+
+#: ``solve_many`` signature: a list of request values in, one result per
+#: request out, in order.
+BatchExecutor = Callable[[Sequence[Any]], Sequence[Any]]
+
+
+class Ticket:
+    """Handle for one submitted request."""
+
+    __slots__ = ("group_key", "values", "_done", "_result", "_error",
+                 "batch_size")
+
+    def __init__(self, group_key: Hashable, values: Any) -> None:
+        self.group_key = group_key
+        self.values = values
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        #: Size of the dispatched batch this request rode in (set on
+        #: completion; lets the server report coalescing per response).
+        self.batch_size = 0
+
+    def _resolve(self, result: Any, batch_size: int) -> None:
+        self._result = result
+        self.batch_size = batch_size
+        self._done.set()
+
+    def _reject(self, error: BaseException, batch_size: int) -> None:
+        self._error = error
+        self.batch_size = batch_size
+        self._done.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the batch containing this request completes."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("batched solve did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class MicroBatcher:
+    """Coalesces same-group requests into batched dispatches.
+
+    Args:
+        executors: Maps a group key to its batch executor.  Unknown
+            groups may also be registered lazily via :meth:`submit`'s
+            ``executor`` argument (first writer wins).
+        max_batch: Largest batch one dispatch may carry.
+        max_wait_ms: Coalescing window after the first request of a
+            batch arrives.  ``0`` dispatches immediately (whatever is
+            already queued for the group still coalesces).
+        queue_limit: Pending-request bound; exceeding it sheds load.
+        workers: Dispatcher threads.  More workers overlap dispatches of
+            *different* groups; one worker is enough for a single shape.
+        retry_after_seconds: Advertised backoff when shedding.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        queue_limit: int = 256,
+        workers: int = 1,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"negative max_wait_ms {max_wait_ms}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.queue_limit = int(queue_limit)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self._executors: Dict[Hashable, BatchExecutor] = {}
+        self._queue: List[Ticket] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stopped = False
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"repro-batcher-{i}", daemon=True
+            )
+            for i in range(int(workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # Submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        group_key: Hashable,
+        values: Any,
+        executor: Optional[BatchExecutor] = None,
+    ) -> Ticket:
+        """Enqueue one request; raises :class:`Overloaded` past the bound."""
+        ticket = Ticket(group_key, values)
+        with self._lock:
+            if self._stopped:
+                raise SchedulerStopped("scheduler has been shut down")
+            if group_key not in self._executors:
+                if executor is None:
+                    raise ValueError(
+                        f"no executor registered for group {group_key!r}"
+                    )
+                self._executors[group_key] = executor
+            if len(self._queue) >= self.queue_limit:
+                obs.counter("service_shed_total").inc()
+                raise Overloaded(
+                    f"work queue is full ({self.queue_limit} pending)",
+                    retry_after_seconds=self.retry_after_seconds,
+                )
+            self._queue.append(ticket)
+            obs.gauge("service_queue_depth").set(len(self._queue))
+            self._wakeup.notify_all()
+        return ticket
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # Dispatch loop -------------------------------------------------------
+
+    def _take_group_locked(self, group_key: Hashable, batch: List[Ticket]) -> None:
+        """Move queued tickets of ``group_key`` into ``batch`` (to cap)."""
+        remaining: List[Ticket] = []
+        for ticket in self._queue:
+            if (
+                len(batch) < self.max_batch
+                and ticket.group_key == group_key
+            ):
+                batch.append(ticket)
+            else:
+                remaining.append(ticket)
+        self._queue[:] = remaining
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._stopped:
+                    self._wakeup.wait()
+                if self._stopped and not self._queue:
+                    return
+                first = self._queue.pop(0)
+                batch = [first]
+                self._take_group_locked(first.group_key, batch)
+                deadline = time.monotonic() + self.max_wait_s
+                while (
+                    len(batch) < self.max_batch
+                    and not self._stopped
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(remaining)
+                    self._take_group_locked(first.group_key, batch)
+                executor = self._executors[first.group_key]
+                obs.gauge("service_queue_depth").set(len(self._queue))
+            self._dispatch(executor, batch)
+
+    def _dispatch(self, executor: BatchExecutor, batch: List[Ticket]) -> None:
+        size = len(batch)
+        obs.counter("service_batches_total").inc()
+        if size > 1:
+            obs.counter("service_coalesced_batches_total").inc()
+            obs.counter("service_coalesced_requests_total").inc(size)
+        obs.histogram("service_batch_size").observe(size)
+        with obs.span("service.dispatch", batch_size=size):
+            try:
+                results = executor([ticket.values for ticket in batch])
+            except BaseException as exc:  # delivered per-ticket
+                for ticket in batch:
+                    ticket._reject(exc, size)
+                return
+        if len(results) != size:
+            error = RuntimeError(
+                f"batch executor returned {len(results)} results "
+                f"for {size} requests"
+            )
+            for ticket in batch:
+                ticket._reject(error, size)
+            return
+        for ticket, result in zip(batch, results):
+            ticket._resolve(result, size)
+
+    # Lifecycle -----------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, drain the queue, join the workers."""
+        with self._lock:
+            self._stopped = True
+            self._wakeup.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)

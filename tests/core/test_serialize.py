@@ -5,12 +5,16 @@ import json
 import pytest
 
 from repro.core.model import MarkovModel
+from hypothesis import given, settings, strategies as st
+
 from repro.core.serialize import (
+    canonical_json,
     model_from_dict,
     model_from_json,
     model_to_dict,
     model_to_dot,
     model_to_json,
+    normalize_canonical,
 )
 from repro.exceptions import ModelError
 
@@ -114,3 +118,90 @@ class TestDotExport:
             dot = model_to_dot(model)
             for state in model.state_names:
                 assert f'"{state}"' in dot
+
+
+class TestCanonicalJson:
+    """The deterministic encoding backing service cache fingerprints."""
+
+    def test_key_order_independent(self):
+        a = canonical_json({"b": 1, "a": 2, "c": {"y": 1, "x": 2}})
+        b = canonical_json({"c": {"x": 2, "y": 1}, "a": 2, "b": 1})
+        assert a == b
+
+    def test_compact_sorted_ascii(self):
+        text = canonical_json({"b": 1, "a": "é"})
+        assert text == '{"a":"\\u00e9","b":1}'
+
+    def test_negative_zero_normalized(self):
+        assert canonical_json(-0.0) == canonical_json(0.0) == "0.0"
+
+    def test_int_and_float_distinct(self):
+        # Type-preserving by design; callers coerce when they want
+        # 2 == 2.0 (parameter_fingerprint does).
+        assert canonical_json(2) != canonical_json(2.0)
+
+    def test_bool_not_coerced_to_number(self):
+        assert canonical_json(True) == "true"
+        assert canonical_json({"x": True}) != canonical_json({"x": 1})
+
+    def test_tuples_encode_as_lists(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(ModelError):
+            canonical_json({"x": bad})
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(ModelError):
+            canonical_json({"x": object()})
+
+    def test_duplicate_keys_after_coercion_rejected(self):
+        with pytest.raises(ModelError):
+            canonical_json({1: "a", "1": "b"})
+
+    def test_model_document_is_canonical(self, two_state_model):
+        text = canonical_json(model_to_dict(two_state_model))
+        # Round-trips through standard JSON and re-encodes identically.
+        assert canonical_json(json.loads(text)) == text
+
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCanonicalJsonProperties:
+    @given(json_values)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_stable(self, value):
+        """decode(encode(x)) re-encodes to the identical bytes."""
+        text = canonical_json(value)
+        assert canonical_json(json.loads(text)) == text
+
+    @given(json_values)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_preserves_normalized_value(self, value):
+        assert json.loads(canonical_json(value)) == normalize_canonical(
+            value
+        )
+
+    @given(st.dictionaries(st.text(max_size=8), st.floats(
+        allow_nan=False, allow_infinity=False), max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_insertion_order_never_matters(self, mapping):
+        reversed_mapping = dict(reversed(list(mapping.items())))
+        assert canonical_json(mapping) == canonical_json(reversed_mapping)

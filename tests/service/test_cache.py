@@ -1,0 +1,195 @@
+"""Solve-cache behavior: LRU order, single-flight, warm-start."""
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import Recorder
+from repro.service.cache import SPILL_SCHEMA, SolveCache
+
+
+class TestLru:
+    def test_get_miss_returns_none(self):
+        assert SolveCache(max_entries=2).get("missing") is None
+
+    def test_put_get_round_trip(self):
+        cache = SolveCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        assert cache.get("a") == {"v": 1}
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = SolveCache(max_entries=3)
+        for key in "abc":
+            cache.put(key, {"v": key})
+        # Touch 'a' so 'b' becomes the LRU entry, then push one more.
+        assert cache.get("a") is not None
+        cache.put("d", {"v": "d"})
+        assert cache.keys() == ("c", "a", "d")
+        assert cache.get("b") is None
+
+    def test_put_refreshes_recency(self):
+        cache = SolveCache(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put("a", {"v": 3})  # refresh, not duplicate
+        cache.put("c", {"v": 4})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 3}
+
+    def test_zero_size_stores_nothing(self):
+        cache = SolveCache(max_entries=0)
+        cache.put("a", {"v": 1})
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SolveCache(max_entries=-1)
+
+    def test_eviction_counter_increments(self):
+        with obs.observe(Recorder()) as recorder:
+            cache = SolveCache(max_entries=1)
+            cache.put("a", {})
+            cache.put("b", {})
+        snapshot = recorder.metrics.snapshot()
+        assert snapshot["service_cache_evictions_total"]["value"] == 1.0
+        assert snapshot["service_cache_size"]["value"] == 1.0
+
+
+class TestSingleFlight:
+    def test_compute_runs_once_under_contention(self):
+        """32 threads, one fingerprint, exactly one solve."""
+        cache = SolveCache(max_entries=8)
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            calls.append(threading.get_ident())
+            time.sleep(0.05)  # hold the flight open so followers pile up
+            return {"value": 42}
+
+        def request(_):
+            gate.wait()
+            return cache.get_or_compute("fp", compute)
+
+        with ThreadPoolExecutor(32) as pool:
+            futures = [pool.submit(request, i) for i in range(32)]
+            gate.set()
+            outcomes = [future.result() for future in futures]
+
+        assert len(calls) == 1
+        assert all(payload == {"value": 42} for payload, _ in outcomes)
+        sources = [source for _, source in outcomes]
+        assert sources.count("miss") == 1
+        # Everyone else either shared the flight or hit the fresh entry.
+        assert set(sources) <= {"miss", "shared", "hit"}
+
+    def test_leader_failure_propagates_and_clears_flight(self):
+        cache = SolveCache(max_entries=8)
+
+        def boom():
+            raise RuntimeError("solver fell over")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("fp", boom)
+        # The failed flight is gone; the next request retries cleanly.
+        payload, source = cache.get_or_compute("fp", lambda: {"ok": True})
+        assert payload == {"ok": True} and source == "miss"
+
+    def test_distinct_keys_do_not_serialize(self):
+        cache = SolveCache(max_entries=8)
+        started = threading.Barrier(2, timeout=5)
+
+        def compute(tag):
+            def inner():
+                started.wait()  # deadlocks unless both computes overlap
+                return {"tag": tag}
+            return inner
+
+        with ThreadPoolExecutor(2) as pool:
+            a = pool.submit(cache.get_or_compute, "a", compute("a"))
+            b = pool.submit(cache.get_or_compute, "b", compute("b"))
+            assert a.result(timeout=5)[0] == {"tag": "a"}
+            assert b.result(timeout=5)[0] == {"tag": "b"}
+
+
+class TestWarmStart:
+    def test_spill_then_warm_start(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        writer = SolveCache(max_entries=4, spill_path=spill)
+        writer.put("a", {"v": 1})
+        writer.put("b", {"v": 2})
+
+        reader = SolveCache(max_entries=4, spill_path=spill)
+        assert reader.warm_start() == 2
+        assert reader.get("a") == {"v": 1}
+        assert reader.get("b") == {"v": 2}
+
+    def test_later_lines_win(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        writer = SolveCache(max_entries=4, spill_path=spill)
+        writer.put("a", {"v": 1})
+        writer.put("a", {"v": 2})
+        reader = SolveCache(max_entries=4)
+        assert reader.warm_start(spill) == 1
+        assert reader.get("a") == {"v": 2}
+
+    def test_lru_bound_applies_on_load(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        writer = SolveCache(max_entries=8, spill_path=spill)
+        for i in range(6):
+            writer.put(f"k{i}", {"v": i})
+        reader = SolveCache(max_entries=2)
+        assert reader.warm_start(spill) == 2
+        assert reader.keys() == ("k4", "k5")
+
+    def test_missing_file_is_cold_start(self, tmp_path):
+        cache = SolveCache(max_entries=4, spill_path=tmp_path / "nope.jsonl")
+        assert cache.warm_start() == 0
+
+    def test_no_path_raises(self):
+        with pytest.raises(ValueError):
+            SolveCache(max_entries=4).warm_start()
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            "not json at all\n",
+            '{"fingerprint": "a"}\n',  # missing payload/schema
+            json.dumps(
+                {"schema": SPILL_SCHEMA + 1, "fingerprint": "a",
+                 "payload": {}}
+            ) + "\n",
+            json.dumps(
+                {"schema": SPILL_SCHEMA, "fingerprint": 7, "payload": {}}
+            ) + "\n",
+        ],
+    )
+    def test_corrupt_file_falls_back_cold_with_warning(
+        self, tmp_path, corruption
+    ):
+        spill = tmp_path / "cache.jsonl"
+        good = json.dumps(
+            {"schema": SPILL_SCHEMA, "fingerprint": "good", "payload": {}}
+        )
+        spill.write_text(good + "\n" + corruption)
+        cache = SolveCache(max_entries=4)
+        with pytest.warns(RuntimeWarning, match="starting cold"):
+            assert cache.warm_start(spill) == 0
+        # Even the lines before the corruption are discarded.
+        assert len(cache) == 0
+
+    def test_corruption_counted_in_metrics(self, tmp_path):
+        spill = tmp_path / "cache.jsonl"
+        spill.write_text("garbage\n")
+        with obs.observe(Recorder()) as recorder:
+            with pytest.warns(RuntimeWarning):
+                SolveCache(max_entries=4).warm_start(spill)
+        snapshot = recorder.metrics.snapshot()
+        assert (
+            snapshot["service_cache_warm_start_errors_total"]["value"] == 1.0
+        )

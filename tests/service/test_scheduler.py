@@ -1,0 +1,226 @@
+"""Micro-batcher behavior: coalescing, bounds, shedding, errors."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.errors import Overloaded, SchedulerStopped
+from repro.service.scheduler import MicroBatcher
+
+
+def _echo_executor(log):
+    def execute(batch):
+        log.append(list(batch))
+        return [value * 2 for value in batch]
+    return execute
+
+
+class TestDispatch:
+    def test_single_request_round_trip(self):
+        batcher = MicroBatcher(max_wait_ms=0.0)
+        try:
+            log = []
+            ticket = batcher.submit("g", 21, executor=_echo_executor(log))
+            assert ticket.result(timeout=5) == 42
+            assert ticket.batch_size == 1
+        finally:
+            batcher.shutdown()
+
+    def test_concurrent_same_group_coalesce(self):
+        """Requests stalled behind a slow first dispatch ride one batch."""
+        log = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def execute(batch):
+            log.append(list(batch))
+            if len(log) == 1:
+                entered.set()
+                release.wait(5)  # first dispatch blocks the worker...
+            return list(batch)
+
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=50.0, workers=1)
+        try:
+            first = batcher.submit("g", 0, executor=execute)
+            assert entered.wait(5)  # worker is now inside the executor
+            with ThreadPoolExecutor(6) as pool:
+                futures = [
+                    pool.submit(batcher.submit, "g", i, executor=execute)
+                    for i in range(1, 7)
+                ]
+                tickets = [future.result() for future in futures]
+                while batcher.queue_depth < 6:
+                    time.sleep(0.001)  # ...while the rest pile up
+                release.set()
+                for i, ticket in enumerate(tickets, start=1):
+                    assert ticket.result(timeout=5) == i
+            assert first.result(timeout=5) == 0
+            coalesced = [batch for batch in log if len(batch) > 1]
+            assert coalesced, f"no coalesced batch in {log}"
+        finally:
+            batcher.shutdown()
+
+    def test_max_batch_respected(self):
+        log = []
+        release = threading.Event()
+
+        def execute(batch):
+            log.append(list(batch))
+            if len(log) == 1:
+                release.wait(5)
+            return list(batch)
+
+        batcher = MicroBatcher(max_batch=3, max_wait_ms=20.0, workers=1)
+        try:
+            tickets = [batcher.submit("g", 0, executor=execute)]
+            while batcher.queue_depth:
+                time.sleep(0.001)
+            tickets += [
+                batcher.submit("g", i, executor=execute)
+                for i in range(1, 8)
+            ]
+            release.set()
+            for ticket in tickets:
+                ticket.result(timeout=5)
+            assert all(len(batch) <= 3 for batch in log)
+        finally:
+            batcher.shutdown()
+
+    def test_different_groups_never_mix(self):
+        log = []
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=10.0)
+        try:
+            tickets = [
+                batcher.submit(f"g{i % 2}", i, executor=_echo_executor(log))
+                for i in range(8)
+            ]
+            for i, ticket in enumerate(tickets):
+                assert ticket.result(timeout=5) == i * 2
+            for batch in log:
+                parities = {value % 2 for value in batch}
+                assert len(parities) == 1
+        finally:
+            batcher.shutdown()
+
+
+class TestBounds:
+    def test_queue_limit_sheds_with_retry_after(self):
+        stall = threading.Event()
+
+        def execute(batch):
+            stall.wait(5)
+            return list(batch)
+
+        batcher = MicroBatcher(
+            max_batch=1, max_wait_ms=0.0, queue_limit=2, workers=1,
+            retry_after_seconds=3.0,
+        )
+        try:
+            held = [batcher.submit("g", 0, executor=execute)]
+            while batcher.queue_depth:
+                time.sleep(0.001)  # worker now stalled holding request 0
+            held += [batcher.submit("g", i, executor=execute)
+                     for i in (1, 2)]
+            # Worker holds one; queue holds two -> the bound is reached.
+            with pytest.raises(Overloaded) as excinfo:
+                for _ in range(10):
+                    batcher.submit("g", 99, executor=execute)
+            assert excinfo.value.retry_after_seconds == 3.0
+            stall.set()
+            for ticket in held:
+                ticket.result(timeout=5)
+        finally:
+            stall.set()
+            batcher.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        batcher = MicroBatcher()
+        batcher.shutdown()
+        with pytest.raises(SchedulerStopped):
+            batcher.submit("g", 1, executor=lambda batch: batch)
+
+    def test_missing_executor_rejected(self):
+        batcher = MicroBatcher()
+        try:
+            with pytest.raises(ValueError):
+                batcher.submit("unregistered", 1)
+        finally:
+            batcher.shutdown()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_wait_ms": -1.0},
+            {"queue_limit": 0},
+            {"workers": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatcher(**kwargs)
+
+
+class TestErrors:
+    def test_executor_exception_delivered_to_every_ticket(self):
+        def execute(batch):
+            raise RuntimeError("batch solver exploded")
+
+        batcher = MicroBatcher(max_wait_ms=0.0)
+        try:
+            tickets = [
+                batcher.submit("g", i, executor=execute) for i in range(3)
+            ]
+            for ticket in tickets:
+                with pytest.raises(RuntimeError, match="exploded"):
+                    ticket.result(timeout=5)
+        finally:
+            batcher.shutdown()
+
+    def test_wrong_result_count_is_an_error(self):
+        def execute(batch):
+            return [1]  # always one result, whatever the batch size
+
+        batcher = MicroBatcher(max_wait_ms=0.0, max_batch=4)
+        try:
+            ticket = batcher.submit("g", 1, executor=execute)
+            assert ticket.result(timeout=5) == 1  # size-1 batch is fine
+            stall = threading.Event()
+
+            def slow_execute(batch):
+                if len(batch) == 1:
+                    stall.wait(5)
+                    return [0]
+                return [1]
+
+            blocker = batcher.submit("g2", 0, executor=slow_execute)
+            while batcher.queue_depth:
+                time.sleep(0.001)  # worker stalled inside the size-1 batch
+            pair = [batcher.submit("g2", i, executor=slow_execute)
+                    for i in (1, 2)]
+            stall.set()
+            assert blocker.result(timeout=5) == 0
+            with pytest.raises(RuntimeError, match="returned 1 results"):
+                pair[0].result(timeout=5)
+        finally:
+            batcher.shutdown()
+
+    def test_result_timeout(self):
+        stall = threading.Event()
+
+        def execute(batch):
+            stall.wait(5)
+            return list(batch)
+
+        batcher = MicroBatcher(max_wait_ms=0.0)
+        try:
+            ticket = batcher.submit("g", 1, executor=execute)
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.05)
+            stall.set()
+            assert ticket.result(timeout=5) == 1
+        finally:
+            stall.set()
+            batcher.shutdown()

@@ -20,6 +20,47 @@ class TestParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8080
+        assert args.workers == 2 and args.cache_size == 1024
+        assert args.max_batch == 32 and args.cache_file is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "9090",
+                "--workers", "4", "--cache-size", "64", "--max-batch", "8",
+                "--max-wait-ms", "2.5", "--queue-limit", "16",
+                "--cache-file", "solves.jsonl",
+            ]
+        )
+        assert args.host == "0.0.0.0" and args.port == 9090
+        assert args.workers == 4 and args.cache_size == 64
+        assert args.max_batch == 8 and args.max_wait_ms == 2.5
+        assert args.queue_limit == 16 and args.cache_file == "solves.jsonl"
+
+
+class TestParserErrors:
+    """Parse failures exit 2 and route through the Reporter (stderr)."""
+
+    def test_unknown_command_reports_via_reporter(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # nothing leaks to stdout
+        assert "usage:" in captured.err
+        assert "repro-avail: error:" in captured.err
+        assert "frobnicate" in captured.err
+
+    def test_bad_flag_reports_via_reporter(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "not-a-number"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "error:" in err
+
 
 class TestCommands:
     def test_solve(self, capsys):
