@@ -1,0 +1,112 @@
+"""repro.chaos — deterministic fault injection for the service stack.
+
+The paper measures recovery coverage by injecting faults into a live
+server and counting successful automatic recoveries (Section 4, Eq. 1).
+This package does the same to *our* production-shaped subsystem,
+:mod:`repro.service`:
+
+* :mod:`repro.chaos.injector` — named injection points with a no-op
+  default, armed or rate-driven firing, seeded determinism;
+* :mod:`repro.chaos.campaign` — the campaign runner: N seeded
+  injections against a running server, recovered/not-recovered
+  classification, and the paper's one-sided coverage bound computed by
+  :mod:`repro.estimation.coverage` (import it as
+  ``repro.chaos.campaign`` — it pulls in :mod:`repro.service`, which
+  this package root must not).
+
+Production code interacts with exactly one function::
+
+    from repro import chaos
+
+    injection = chaos.fire("scheduler.stall")
+    if injection is not None:
+        time.sleep(injection.delay_seconds)
+
+With the default :data:`~repro.chaos.injector.NULL_INJECTOR` installed,
+``fire`` returns ``None`` unconditionally and the site costs one call.
+The global-injector pattern (get/set/scope) mirrors :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Union
+
+from repro.chaos.injector import (
+    INJECTION_POINTS,
+    NULL_INJECTOR,
+    POINT_CACHE_CORRUPT,
+    POINT_DESCRIPTIONS,
+    POINT_RESPONSE_DROP,
+    POINT_SCHEDULER_STALL,
+    POINT_SOLVER_EXCEPTION,
+    POINT_WORKER_DEATH,
+    ChaosError,
+    ChaosInjector,
+    InjectedFault,
+    Injection,
+    NullInjector,
+)
+
+__all__ = [
+    "INJECTION_POINTS",
+    "NULL_INJECTOR",
+    "POINT_CACHE_CORRUPT",
+    "POINT_DESCRIPTIONS",
+    "POINT_RESPONSE_DROP",
+    "POINT_SCHEDULER_STALL",
+    "POINT_SOLVER_EXCEPTION",
+    "POINT_WORKER_DEATH",
+    "ChaosError",
+    "ChaosInjector",
+    "InjectedFault",
+    "Injection",
+    "NullInjector",
+    "enabled",
+    "fire",
+    "get_injector",
+    "inject",
+    "set_injector",
+]
+
+InjectorLike = Union[ChaosInjector, NullInjector]
+
+_current: InjectorLike = NULL_INJECTOR
+
+
+def get_injector() -> InjectorLike:
+    """The injector fault sites currently consult."""
+    return _current
+
+
+def set_injector(injector: InjectorLike) -> InjectorLike:
+    """Install an injector globally; returns the previous one."""
+    global _current
+    previous = _current
+    _current = injector
+    return previous
+
+
+def enabled() -> bool:
+    """True when a live injector is installed (guard for hot paths)."""
+    return _current.enabled
+
+
+def fire(point: str) -> Optional[Injection]:
+    """Consult the global injector at a named fault site."""
+    return _current.fire(point)
+
+
+@contextlib.contextmanager
+def inject(injector: Optional[ChaosInjector] = None) -> Iterator[ChaosInjector]:
+    """Install an injector for the duration of a ``with`` block.
+
+    Creates a fresh armed-mode :class:`ChaosInjector` when none is
+    given; always restores the previous injector on exit.
+    """
+    active = injector if injector is not None else ChaosInjector()
+    previous = set_injector(active)
+    try:
+        yield active
+    finally:
+        set_injector(previous)

@@ -1,0 +1,275 @@
+"""Deterministic, seed-driven fault injection for the service stack.
+
+The paper's availability numbers rest on a software-implemented
+fault-injection campaign (>3,000 shots, Section 4); this module is the
+equivalent instrument for our own serving subsystem.  Production code is
+threaded with *named injection points* — one call to :func:`fire` per
+potential fault site — and the module-level injector decides whether a
+fault actually happens there.  The default injector is a shared no-op
+(:data:`NULL_INJECTOR`), so the production path pays one function call
+per site and nothing else; tests and campaigns install a live
+:class:`ChaosInjector` (globally, mirroring :mod:`repro.obs`) to make
+faults happen on demand.
+
+Two firing modes:
+
+* **armed** — :meth:`ChaosInjector.arm` schedules the next ``count``
+  visits to a point to fault.  This is what the campaign runner uses:
+  arm exactly one fault, send one request, classify the outcome.
+  Deterministic by construction.
+* **rate-driven** — a per-point Bernoulli probability drawn from a
+  seeded :class:`random.Random`, for background chaos soaks.  The
+  per-point RNG streams are independent, so the draw sequence at one
+  point does not depend on traffic at another.
+
+Injection points are a closed catalog (:data:`INJECTION_POINTS`);
+arming an unknown point is an error so campaigns cannot silently probe
+a site that does not exist.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.exceptions import ReproError
+
+#: Catalog of named injection points threaded through ``repro.service``.
+POINT_SOLVER_EXCEPTION = "solver.exception"
+POINT_CACHE_CORRUPT = "cache.corrupt"
+POINT_SCHEDULER_STALL = "scheduler.stall"
+POINT_RESPONSE_DROP = "response.drop"
+POINT_WORKER_DEATH = "worker.death"
+
+INJECTION_POINTS: Tuple[str, ...] = (
+    POINT_SOLVER_EXCEPTION,
+    POINT_CACHE_CORRUPT,
+    POINT_SCHEDULER_STALL,
+    POINT_RESPONSE_DROP,
+    POINT_WORKER_DEATH,
+)
+
+#: What each point does when it fires (documentation surfaced through
+#: ``/chaos/status`` and ``docs/chaos_guide.md``).
+POINT_DESCRIPTIONS: Mapping[str, str] = {
+    POINT_SOLVER_EXCEPTION: (
+        "one request in a dispatched batch fails with an injected solver "
+        "exception; the rest of the batch must still solve"
+    ),
+    POINT_CACHE_CORRUPT: (
+        "a cached payload is overwritten with garbage on read; the "
+        "cache's payload validator must detect it and recompute"
+    ),
+    POINT_SCHEDULER_STALL: (
+        "a batch dispatch sleeps for the injection's delay before "
+        "solving (slow dispatch / scheduler stall)"
+    ),
+    POINT_RESPONSE_DROP: (
+        "the HTTP handler closes the connection without writing the "
+        "response for one /v1/* request"
+    ),
+    POINT_WORKER_DEATH: (
+        "a batcher worker thread dies after taking a batch; the batch "
+        "must be re-queued and the worker respawned"
+    ),
+}
+
+
+class ChaosError(ReproError):
+    """Misuse of the chaos harness (unknown point, disabled injector)."""
+
+
+class InjectedFault(ReproError):
+    """The failure an armed ``solver.exception`` delivers to a request.
+
+    Carries the injection point so outcomes can be attributed; the
+    server maps it to a 500 like any other solver-side error, which is
+    exactly the degradation contract under test (one poisoned request
+    fails, the batch and the server survive).
+    """
+
+    def __init__(self, point: str, message: Optional[str] = None) -> None:
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault that actually fired at an injection point.
+
+    Attributes:
+        point: The injection-point name.
+        delay_seconds: Stall duration for delay-style points.
+        tag: Free-form correlation tag (the campaign stamps the trial
+            index here).
+    """
+
+    point: str
+    delay_seconds: float = 0.0
+    tag: Optional[str] = None
+
+
+def _check_point(point: str) -> None:
+    if point not in INJECTION_POINTS:
+        raise ChaosError(
+            f"unknown injection point {point!r}; expected one of "
+            f"{INJECTION_POINTS}"
+        )
+
+
+class NullInjector:
+    """The default injector: every point is permanently quiet.
+
+    ``fire`` is the only method production code calls; it returns
+    ``None`` unconditionally.  Arming a null injector is an error — it
+    would silently swallow a campaign's faults.
+    """
+
+    enabled = False
+
+    def fire(self, point: str) -> Optional[Injection]:
+        return None
+
+    def arm(self, point: str, count: int = 1, **_: object) -> None:
+        raise ChaosError(
+            "cannot arm the null injector; install a ChaosInjector first "
+            "(e.g. ServiceConfig(chaos=True) or chaos.set_injector(...))"
+        )
+
+    def status(self) -> Dict[str, object]:
+        return {"enabled": False, "points": {}, "total_fired": 0}
+
+
+class ChaosInjector:
+    """Thread-safe armed/rate-driven fault injector.
+
+    Args:
+        rates: Optional per-point Bernoulli firing probability for
+            background chaos (``{point: p}``).  Points not listed never
+            fire spontaneously.
+        seed: Seed for the rate-mode RNG streams (one independent
+            stream per point, derived from this seed), so a soak run is
+            reproducible.
+        stall_seconds: Default delay carried by injections at
+            delay-style points when ``arm`` does not override it.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        rates: Optional[Mapping[str, float]] = None,
+        seed: Optional[int] = None,
+        stall_seconds: float = 0.05,
+    ) -> None:
+        rates = dict(rates or {})
+        for point, rate in rates.items():
+            _check_point(point)
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ChaosError(
+                    f"rate for {point!r} must be in [0, 1], got {rate!r}"
+                )
+        if stall_seconds < 0:
+            raise ChaosError(f"negative stall_seconds {stall_seconds}")
+        self.stall_seconds = float(stall_seconds)
+        self._rates = {point: float(rate) for point, rate in rates.items()}
+        self._lock = threading.Lock()
+        self._armed: Dict[str, List[Injection]] = {
+            point: [] for point in INJECTION_POINTS
+        }
+        self._fired: Dict[str, int] = {point: 0 for point in INJECTION_POINTS}
+        # Independent per-point streams: traffic at one point cannot
+        # perturb the draw sequence at another.  String seeds go through
+        # random.seed's stable digest path, not hash(), so the streams
+        # reproduce across processes whatever PYTHONHASHSEED is.
+        self._rngs = {
+            point: random.Random(
+                None if seed is None else f"{seed}:{point}"
+            )
+            for point in INJECTION_POINTS
+        }
+
+    # Arming --------------------------------------------------------------
+
+    def arm(
+        self,
+        point: str,
+        count: int = 1,
+        delay_seconds: Optional[float] = None,
+        tag: Optional[str] = None,
+    ) -> None:
+        """Make the next ``count`` visits to ``point`` fault."""
+        _check_point(point)
+        if count < 1:
+            raise ChaosError(f"arm count must be >= 1, got {count}")
+        if delay_seconds is not None and delay_seconds < 0:
+            raise ChaosError(f"negative delay_seconds {delay_seconds}")
+        delay = self.stall_seconds if delay_seconds is None else float(
+            delay_seconds
+        )
+        injection = Injection(point=point, delay_seconds=delay, tag=tag)
+        with self._lock:
+            self._armed[point].extend([injection] * int(count))
+
+    def reset(self) -> None:
+        """Disarm every point and zero the fired counters."""
+        with self._lock:
+            for point in INJECTION_POINTS:
+                self._armed[point].clear()
+                self._fired[point] = 0
+
+    # Firing --------------------------------------------------------------
+
+    def fire(self, point: str) -> Optional[Injection]:
+        """Called by production code at a fault site.
+
+        Returns the :class:`Injection` to act on, or ``None`` (the
+        overwhelmingly common case) when the site should behave
+        normally.
+        """
+        _check_point(point)
+        with self._lock:
+            pending = self._armed[point]
+            if pending:
+                injection = pending.pop(0)
+            else:
+                rate = self._rates.get(point, 0.0)
+                if rate <= 0.0 or self._rngs[point].random() >= rate:
+                    return None
+                injection = Injection(
+                    point=point, delay_seconds=self.stall_seconds
+                )
+            self._fired[point] += 1
+        obs.counter("chaos_injections_total", point=point).inc()
+        obs.event("chaos.injected", point=point, tag=injection.tag)
+        return injection
+
+    # Introspection -------------------------------------------------------
+
+    def fired(self, point: str) -> int:
+        """How many times ``point`` has fired since construction/reset."""
+        _check_point(point)
+        with self._lock:
+            return self._fired[point]
+
+    def status(self) -> Dict[str, object]:
+        """JSON-able armed/fired snapshot (the ``/chaos/status`` body)."""
+        with self._lock:
+            points = {
+                point: {
+                    "armed": len(self._armed[point]),
+                    "fired": self._fired[point],
+                    "rate": self._rates.get(point, 0.0),
+                    "description": POINT_DESCRIPTIONS[point],
+                }
+                for point in INJECTION_POINTS
+            }
+            total = sum(self._fired.values())
+        return {"enabled": True, "points": points, "total_fired": total}
+
+
+#: The shared, always-quiet default.
+NULL_INJECTOR = NullInjector()

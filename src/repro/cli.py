@@ -7,6 +7,7 @@ Subcommands mirror the paper's analyses:
 * ``sweep`` — Figs. 5/6 parametric sweep of Tstart_long_as.
 * ``uncertainty`` — Figs. 7/8 random-sampling analysis.
 * ``campaign`` — run a simulated fault-injection campaign.
+* ``chaos`` — run a live fault-injection campaign against the server.
 * ``longevity`` — run a simulated stability test.
 * ``serve`` — run the batching availability-evaluation server.
 * ``obs report`` — render a recorded trace as a span-tree report.
@@ -265,6 +266,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.campaign import run_campaign
+
+    reporter = _reporter(args)
+    report = run_campaign(
+        injections=args.injections,
+        seed=args.seed,
+        url=args.url,
+        confidence=args.confidence,
+        report_path=args.report,
+        stall_seconds=args.stall_ms / 1000.0,
+    )
+    reporter.line(
+        f"chaos campaign: {report.recovered}/{report.injections} "
+        f"injections recovered (seed {report.seed}, "
+        f"server {report.url})"
+    )
+    for point, estimate in sorted(report.by_point.items()):
+        reporter.line(
+            f"  {point:<18} {estimate.n_successes}/{estimate.n_trials} "
+            f"recovered; coverage >= {estimate.lower:.4%}"
+        )
+    overall = report.overall
+    reporter.line(
+        f"Eq.1 coverage bound at {overall.confidence:.1%}: "
+        f"C >= {overall.lower:.4%} (FIR <= {overall.fir_upper:.4%})"
+    )
+    if args.report:
+        reporter.line(f"report written to {args.report}")
+    reporter.record(command="chaos", **report.deterministic_dict())
+    reporter.finish()
+    return 0 if report.recovered == report.injections else 1
+
+
 def _cmd_risk(args: argparse.Namespace) -> int:
     from repro.analysis.risk import annual_downtime_risk
 
@@ -396,6 +431,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
         cache_file=args.cache_file,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
+        chaos_stall_seconds=args.chaos_stall_ms / 1000.0,
     )
     server = AvailabilityServer(config)
     host, port = server.address
@@ -541,7 +579,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 256)")
     p.add_argument("--cache-file", default=None,
                    help="JSONL spill/warm-start file for the solve cache")
+    p.add_argument("--chaos", action="store_true",
+                   help="enable the fault-injection harness and the "
+                        "/chaos/arm and /chaos/status endpoints "
+                        "(testing only)")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="seed for the chaos injector's RNG streams")
+    p.add_argument("--chaos-stall-ms", type=float, default=50.0,
+                   help="default stall injected at delay-style points "
+                        "(default 50 ms)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "chaos", help="live fault-injection campaign against the server "
+        "(paper Section 4 methodology)"
+    )
+    p.add_argument("--injections", type=int, default=200,
+                   help="number of fault injections (default 200)")
+    p.add_argument("--seed", type=int, default=2004,
+                   help="campaign seed; same seed, same campaign "
+                        "(default 2004)")
+    p.add_argument("--url", default=None,
+                   help="base URL of a server running with --chaos; "
+                        "omitted: self-host one for the campaign")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   help="confidence level for the Eq.1 coverage bound "
+                        "(default 0.95)")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the full campaign report as JSON")
+    p.add_argument("--stall-ms", type=float, default=20.0,
+                   help="scheduler.stall injection delay (default 20 ms)")
+    _add_json_argument(p)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "export-dot", help="print a model as a Graphviz digraph"

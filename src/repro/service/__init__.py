@@ -35,14 +35,16 @@ Service responses are bit-identical to direct
 """
 
 from repro.service.cache import SolveCache
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient, idempotency_key
 from repro.service.config import ServiceConfig
 from repro.service.errors import (
     BadRequest,
     Overloaded,
     SchedulerStopped,
     ServiceClientError,
+    ServiceConnectionError,
     ServiceError,
+    ServiceTimeout,
     ServiceUnavailable,
 )
 from repro.service.fingerprint import (
@@ -63,15 +65,19 @@ __all__ = [
     "BadRequest",
     "MicroBatcher",
     "Overloaded",
+    "RetryPolicy",
     "SchedulerStopped",
     "ServiceClient",
     "ServiceClientError",
     "ServiceConfig",
+    "ServiceConnectionError",
     "ServiceError",
+    "ServiceTimeout",
     "ServiceUnavailable",
     "SolveCache",
     "Ticket",
     "hierarchy_fingerprint",
+    "idempotency_key",
     "model_fingerprint",
     "parameter_fingerprint",
     "solve_fingerprint",

@@ -33,11 +33,15 @@ import warnings
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
-from repro import obs
+from repro import chaos, obs
 
 #: Schema stamped on every spill-file line so a future layout change
 #: cannot silently replay incompatible payloads.
 SPILL_SCHEMA = 1
+
+#: What the ``cache.corrupt`` injection point overwrites an entry with:
+#: structurally valid JSON that no payload validator should accept.
+CORRUPTED_PAYLOAD = {"__chaos__": "corrupted-cache-entry"}
 
 
 class _Flight:
@@ -60,12 +64,20 @@ class SolveCache:
             a cache-less deployment still coalesces identical requests.
         spill_path: Optional JSONL file appended to on every insert.
             Call :meth:`warm_start` (the server does) to replay it.
+        validator: Optional payload predicate evaluated on every read.
+            An entry whose payload fails validation is **dropped and
+            reported as a miss** instead of being served — the recovery
+            contract for corrupted entries (whether injected by the
+            ``cache.corrupt`` chaos point or replayed from a damaged
+            warm-start file): fail the entry, recompute, never serve
+            garbage.
     """
 
     def __init__(
         self,
         max_entries: int = 1024,
         spill_path: Union[str, pathlib.Path, None] = None,
+        validator: Optional[Callable[[Any], bool]] = None,
     ) -> None:
         if max_entries < 0:
             raise ValueError(f"negative cache size {max_entries}")
@@ -73,6 +85,7 @@ class SolveCache:
         self.spill_path = (
             pathlib.Path(spill_path) if spill_path is not None else None
         )
+        self._validator = validator
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._inflight: Dict[str, _Flight] = {}
@@ -156,8 +169,20 @@ class SolveCache:
 
     def _get_locked(self, fingerprint: str) -> Optional[Any]:
         payload = self._entries.get(fingerprint)
-        if payload is not None:
-            self._entries.move_to_end(fingerprint)
+        if payload is None:
+            return None
+        if chaos.enabled() and chaos.fire(chaos.POINT_CACHE_CORRUPT):
+            # Simulate bit-rot in the stored entry itself: the
+            # corruption persists until validation quarantines it.
+            payload = CORRUPTED_PAYLOAD
+            self._entries[fingerprint] = payload
+        if self._validator is not None and not self._validator(payload):
+            del self._entries[fingerprint]
+            obs.counter("service_cache_invalid_dropped_total").inc()
+            obs.gauge("service_cache_size").set(len(self._entries))
+            obs.event("service.cache.invalid_entry", fingerprint=fingerprint)
+            return None
+        self._entries.move_to_end(fingerprint)
         return payload
 
     def _put_locked(self, fingerprint: str, payload: Any) -> None:

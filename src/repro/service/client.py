@@ -9,6 +9,24 @@ running server without extra dependencies::
     response = client.solve(n_instances=4, n_pairs=4)
     print(response["availability"], response["serving"]["cache"])
 
+Robustness (the client half of the chaos-recovery contract):
+
+* every transport-level failure is wrapped in the typed
+  :class:`~repro.service.errors.ServiceConnectionError` /
+  :class:`~repro.service.errors.ServiceTimeout` hierarchy instead of
+  leaking the raw ``urllib``/``socket`` exception zoo;
+* connection errors are retried up to :class:`RetryPolicy.max_attempts`
+  with exponential backoff and **full jitter**
+  (``uniform(0, min(cap, base * 2**attempt))`` — the AWS-recommended
+  variant that decorrelates synchronized retry storms);
+* HTTP statuses are *not* retried by default (a 429 carries deliberate
+  load-shedding semantics the caller should see); opt in per status via
+  ``RetryPolicy(retry_statuses=(500, 503))``;
+* every POST carries an ``Idempotency-Key`` header — the SHA-256 of the
+  canonical request content — computed once per logical request, so the
+  server can tell a retry from a new request even when the original
+  response was lost on the wire.
+
 Error mapping: 429 raises
 :class:`~repro.service.errors.ServiceUnavailable` carrying the server's
 ``Retry-After`` hint; every other non-2xx status raises
@@ -18,12 +36,79 @@ document attached.
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import json
+import random
+import socket
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
-from repro.service.errors import ServiceClientError, ServiceUnavailable
+from repro.core.serialize import canonical_json
+from repro.service.errors import (
+    ServiceClientError,
+    ServiceConnectionError,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry behavior for one :class:`ServiceClient`.
+
+    Attributes:
+        max_attempts: Total tries per logical request (1 = no retries).
+        backoff_base: First-retry backoff ceiling in seconds; attempt
+            *k* draws its sleep from ``uniform(0, min(backoff_cap,
+            backoff_base * 2**k))`` (full jitter).
+        backoff_cap: Upper bound on any single backoff sleep.
+        retry_statuses: HTTP statuses that are retried like connection
+            errors.  Empty by default: a status line means the server is
+            alive and answered deliberately.  429 additionally honors
+            the server's ``Retry-After`` hint (capped by
+            ``backoff_cap``) when listed here.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    retry_statuses: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(f"negative backoff_base {self.backoff_base}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"negative backoff_cap {self.backoff_cap}")
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter sleep before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return rng.uniform(0.0, ceiling)
+
+
+#: One retry policy instance shared by clients that don't pass their own.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def idempotency_key(path: str, document: Mapping[str, Any]) -> str:
+    """Content-addressed key identifying one logical POST request.
+
+    The canonical-JSON digest of ``(path, body)`` — identical across
+    retries of the same request, different for any semantic change, and
+    stable across processes (same canonical encoding the solve cache
+    fingerprints use).
+    """
+    return hashlib.sha256(
+        canonical_json({"path": path, "body": dict(document)}).encode("ascii")
+    ).hexdigest()
 
 
 class ServiceClient:
@@ -32,11 +117,32 @@ class ServiceClient:
     Args:
         base_url: Server root, e.g. ``http://127.0.0.1:8080``.
         timeout: Per-request socket timeout in seconds.
+        retry: Retry policy; defaults to :data:`DEFAULT_RETRY_POLICY`
+            (3 attempts, connection errors only).
+        rng: RNG for backoff jitter (inject a seeded
+            ``random.Random`` for deterministic tests).
+
+    Attributes:
+        last_attempts: How many attempts the most recent request used
+            (1 means it succeeded first try).
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
         self.timeout = float(timeout)
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self._rng = rng if rng is not None else random.Random()
+        # Seam for tests: patch to observe/skip backoff sleeps.
+        self._sleep = time.sleep
+        self.last_attempts = 0
 
     # Transport -----------------------------------------------------------
 
@@ -45,14 +151,53 @@ class ServiceClient:
         path: str,
         document: Optional[Mapping[str, Any]] = None,
     ) -> Any:
+        """One logical request: retries per policy, typed errors out."""
+        key = idempotency_key(path, document) if document is not None else None
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            self.last_attempts = attempt + 1
+            try:
+                return self._request_once(path, document, key)
+            except ServiceConnectionError as exc:
+                # Transport never delivered a status — always retryable.
+                last_error = exc
+            except ServiceClientError as exc:
+                if exc.status not in self.retry.retry_statuses:
+                    raise
+                last_error = exc
+            if attempt + 1 >= self.retry.max_attempts:
+                break
+            delay = self.retry.backoff_seconds(attempt, self._rng)
+            if isinstance(last_error, ServiceUnavailable):
+                delay = max(
+                    delay,
+                    min(
+                        last_error.retry_after_seconds,
+                        self.retry.backoff_cap,
+                    ),
+                )
+            if delay > 0:
+                self._sleep(delay)
+        assert last_error is not None
+        raise last_error
+
+    def _request_once(
+        self,
+        path: str,
+        document: Optional[Mapping[str, Any]],
+        key: Optional[str],
+    ) -> Any:
         url = f"{self.base_url}{path}"
         if document is None:
             request = urllib.request.Request(url, method="GET")
         else:
+            headers = {"Content-Type": "application/json"}
+            if key is not None:
+                headers["Idempotency-Key"] = key
             request = urllib.request.Request(
                 url,
                 data=json.dumps(dict(document)).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
+                headers=headers,
                 method="POST",
             )
         try:
@@ -60,7 +205,30 @@ class ServiceClient:
                 body = reply.read().decode("utf-8")
                 content_type = reply.headers.get("Content-Type", "")
         except urllib.error.HTTPError as exc:
+            # The server answered with an error status: not a transport
+            # failure.  Must precede URLError (HTTPError subclasses it).
             raise self._error_from(exc) from None
+        except urllib.error.URLError as exc:
+            reason = exc.reason
+            if isinstance(reason, (socket.timeout, TimeoutError)):
+                raise ServiceTimeout(
+                    f"request to {url} timed out after {self.timeout}s",
+                    cause=exc,
+                ) from exc
+            raise ServiceConnectionError(
+                f"connection to {url} failed: {reason}", cause=exc
+            ) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise ServiceTimeout(
+                f"request to {url} timed out after {self.timeout}s",
+                cause=exc,
+            ) from exc
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            # E.g. the server closed the socket mid-response (the
+            # ``response.drop`` chaos point) -> RemoteDisconnected.
+            raise ServiceConnectionError(
+                f"connection to {url} failed: {exc}", cause=exc
+            ) from exc
         if content_type.startswith("application/json"):
             return json.loads(body)
         return body
@@ -175,3 +343,24 @@ class ServiceClient:
     def metrics(self) -> str:
         """``GET /metrics`` — Prometheus text exposition."""
         return self._request("/metrics")
+
+    # Chaos surface (server must run with ``ServiceConfig(chaos=True)``) --
+
+    def chaos_arm(
+        self,
+        point: str,
+        count: int = 1,
+        delay_seconds: Optional[float] = None,
+        tag: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """``POST /chaos/arm`` — arm one injection point (chaos only)."""
+        document: Dict[str, Any] = {"point": point, "count": count}
+        if delay_seconds is not None:
+            document["delay_seconds"] = delay_seconds
+        if tag is not None:
+            document["tag"] = tag
+        return self._request("/chaos/arm", document)
+
+    def chaos_status(self) -> Dict[str, Any]:
+        """``GET /chaos/status`` — armed/fired tallies (chaos only)."""
+        return self._request("/chaos/status")

@@ -39,6 +39,16 @@ class ServiceConfig:
         retry_after_seconds: Value advertised in ``Retry-After`` when
             shedding.
         max_body_bytes: Reject request bodies larger than this (413).
+        chaos: Enable the fault-injection harness: installs a live
+            :class:`~repro.chaos.injector.ChaosInjector` and exposes the
+            ``/chaos/arm`` / ``/chaos/status`` endpoints.  **Off by
+            default** — a production server has no chaos surface and the
+            injection points are no-ops.
+        chaos_seed: Seed for the injector's rate-mode RNG streams
+            (campaign reproducibility).
+        chaos_stall_seconds: Default stall duration injected at
+            delay-style points when an ``arm`` request does not override
+            it.
     """
 
     host: str = "127.0.0.1"
@@ -52,6 +62,9 @@ class ServiceConfig:
     cache_file: Optional[str] = None
     retry_after_seconds: float = 1.0
     max_body_bytes: int = 1 << 20
+    chaos: bool = False
+    chaos_seed: Optional[int] = None
+    chaos_stall_seconds: float = 0.05
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -80,4 +93,8 @@ class ServiceConfig:
         if self.max_body_bytes < 1:
             raise BadRequest(
                 f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        if self.chaos_stall_seconds < 0:
+            raise BadRequest(
+                f"negative chaos_stall_seconds {self.chaos_stall_seconds}"
             )

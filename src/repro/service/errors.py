@@ -42,6 +42,28 @@ class SchedulerStopped(ServiceError):
     """A request was submitted to a scheduler that has been shut down."""
 
 
+class ServiceConnectionError(ServiceError):
+    """The transport failed before an HTTP status arrived.
+
+    Wraps every raw ``urllib``/``socket``-level failure the client can
+    see — connection refused, connection reset, the server closing the
+    socket without a response — so retry logic and tests can match one
+    typed error instead of the whole ``OSError`` zoo.  The original
+    exception is attached as :attr:`cause` (and chained as
+    ``__cause__``).
+    """
+
+    def __init__(
+        self, message: str, cause: Optional[BaseException] = None
+    ) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
+class ServiceTimeout(ServiceConnectionError):
+    """The request exceeded the client's configured timeout."""
+
+
 class ServiceClientError(ServiceError):
     """The server answered with an error status.
 

@@ -25,6 +25,12 @@ Mechanics:
 Per-sample results from a coalesced batch are bit-identical to solving
 each request alone — guaranteed by the batch engine for the direct
 method and enforced end-to-end by ``tests/service/test_server.py``.
+
+Chaos surface (all no-ops unless a live injector is installed — see
+:mod:`repro.chaos`): ``worker.death`` kills a dispatcher thread after it
+takes a batch (the batch is re-queued and the worker respawned),
+``scheduler.stall`` delays one dispatch, and ``solver.exception`` fails
+exactly one request of a batch while the rest still solve.
 """
 
 from __future__ import annotations
@@ -33,7 +39,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
-from repro import obs
+from repro import chaos, obs
+from repro.chaos.injector import InjectedFault
 from repro.service.errors import Overloaded, SchedulerStopped
 
 #: ``solve_many`` signature: a list of request values in, one result per
@@ -116,16 +123,15 @@ class MicroBatcher:
         self._executors: Dict[Hashable, BatchExecutor] = {}
         self._queue: List[Ticket] = []
         self._lock = threading.Lock()
+        # One condition for every queue transition: workers wait on it
+        # for work, and wait_for_queue observers wait on it for state.
+        # Every mutation (submit, take, re-queue) notifies it.
         self._wakeup = threading.Condition(self._lock)
         self._stopped = False
-        self._threads = [
-            threading.Thread(
-                target=self._run, name=f"repro-batcher-{i}", daemon=True
-            )
-            for i in range(int(workers))
-        ]
-        for thread in self._threads:
-            thread.start()
+        self._spawned = 0
+        self._threads: List[threading.Thread] = []
+        for _ in range(int(workers)):
+            self._spawn_worker_locked()
 
     # Submission ----------------------------------------------------------
 
@@ -162,7 +168,48 @@ class MicroBatcher:
         with self._lock:
             return len(self._queue)
 
+    @property
+    def worker_count(self) -> int:
+        """Live dispatcher threads (respawns replace chaos casualties)."""
+        with self._lock:
+            return sum(1 for t in self._threads if t.is_alive())
+
+    def wait_for_queue(
+        self,
+        predicate: Callable[[int], bool],
+        timeout: float = 5.0,
+    ) -> bool:
+        """Block until ``predicate(queue_depth)`` holds; False on timeout.
+
+        Event-driven synchronization for tests and embedding code:
+        every queue transition (submit, worker take, chaos re-queue)
+        notifies the underlying condition, so callers never poll the
+        depth on a wall-clock loop.
+        """
+        deadline = time.monotonic() + timeout
+        with self._wakeup:
+            while not predicate(len(self._queue)):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wakeup.wait(remaining)
+            return True
+
     # Dispatch loop -------------------------------------------------------
+
+    def _spawn_worker_locked(self) -> threading.Thread:
+        """Start one dispatcher thread (init is single-threaded; later
+        callers hold the lock)."""
+        thread = threading.Thread(
+            target=self._run,
+            name=f"repro-batcher-{self._spawned}",
+            daemon=True,
+        )
+        self._spawned += 1
+        self._threads = [t for t in self._threads if t.is_alive()]
+        self._threads.append(thread)
+        thread.start()
+        return thread
 
     def _take_group_locked(self, group_key: Hashable, batch: List[Ticket]) -> None:
         """Move queued tickets of ``group_key`` into ``batch`` (to cap)."""
@@ -187,6 +234,11 @@ class MicroBatcher:
                 first = self._queue.pop(0)
                 batch = [first]
                 self._take_group_locked(first.group_key, batch)
+                if chaos.enabled() and not self._stopped:
+                    injection = chaos.fire(chaos.POINT_WORKER_DEATH)
+                    if injection is not None:
+                        self._die_locked(batch)
+                        return  # this thread is the casualty
                 deadline = time.monotonic() + self.max_wait_s
                 while (
                     len(batch) < self.max_batch
@@ -199,7 +251,24 @@ class MicroBatcher:
                     self._take_group_locked(first.group_key, batch)
                 executor = self._executors[first.group_key]
                 obs.gauge("service_queue_depth").set(len(self._queue))
+                self._wakeup.notify_all()
             self._dispatch(executor, batch)
+
+    def _die_locked(self, batch: List[Ticket]) -> None:
+        """Injected worker death: re-queue the batch, respawn a worker.
+
+        No ticket is lost and no caller notices beyond latency — the
+        recovery contract the chaos campaign scores.  The replacement
+        thread blocks on the lock we still hold and picks the work back
+        up as soon as we release it by returning.
+        """
+        self._queue[:0] = batch
+        obs.gauge("service_queue_depth").set(len(self._queue))
+        obs.counter("service_worker_deaths_total").inc()
+        self._spawn_worker_locked()
+        obs.counter("service_worker_respawns_total").inc()
+        obs.event("chaos.worker_death", requeued=len(batch))
+        self._wakeup.notify_all()
 
     def _dispatch(self, executor: BatchExecutor, batch: List[Ticket]) -> None:
         size = len(batch)
@@ -208,6 +277,31 @@ class MicroBatcher:
             obs.counter("service_coalesced_batches_total").inc()
             obs.counter("service_coalesced_requests_total").inc(size)
         obs.histogram("service_batch_size").observe(size)
+        if chaos.enabled():
+            stall = chaos.fire(chaos.POINT_SCHEDULER_STALL)
+            if stall is not None:
+                obs.event(
+                    "chaos.scheduler_stall",
+                    delay_seconds=stall.delay_seconds,
+                    batch_size=size,
+                )
+                time.sleep(stall.delay_seconds)
+            # Graceful degradation under a poisoned request: the
+            # injected failure is delivered to exactly one ticket and
+            # the remaining requests still ride a (smaller) dispatch.
+            healthy: List[Ticket] = []
+            for ticket in batch:
+                poison = chaos.fire(chaos.POINT_SOLVER_EXCEPTION)
+                if poison is None:
+                    healthy.append(ticket)
+                else:
+                    obs.counter("service_faults_injected_total").inc()
+                    ticket._reject(
+                        InjectedFault(chaos.POINT_SOLVER_EXCEPTION), size
+                    )
+            if not healthy:
+                return
+            batch = healthy
         with obs.span("service.dispatch", batch_size=size):
             try:
                 results = executor([ticket.values for ticket in batch])
@@ -215,10 +309,10 @@ class MicroBatcher:
                 for ticket in batch:
                     ticket._reject(exc, size)
                 return
-        if len(results) != size:
+        if len(results) != len(batch):
             error = RuntimeError(
                 f"batch executor returned {len(results)} results "
-                f"for {size} requests"
+                f"for {len(batch)} requests"
             )
             for ticket in batch:
                 ticket._reject(error, size)
@@ -233,5 +327,6 @@ class MicroBatcher:
         with self._lock:
             self._stopped = True
             self._wakeup.notify_all()
-        for thread in self._threads:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout)

@@ -35,12 +35,14 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import chaos, obs
+from repro.chaos.injector import INJECTION_POINTS, ChaosInjector
 from repro.exceptions import ReproError
 from repro.hierarchy import HierarchicalResult
 from repro.models.jsas import PAPER_PARAMETERS, JsasConfiguration
@@ -58,6 +60,17 @@ from repro.service.scheduler import MicroBatcher
 
 #: Version of the response payload layout.
 RESPONSE_SCHEMA = 1
+
+
+def _valid_cached_payload(payload: Any) -> bool:
+    """Read-time integrity check for cached response payloads.
+
+    Every payload the service stores is a dict stamped with
+    ``RESPONSE_SCHEMA``; anything else (a corrupted entry injected by
+    chaos, or garbage replayed from a damaged spill file) is dropped by
+    the cache and recomputed instead of served.
+    """
+    return isinstance(payload, dict) and payload.get("schema") == RESPONSE_SCHEMA
 
 _CONFIG_KEYS = ("n_instances", "n_pairs", "n_spares", "repair_policy")
 _COMMON_KEYS = _CONFIG_KEYS + ("parameters", "method", "abstraction")
@@ -169,9 +182,20 @@ class AvailabilityService:
             self._own_recorder = Recorder(keep_records=False)
             self._previous_recorder = obs.set_recorder(self._own_recorder)
             self._recorder = self._own_recorder
+        #: Live injector when the config opts into chaos; ``None`` keeps
+        #: every injection point a no-op and hides the /chaos endpoints.
+        self.injector: Optional[ChaosInjector] = None
+        self._previous_injector = None
+        if self.config.chaos:
+            self.injector = ChaosInjector(
+                seed=self.config.chaos_seed,
+                stall_seconds=self.config.chaos_stall_seconds,
+            )
+            self._previous_injector = chaos.set_injector(self.injector)
         self.cache = SolveCache(
             max_entries=self.config.cache_size,
             spill_path=self.config.cache_file,
+            validator=_valid_cached_payload,
         )
         if self.config.cache_file is not None:
             loaded = self.cache.warm_start()
@@ -199,8 +223,17 @@ class AvailabilityService:
             "service_cache_evictions_total", "service_batches_total",
             "service_coalesced_batches_total",
             "service_coalesced_requests_total",
+            "service_cache_invalid_dropped_total",
+            "service_faults_injected_total",
+            "service_worker_deaths_total", "service_worker_respawns_total",
+            "service_responses_dropped_total",
+            "service_retries_observed_total",
         ):
             obs.counter(name)
+        # Bounded memo of recently seen Idempotency-Key headers: a
+        # repeated key is a client retry, surfaced in /metrics.
+        self._idempotency_seen: "OrderedDict[str, None]" = OrderedDict()
+        self._idempotency_lock = threading.Lock()
         obs.gauge("service_queue_depth")
         obs.gauge("service_cache_size")
         obs.histogram("service_batch_size")
@@ -263,6 +296,11 @@ class AvailabilityService:
             "/v1/uncertainty": self._handle_uncertainty,
             "/healthz": self._handle_healthz,
         }
+        if self.injector is not None:
+            # The chaos surface only exists when the config opted in; a
+            # production server 404s these paths like any other unknown.
+            handlers["/chaos/arm"] = self._handle_chaos_arm
+            handlers["/chaos/status"] = self._handle_chaos_status
         handler = handlers.get(endpoint)
         if handler is None:
             return 404, {"error": f"unknown endpoint {endpoint!r}"}, {}
@@ -496,6 +534,71 @@ class AvailabilityService:
         response["serving"] = {"cache": source, "batch_size": samples}
         return response
 
+    def _handle_chaos_arm(self, document: Any) -> Dict[str, Any]:
+        """Arm one injection point for a deterministic number of firings.
+
+        Only reachable when the config opted into chaos (the endpoint is
+        not registered otherwise).  Body::
+
+            {"point": "solver.exception", "count": 1,
+             "delay_seconds": 0.05, "tag": "trial-17"}
+
+        ``count``, ``delay_seconds`` and ``tag`` are optional.
+        """
+        document = _require_document(document)
+        unknown = set(document) - {"point", "count", "delay_seconds", "tag"}
+        if unknown:
+            raise BadRequest(
+                f"unknown field(s) {sorted(unknown)} for /chaos/arm"
+            )
+        point = document.get("point")
+        if point not in INJECTION_POINTS:
+            raise BadRequest(
+                f"unknown injection point {point!r}; expected one of "
+                f"{list(INJECTION_POINTS)}"
+            )
+        count = _as_int(document, "count", 1)
+        if count < 1:
+            raise BadRequest(f"'count' must be >= 1, got {count}")
+        delay = document.get("delay_seconds")
+        if delay is not None:
+            delay = _as_float(document, "delay_seconds", 0.0)
+            if delay < 0:
+                raise BadRequest(f"negative delay_seconds {delay}")
+        tag = document.get("tag")
+        if tag is not None and not isinstance(tag, str):
+            raise BadRequest(f"'tag' must be a string, got {tag!r}")
+        assert self.injector is not None  # endpoint only registered then
+        self.injector.arm(point, count=count, delay_seconds=delay, tag=tag)
+        return {"armed": point, "count": count, **self.injector.status()}
+
+    def _handle_chaos_status(self, document: Any) -> Dict[str, Any]:
+        """Armed/fired tallies for every injection point (chaos only)."""
+        assert self.injector is not None
+        return self.injector.status()
+
+    def note_idempotency(self, key: str) -> bool:
+        """Record an ``Idempotency-Key``; True when it was seen before.
+
+        A repeated key means the client retried a request it may already
+        have been served (e.g. the response was dropped on the wire), so
+        the repeat is surfaced in ``service_retries_observed_total``.
+        The memo is bounded — this is an observability aid, not an
+        exactly-once ledger; true dedup comes from the content-addressed
+        solve cache, which makes retried solves idempotent anyway.
+        """
+        with self._idempotency_lock:
+            seen = key in self._idempotency_seen
+            if seen:
+                self._idempotency_seen.move_to_end(key)
+            else:
+                self._idempotency_seen[key] = None
+                while len(self._idempotency_seen) > 4096:
+                    self._idempotency_seen.popitem(last=False)
+        if seen:
+            obs.counter("service_retries_observed_total").inc()
+        return seen
+
     def _handle_healthz(self, document: Any) -> Dict[str, Any]:
         return {
             "status": "ok",
@@ -535,8 +638,11 @@ class AvailabilityService:
         return _Slot()
 
     def close(self) -> None:
-        """Stop the scheduler and restore the previous global recorder."""
+        """Stop the scheduler, restore the global recorder and injector."""
         self.batcher.shutdown()
+        if self.injector is not None:
+            chaos.set_injector(self._previous_injector)
+            self.injector = None
         if self._own_recorder is not None:
             obs.set_recorder(self._previous_recorder)
             self._own_recorder.close()
@@ -630,8 +736,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
             return
-        if self.path == "/healthz":
-            status, payload, headers = self.service.handle("/healthz", None)
+        if self.path in ("/healthz", "/chaos/status"):
+            status, payload, headers = self.service.handle(self.path, None)
             self._send_json(status, payload, headers)
             return
         self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
@@ -661,7 +767,23 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": f"invalid JSON body: {exc}"})
             return
+        idempotency_key = self.headers.get("Idempotency-Key")
+        if idempotency_key:
+            self.service.note_idempotency(idempotency_key)
         status, payload, headers = self.service.handle(self.path, document)
+        if (
+            self.path.startswith("/v1/")
+            and chaos.enabled()
+            and chaos.fire(chaos.POINT_RESPONSE_DROP) is not None
+        ):
+            # The request WAS processed (any solve is already cached);
+            # only the response vanishes.  Closing without writing makes
+            # the client see a connection error — its retry must succeed
+            # from the cache, which is the recovery the campaign scores.
+            obs.counter("service_responses_dropped_total").inc()
+            obs.event("chaos.response_drop", path=self.path, status=status)
+            self.close_connection = True
+            return
         self._send_json(status, payload, headers)
 
 

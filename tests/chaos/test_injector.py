@@ -1,0 +1,192 @@
+"""Injector semantics: null default, arming, rates, seeded determinism."""
+
+import pytest
+
+from repro import chaos
+from repro.chaos.injector import (
+    INJECTION_POINTS,
+    NULL_INJECTOR,
+    POINT_DESCRIPTIONS,
+    POINT_SCHEDULER_STALL,
+    POINT_SOLVER_EXCEPTION,
+    ChaosError,
+    ChaosInjector,
+    InjectedFault,
+    NullInjector,
+)
+
+
+class TestNullDefault:
+    def test_global_default_is_the_null_injector(self):
+        assert chaos.get_injector() is NULL_INJECTOR
+        assert not chaos.enabled()
+
+    def test_null_fire_is_always_quiet(self):
+        for point in INJECTION_POINTS:
+            assert NULL_INJECTOR.fire(point) is None
+
+    def test_module_fire_is_quiet_by_default(self):
+        assert chaos.fire(POINT_SOLVER_EXCEPTION) is None
+
+    def test_arming_the_null_injector_is_an_error(self):
+        with pytest.raises(ChaosError, match="null injector"):
+            NullInjector().arm(POINT_SOLVER_EXCEPTION)
+
+    def test_null_status(self):
+        status = NULL_INJECTOR.status()
+        assert status["enabled"] is False
+        assert status["total_fired"] == 0
+
+
+class TestScoping:
+    def test_inject_installs_and_restores(self):
+        before = chaos.get_injector()
+        with chaos.inject() as injector:
+            assert chaos.get_injector() is injector
+            assert chaos.enabled()
+        assert chaos.get_injector() is before
+
+    def test_inject_restores_on_error(self):
+        before = chaos.get_injector()
+        with pytest.raises(RuntimeError):
+            with chaos.inject():
+                raise RuntimeError("boom")
+        assert chaos.get_injector() is before
+
+    def test_set_injector_returns_previous(self):
+        injector = ChaosInjector()
+        previous = chaos.set_injector(injector)
+        try:
+            assert chaos.get_injector() is injector
+        finally:
+            chaos.set_injector(previous)
+
+
+class TestArming:
+    def test_armed_fault_fires_exactly_count_times(self):
+        injector = ChaosInjector()
+        injector.arm(POINT_SOLVER_EXCEPTION, count=2)
+        assert injector.fire(POINT_SOLVER_EXCEPTION) is not None
+        assert injector.fire(POINT_SOLVER_EXCEPTION) is not None
+        assert injector.fire(POINT_SOLVER_EXCEPTION) is None
+        assert injector.fired(POINT_SOLVER_EXCEPTION) == 2
+
+    def test_armed_injection_carries_delay_and_tag(self):
+        injector = ChaosInjector(stall_seconds=0.5)
+        injector.arm(POINT_SCHEDULER_STALL, delay_seconds=0.125, tag="t7")
+        injection = injector.fire(POINT_SCHEDULER_STALL)
+        assert injection.delay_seconds == 0.125
+        assert injection.tag == "t7"
+
+    def test_default_stall_applies_when_not_overridden(self):
+        injector = ChaosInjector(stall_seconds=0.25)
+        injector.arm(POINT_SCHEDULER_STALL)
+        assert injector.fire(POINT_SCHEDULER_STALL).delay_seconds == 0.25
+
+    def test_points_are_independent(self):
+        injector = ChaosInjector()
+        injector.arm(POINT_SOLVER_EXCEPTION)
+        assert injector.fire(POINT_SCHEDULER_STALL) is None
+        assert injector.fire(POINT_SOLVER_EXCEPTION) is not None
+
+    def test_reset_disarms_and_zeroes(self):
+        injector = ChaosInjector()
+        injector.arm(POINT_SOLVER_EXCEPTION, count=3)
+        injector.fire(POINT_SOLVER_EXCEPTION)
+        injector.reset()
+        assert injector.fire(POINT_SOLVER_EXCEPTION) is None
+        assert injector.fired(POINT_SOLVER_EXCEPTION) == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"point": "not.a.point"},
+            {"point": POINT_SOLVER_EXCEPTION, "count": 0},
+            {"point": POINT_SCHEDULER_STALL, "delay_seconds": -1.0},
+        ],
+    )
+    def test_invalid_arm_rejected(self, kwargs):
+        with pytest.raises(ChaosError):
+            ChaosInjector().arm(**kwargs)
+
+    def test_firing_unknown_point_rejected(self):
+        with pytest.raises(ChaosError, match="unknown injection point"):
+            ChaosInjector().fire("not.a.point")
+
+
+class TestRates:
+    def test_same_seed_same_fire_sequence(self):
+        a = ChaosInjector(rates={POINT_SOLVER_EXCEPTION: 0.3}, seed=42)
+        b = ChaosInjector(rates={POINT_SOLVER_EXCEPTION: 0.3}, seed=42)
+        sequence_a = [
+            a.fire(POINT_SOLVER_EXCEPTION) is not None for _ in range(200)
+        ]
+        sequence_b = [
+            b.fire(POINT_SOLVER_EXCEPTION) is not None for _ in range(200)
+        ]
+        assert sequence_a == sequence_b
+        assert any(sequence_a) and not all(sequence_a)
+
+    def test_per_point_streams_are_independent(self):
+        """Traffic at one point must not perturb draws at another."""
+        quiet = ChaosInjector(rates={POINT_SOLVER_EXCEPTION: 0.3}, seed=7)
+        noisy = ChaosInjector(
+            rates={
+                POINT_SOLVER_EXCEPTION: 0.3,
+                POINT_SCHEDULER_STALL: 0.9,
+            },
+            seed=7,
+        )
+        for _ in range(100):
+            noisy.fire(POINT_SCHEDULER_STALL)  # interleaved other-point load
+        sequence_quiet = [
+            quiet.fire(POINT_SOLVER_EXCEPTION) is not None
+            for _ in range(200)
+        ]
+        sequence_noisy = [
+            noisy.fire(POINT_SOLVER_EXCEPTION) is not None
+            for _ in range(200)
+        ]
+        assert sequence_quiet == sequence_noisy
+
+    def test_zero_rate_never_fires(self):
+        injector = ChaosInjector(rates={POINT_SOLVER_EXCEPTION: 0.0}, seed=1)
+        assert all(
+            injector.fire(POINT_SOLVER_EXCEPTION) is None
+            for _ in range(100)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rates": {"not.a.point": 0.5}},
+            {"rates": {POINT_SOLVER_EXCEPTION: 1.5}},
+            {"rates": {POINT_SOLVER_EXCEPTION: -0.1}},
+            {"stall_seconds": -1.0},
+        ],
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ChaosError):
+            ChaosInjector(**kwargs)
+
+
+class TestStatus:
+    def test_status_covers_every_point(self):
+        injector = ChaosInjector(rates={POINT_SOLVER_EXCEPTION: 0.25})
+        injector.arm(POINT_SCHEDULER_STALL, count=2)
+        status = injector.status()
+        assert status["enabled"] is True
+        assert set(status["points"]) == set(INJECTION_POINTS)
+        stall = status["points"][POINT_SCHEDULER_STALL]
+        assert stall["armed"] == 2 and stall["fired"] == 0
+        assert status["points"][POINT_SOLVER_EXCEPTION]["rate"] == 0.25
+        for point in INJECTION_POINTS:
+            assert (
+                status["points"][point]["description"]
+                == POINT_DESCRIPTIONS[point]
+            )
+
+    def test_injected_fault_carries_point(self):
+        fault = InjectedFault(POINT_SOLVER_EXCEPTION)
+        assert fault.point == POINT_SOLVER_EXCEPTION
+        assert POINT_SOLVER_EXCEPTION in str(fault)

@@ -2,8 +2,13 @@
 
 import pytest
 from hypothesis import given, settings, strategies as st
+from scipy import stats
 
-from repro.estimation.coverage import coverage_lower_bound
+from repro.estimation.coverage import (
+    coverage_lower_bound,
+    estimate_coverage,
+    fir_upper_bound,
+)
 from repro.estimation.failure_rate import (
     failure_rate_lower_bound,
     failure_rate_upper_bound,
@@ -55,6 +60,104 @@ def test_coverage_all_success_monotone_in_n(n, confidence):
     assert coverage_lower_bound(2 * n, 2 * n, confidence) >= (
         coverage_lower_bound(n, n, confidence)
     )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 10_000),
+    failures=st.integers(0, 50),
+    confidence=st.floats(0.5, 0.999),
+)
+def test_coverage_bound_matches_clopper_pearson_beta_form(
+    n, failures, confidence
+):
+    """Paper Eq. 1 (F-distribution form) == Clopper–Pearson Beta quantile.
+
+    The closed form ``s / (s + (n - s + 1) F)`` is algebraically the
+    lower Clopper–Pearson limit ``Beta^{-1}(alpha; s, n - s + 1)``;
+    agreement with an independent scipy evaluation pins the
+    implementation to the textbook formula.
+    """
+    failures = min(failures, n)
+    s = n - failures
+    bound = coverage_lower_bound(n, s, confidence)
+    expected = float(stats.beta.ppf(1.0 - confidence, s, n - s + 1)) if s else 0.0
+    assert bound == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(0, 50),
+    exposure=st.floats(1.0, 1e6),
+    confidence=st.floats(0.5, 0.999),
+)
+def test_failure_rate_upper_matches_gamma_form(n, exposure, confidence):
+    """Paper Eq. 2 (chi-square form) == Gamma quantile closed form."""
+    bound = failure_rate_upper_bound(n, exposure, confidence)
+    expected = float(stats.gamma.ppf(confidence, a=n + 1, scale=1.0 / exposure))
+    assert bound == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 10_000),
+    failures=st.integers(0, 50),
+    low=st.floats(0.5, 0.99),
+    bump=st.floats(0.001, 0.009),
+)
+def test_coverage_bound_monotone_in_confidence(n, failures, low, bump):
+    """More confidence -> a more conservative (lower) coverage bound."""
+    failures = min(failures, n)
+    s = n - failures
+    assert coverage_lower_bound(n, s, low + bump) <= (
+        coverage_lower_bound(n, s, low) + 1e-12
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 5_000),
+    failures=st.integers(0, 50),
+    extra=st.integers(1, 5_000),
+    confidence=st.floats(0.5, 0.999),
+)
+def test_coverage_bound_monotone_in_trials_at_fixed_failures(
+    n, failures, extra, confidence
+):
+    """More injections with the same failure count tighten the bound."""
+    failures = min(failures, n)
+    small = coverage_lower_bound(n, n - failures, confidence)
+    large = coverage_lower_bound(n + extra, n + extra - failures, confidence)
+    assert large >= small - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 10_000),
+    failures=st.integers(0, 50),
+    confidence=st.floats(0.5, 0.999),
+)
+def test_coverage_estimate_consistent_and_in_unit_interval(
+    n, failures, confidence
+):
+    failures = min(failures, n)
+    s = n - failures
+    estimate = estimate_coverage(n, s, confidence)
+    assert 0.0 <= estimate.lower <= estimate.point <= 1.0
+    assert estimate.fir_upper == pytest.approx(1.0 - estimate.lower)
+    assert estimate.lower == coverage_lower_bound(n, s, confidence)
+
+
+def test_paper_section4_quoted_bounds():
+    """The paper's own campaign numbers (Section 4) reproduce exactly."""
+    # 3,287 injections, all recovered: FIR below 0.1% at 95% confidence
+    # and below 0.2% at 99.5% (quoted as 0.091% / 0.161%).
+    assert round(fir_upper_bound(3287, 3287, 0.95) * 100, 3) == 0.091
+    assert round(fir_upper_bound(3287, 3287, 0.995) * 100, 3) == 0.161
+    # 0 failures over 2 instances x 24 days: rate below 1/16 per day at
+    # 95% and 1/9 per day at 99.5%.
+    assert round(1.0 / failure_rate_upper_bound(0, 48.0, 0.95)) == 16
+    assert round(1.0 / failure_rate_upper_bound(0, 48.0, 0.995)) == 9
 
 
 @settings(max_examples=40, deadline=None)

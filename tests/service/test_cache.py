@@ -2,7 +2,6 @@
 
 import json
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -65,20 +64,27 @@ class TestSingleFlight:
         """32 threads, one fingerprint, exactly one solve."""
         cache = SolveCache(max_entries=8)
         calls = []
-        gate = threading.Event()
+        arrived = threading.Barrier(33, timeout=5)
+        leader_entered = threading.Event()
+        release = threading.Event()
 
         def compute():
             calls.append(threading.get_ident())
-            time.sleep(0.05)  # hold the flight open so followers pile up
+            leader_entered.set()
+            # Hold the flight open (event-synced, not wall-clock) so
+            # followers pile up behind the leader.
+            assert release.wait(5)
             return {"value": 42}
 
         def request(_):
-            gate.wait()
+            arrived.wait()
             return cache.get_or_compute("fp", compute)
 
         with ThreadPoolExecutor(32) as pool:
             futures = [pool.submit(request, i) for i in range(32)]
-            gate.set()
+            arrived.wait()  # every worker is at the call site
+            assert leader_entered.wait(5)
+            release.set()
             outcomes = [future.result() for future in futures]
 
         assert len(calls) == 1

@@ -1,0 +1,300 @@
+"""Client robustness: typed transport errors, retries, idempotency.
+
+Unit tests drive the retry loop through a stubbed transport; the
+integration tests at the bottom exercise the real wire against a
+chaos-enabled server (dropped responses, injected 500s) and real
+sockets (timeout, refused connection).
+"""
+
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.service import AvailabilityServer, ServiceConfig
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    idempotency_key,
+)
+from repro.service.errors import (
+    ServiceClientError,
+    ServiceConnectionError,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+
+
+def _client(retry, **kwargs):
+    client = ServiceClient(
+        "http://127.0.0.1:1", retry=retry, rng=random.Random(0), **kwargs
+    )
+    sleeps = []
+    client._sleep = sleeps.append
+    return client, sleeps
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": -1.0},
+            {"backoff_cap": -0.5},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_is_full_jitter_within_exponential_ceiling(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=1.0)
+        rng = random.Random(42)
+        for attempt in range(8):
+            ceiling = min(1.0, 0.1 * 2 ** attempt)
+            for _ in range(50):
+                delay = policy.backoff_seconds(attempt, rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_backoff_deterministic_under_seeded_rng(self):
+        policy = RetryPolicy()
+        first = [
+            policy.backoff_seconds(k, random.Random(7)) for k in range(4)
+        ]
+        second = [
+            policy.backoff_seconds(k, random.Random(7)) for k in range(4)
+        ]
+        assert first == second
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:1", timeout=0.0)
+
+
+class TestRetryLoop:
+    def test_connection_error_retried_until_success(self):
+        client, sleeps = _client(RetryPolicy(max_attempts=3))
+        outcomes = [
+            ServiceConnectionError("reset"),
+            ServiceConnectionError("reset"),
+            {"ok": True},
+        ]
+
+        def fake(path, document, key):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._request_once = fake
+        assert client._request("/v1/solve", {}) == {"ok": True}
+        assert client.last_attempts == 3
+        assert len(sleeps) == 2  # slept before each retry
+
+    def test_exhausted_attempts_raise_last_error(self):
+        client, _ = _client(RetryPolicy(max_attempts=2))
+
+        def fake(path, document, key):
+            raise ServiceConnectionError("still down")
+
+        client._request_once = fake
+        with pytest.raises(ServiceConnectionError, match="still down"):
+            client._request("/v1/solve", {})
+        assert client.last_attempts == 2
+
+    def test_http_statuses_not_retried_by_default(self):
+        client, sleeps = _client(RetryPolicy(max_attempts=5))
+        calls = []
+
+        def fake(path, document, key):
+            calls.append(path)
+            raise ServiceClientError("bad", status=400)
+
+        client._request_once = fake
+        with pytest.raises(ServiceClientError):
+            client._request("/v1/solve", {})
+        assert len(calls) == 1  # the server's answer is final
+        assert sleeps == []
+
+    def test_opted_in_status_is_retried(self):
+        client, _ = _client(
+            RetryPolicy(max_attempts=3, retry_statuses=(500,))
+        )
+        outcomes = [
+            ServiceClientError("boom", status=500),
+            {"ok": 1},
+        ]
+
+        def fake(path, document, key):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._request_once = fake
+        assert client._request("/v1/solve", {}) == {"ok": 1}
+        assert client.last_attempts == 2
+
+    def test_retry_after_hint_honored_up_to_cap(self):
+        client, sleeps = _client(
+            RetryPolicy(
+                max_attempts=2, retry_statuses=(429,), backoff_cap=0.5
+            )
+        )
+        outcomes = [
+            ServiceUnavailable("shed", retry_after_seconds=3.0),
+            {"ok": 1},
+        ]
+
+        def fake(path, document, key):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._request_once = fake
+        assert client._request("/v1/solve", {}) == {"ok": 1}
+        assert sleeps == [0.5]  # hint capped by backoff_cap
+
+    def test_same_idempotency_key_on_every_attempt(self):
+        client, _ = _client(RetryPolicy(max_attempts=3))
+        keys = []
+
+        def fake(path, document, key):
+            keys.append(key)
+            if len(keys) < 3:
+                raise ServiceConnectionError("drop")
+            return {}
+
+        client._request_once = fake
+        client._request("/v1/solve", {"a": 1})
+        assert len(set(keys)) == 1
+        assert keys[0] == idempotency_key("/v1/solve", {"a": 1})
+
+
+class TestIdempotencyKey:
+    def test_stable_across_calls(self):
+        assert idempotency_key("/v1/solve", {"a": 1}) == idempotency_key(
+            "/v1/solve", {"a": 1}
+        )
+
+    def test_sensitive_to_path_and_body(self):
+        base = idempotency_key("/v1/solve", {"a": 1})
+        assert idempotency_key("/v1/sweep", {"a": 1}) != base
+        assert idempotency_key("/v1/solve", {"a": 2}) != base
+
+    def test_key_order_does_not_matter(self):
+        assert idempotency_key("/p", {"a": 1, "b": 2}) == idempotency_key(
+            "/p", {"b": 2, "a": 1}
+        )
+
+
+@pytest.fixture
+def chaos_server():
+    with AvailabilityServer(
+        ServiceConfig(port=0, chaos=True, chaos_seed=1)
+    ) as server:
+        yield server
+
+
+class TestAgainstRealServer:
+    def test_dropped_response_recovered_by_retry(self, chaos_server):
+        client = ServiceClient(
+            chaos_server.url,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.01),
+            rng=random.Random(0),
+        )
+        baseline = client.solve(parameters={"Tstart_long_as": 0.75})
+        assert client.last_attempts == 1
+        client.chaos_arm("response.drop")
+        retried = client.solve(parameters={"Tstart_long_as": 0.75})
+        assert client.last_attempts == 2
+        # The recovered response is the same payload (cache hit on the
+        # already-computed solve).
+        assert retried["availability"] == baseline["availability"]
+        assert retried["fingerprint"] == baseline["fingerprint"]
+
+    def test_injected_500_recovered_with_status_retry(self, chaos_server):
+        client = ServiceClient(
+            chaos_server.url,
+            retry=RetryPolicy(
+                max_attempts=3, backoff_base=0.01, retry_statuses=(500,)
+            ),
+            rng=random.Random(0),
+        )
+        client.chaos_arm("solver.exception")
+        response = client.solve(parameters={"Tstart_long_as": 0.85})
+        assert client.last_attempts == 2
+        assert 0.0 < response["availability"] < 1.0
+
+    def test_server_observes_client_retries(self, chaos_server):
+        client = ServiceClient(
+            chaos_server.url,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.01),
+            rng=random.Random(0),
+        )
+        client.chaos_arm("response.drop")
+        client.solve(parameters={"Tstart_long_as": 0.95})
+        metrics = client.metrics()
+        dropped = [
+            line
+            for line in metrics.splitlines()
+            if line.startswith("service_responses_dropped_total")
+        ]
+        retries = [
+            line
+            for line in metrics.splitlines()
+            if line.startswith("service_retries_observed_total")
+        ]
+        assert dropped and float(dropped[0].rsplit(" ", 1)[1]) >= 1.0
+        assert retries and float(retries[0].rsplit(" ", 1)[1]) >= 1.0
+
+
+class TestRawSocketFailures:
+    def test_unresponsive_server_raises_service_timeout(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def accept():
+            try:
+                conn, _ = listener.accept()
+                accepted.append(conn)  # accept, then never respond
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=accept, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                timeout=0.2,
+                retry=RetryPolicy(max_attempts=1),
+            )
+            with pytest.raises(ServiceTimeout):
+                client.healthz()
+        finally:
+            for conn in accepted:
+                conn.close()
+            listener.close()
+            thread.join(timeout=5)
+
+    def test_refused_connection_raises_connection_error(self):
+        # Grab a free port, then close it so nothing listens there.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            timeout=1.0,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        with pytest.raises(ServiceConnectionError) as excinfo:
+            client.healthz()
+        assert not isinstance(excinfo.value, ServiceTimeout)
+        assert client.last_attempts == 2
+        assert excinfo.value.cause is not None

@@ -1,7 +1,11 @@
-"""Micro-batcher behavior: coalescing, bounds, shedding, errors."""
+"""Micro-batcher behavior: coalescing, bounds, shedding, errors.
+
+Synchronization discipline: tests never poll on wall-clock sleeps;
+they block on :meth:`MicroBatcher.wait_for_queue` (every queue
+transition notifies the underlying condition) or on explicit events.
+"""
 
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -51,8 +55,8 @@ class TestDispatch:
                     for i in range(1, 7)
                 ]
                 tickets = [future.result() for future in futures]
-                while batcher.queue_depth < 6:
-                    time.sleep(0.001)  # ...while the rest pile up
+                # ...while the rest pile up behind the stalled worker.
+                assert batcher.wait_for_queue(lambda depth: depth >= 6)
                 release.set()
                 for i, ticket in enumerate(tickets, start=1):
                     assert ticket.result(timeout=5) == i
@@ -75,8 +79,7 @@ class TestDispatch:
         batcher = MicroBatcher(max_batch=3, max_wait_ms=20.0, workers=1)
         try:
             tickets = [batcher.submit("g", 0, executor=execute)]
-            while batcher.queue_depth:
-                time.sleep(0.001)
+            assert batcher.wait_for_queue(lambda depth: depth == 0)
             tickets += [
                 batcher.submit("g", i, executor=execute)
                 for i in range(1, 8)
@@ -119,8 +122,8 @@ class TestBounds:
         )
         try:
             held = [batcher.submit("g", 0, executor=execute)]
-            while batcher.queue_depth:
-                time.sleep(0.001)  # worker now stalled holding request 0
+            # Worker is now stalled holding request 0.
+            assert batcher.wait_for_queue(lambda depth: depth == 0)
             held += [batcher.submit("g", i, executor=execute)
                      for i in (1, 2)]
             # Worker holds one; queue holds two -> the bound is reached.
@@ -196,8 +199,8 @@ class TestErrors:
                 return [1]
 
             blocker = batcher.submit("g2", 0, executor=slow_execute)
-            while batcher.queue_depth:
-                time.sleep(0.001)  # worker stalled inside the size-1 batch
+            # Worker is stalled inside the size-1 batch.
+            assert batcher.wait_for_queue(lambda depth: depth == 0)
             pair = [batcher.submit("g2", i, executor=slow_execute)
                     for i in (1, 2)]
             stall.set()
