@@ -20,22 +20,46 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 #: Version of the BENCH_*.json payload layout.  Bump when renaming or
 #: removing fields so downstream consumers (CI artifact diffing, perf
 #: dashboards) can dispatch on the shape instead of guessing.
-BENCH_SCHEMA_VERSION = 2
+#: v3 added ``kernel_backend`` and ``n_workers`` to the metadata block
+#: (timings are meaningless without knowing which kernel ran and how
+#: many processes shared the work).
+BENCH_SCHEMA_VERSION = 3
+
+#: Metadata keys every BENCH_*.json payload must carry under schema v3;
+#: ``tests/test_bench_schema.py`` and the CI schema-check step enforce
+#: this against the committed artifacts.
+BENCH_REQUIRED_KEYS = (
+    "schema_version",
+    "engine",
+    "method",
+    "kernel_backend",
+    "n_workers",
+    "repro_version",
+    "python_version",
+    "machine",
+)
 
 
-def bench_metadata(engine: str, method: str, **extra: object) -> Dict[str, object]:
+def bench_metadata(
+    engine: str, method: str, n_workers: int = 1, **extra: object
+) -> Dict[str, object]:
     """Common metadata block for every BENCH_*.json payload.
 
-    Records which solve engine and steady-state method the benchmark
-    exercised, the payload schema version, and enough environment
-    context to interpret absolute timings.
+    Records which solve engine, steady-state method and kernel backend
+    the benchmark exercised, how many worker processes shared the load
+    (``1`` means a single in-process solver), the payload schema
+    version, and enough environment context to interpret absolute
+    timings.
     """
+    from repro import kernels
     from repro._version import __version__
 
     meta: Dict[str, object] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "engine": engine,
         "method": method,
+        "kernel_backend": kernels.backend_name(),
+        "n_workers": n_workers,
         "repro_version": __version__,
         "python_version": platform.python_version(),
         "machine": platform.machine(),

@@ -226,6 +226,7 @@ def _cmd_uncertainty(args: argparse.Namespace) -> int:
         n_samples=args.samples,
         seed=args.seed,
         batch=args.engine == "compiled",
+        n_jobs=args.jobs,
     )
     reporter.line(result.summary())
     reporter.line(
@@ -434,12 +435,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chaos=args.chaos,
         chaos_seed=args.chaos_seed,
         chaos_stall_seconds=args.chaos_stall_ms / 1000.0,
+        worker_processes=args.worker_processes,
+        kernel=args.kernel,
     )
     server = AvailabilityServer(config)
     host, port = server.address
+    solver_side = (
+        f"{config.worker_processes} solver processes"
+        if config.worker_processes
+        else "in-process solves"
+    )
     reporter.line(
         f"serving availability evaluations on http://{host}:{port} "
-        f"({config.workers} workers, cache {config.cache_size}, "
+        f"({config.workers} workers, {solver_side}, "
+        f"cache {config.cache_size}, "
         f"max batch {config.max_batch}; Ctrl-C to stop)"
     )
     server.serve_forever()
@@ -484,6 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", default=None,
         help="write the run's metrics in Prometheus text format",
     )
+    parser.add_argument(
+        "--kernel", choices=("auto", "numpy", "cext", "numba"),
+        default=None,
+        help="solve-kernel backend for this run (default: the "
+        "REPRO_KERNEL selection, itself defaulting to 'auto')",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("solve", help="solve one configuration")
@@ -509,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("uncertainty", help="Figs. 7/8 uncertainty analysis")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the batch evaluation; "
+                        "results are bit-identical for any value "
+                        "(default 1)")
     _add_config_arguments(p)
     _add_engine_argument(p)
     _add_json_argument(p)
@@ -588,6 +607,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-stall-ms", type=float, default=50.0,
                    help="default stall injected at delay-style points "
                         "(default 50 ms)")
+    p.add_argument("--worker-processes", type=int, default=0,
+                   help="pre-forked solver worker processes; 0 solves "
+                        "in-process on the dispatch threads (default 0)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -639,6 +661,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.kernel is not None:
+        from repro import kernels
+        from repro.exceptions import KernelError
+
+        try:
+            kernels.set_backend(args.kernel)
+        except KernelError as exc:
+            parser.error(str(exc))
     recorder = None
     previous = None
     if args.trace or args.metrics:

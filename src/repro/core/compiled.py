@@ -12,10 +12,12 @@ algebra.
 
 * structural validation (memoized via :meth:`MarkovModel.validate`),
 * freezing the state ordering, reward vector and transition topology,
-* compiling *all* rate expressions into a single code object that is
-  evaluated in a NumPy namespace, mapping parameter columns (scalars or
-  ``(n_samples,)`` arrays) to an ``(n_samples, n_transitions)`` rate
-  matrix in one ``eval``.
+* compiling *all* rate expressions into one deduplicated
+  :class:`~repro.kernels.program.RateProgram` evaluated in a NumPy
+  namespace: each *distinct* expression source is evaluated exactly once
+  per batch and scattered into every transition column that shares it,
+  mapping parameter columns (scalars or ``(n_samples,)`` arrays) to an
+  ``(n_samples, n_transitions)`` rate matrix in one ``eval``.
 
 The vectorized program is bit-compatible with the scalar path for the
 arithmetic subset (`+ - * / %` and friends operate on IEEE doubles in
@@ -29,7 +31,6 @@ Batched generator assembly and batched solvers live in
 
 from __future__ import annotations
 
-import ast
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro import obs
 from repro.core.expressions import vector_namespace
 from repro.core.model import MarkovModel
 from repro.exceptions import ExpressionError, ModelError
+from repro.kernels.program import RateProgram
 
 #: A parameter column: one scalar shared by all samples, or one value
 #: per sample.
@@ -83,7 +85,7 @@ class CompiledModel:
         for t in self.transitions:
             names |= set(t.rate.variables)
         self.required_parameters = frozenset(names)
-        self._program = _compile_program(
+        self._program = RateProgram(
             tuple(t.rate.source for t in self.transitions)
         )
         self._namespace = vector_namespace()
@@ -174,15 +176,13 @@ class CompiledModel:
             with np.errstate(
                 divide="ignore", invalid="ignore", over="ignore"
             ):
-                results = eval(  # noqa: S307 - validated arithmetic subset
-                    self._program, self._namespace, dict(columns)
+                self._program.evaluate(
+                    columns, n_samples, self._namespace, out
                 )
         except ZeroDivisionError:
             # A scalar-only sub-expression divided by zero; re-raise the
             # authentic per-expression error.
             self._raise_expression_error(columns)
-        for j, value in enumerate(results):
-            out[:, j] = value
         finite = np.isfinite(out)
         if not finite.all() or (out < 0.0).any():
             self._raise_invalid_rate(out, columns)
@@ -271,17 +271,6 @@ class CompiledModel:
             f"evaluates to invalid rate {rate!r} "
             f"(expression {transition.rate.source!r}) for sample {sample}"
         )
-
-
-def _compile_program(sources: Tuple[str, ...]):
-    """Compile all rate expressions into one tuple-valued code object."""
-    elements = []
-    for source in sources:
-        tree = ast.parse(source, mode="eval")
-        elements.append(tree.body)
-    program = ast.Expression(ast.Tuple(elts=elements, ctx=ast.Load()))
-    ast.fix_missing_locations(program)
-    return compile(program, "<compiled-rates>", "eval")
 
 
 def compile_model(model: Union[MarkovModel, CompiledModel]) -> CompiledModel:

@@ -39,7 +39,7 @@ dense paths; the structured engines match the dense reference to ~1e-12.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -56,8 +56,8 @@ from repro.ctmc.sparse import (
     SparseSteadyStateSolver,
     SparseUpBlockSolver,
     detect_banded_structure,
-    gth_banded_batch,
 )
+from repro.kernels.banded import banded_steady_state
 from repro.ctmc.steady_state import _gth_reference, steady_state_vector
 from repro.ctmc.structure import classify_states
 from repro.exceptions import SolverError, StructureError
@@ -202,6 +202,42 @@ def pattern_structure(
     return info
 
 
+def _pattern_groups(
+    n_transitions: int, rates: np.ndarray
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Group samples by transition zero-pattern.
+
+    Returns ``(pattern, member_indices)`` pairs in first-seen order.
+    Replaces ``np.unique(patterns, axis=0)``, whose lexicographic sort
+    costs more than the entire banded solve on wide models; the
+    overwhelmingly common all-positive batch takes the O(k·T) fast path
+    (one vectorized comparison, no per-row hashing).
+    """
+    k = rates.shape[0]
+    if not n_transitions:
+        return [(np.zeros(0, dtype=bool), np.arange(k, dtype=np.intp))]
+    patterns = rates > 0.0
+    first = patterns[0]
+    if not (patterns != first).any():
+        return [(first, np.arange(k, dtype=np.intp))]
+    # Mixed batch: hash packed pattern bytes per row.
+    packed = np.packbits(patterns, axis=1)
+    members: Dict[bytes, List[int]] = {}
+    rows: Dict[bytes, int] = {}
+    for s in range(k):
+        key = packed[s].tobytes()
+        group = members.get(key)
+        if group is None:
+            members[key] = [s]
+            rows[key] = s
+        else:
+            group.append(s)
+    return [
+        (patterns[rows[key]], np.asarray(idx, dtype=np.intp))
+        for key, idx in members.items()
+    ]
+
+
 # Stacked linear algebra ----------------------------------------------------
 
 
@@ -337,16 +373,8 @@ def _grouped_steady_state(
     """Solve every sample, grouping the batch by transition zero-pattern."""
     k = mats.shape[0]
     pis = np.empty((k, compiled.n_states))
-    if compiled.n_transitions:
-        patterns = rates > 0.0
-        unique, inverse = np.unique(patterns, axis=0, return_inverse=True)
-        inverse = np.asarray(inverse).reshape(-1)
-    else:
-        unique = np.zeros((1, 0), dtype=bool)
-        inverse = np.zeros(k, dtype=np.intp)
-    for g in range(unique.shape[0]):
-        members = np.flatnonzero(inverse == g)
-        info = pattern_structure(compiled, unique[g])
+    for pattern, members in _pattern_groups(compiled.n_transitions, rates):
+        info = pattern_structure(compiled, pattern)
         pis[members] = _solve_group(
             compiled, mats[members], info, method, members
         )
@@ -462,7 +490,10 @@ def _structured_solve_block(
     if engine == "banded":
         structure = banded_structure_of(compiled)
         assert structure is not None
-        pis = gth_banded_batch(structure, rates)
+        # The kernel dispatch (numba / cext / block-diagonal LAPACK,
+        # falling back per sample to the GTH reference) replaces the
+        # interpreted Python elimination loop.
+        pis = banded_steady_state(compiled, rates)
     else:
         solver = _sparse_solver_of(compiled)
         pis = np.empty((rates.shape[0], compiled.n_states))
@@ -502,16 +533,8 @@ def _structured_steady_state(
     """
     k = rates.shape[0]
     pis = np.empty((k, compiled.n_states))
-    if compiled.n_transitions:
-        patterns = rates > 0.0
-        unique, inverse = np.unique(patterns, axis=0, return_inverse=True)
-        inverse = np.asarray(inverse).reshape(-1)
-    else:
-        unique = np.zeros((1, 0), dtype=bool)
-        inverse = np.zeros(k, dtype=np.intp)
-    for g in range(unique.shape[0]):
-        members = np.flatnonzero(inverse == g)
-        info = pattern_structure(compiled, unique[g])
+    for pattern, members in _pattern_groups(compiled.n_transitions, rates):
+        info = pattern_structure(compiled, pattern)
         if info.n_recurrent_classes != 1:
             raise StructureError(
                 f"model {compiled.model_name!r} has "

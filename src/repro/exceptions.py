@@ -59,3 +59,11 @@ class TestbedError(SimulationError):
 
 class PetriNetError(ModelError):
     """A stochastic Petri net is invalid or its reachability set exploded."""
+
+
+class KernelError(ReproError):
+    """A compiled solve kernel could not be selected, built, or run."""
+
+
+class ParallelError(ReproError):
+    """The shared-memory worker pool failed (worker crash, bad chunking)."""

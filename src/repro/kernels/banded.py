@@ -1,0 +1,424 @@
+"""Banded-plus-spike steady-state kernels.
+
+The interpreted reference (:func:`repro.ctmc.sparse.gth_banded_batch`)
+is a Python loop over states — O(n) interpreter iterations per batch.
+This module compiles the same solve three ways, selected by the active
+backend (:func:`repro.kernels.backend_name`):
+
+* **numpy** — reformulate ``pi Q = 0, sum(pi) = 1`` as one banded linear
+  system and solve the *whole batch* with a single LAPACK ``dgbsv``
+  call.  Setting ``pi_0 = 1`` and dropping column 0 of ``Q`` leaves the
+  equations ``sum_i pi_i Q[i, j] = 0`` for ``j = 1..n-1`` over the
+  unknowns ``pi_1..pi_{n-1}``: a banded system with ``kl = upper`` and
+  ``ku = lower`` bandwidths (the spike column 0 drops out entirely).
+  Stacking all k samples block-diagonally keeps the same bandwidths, and
+  partial pivoting cannot cross block boundaries (every cross-block
+  candidate entry is structurally zero, and a zero multiplier row update
+  is an exact IEEE no-op), so **per-sample results are bit-independent
+  of how the batch is chunked** — the property the deterministic worker
+  pool (:mod:`repro.parallel`) relies on.
+* **cext** — the C GTH elimination from :mod:`repro.kernels.cext`,
+  assembled through the same precomputed scatter maps.
+* **numba** — an ``@njit`` transcription of the same elimination,
+  compiled lazily on first use.
+
+All assembly goes through precomputed gather/segment-sum maps
+(:class:`_ScatterMap`) instead of ``np.add.at`` or sparse matmuls — the
+single biggest win for wide models, where the fancy-indexed scatter and
+later the CSC multiply (plus its contiguity copy) dominated the
+profile.  The maps sum contributions in CSC order (slot-major, then
+transition index), so results are bit-identical to the sparse-matrix
+assembly they replaced.
+
+Failures degrade, never corrupt: samples the LAPACK solve cannot handle
+are re-solved individually (bit-identical to their batched solve — see
+above) and then, if still invalid, by the subtraction-free GTH
+reference; backend-level failures demote the process to numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import lapack as _lapack
+
+from repro import obs
+from repro.ctmc.sparse import BandedStructure, gth_banded_batch
+from repro.exceptions import SolverError
+
+__all__ = ["BandedKernelPlan", "banded_kernel_plan", "banded_steady_state"]
+
+#: Validation tolerance for a kernel-produced vector (matches the
+#: structured-engine check in :mod:`repro.ctmc.batch`).
+_NEG_TOL = -1e-8
+
+
+class _ScatterMap:
+    """``rates @ sparse_map`` as a gather plus segment sum.
+
+    Equivalent to multiplying the ``(k, n_transitions)`` rate matrix by
+    a ±1-valued sparse scatter matrix, but without the sparse-matmul
+    dispatch, the intermediate, or the C-contiguity copy the solvers
+    needed afterwards.  Entries are pre-sorted by output slot (ties
+    broken by transition index — CSC summation order, so swapping the
+    backing store changed no bits), and slots with a single contributor
+    — the overwhelmingly common case — take a pure fancy-assignment
+    fast path.
+    """
+
+    __slots__ = (
+        "gather_cols", "signs", "starts", "slots", "all_slots", "n_out",
+    )
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        slots: np.ndarray,
+        data: np.ndarray,
+        n_out: int,
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        slots = np.asarray(slots, dtype=np.int64)
+        data = np.ascontiguousarray(data, dtype=float)
+        order = np.lexsort((rows, slots))
+        self.gather_cols = np.ascontiguousarray(rows[order])
+        signs = np.ascontiguousarray(data[order])
+        self.signs = None if bool(np.all(signs == 1.0)) else signs
+        sorted_slots = np.ascontiguousarray(slots[order])
+        if sorted_slots.size:
+            starts = np.flatnonzero(np.r_[True, np.diff(sorted_slots) > 0])
+        else:
+            starts = np.empty(0, dtype=np.intp)
+        self.starts = starts
+        self.slots = sorted_slots[starts]
+        self.all_slots = sorted_slots
+        self.n_out = int(n_out)
+
+    def apply(self, rates: np.ndarray) -> np.ndarray:
+        """C-contiguous ``(k, n_out)`` assembly of the mapped slots."""
+        out = np.zeros((rates.shape[0], self.n_out))
+        if not self.gather_cols.size:
+            return out
+        gathered = rates[:, self.gather_cols]
+        if self.signs is not None:
+            gathered *= self.signs
+        if self.starts.size == self.gather_cols.size:
+            out[:, self.slots] = gathered
+        else:
+            out[:, self.slots] = np.add.reduceat(
+                gathered, self.starts, axis=1
+            )
+        return out
+
+    def apply_cext(self, rates: np.ndarray, cext) -> np.ndarray:
+        """Same assembly through the C scatter loop (bit-identical)."""
+        out = np.empty((rates.shape[0], self.n_out))
+        cext.scatter_rows(
+            rates, self.gather_cols, self.all_slots, self.signs, out
+        )
+        return out
+
+
+class BandedKernelPlan:
+    """Precomputed scatter maps for one model's banded solves.
+
+    Built once per compiled model (cached in ``solver_cache``); holds
+    :class:`_ScatterMap` gathers taking the ``(k, n_transitions)`` rate
+    matrix straight to the LAPACK band storage / GTH band-plus-spike
+    storage.
+    """
+
+    __slots__ = (
+        "structure", "n", "nm", "kl", "ku", "wtot",
+        "ab_map", "rhs_map", "band_map", "spike_map",
+    )
+
+    def __init__(
+        self,
+        structure: BandedStructure,
+        sources: np.ndarray,
+        targets: np.ndarray,
+    ) -> None:
+        self.structure = structure
+        n = structure.n
+        self.n = n
+        self.nm = n - 1
+        # pi Q = 0 transposed: kl/ku swap relative to Q's bandwidths.
+        self.kl = structure.upper
+        self.ku = structure.lower
+        self.wtot = 2 * self.kl + self.ku + 1
+        t = np.arange(sources.size, dtype=np.intp)
+        s = np.asarray(sources, dtype=np.intp)
+        g = np.asarray(targets, dtype=np.intp)
+
+        # LAPACK band storage for M[r, c] = Q[c+1, r+1] (flat C-order
+        # (nm, wtot); its transpose is the F-order (wtot, nm) dgbsv
+        # input).  M[r, c] lives at c*wtot + kl + ku + r - c.
+        off = (s >= 1) & (g >= 1)            # Q[s, g] -> M[g-1, s-1]
+        diag = s >= 1                        # exit rates -> M[s-1, s-1]
+        slot_off = (s[off] - 1) * self.wtot + self.kl + self.ku + g[off] - s[off]
+        slot_diag = (s[diag] - 1) * self.wtot + self.kl + self.ku
+        rows = np.concatenate([t[off], t[diag]])
+        cols = np.concatenate([slot_off, slot_diag])
+        data = np.concatenate(
+            [np.ones(slot_off.size), -np.ones(slot_diag.size)]
+        )
+        self.ab_map = _ScatterMap(rows, cols, data, self.nm * self.wtot)
+
+        # Known terms: rhs[r] = -Q[0, r+1].
+        init = s == 0
+        self.rhs_map = _ScatterMap(
+            t[init], g[init] - 1, -np.ones(int(init.sum())), self.nm
+        )
+
+        # GTH band-plus-spike storage for the cext / numba eliminators
+        # (same layout as gth_banded_batch).
+        in_band = structure.band_slots >= 0
+        self.band_map = _ScatterMap(
+            t[in_band],
+            structure.band_slots[in_band],
+            np.ones(int(in_band.sum())),
+            n * structure.width,
+        )
+        self.spike_map = _ScatterMap(
+            t[~in_band],
+            structure.spike_rows[~in_band],
+            np.ones(int((~in_band).sum())),
+            n,
+        )
+
+
+def banded_kernel_plan(compiled) -> BandedKernelPlan:
+    """The model's (cached) banded kernel plan."""
+    cache = compiled.solver_cache
+    plan = cache.get("banded_kernel_plan")
+    if plan is None:
+        structure = cache.get("banded")
+        assert structure is not None, "banded structure must be detected first"
+        plan = BandedKernelPlan(
+            structure,
+            compiled.transition_sources,
+            compiled.transition_targets,
+        )
+        cache["banded_kernel_plan"] = plan
+    return plan
+
+
+# numpy backend --------------------------------------------------------------
+
+
+def _dgbsv_block(plan: BandedKernelPlan, ab_flat: np.ndarray,
+                 rhs_flat: np.ndarray) -> Optional[np.ndarray]:
+    """One block-diagonal ``dgbsv`` solve; ``None`` on a zero pivot.
+
+    ``ab_flat`` is the C-order ``(blocks*nm, wtot)`` band storage (its
+    transpose is the F-order LAPACK input) and is overwritten.
+    """
+    _, _, x, info = _lapack.dgbsv(
+        plan.kl, plan.ku, ab_flat.T, rhs_flat,
+        overwrite_ab=1, overwrite_b=1,
+    )
+    if info != 0:
+        return None
+    return np.asarray(x, dtype=float)
+
+
+def _solve_numpy(plan: BandedKernelPlan, rates: np.ndarray) -> np.ndarray:
+    k = rates.shape[0]
+    nm, wtot, n = plan.nm, plan.wtot, plan.n
+    ab = plan.ab_map.apply(rates)    # (k, nm*wtot), C-contiguous
+    rhs = plan.rhs_map.apply(rates)  # (k, nm)
+    pis = np.empty((k, n))
+    pis[:, 0] = 1.0
+    # dgbsv overwrites both inputs; ab/rhs are scratch from here on.
+    x = _dgbsv_block(plan, ab.reshape(k * nm, wtot), rhs.reshape(k * nm))
+    if x is not None:
+        pis[:, 1:] = x.reshape(k, nm)
+    else:
+        # A zero pivot somewhere in the batch: re-assemble and re-solve
+        # each sample alone.  A sample's solo solve is bit-identical to
+        # its batched solve (pivoting cannot cross blocks), so which
+        # samples share a call never changes any result.
+        obs.counter("kernels_banded_pivot_fallbacks_total").inc()
+        for i in range(k):
+            row = rates[i: i + 1]
+            ab_i = plan.ab_map.apply(row).reshape(nm, wtot)
+            rhs_i = plan.rhs_map.apply(row).reshape(nm)
+            x_i = _dgbsv_block(plan, ab_i, rhs_i)
+            if x_i is not None:
+                pis[i, 1:] = x_i
+            else:
+                pis[i, 1:] = np.nan  # caught by validation below
+    sums = pis.sum(axis=1)
+    ok = (
+        np.isfinite(pis).all(axis=1)
+        & (pis.min(axis=1) >= _NEG_TOL * np.abs(sums))
+        & (sums > 0.0)
+    )
+    bad = np.flatnonzero(~ok)
+    if bad.size:
+        # Per-sample GTH re-solve: subtraction-free, so it either
+        # produces a valid vector or raises the reducible-chain error
+        # the interpreted engine would have raised.  Per-sample, so the
+        # fallback decision is also chunking-independent.
+        obs.counter("kernels_banded_gth_fallbacks_total").inc(int(bad.size))
+        for i in bad:
+            pis[i] = gth_banded_batch(plan.structure, rates[i])[0]
+        sums = pis.sum(axis=1)
+    return pis / sums[:, None]
+
+
+# cext backend ---------------------------------------------------------------
+
+
+def _solve_cext(plan: BandedKernelPlan, rates: np.ndarray) -> Optional[np.ndarray]:
+    from repro.kernels import cext
+
+    if cext.load() is None:
+        return None
+    st = plan.structure
+    k = rates.shape[0]
+    rates = np.ascontiguousarray(rates)
+    band = plan.band_map.apply_cext(rates, cext)
+    spike = plan.spike_map.apply_cext(rates, cext)
+    pis = np.empty((k, st.n))
+    status = cext.gth_banded(
+        band, spike, pis, k, st.n, st.width, st.upper, st.lower
+    )
+    if status > 0:
+        raise SolverError(
+            "GTH elimination failed: no transition from eliminated "
+            "state back into the remaining block (reducible chain?) "
+            f"(sample {status - 1})"
+        )
+    if status < 0:
+        raise SolverError(
+            "banded GTH elimination produced a non-normalizable vector "
+            f"(sample {-status - 1})"
+        )
+    return pis
+
+
+# numba backend --------------------------------------------------------------
+
+_numba_fn = None
+_numba_failed = False
+
+
+def _numba_kernel():
+    """Build (once) the ``@njit`` GTH eliminator; ``None`` on failure."""
+    global _numba_fn, _numba_failed
+    if _numba_fn is not None:
+        return _numba_fn
+    if _numba_failed:
+        return None
+    try:
+        import numba
+
+        @numba.njit(cache=False, fastmath=False)
+        def gth(band, spike, pis, n, w, u, l):  # pragma: no cover - needs numba
+            k_samples = band.shape[0]
+            for s in range(k_samples):
+                B = band[s]
+                S = spike[s]
+                P = pis[s]
+                for k in range(n - 1, 0, -1):
+                    lo_row = max(1, k - l)
+                    lo_col = max(0, k - u)
+                    total = S[k]
+                    for j in range(lo_row, k):
+                        total += B[j * w + u + k - j]
+                    if not total > 0.0:
+                        return 1 + s
+                    for i in range(lo_col, k):
+                        factor = B[k * w + u + i - k] / total
+                        B[k * w + u + i - k] = factor
+                        if factor != 0.0:
+                            for j in range(lo_row, k):
+                                B[j * w + u + i - j] += (
+                                    factor * B[j * w + u + k - j]
+                                )
+                            S[i] += factor * S[k]
+                P[0] = 1.0
+                acc_sum = 1.0
+                for k in range(1, n):
+                    lo_col = max(0, k - u)
+                    acc = 0.0
+                    for i in range(lo_col, k):
+                        acc += P[i] * B[k * w + u + i - k]
+                    P[k] = acc
+                    acc_sum += acc
+                if not acc_sum > 0.0 or (acc_sum - acc_sum) != 0.0:
+                    return -(1 + s)
+                for k in range(n):
+                    P[k] /= acc_sum
+            return 0
+
+        _numba_fn = gth
+        return _numba_fn
+    except Exception:  # noqa: BLE001 - any numba failure demotes
+        _numba_failed = True
+        return None
+
+
+def _solve_numba(plan: BandedKernelPlan, rates: np.ndarray) -> Optional[np.ndarray]:
+    gth = _numba_kernel()
+    if gth is None:
+        return None
+    st = plan.structure
+    k = rates.shape[0]
+    band = plan.band_map.apply(rates)
+    spike = plan.spike_map.apply(rates)
+    pis = np.empty((k, st.n))
+    try:
+        status = gth(band, spike, pis, st.n, st.width, st.upper, st.lower)
+    except Exception:  # noqa: BLE001 - pragma: no cover - jit runtime failure
+        return None
+    if status > 0:
+        raise SolverError(
+            "GTH elimination failed: no transition from eliminated "
+            "state back into the remaining block (reducible chain?) "
+            f"(sample {status - 1})"
+        )
+    if status < 0:
+        raise SolverError(
+            "banded GTH elimination produced a non-normalizable vector "
+            f"(sample {-status - 1})"
+        )
+    return pis
+
+
+# Dispatch -------------------------------------------------------------------
+
+
+def banded_steady_state(compiled, rates: np.ndarray) -> np.ndarray:
+    """Stationary vectors through the active kernel backend.
+
+    Args:
+        compiled: A :class:`~repro.core.compiled.CompiledModel` whose
+            banded structure has already been detected (and cached).
+        rates: ``(k, n_transitions)`` non-negative rate matrix.
+
+    Returns:
+        ``(k, n)`` normalized stationary vectors.
+
+    Raises:
+        SolverError: On a reducible / non-normalizable sample, matching
+            the interpreted engine's behavior.
+    """
+    from repro import kernels
+
+    plan = banded_kernel_plan(compiled)
+    backend = kernels.backend_name()
+    if backend == "numba":
+        pis = _solve_numba(plan, rates)
+        if pis is not None:
+            return pis
+        kernels.demote_to_numpy("numba banded kernel unavailable")
+    elif backend == "cext":
+        pis = _solve_cext(plan, rates)
+        if pis is not None:
+            return pis
+        kernels.demote_to_numpy("cext banded kernel unavailable")
+    return _solve_numpy(plan, rates)

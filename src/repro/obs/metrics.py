@@ -120,6 +120,44 @@ class Histogram:
         out.append((math.inf, running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Standard Prometheus-style estimation: find the bucket the target
+        rank falls in and interpolate linearly inside it.  The estimate
+        is clamped to the observed ``[min, max]`` so log-spaced buckets
+        cannot report a p99 beyond the largest observation (the usual
+        histogram-quantile artifact).
+
+        Raises:
+            ValueError: If ``q`` is outside ``[0, 1]`` or the histogram
+                is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(
+                f"histogram {self.name!r} is empty; no quantiles"
+            )
+        rank = q * self.count
+        running = 0
+        lower = 0.0 if self.buckets[0] > 0.0 else self.min
+        for bound, n in zip(self.buckets, self.counts):
+            if running + n >= rank and n > 0:
+                fraction = (rank - running) / n
+                estimate = lower + fraction * (bound - lower)
+                return min(max(estimate, self.min), self.max)
+            running += n
+            lower = bound
+        # Target rank lives in the +Inf overflow bucket.
+        return self.max
+
+    def quantiles(
+        self, qs: Iterable[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., ...}`` for the given quantiles."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
 
 class MetricsRegistry:
     """Owns every instrument created during one observed run.
@@ -184,7 +222,7 @@ class MetricsRegistry:
         for gauge in self._gauges.values():
             out[_series_name(gauge)] = {"type": "gauge", "value": gauge.value}
         for histogram in self._histograms.values():
-            out[_series_name(histogram)] = {
+            entry: Dict[str, object] = {
                 "type": "histogram",
                 "count": histogram.count,
                 "sum": histogram.sum,
@@ -192,6 +230,9 @@ class MetricsRegistry:
                 "min": histogram.min if histogram.count else None,
                 "max": histogram.max if histogram.count else None,
             }
+            if histogram.count:
+                entry.update(histogram.quantiles())
+            out[_series_name(histogram)] = entry
         return out
 
 

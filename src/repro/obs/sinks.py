@@ -136,6 +136,13 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                     f"{name}_count{_prom_labels(instrument.labels)} "
                     f"{instrument.count}"
                 )
+                if instrument.count:
+                    for pname, value in instrument.quantiles().items():
+                        lines.append(
+                            f"{name}_{pname}"
+                            f"{_prom_labels(instrument.labels)} "
+                            f"{_prom_number(value)}"
+                        )
             else:
                 lines.append(
                     f"{name}{_prom_labels(instrument.labels)} "

@@ -49,6 +49,16 @@ class ServiceConfig:
         chaos_stall_seconds: Default stall duration injected at
             delay-style points when an ``arm`` request does not override
             it.
+        worker_processes: Pre-forked solver worker processes.  ``0``
+            (default) solves in-process on the micro-batcher's dispatch
+            threads; ``N >= 1`` forks N solver processes at boot and
+            routes every ``/v1/solve`` batch through the shared dispatch
+            queue (see :mod:`repro.service.prefork`).  Payloads are
+            bit-identical either way.
+        kernel: Solve-kernel backend override applied at service boot
+            (``"auto"``, ``"numpy"``, ``"cext"`` or ``"numba"``);
+            ``None`` keeps the process-wide default.  Pre-forked workers
+            inherit the selection.
     """
 
     host: str = "127.0.0.1"
@@ -65,6 +75,8 @@ class ServiceConfig:
     chaos: bool = False
     chaos_seed: Optional[int] = None
     chaos_stall_seconds: float = 0.05
+    worker_processes: int = 0
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -97,4 +109,15 @@ class ServiceConfig:
         if self.chaos_stall_seconds < 0:
             raise BadRequest(
                 f"negative chaos_stall_seconds {self.chaos_stall_seconds}"
+            )
+        if self.worker_processes < 0:
+            raise BadRequest(
+                f"worker_processes must be >= 0, got {self.worker_processes}"
+            )
+        if self.kernel is not None and self.kernel not in (
+            "auto", "numpy", "cext", "numba"
+        ):
+            raise BadRequest(
+                f"unknown kernel {self.kernel!r}; expected one of "
+                "'auto', 'numpy', 'cext', 'numba'"
             )

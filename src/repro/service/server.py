@@ -161,6 +161,17 @@ class _SolveGroup:
         )
         return [solution.result_at(i) for i in range(k)]
 
+    def solve_cores(
+        self, values_list: Sequence[Mapping[str, float]]
+    ) -> Sequence[Dict[str, Any]]:
+        """Solve a batch and return JSON-able result cores.
+
+        The core is the serving-independent part of the solve payload;
+        it is what pre-forked workers ship back over the result queue
+        (plain dicts of floats, so pickling preserves bits).
+        """
+        return [_result_core(result) for result in self.solve_many(values_list)]
+
 
 class AvailabilityService:
     """HTTP-agnostic request handling: documents in, documents out.
@@ -192,6 +203,10 @@ class AvailabilityService:
                 stall_seconds=self.config.chaos_stall_seconds,
             )
             self._previous_injector = chaos.set_injector(self.injector)
+        if self.config.kernel is not None:
+            from repro import kernels
+
+            kernels.set_backend(self.config.kernel)
         self.cache = SolveCache(
             max_entries=self.config.cache_size,
             spill_path=self.config.cache_file,
@@ -201,6 +216,23 @@ class AvailabilityService:
             loaded = self.cache.warm_start()
             if loaded:
                 obs.event("service.cache.warm_started", entries=loaded)
+        #: Pre-forked solver pool; ``None`` solves in-process.  Created
+        #: before the micro-batcher so no dispatch threads exist at fork
+        #: time.
+        self.pool = None
+        if self.config.worker_processes > 0:
+            from repro.service import prefork
+
+            if prefork.fork_available():
+                self.pool = prefork.SolverPool(
+                    self.config.worker_processes,
+                    kernel=self.config.kernel,
+                )
+            else:  # pragma: no cover - non-fork platform
+                obs.event(
+                    "service.prefork.unavailable",
+                    requested=self.config.worker_processes,
+                )
         self.batcher = MicroBatcher(
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
@@ -228,6 +260,9 @@ class AvailabilityService:
             "service_worker_deaths_total", "service_worker_respawns_total",
             "service_responses_dropped_total",
             "service_retries_observed_total",
+            "service_prefork_batches_total",
+            "service_prefork_worker_deaths_total",
+            "service_prefork_worker_respawns_total",
         ):
             obs.counter(name)
         # Bounded memo of recently seen Idempotency-Key headers: a
@@ -352,15 +387,25 @@ class AvailabilityService:
         )
         batch_size = 0
 
+        if self.pool is not None:
+            pool = self.pool
+            spec = group.key()
+
+            def executor(batch: Sequence[Any]) -> Sequence[Any]:
+                return pool.execute(spec, batch)
+
+        else:
+            executor = group.solve_cores
+
         def compute() -> Dict[str, Any]:
             nonlocal batch_size
             ticket = self.batcher.submit(
-                group.key(), values, executor=group.solve_many
+                group.key(), values, executor=executor
             )
-            result = ticket.result()
+            core = ticket.result()
             batch_size = ticket.batch_size
-            return _solve_payload(
-                fingerprint, config, method, abstraction, result
+            return _solve_envelope(
+                fingerprint, config, method, abstraction, core
             )
 
         payload, source = self.cache.get_or_compute(fingerprint, compute)
@@ -600,6 +645,8 @@ class AvailabilityService:
         return seen
 
     def _handle_healthz(self, document: Any) -> Dict[str, Any]:
+        from repro import kernels
+
         return {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
@@ -610,6 +657,11 @@ class AvailabilityService:
             "workers": self.config.workers,
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
+            "worker_processes": self.config.worker_processes,
+            "solver_workers_alive": (
+                self.pool.alive_count() if self.pool is not None else 0
+            ),
+            "kernel_backend": kernels.backend_name(),
         }
 
     def metrics_text(self) -> str:
@@ -640,6 +692,9 @@ class AvailabilityService:
     def close(self) -> None:
         """Stop the scheduler, restore the global recorder and injector."""
         self.batcher.shutdown()
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
         if self.injector is not None:
             chaos.set_injector(self._previous_injector)
             self.injector = None
@@ -658,22 +713,10 @@ def _config_payload(config: JsasConfiguration) -> Dict[str, Any]:
     }
 
 
-def _solve_payload(
-    fingerprint: str,
-    config: JsasConfiguration,
-    method: str,
-    abstraction: str,
-    result: HierarchicalResult,
-) -> Dict[str, Any]:
-    """The cacheable (JSON-able, serving-independent) solve response."""
+def _result_core(result: HierarchicalResult) -> Dict[str, Any]:
+    """The result-dependent half of a solve payload (JSON-able floats)."""
     system = result.system
     return {
-        "schema": RESPONSE_SCHEMA,
-        "kind": "solve",
-        "fingerprint": fingerprint,
-        "configuration": _config_payload(config),
-        "method": method,
-        "abstraction": abstraction,
         "availability": system.availability,
         "yearly_downtime_minutes": system.yearly_downtime_minutes,
         "mtbf_hours": system.mtbf_hours,
@@ -694,6 +737,38 @@ def _solve_payload(
             for name, report in result.submodels.items()
         },
     }
+
+
+def _solve_envelope(
+    fingerprint: str,
+    config: JsasConfiguration,
+    method: str,
+    abstraction: str,
+    core: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """The cacheable (JSON-able, serving-independent) solve response."""
+    return {
+        "schema": RESPONSE_SCHEMA,
+        "kind": "solve",
+        "fingerprint": fingerprint,
+        "configuration": _config_payload(config),
+        "method": method,
+        "abstraction": abstraction,
+        **core,
+    }
+
+
+def _solve_payload(
+    fingerprint: str,
+    config: JsasConfiguration,
+    method: str,
+    abstraction: str,
+    result: HierarchicalResult,
+) -> Dict[str, Any]:
+    """Full solve response straight from a :class:`HierarchicalResult`."""
+    return _solve_envelope(
+        fingerprint, config, method, abstraction, _result_core(result)
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -65,9 +65,10 @@ def run_replications(
     Args:
         n_jobs: Number of worker processes.  ``1`` (default) runs
             sequentially in-process; ``None`` uses one worker per CPU.
-            Parallel runs execute in a ``ProcessPoolExecutor``, so
-            ``experiment`` must be picklable (a module-level function,
-            not a lambda or closure).  The seeds and the order of
+            Parallel runs fan out through
+            :func:`repro.parallel.parallel_map` on forked workers, so
+            lambdas and closures work — only the returned floats cross
+            the process boundary.  The seeds and the order of
             ``values`` are identical regardless of ``n_jobs``, so a
             seeded summary does not depend on the worker count.
     """
@@ -97,16 +98,17 @@ def run_replications(
                         of=n_replications,
                     )
         else:
-            import pickle
-            from concurrent.futures import ProcessPoolExecutor
+            from repro.exceptions import ParallelError
+            from repro.parallel import parallel_map
 
             try:
-                with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                    values = [float(v) for v in pool.map(experiment, seeds)]
-            except (TypeError, AttributeError, pickle.PicklingError) as exc:
+                values = [
+                    float(v)
+                    for v in parallel_map(experiment, seeds, n_jobs=n_jobs)
+                ]
+            except ParallelError as exc:
                 raise SimulationError(
-                    "parallel replications require a picklable experiment "
-                    f"(module-level function): {exc}"
+                    f"parallel replications failed: {exc}"
                 ) from exc
     mean, low, high = mean_confidence_interval(values, confidence)
     return ReplicationSummary(

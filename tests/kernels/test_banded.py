@@ -1,0 +1,119 @@
+"""Banded steady-state kernels: parity, determinism, failure paths."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core.compiled import compile_model
+from repro.ctmc.batch import banded_structure_of, batch_steady_state
+from repro.exceptions import SolverError
+from repro.models.jsas import PAPER_PARAMETERS
+from repro.models.jsas.system import JsasConfiguration
+
+
+@pytest.fixture
+def restore_backend():
+    previous = kernels.backend_name()
+    yield
+    kernels.set_backend(previous)
+
+
+def _appserver_columns(n_samples, seed=0):
+    rng = np.random.default_rng(seed)
+    model = JsasConfiguration(
+        n_instances=4, n_pairs=2
+    ).build_appserver_submodel()
+    base = PAPER_PARAMETERS.to_dict()
+    names = sorted(
+        {name for t in model.transitions for name in t.rate.variables}
+    )
+    columns = {
+        name: base.get(name, 1.0)
+        * rng.uniform(0.5, 2.0, size=n_samples)
+        for name in names
+    }
+    return model, columns
+
+
+def test_appserver_model_is_banded():
+    model, _ = _appserver_columns(1)
+    assert banded_structure_of(compile_model(model)) is not None
+
+
+def test_kernel_matches_gth_reference(restore_backend):
+    model, columns = _appserver_columns(64)
+    reference = batch_steady_state(model, columns, 64, method="gth")
+    for backend in kernels.available_backends():
+        kernels.set_backend(backend)
+        pis = batch_steady_state(model, columns, 64, method="banded")
+        assert pis.shape == reference.shape
+        np.testing.assert_allclose(
+            pis, reference, rtol=1e-10, atol=1e-14,
+            err_msg=f"backend {backend}",
+        )
+
+
+def test_batched_solve_is_per_sample_bit_identical(restore_backend):
+    """Which samples share a batch never changes any sample's bits."""
+    model, columns = _appserver_columns(32)
+    for backend in kernels.available_backends():
+        kernels.set_backend(backend)
+        together = batch_steady_state(model, columns, 32, method="banded")
+        for i in (0, 7, 31):
+            alone = batch_steady_state(
+                model,
+                {name: col[i: i + 1] for name, col in columns.items()},
+                1,
+                method="banded",
+            )
+            assert np.array_equal(alone[0], together[i]), (
+                f"backend {backend}, sample {i}"
+            )
+
+
+def test_numpy_vs_other_backends_close(restore_backend):
+    model, columns = _appserver_columns(16)
+    kernels.set_backend("numpy")
+    reference = batch_steady_state(model, columns, 16, method="banded")
+    others = [b for b in kernels.available_backends() if b != "numpy"]
+    if not others:
+        pytest.skip("only the numpy backend is available here")
+    for backend in others:
+        kernels.set_backend(backend)
+        pis = batch_steady_state(model, columns, 16, method="banded")
+        np.testing.assert_allclose(pis, reference, rtol=1e-10, atol=1e-14)
+
+
+def test_probabilities_normalized(restore_backend):
+    model, columns = _appserver_columns(20)
+    for backend in kernels.available_backends():
+        kernels.set_backend(backend)
+        pis = batch_steady_state(model, columns, 20, method="banded")
+        assert (pis >= 0.0).all()
+        np.testing.assert_allclose(pis.sum(axis=1), 1.0, rtol=1e-12)
+
+
+def test_reducible_sample_raises_solver_error(restore_backend):
+    # Sample 1 disconnects s2 entirely, leaving two recurrent classes;
+    # the kernel must surface the same SolverError the interpreted
+    # engine raises, not NaNs.
+    from repro.core.model import MarkovModel
+
+    model = MarkovModel("bd_reducible")
+    model.add_state("s0", reward=1.0)
+    model.add_state("s1", reward=0.0)
+    model.add_state("s2", reward=0.0)
+    model.add_transition("s0", "s1", "a")
+    model.add_transition("s1", "s2", "b")
+    model.add_transition("s1", "s0", "c")
+    model.add_transition("s2", "s1", "d")
+    columns = {
+        "a": np.array([1.0, 1.0]),
+        "b": np.array([1.0, 0.0]),
+        "c": np.array([1.0, 1.0]),
+        "d": np.array([1.0, 0.0]),
+    }
+    for backend in kernels.available_backends():
+        kernels.set_backend(backend)
+        with pytest.raises(SolverError, match="recurrent classes"):
+            batch_steady_state(model, columns, 2, method="banded")

@@ -1,0 +1,124 @@
+"""Property tests: compiled rate programs vs the interpreted path.
+
+The compiled hot path claims *bit parity*, not closeness: a
+:class:`~repro.kernels.program.RateProgram` evaluating each distinct
+expression once and scattering the value must produce exactly the
+floats the per-transition interpreted evaluation produces.  These tests
+enforce that across the paper's model shapes and hypothesis-drawn
+parameter sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compiled import compile_model
+from repro.core.expressions import compile_expression, vector_namespace
+from repro.kernels.program import RateProgram
+from repro.models.jsas import PAPER_PARAMETERS
+from repro.models.jsas.system import JsasConfiguration
+
+# The paper's Config 1/2 shapes plus a single-instance and a larger
+# generalized shape, so dedup hits every structural case.
+CONFIGURATIONS = (
+    JsasConfiguration(n_instances=1, n_pairs=0),
+    JsasConfiguration(n_instances=2, n_pairs=2, n_spares=2),
+    JsasConfiguration(n_instances=4, n_pairs=4, n_spares=2),
+    JsasConfiguration(n_instances=6, n_pairs=2, n_spares=2),
+)
+
+scales = st.floats(min_value=0.25, max_value=4.0)
+
+
+def _interpreted_rates(model, values):
+    """Per-transition scalar evaluation — the reference path."""
+    return np.array(
+        [compile_expression(t.rate.source)(values) for t in model.transitions]
+    )
+
+
+@pytest.mark.parametrize(
+    "config", CONFIGURATIONS, ids=lambda c: c.name
+)
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_appserver_program_bit_identical(config, data):
+    model = config.build_appserver_submodel()
+    base = PAPER_PARAMETERS.to_dict()
+    names = sorted(
+        name for t in model.transitions for name in t.rate.variables
+    )
+    values = {
+        name: base.get(name, 1.0) * data.draw(scales, label=name)
+        for name in dict.fromkeys(names)
+    }
+    compiled = compile_model(model)
+    rates = compiled.rate_matrix(values, 1)
+    expected = _interpreted_rates(model, values)
+    # Bit parity: exact equality, not approx.
+    assert rates.shape == (1, len(model.transitions))
+    assert np.array_equal(rates[0], expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_samples=st.integers(min_value=1, max_value=17),
+    data=st.data(),
+)
+def test_program_batch_rows_match_scalar_rows(n_samples, data):
+    """Each batch row equals the scalar evaluation of that row's values."""
+    model = JsasConfiguration(
+        n_instances=3, n_pairs=2
+    ).build_appserver_submodel()
+    base = PAPER_PARAMETERS.to_dict()
+    names = sorted(
+        {name for t in model.transitions for name in t.rate.variables}
+    )
+    columns = {
+        name: base.get(name, 1.0)
+        * np.array(
+            [
+                data.draw(scales, label=f"{name}[{i}]")
+                for i in range(n_samples)
+            ]
+        )
+        for name in names
+    }
+    compiled = compile_model(model)
+    rates = compiled.rate_matrix(columns, n_samples)
+    for i in range(n_samples):
+        row_values = {name: float(col[i]) for name, col in columns.items()}
+        assert np.array_equal(rates[i], _interpreted_rates(model, row_values))
+
+
+def test_dedup_counts_on_generalized_model():
+    """The generalized AS model repeats sources; the program dedups them."""
+    model = JsasConfiguration(
+        n_instances=8, n_pairs=2
+    ).build_appserver_submodel()
+    program = RateProgram(tuple(t.rate.source for t in model.transitions))
+    assert program.n_unique < program.n_outputs
+    assert sorted(program.unique_sources) == sorted(set(program.sources))
+    # Every output column maps back to its own source.
+    for j, source in enumerate(program.sources):
+        assert program.unique_sources[program.column_of[j]] == source
+
+
+def test_scatter_shares_one_evaluation():
+    """Duplicate sources land the identical float in every column."""
+    program = RateProgram(("a * b", "a + b", "a * b", "a * b"))
+    assert program.n_unique == 2
+    out = program.evaluate(
+        {"a": np.array([0.1, 0.3]), "b": np.array([0.7, 0.9])},
+        2,
+        vector_namespace(),
+    )
+    assert np.array_equal(out[:, 0], out[:, 2])
+    assert np.array_equal(out[:, 0], out[:, 3])
+    assert np.array_equal(out[:, 0], np.array([0.1, 0.3]) * np.array([0.7, 0.9]))
+
+
+def test_empty_program():
+    program = RateProgram(())
+    out = program.evaluate({}, 3, vector_namespace())
+    assert out.shape == (3, 0)

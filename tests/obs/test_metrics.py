@@ -124,3 +124,52 @@ class TestRegistry:
         assert len(registry.counters) == 1
         assert len(registry.gauges) == 1
         assert len(registry.histograms) == 1
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_ordered_and_clamped(self):
+        histogram = Histogram("t_seconds")
+        for i in range(1, 101):
+            histogram.observe(i / 1000.0)  # 1ms .. 100ms
+        quantiles = histogram.quantiles()
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert (
+            histogram.min
+            <= quantiles["p50"]
+            <= quantiles["p95"]
+            <= quantiles["p99"]
+            <= histogram.max
+        )
+
+    def test_uniform_median_reasonable(self):
+        histogram = Histogram("t", buckets=[i / 10.0 for i in range(1, 11)])
+        for i in range(1000):
+            histogram.observe((i % 10) / 10.0 + 0.05)
+        assert histogram.quantile(0.5) == pytest.approx(0.5, abs=0.1)
+
+    def test_single_observation(self):
+        histogram = Histogram("t", buckets=[1.0, 10.0])
+        histogram.observe(3.0)
+        assert histogram.quantile(0.5) == 3.0
+        assert histogram.quantile(0.99) == 3.0
+
+    def test_empty_histogram_raises(self):
+        histogram = Histogram("t")
+        with pytest.raises(ValueError, match="empty"):
+            histogram.quantile(0.5)
+
+    def test_out_of_range_quantile_raises(self):
+        histogram = Histogram("t")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(1.5)
+
+    def test_snapshot_includes_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds")
+        histogram.observe(0.01)
+        histogram.observe(0.02)
+        entry = registry.snapshot()["latency_seconds"]
+        for key in ("p50", "p95", "p99"):
+            assert key in entry
+            assert 0.01 <= entry[key] <= 0.02

@@ -129,3 +129,23 @@ class TestRenderPrometheus:
         registry.counter("c_total").inc()
         target = write_metrics(registry, tmp_path / "metrics.prom")
         assert target.read_text().startswith("# TYPE c_total counter")
+
+
+def test_histogram_exposition_includes_percentiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("stage_seconds", stage="solve")
+    for value in (0.001, 0.002, 0.004, 0.008):
+        histogram.observe(value)
+    text = render_prometheus(registry)
+    for suffix in ("_p50", "_p95", "_p99"):
+        assert f'stage_seconds{suffix}{{stage="solve"}}' in text
+    # Percentile lines come after the canonical _count line.
+    assert text.index("stage_seconds_count") < text.index("stage_seconds_p50")
+
+
+def test_empty_histogram_has_no_percentile_lines():
+    registry = MetricsRegistry()
+    registry.histogram("unused_seconds")
+    text = render_prometheus(registry)
+    assert "unused_seconds_count" in text
+    assert "unused_seconds_p50" not in text

@@ -1,0 +1,70 @@
+"""Worker-count invariance of the paper's uncertainty analysis.
+
+``UncertaintyAnalysis.run`` must produce bit-identical values for any
+``n_jobs``: the chunk grid is a function of the sample count alone, and
+every sample's solve is bit-independent of which chunk neighbours it
+(pivoting cannot cross block boundaries).  These tests pin that down on
+the real JSAS metric, batch and scalar paths both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.jsas.configs import build_uncertainty_analysis
+from repro.models.jsas.system import CONFIG_1
+from repro.parallel import cpu_count
+
+N_SAMPLES = 500
+SEED = 1234
+
+
+def _job_counts():
+    counts = {1, 2, cpu_count()}
+    return sorted(counts)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    analysis = build_uncertainty_analysis(CONFIG_1)
+    return analysis.run(n_samples=N_SAMPLES, seed=SEED)
+
+
+@pytest.mark.parametrize("n_jobs", _job_counts())
+def test_batch_path_bit_identical_across_job_counts(reference, n_jobs):
+    analysis = build_uncertainty_analysis(CONFIG_1)
+    result = analysis.run(n_samples=N_SAMPLES, seed=SEED, n_jobs=n_jobs)
+    assert result.values == reference.values  # bitwise, not approx
+    assert result.metric_name == reference.metric_name
+
+
+@pytest.mark.parametrize("n_jobs", _job_counts())
+def test_scalar_path_bit_identical_across_job_counts(n_jobs):
+    analysis = build_uncertainty_analysis(CONFIG_1)
+
+    class ScalarOnlyMetric:
+        """Hide evaluate_batch so run() takes the scalar path."""
+
+        def __init__(self, metric):
+            self._metric = metric
+
+        def __call__(self, values):
+            return self._metric(values)
+
+    analysis.metric = ScalarOnlyMetric(analysis.metric)
+    sequential = analysis.run(n_samples=40, seed=SEED)
+    result = analysis.run(n_samples=40, seed=SEED, n_jobs=n_jobs)
+    assert result.values == sequential.values
+
+
+def test_default_n_jobs_is_sequential(reference):
+    """The signature default must stay 1 — parallelism is opt-in."""
+    analysis = build_uncertainty_analysis(CONFIG_1)
+    assert analysis.run.__defaults__ is not None
+    result = analysis.run(n_samples=N_SAMPLES, seed=SEED)
+    assert result.values == reference.values
+
+
+def test_values_are_finite(reference):
+    values = np.asarray(reference.values)
+    assert np.isfinite(values).all()
+    assert (values >= 0.0).all()

@@ -1,0 +1,122 @@
+"""Unit tests for the shared-memory worker pool."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParallelError
+from repro.parallel import (
+    DEFAULT_CHUNK,
+    chunk_bounds,
+    cpu_count,
+    map_chunked,
+    parallel_map,
+    resolve_jobs,
+)
+
+
+def square_range(start, stop):
+    return np.arange(start, stop, dtype=float) ** 2
+
+
+class TestChunkBounds:
+    def test_covers_every_sample_once(self):
+        bounds = chunk_bounds(1000, 256)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 1000
+        for (_, prev_stop), (start, _) in zip(bounds, bounds[1:]):
+            assert start == prev_stop
+
+    def test_depends_only_on_sample_count(self):
+        # The chunk grid is the determinism contract: it must never be
+        # derived from the worker count.
+        assert chunk_bounds(1000, 256) == chunk_bounds(1000, 256)
+        assert len(chunk_bounds(DEFAULT_CHUNK * 3, DEFAULT_CHUNK)) == 3
+
+    def test_small_batch_single_chunk(self):
+        assert chunk_bounds(5, 256) == [(0, 5)]
+
+    def test_empty(self):
+        assert chunk_bounds(0, 256) == []
+
+
+class TestResolveJobs:
+    def test_default_is_cpu_count(self):
+        assert resolve_jobs(None) == cpu_count()
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ParallelError):
+            resolve_jobs(0)
+
+
+class TestMapChunked:
+    def test_matches_sequential_bitwise(self):
+        expected = square_range(0, 1000)
+        for n_jobs in (1, 2, 4):
+            out = map_chunked(square_range, 1000, n_jobs=n_jobs)
+            assert np.array_equal(out, expected), f"n_jobs={n_jobs}"
+
+    def test_worker_exception_propagates_as_original_type(self):
+        def boom(start, stop):
+            raise ValueError(f"range ({start}, {stop}) exploded")
+
+        with pytest.raises(ValueError, match="exploded"):
+            map_chunked(boom, 600, n_jobs=2)
+
+    def test_bad_shape_raises_parallel_error(self):
+        def wrong_shape(start, stop):
+            return np.zeros(3)
+
+        with pytest.raises(ParallelError):
+            map_chunked(wrong_shape, 600, n_jobs=2)
+
+    def test_worker_hard_death_raises_parallel_error(self):
+        def die(start, stop):
+            if start >= 256:
+                os._exit(17)
+            return np.zeros(stop - start)
+
+        with pytest.raises(ParallelError, match="died"):
+            map_chunked(die, 600, n_jobs=2)
+
+    def test_closures_work(self):
+        offset = 41.5
+        out = map_chunked(
+            lambda start, stop: np.arange(start, stop) + offset,
+            300,
+            n_jobs=2,
+        )
+        assert np.array_equal(out, np.arange(300) + offset)
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        items = list(range(37))
+        assert parallel_map(lambda x: x * 3, items, n_jobs=3) == [
+            x * 3 for x in items
+        ]
+
+    def test_exception_propagates_as_original_type(self):
+        def pick(x):
+            if x == 5:
+                raise KeyError("five")
+            return x
+
+        with pytest.raises(KeyError, match="five"):
+            parallel_map(pick, list(range(10)), n_jobs=2)
+
+    def test_worker_hard_death_raises_parallel_error(self):
+        def die(x):
+            if x == 3:
+                os._exit(3)
+            return x
+
+        with pytest.raises(ParallelError):
+            parallel_map(die, list(range(8)), n_jobs=2)
+
+    def test_sequential_fallback(self):
+        assert parallel_map(lambda x: -x, [1, 2, 3], n_jobs=1) == [-1, -2, -3]
