@@ -23,9 +23,11 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 #: v3 added ``kernel_backend`` and ``n_workers`` to the metadata block
 #: (timings are meaningless without knowing which kernel ran and how
 #: many processes shared the work).
-BENCH_SCHEMA_VERSION = 3
+#: v4 added ``n_shards`` (``1`` means no cluster router in front; the
+#: serve benchmark's cluster section reports multi-shard throughput).
+BENCH_SCHEMA_VERSION = 4
 
-#: Metadata keys every BENCH_*.json payload must carry under schema v3;
+#: Metadata keys every BENCH_*.json payload must carry under schema v4;
 #: ``tests/test_bench_schema.py`` and the CI schema-check step enforce
 #: this against the committed artifacts.
 BENCH_REQUIRED_KEYS = (
@@ -34,6 +36,7 @@ BENCH_REQUIRED_KEYS = (
     "method",
     "kernel_backend",
     "n_workers",
+    "n_shards",
     "repro_version",
     "python_version",
     "machine",
@@ -41,15 +44,20 @@ BENCH_REQUIRED_KEYS = (
 
 
 def bench_metadata(
-    engine: str, method: str, n_workers: int = 1, **extra: object
+    engine: str,
+    method: str,
+    n_workers: int = 1,
+    n_shards: int = 1,
+    **extra: object,
 ) -> Dict[str, object]:
     """Common metadata block for every BENCH_*.json payload.
 
     Records which solve engine, steady-state method and kernel backend
     the benchmark exercised, how many worker processes shared the load
-    (``1`` means a single in-process solver), the payload schema
-    version, and enough environment context to interpret absolute
-    timings.
+    (``1`` means a single in-process solver), how many consistent-hash
+    shard processes served it (``1`` means no cluster router), the
+    payload schema version, and enough environment context to interpret
+    absolute timings.
     """
     from repro import kernels
     from repro._version import __version__
@@ -60,6 +68,7 @@ def bench_metadata(
         "method": method,
         "kernel_backend": kernels.backend_name(),
         "n_workers": n_workers,
+        "n_shards": n_shards,
         "repro_version": __version__,
         "python_version": platform.python_version(),
         "machine": platform.machine(),

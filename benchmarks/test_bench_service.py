@@ -14,6 +14,13 @@ Latency is measured server-side (the ``serving.duration_ms`` field each
 response carries) so HTTP and client-thread overhead cannot mask the
 cache-vs-solve ratio.  The acceptance bar from the issue — cache hits at
 least 50x faster than cold solves — is asserted here.
+
+The payload also carries a **cluster** section: a working set of 64
+distinct uncertainty analyses cycled through a 1-shard vs 4-shard
+:class:`ClusterServer`.  The working set is sized to thrash a single
+shard's LRU cache but fit comfortably in the ring's aggregate capacity,
+so the 4-shard arm must sustain at least 3x the single-shard throughput
+on the same machine.
 """
 
 import json
@@ -26,7 +33,14 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from conftest import bench_metadata
-from repro.service import AvailabilityServer, ServiceClient, ServiceConfig
+from repro.models.jsas import CONFIG_1, PAPER_PARAMETERS
+from repro.service import (
+    AvailabilityServer,
+    ClusterConfig,
+    ClusterServer,
+    ServiceClient,
+    ServiceConfig,
+)
 from repro.service.prefork import fork_available
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
@@ -36,6 +50,15 @@ HIT_SPEEDUP_FLOOR = 50.0
 SUSTAINED_WORKERS = 2
 SUSTAINED_REQUESTS = 96
 SUSTAINED_CLIENTS = 16
+CLUSTER_SHARDS = 4
+CLUSTER_WORKING_SET = 64
+CLUSTER_SHARD_CACHE = 32
+CLUSTER_TIMED_PASSES = 2
+CLUSTER_SPEEDUP_FLOOR = 3.0
+#: Monte Carlo samples per uncertainty analysis in the cluster working
+#: set — the paper's Figs. 7/8 workload, heavy enough per miss that
+#: cache capacity (not HTTP overhead) decides the throughput.
+CLUSTER_SAMPLES = 250
 #: CI smoke floor for sustained cache-miss throughput; opt-in so laptop
 #: runs and loaded CI machines do not flake (the serve-throughput job
 #: sets it).
@@ -86,6 +109,83 @@ def _sustained_throughput():
         "p95_ms": _percentile(durations, 0.95),
         "p99_ms": _percentile(durations, 0.99),
         "latency_source": "server-side serving.duration_ms",
+    }
+
+
+def _cluster_arm(n_shards):
+    """One arm of the cluster cache-capacity experiment.
+
+    The working set (64 distinct uncertainty analyses — the paper's
+    Figs. 7/8 Monte Carlo workload) deliberately exceeds one shard's
+    LRU cache (32 entries): cycled in order, a single shard evicts
+    every entry before its next use and serves ~0% hits, while a
+    4-shard ring splits the key space so each shard holds its ~16 owned
+    analyses comfortably and serves ~100% hits after the seed pass.  On
+    a one-core machine this isolates the router's
+    aggregate-cache-capacity win from CPU parallelism, which this box
+    does not have to offer.
+    """
+    config = ClusterConfig(
+        port=0,
+        n_shards=n_shards,
+        shard=ServiceConfig(
+            port=0, workers=2, cache_size=CLUSTER_SHARD_CACHE,
+            max_wait_ms=0.0,
+        ),
+    )
+    seeds = list(range(CLUSTER_WORKING_SET))
+    with ClusterServer(config) as srv:
+        with ServiceClient(srv.url, timeout=120.0) as client:
+            # Untimed seed pass: compiles the model everywhere and
+            # populates each shard's cache with the keys it owns.
+            for seed in seeds:
+                client.uncertainty(samples=CLUSTER_SAMPLES, seed=seed)
+            hits = 0
+            requests = 0
+            started = time.perf_counter()
+            for _ in range(CLUSTER_TIMED_PASSES):
+                for seed in seeds:
+                    response = client.uncertainty(
+                        samples=CLUSTER_SAMPLES, seed=seed
+                    )
+                    requests += 1
+                    hits += response["serving"]["cache"] == "hit"
+            wall_seconds = time.perf_counter() - started
+            # Acceptance oracle: a routed response is byte-for-byte the
+            # library's direct fig7 Config 1 answer.
+            routed = client.solve(n_instances=2, n_pairs=2)
+    direct = CONFIG_1.solve(PAPER_PARAMETERS)
+    assert routed["availability"] == direct.availability
+    assert (
+        routed["yearly_downtime_minutes"] == direct.yearly_downtime_minutes
+    )
+    return {
+        "n_shards": n_shards,
+        "shard_cache_size": CLUSTER_SHARD_CACHE,
+        "working_set": CLUSTER_WORKING_SET,
+        "requests": requests,
+        "cache_hits": hits,
+        "hit_rate": hits / requests,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": requests / wall_seconds,
+    }
+
+
+def _cluster_capacity_scaling():
+    """Same 64-point workload through 1 shard vs 4; returns both arms
+    plus the sustained-throughput ratio the issue gates on."""
+    single = _cluster_arm(1)
+    sharded = _cluster_arm(CLUSTER_SHARDS)
+    return {
+        "workload": (
+            f"{CLUSTER_WORKING_SET} distinct {CLUSTER_SAMPLES}-sample "
+            f"uncertainty analyses cycled {CLUSTER_TIMED_PASSES}x "
+            f"through the cluster router"
+        ),
+        "single": single,
+        "sharded": sharded,
+        "speedup": sharded["throughput_rps"] / single["throughput_rps"],
+        "latency_source": "client wall-clock",
     }
 
 
@@ -180,6 +280,14 @@ def test_bench_service(benchmark, save_artifact):
             f"below the REPRO_BENCH_MIN_RPS floor {MIN_RPS:.1f}"
         )
 
+    cluster = _cluster_capacity_scaling()
+    assert cluster["speedup"] >= CLUSTER_SPEEDUP_FLOOR, (
+        f"{CLUSTER_SHARDS}-shard cluster only "
+        f"{cluster['speedup']:.2f}x the single-shard throughput "
+        f"({cluster['sharded']['throughput_rps']:.1f} vs "
+        f"{cluster['single']['throughput_rps']:.1f} rps)"
+    )
+
     payload = {
         **bench_metadata(engine="service", method="auto"),
         "workload": "fig7 Config 1 solves through the HTTP service",
@@ -193,6 +301,7 @@ def test_bench_service(benchmark, save_artifact):
         "coalesced_per_request_ms": coalesced_ms,
         "latency_source": "server-side serving.duration_ms",
         "sustained": sustained,
+        "cluster": cluster,
     }
     (REPO_ROOT / "BENCH_serve.json").write_text(
         json.dumps(payload, indent=2) + "\n"
@@ -221,6 +330,17 @@ def test_bench_service(benchmark, save_artifact):
                 f"  latency:    p50 {sustained['p50_ms']:.3f} ms, "
                 f"p95 {sustained['p95_ms']:.3f} ms, "
                 f"p99 {sustained['p99_ms']:.3f} ms",
+                "",
+                f"cluster cache capacity ({CLUSTER_WORKING_SET}-point "
+                f"working set, {CLUSTER_SHARD_CACHE}-entry shard caches):",
+                f"  1 shard:  "
+                f"{cluster['single']['throughput_rps']:9.1f} req/s  "
+                f"(hit rate {cluster['single']['hit_rate']:.0%})",
+                f"  {CLUSTER_SHARDS} shards: "
+                f"{cluster['sharded']['throughput_rps']:9.1f} req/s  "
+                f"(hit rate {cluster['sharded']['hit_rate']:.0%})",
+                f"  speedup:  {cluster['speedup']:9.1f}x"
+                f"  (floor {CLUSTER_SPEEDUP_FLOOR:.0f}x)",
             ]
         ),
     )

@@ -36,6 +36,12 @@ REPS = 3
 
 
 def _median_ms(run) -> float:
+    # One untimed warmup pass first: the initial solve at a new
+    # state-space size pays one-time kernel/allocator setup (JIT
+    # compilation, first-touch page faults) that previously surfaced as
+    # a non-monotonic outlier in the states-vs-time curve (N=16 timing
+    # slower than N=32).  Timed reps then measure steady state only.
+    run()
     timings = []
     for _ in range(REPS):
         start = time.perf_counter()

@@ -33,12 +33,15 @@ import contextlib
 from typing import Iterator, Optional, Union
 
 from repro.chaos.injector import (
+    ALL_INJECTION_POINTS,
+    CLUSTER_INJECTION_POINTS,
     INJECTION_POINTS,
     NULL_INJECTOR,
     POINT_CACHE_CORRUPT,
     POINT_DESCRIPTIONS,
     POINT_RESPONSE_DROP,
     POINT_SCHEDULER_STALL,
+    POINT_SHARD_DEATH,
     POINT_SOLVER_EXCEPTION,
     POINT_WORKER_DEATH,
     ChaosError,
@@ -49,12 +52,15 @@ from repro.chaos.injector import (
 )
 
 __all__ = [
+    "ALL_INJECTION_POINTS",
+    "CLUSTER_INJECTION_POINTS",
     "INJECTION_POINTS",
     "NULL_INJECTOR",
     "POINT_CACHE_CORRUPT",
     "POINT_DESCRIPTIONS",
     "POINT_RESPONSE_DROP",
     "POINT_SCHEDULER_STALL",
+    "POINT_SHARD_DEATH",
     "POINT_SOLVER_EXCEPTION",
     "POINT_WORKER_DEATH",
     "ChaosError",

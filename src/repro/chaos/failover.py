@@ -1,0 +1,285 @@
+"""Seeded cluster shard-kill drill: every request survives failover.
+
+The single-server campaign (:mod:`repro.chaos.campaign`) measures
+recovery *inside* one process; this drill measures the recovery layer
+above it — the consistent-hash router of
+:mod:`repro.service.cluster`.  The experiment:
+
+1. boot a router with ``n_shards`` shard processes and a router-side
+   chaos injector (``ClusterConfig(chaos=True)``);
+2. send a seeded workload of distinct solve requests through one
+   retrying client;
+3. at seeded request indices, arm ``shard.death`` tagged with a seeded
+   victim shard — the router SIGKILLs that shard right before
+   forwarding, so the in-flight request must fail over to the next ring
+   owner while the monitor respawns and re-admits the victim;
+4. the drill passes only when **zero** requests fail and the ring ends
+   at full strength.
+
+Everything the seed controls — victim shards, kill indices, request
+parameters — reproduces bit-for-bit; wall-clock fields are excluded
+from :meth:`FailoverReport.deterministic_dict` just like the campaign
+report.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro import obs
+from repro.chaos.injector import POINT_SHARD_DEATH, ChaosError
+
+#: Version of the drill-report JSON layout.
+REPORT_SCHEMA = 1
+
+#: Parameter swept to make every drill request distinct (same knob the
+#: campaign sweeps, so both harnesses stress the same solve surface).
+DRILL_PARAMETER = "Tstart_long_as"
+
+
+@dataclass
+class FailoverReport:
+    """Outcome of one :func:`run_failover_drill` run.
+
+    Attributes:
+        seed: The drill seed; same seed, same kills and workload.
+        n_shards: Shards in the drilled cluster.
+        requests: Requests sent.
+        succeeded: Requests that returned a correct solve payload.
+        failed: Requests that errored (must be 0 for a passing drill).
+        kills: Shard kills injected.
+        kill_events: One entry per kill: which shard died before which
+            request, and its respawn generation afterwards.
+        client_retries: Extra client attempts beyond one per request
+            (0 when the router absorbed every failover internally).
+        ring_size_after: Ring membership at drill end (== ``n_shards``
+            when every victim was re-admitted).
+        duration_ms: Wall clock for the whole drill (excluded from the
+            deterministic dict).
+    """
+
+    seed: int
+    n_shards: int
+    requests: int
+    succeeded: int
+    failed: int
+    kills: int
+    kill_events: List[Dict[str, Any]] = field(default_factory=list)
+    client_retries: int = 0
+    ring_size_after: int = 0
+    duration_ms: float = 0.0
+
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """The seed-determined part: same seed -> bit-identical dict.
+
+        A passing drill has no timing-dependent content here: the kill
+        schedule is seeded and every request succeeds, so the dict is a
+        pure function of the drill parameters.
+        """
+        return {
+            "schema": REPORT_SCHEMA,
+            "kind": "failover-drill",
+            "seed": self.seed,
+            "n_shards": self.n_shards,
+            "requests": self.requests,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "kills": self.kills,
+            "kill_events": [
+                {
+                    "shard": event["shard"],
+                    "request_index": event["request_index"],
+                }
+                for event in self.kill_events
+            ],
+            "ring_size_after": self.ring_size_after,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-able report (the ``--report`` artifact)."""
+        document = self.deterministic_dict()
+        document["kill_events"] = self.kill_events
+        document["client_retries"] = self.client_retries
+        document["duration_ms"] = self.duration_ms
+        return document
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the JSON artifact; returns the path."""
+        target = pathlib.Path(path)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+
+def _kill_schedule(
+    rng: random.Random, requests: int, kills: int, n_shards: int
+) -> Dict[int, str]:
+    """Seeded map of request index -> victim shard name.
+
+    Kills land in the middle three fifths of the workload so each one
+    has traffic before it (caches warm, ring settled) and after it
+    (re-admission observed under load).
+    """
+    lo = max(1, requests // 5)
+    hi = max(lo + 1, (4 * requests) // 5)
+    indices = rng.sample(range(lo, hi), min(kills, hi - lo))
+    return {
+        index: f"shard-{rng.randrange(n_shards)}"
+        for index in sorted(indices)
+    }
+
+
+def run_failover_drill(
+    n_shards: int = 4,
+    requests: int = 32,
+    kills: int = 1,
+    seed: int = 2004,
+    report_path: Union[str, pathlib.Path, None] = None,
+    timeout: float = 30.0,
+    readmit_timeout: float = 30.0,
+    shard_cache_size: int = 64,
+) -> FailoverReport:
+    """Drill shard death under live traffic; zero failures required.
+
+    Args:
+        n_shards: Shard processes behind the drilled router.
+        requests: Solve requests in the seeded workload.
+        kills: ``shard.death`` injections to schedule.
+        seed: Drives victims, kill indices and request parameters.
+        report_path: Optional path for the JSON artifact.
+        timeout: Client socket timeout per request.
+        readmit_timeout: How long to wait at drill end for every killed
+            shard to be respawned and re-admitted to the ring.
+        shard_cache_size: Solve-cache entries per shard (small, so the
+            drill boots fast).
+
+    Returns:
+        The :class:`FailoverReport`; also written to ``report_path``
+        when given.
+    """
+    if n_shards < 2:
+        raise ChaosError(
+            f"failover needs at least 2 shards, got {n_shards}"
+        )
+    if requests < 4:
+        raise ChaosError(f"need at least 4 requests, got {requests}")
+    if kills < 0 or kills > requests // 4:
+        raise ChaosError(
+            f"kills must be in [0, requests // 4], got {kills}"
+        )
+    from repro.service.client import RetryPolicy, ServiceClient
+    from repro.service.cluster import ClusterConfig, ClusterServer
+    from repro.service.config import ServiceConfig
+    from repro.service.errors import ServiceError
+
+    rng = random.Random(f"failover:{seed}")
+    schedule = _kill_schedule(rng, requests, kills, n_shards)
+    config = ClusterConfig(
+        port=0,
+        n_shards=n_shards,
+        shard=ServiceConfig(port=0, workers=1, cache_size=shard_cache_size),
+        chaos=True,
+        chaos_seed=seed,
+    )
+    started = time.perf_counter()
+    succeeded = 0
+    failures: List[Dict[str, Any]] = []
+    kill_events: List[Dict[str, Any]] = []
+    client_retries = 0
+    with obs.span(
+        "chaos.failover", n_shards=n_shards, requests=requests, seed=seed
+    ), ClusterServer(config) as router:
+        client = ServiceClient(
+            router.url,
+            timeout=timeout,
+            # 503 (ring momentarily empty) is retryable here; the drill
+            # counts these retries to show how much the router absorbed.
+            retry=RetryPolicy(max_attempts=5, retry_statuses=(503,)),
+            rng=random.Random(f"failover-client:{seed}"),
+        )
+        for index in range(requests):
+            victim = schedule.get(index)
+            if victim is not None:
+                client.chaos_arm(
+                    POINT_SHARD_DEATH, count=1, tag=victim
+                )
+                kill_events.append(
+                    {"shard": victim, "request_index": index}
+                )
+            value = round(0.5 + 0.05 * index, 12)
+            try:
+                response = client.solve(
+                    parameters={DRILL_PARAMETER: value}
+                )
+            except ServiceError as exc:
+                failures.append(
+                    {
+                        "request_index": index,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+                obs.event(
+                    "chaos.failover.request_failed",
+                    index=index,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            client_retries += client.last_attempts - 1
+            if isinstance(response.get("availability"), float):
+                succeeded += 1
+            else:
+                failures.append(
+                    {
+                        "request_index": index,
+                        "error": f"malformed payload: {response!r}",
+                    }
+                )
+        # Every victim must come back: wait for full ring re-admission.
+        deadline = time.monotonic() + readmit_timeout
+        ring_size = 0
+        while time.monotonic() < deadline:
+            status = router.cluster.cluster_status()
+            ring_size = len(status["ring"])
+            if ring_size == n_shards and all(
+                shard["alive"] for shard in status["shards"].values()
+            ):
+                break
+            time.sleep(0.1)
+        for event in kill_events:
+            shard_status = router.cluster.cluster_status()["shards"][
+                event["shard"]
+            ]
+            event["respawns"] = shard_status["respawns"]
+            event["generation"] = shard_status["generation"]
+    report = FailoverReport(
+        seed=seed,
+        n_shards=n_shards,
+        requests=requests,
+        succeeded=succeeded,
+        failed=len(failures),
+        kills=len(kill_events),
+        kill_events=kill_events,
+        client_retries=client_retries,
+        ring_size_after=ring_size,
+        duration_ms=(time.perf_counter() - started) * 1000.0,
+    )
+    obs.event(
+        "chaos.failover.complete",
+        requests=report.requests,
+        succeeded=report.succeeded,
+        failed=report.failed,
+        kills=report.kills,
+        ring_size_after=report.ring_size_after,
+    )
+    if failures:
+        obs.event("chaos.failover.failures", failures=failures)
+    if report_path is not None:
+        report.write(report_path)
+    return report

@@ -43,13 +43,28 @@ POINT_CACHE_CORRUPT = "cache.corrupt"
 POINT_SCHEDULER_STALL = "scheduler.stall"
 POINT_RESPONSE_DROP = "response.drop"
 POINT_WORKER_DEATH = "worker.death"
+POINT_SHARD_DEATH = "shard.death"
 
+#: Points threaded through a single server process.  The single-server
+#: campaign draws from exactly this tuple, so adding cluster-level
+#: points elsewhere does not perturb seeded campaign reproducibility.
 INJECTION_POINTS: Tuple[str, ...] = (
     POINT_SOLVER_EXCEPTION,
     POINT_CACHE_CORRUPT,
     POINT_SCHEDULER_STALL,
     POINT_RESPONSE_DROP,
     POINT_WORKER_DEATH,
+)
+
+#: Points that only exist in the cluster router process
+#: (:mod:`repro.service.cluster`).
+CLUSTER_INJECTION_POINTS: Tuple[str, ...] = (
+    POINT_SHARD_DEATH,
+)
+
+#: Every point an injector can arm or fire.
+ALL_INJECTION_POINTS: Tuple[str, ...] = (
+    INJECTION_POINTS + CLUSTER_INJECTION_POINTS
 )
 
 #: What each point does when it fires (documentation surfaced through
@@ -74,6 +89,12 @@ POINT_DESCRIPTIONS: Mapping[str, str] = {
     POINT_WORKER_DEATH: (
         "a batcher worker thread dies after taking a batch; the batch "
         "must be re-queued and the worker respawned"
+    ),
+    POINT_SHARD_DEATH: (
+        "the cluster router SIGKILLs one shard process before "
+        "forwarding a request; the ring must fail over, the shard must "
+        "be respawned and re-admitted, and the request must still "
+        "succeed"
     ),
 }
 
@@ -113,10 +134,10 @@ class Injection:
 
 
 def _check_point(point: str) -> None:
-    if point not in INJECTION_POINTS:
+    if point not in ALL_INJECTION_POINTS:
         raise ChaosError(
             f"unknown injection point {point!r}; expected one of "
-            f"{INJECTION_POINTS}"
+            f"{ALL_INJECTION_POINTS}"
         )
 
 
@@ -178,9 +199,11 @@ class ChaosInjector:
         self._rates = {point: float(rate) for point, rate in rates.items()}
         self._lock = threading.Lock()
         self._armed: Dict[str, List[Injection]] = {
-            point: [] for point in INJECTION_POINTS
+            point: [] for point in ALL_INJECTION_POINTS
         }
-        self._fired: Dict[str, int] = {point: 0 for point in INJECTION_POINTS}
+        self._fired: Dict[str, int] = {
+            point: 0 for point in ALL_INJECTION_POINTS
+        }
         # Independent per-point streams: traffic at one point cannot
         # perturb the draw sequence at another.  String seeds go through
         # random.seed's stable digest path, not hash(), so the streams
@@ -189,7 +212,7 @@ class ChaosInjector:
             point: random.Random(
                 None if seed is None else f"{seed}:{point}"
             )
-            for point in INJECTION_POINTS
+            for point in ALL_INJECTION_POINTS
         }
 
     # Arming --------------------------------------------------------------
@@ -217,7 +240,7 @@ class ChaosInjector:
     def reset(self) -> None:
         """Disarm every point and zero the fired counters."""
         with self._lock:
-            for point in INJECTION_POINTS:
+            for point in ALL_INJECTION_POINTS:
                 self._armed[point].clear()
                 self._fired[point] = 0
 
@@ -265,7 +288,7 @@ class ChaosInjector:
                     "rate": self._rates.get(point, 0.0),
                     "description": POINT_DESCRIPTIONS[point],
                 }
-                for point in INJECTION_POINTS
+                for point in ALL_INJECTION_POINTS
             }
             total = sum(self._fired.values())
         return {"enabled": True, "points": points, "total_fired": total}

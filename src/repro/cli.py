@@ -9,7 +9,10 @@ Subcommands mirror the paper's analyses:
 * ``campaign`` — run a simulated fault-injection campaign.
 * ``chaos`` — run a live fault-injection campaign against the server.
 * ``longevity`` — run a simulated stability test.
-* ``serve`` — run the batching availability-evaluation server.
+* ``serve`` — run the batching availability-evaluation server
+  (``--shards N`` fronts N shard processes with a consistent-hash
+  router).
+* ``failover`` — seeded cluster shard-kill drill (zero failed requests).
 * ``obs report`` — render a recorded trace as a span-tree report.
 
 Global observability flags (before the subcommand):
@@ -438,13 +441,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         worker_processes=args.worker_processes,
         kernel=args.kernel,
     )
-    server = AvailabilityServer(config)
-    host, port = server.address
     solver_side = (
         f"{config.worker_processes} solver processes"
         if config.worker_processes
         else "in-process solves"
     )
+    if args.shards > 1:
+        import dataclasses
+
+        from repro.service import ClusterConfig, ClusterServer
+
+        cluster_config = ClusterConfig(
+            host=args.host,
+            port=args.port,
+            n_shards=args.shards,
+            # Chaos moves to the router (shard.death); shard-level chaos
+            # is a single-server concern.
+            shard=dataclasses.replace(config, chaos=False),
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+        )
+        router = ClusterServer(cluster_config)
+        host, port = router.address
+        reporter.line(
+            f"serving availability evaluations on http://{host}:{port} "
+            f"({args.shards} consistent-hash shards, each "
+            f"{config.workers} workers, {solver_side}, "
+            f"cache {config.cache_size}; Ctrl-C to stop)"
+        )
+        router.serve_forever()
+        return 0
+    server = AvailabilityServer(config)
+    host, port = server.address
     reporter.line(
         f"serving availability evaluations on http://{host}:{port} "
         f"({config.workers} workers, {solver_side}, "
@@ -453,6 +481,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     server.serve_forever()
     return 0
+
+
+def _cmd_failover(args: argparse.Namespace) -> int:
+    from repro.chaos.failover import run_failover_drill
+
+    reporter = _reporter(args)
+    report = run_failover_drill(
+        n_shards=args.shards,
+        requests=args.requests,
+        kills=args.kills,
+        seed=args.seed,
+        report_path=args.report,
+    )
+    reporter.line(
+        f"failover drill: {report.succeeded}/{report.requests} requests "
+        f"succeeded across {report.kills} shard kill(s) "
+        f"(seed {report.seed}, {report.n_shards} shards)"
+    )
+    for kill in report.kill_events:
+        reporter.line(
+            f"  killed {kill['shard']} before request "
+            f"#{kill['request_index']}; respawned and re-admitted"
+        )
+    reporter.line(
+        f"ring re-admitted {report.ring_size_after}/{report.n_shards} "
+        f"shards; client retries used: {report.client_retries}"
+    )
+    if args.report:
+        reporter.line(f"report written to {args.report}")
+    reporter.record(command="failover", **report.deterministic_dict())
+    reporter.finish()
+    return 0 if report.failed == 0 else 1
 
 
 class _ReporterParser(argparse.ArgumentParser):
@@ -610,7 +670,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--worker-processes", type=int, default=0,
                    help="pre-forked solver worker processes; 0 solves "
                         "in-process on the dispatch threads (default 0)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="consistent-hash shard processes behind a "
+                        "router; 1 runs a single server (default 1)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "failover", help="seeded cluster shard-kill drill: every request "
+        "must survive failover"
+    )
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard processes in the drill cluster (default 4)")
+    p.add_argument("--requests", type=int, default=32,
+                   help="client requests in the drill (default 32)")
+    p.add_argument("--kills", type=int, default=1,
+                   help="seeded shard kills injected (default 1)")
+    p.add_argument("--seed", type=int, default=2004,
+                   help="drill seed; same seed, same drill (default 2004)")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the full drill report as JSON")
+    _add_json_argument(p)
+    p.set_defaults(func=_cmd_failover)
 
     p = sub.add_parser(
         "chaos", help="live fault-injection campaign against the server "

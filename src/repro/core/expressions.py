@@ -16,6 +16,81 @@ from typing import Callable, Dict, Iterable, Mapping, Set, Union
 
 from repro.exceptions import ExpressionError
 
+#: Exponentiation dispatches to whichever ``pow`` implementation the
+#: operand type carries — libm ``pow`` for Python floats, but NumPy's
+#: squaring/SIMD fast paths for arrays — and those implementations can
+#: disagree by one ulp on the same inputs (e.g. ``x ** 2`` vs
+#: ``np.square``).  Every other operator in the allowed subset is a
+#: correctly-rounded IEEE-754 primitive and therefore bit-identical
+#: across backends.  To keep the scalar and vectorized engines in bit
+#: parity, ``a ** b`` (and the whitelisted ``pow``) are rewritten to
+#: this shared helper, which fixes one operation sequence for both:
+#: binary exponentiation out of correctly-rounded multiplies for
+#: integral exponents, elementwise ``math.pow`` otherwise.
+_POW_NAME = "__rate_pow__"
+
+
+def _rate_pow(base, exponent):
+    """Backend-independent ``base ** exponent`` (floats or arrays)."""
+    if isinstance(exponent, (int, float)):
+        as_float = float(exponent)
+        if as_float.is_integer() and abs(as_float) <= 2**15:
+            n = int(as_float)
+            if n == 0:
+                # ``x ** 0`` keeps the operand's shape: scalars get 1.0,
+                # arrays a ones-array (non-finite bases excepted).
+                return base * 0.0 + 1.0
+            result = None
+            square = base * 1.0
+            k = abs(n)
+            while k:
+                if k & 1:
+                    result = square if result is None else result * square
+                k >>= 1
+                if k:
+                    square = square * square
+            return 1.0 / result if n < 0 else result
+    return _pow_elementwise(base, exponent)
+
+
+def _pow_elementwise(base, exponent):
+    """``math.pow`` applied elementwise — identical rounding either way."""
+    import numpy as np
+
+    if isinstance(base, np.ndarray) or isinstance(exponent, np.ndarray):
+        bases, exponents = np.broadcast_arrays(
+            np.asarray(base, dtype=float), np.asarray(exponent, dtype=float)
+        )
+        out = np.empty(bases.shape)
+        flat = out.ravel()
+        for i, (x, y) in enumerate(zip(bases.ravel(), exponents.ravel())):
+            flat[i] = math.pow(x, y)
+        return out
+    return math.pow(float(base), float(exponent))
+
+
+class _PowRewriter(ast.NodeTransformer):
+    """Rewrite ``a ** b`` into ``__rate_pow__(a, b)`` (see above)."""
+
+    def visit_BinOp(self, node: ast.BinOp) -> ast.AST:
+        self.generic_visit(node)
+        if not isinstance(node.op, ast.Pow):
+            return node
+        call = ast.Call(
+            func=ast.Name(id=_POW_NAME, ctx=ast.Load()),
+            args=[node.left, node.right],
+            keywords=[],
+        )
+        return ast.copy_location(call, node)
+
+
+def rewrite_power_nodes(tree: ast.AST) -> ast.AST:
+    """Apply the Pow rewrite to a parsed (already validated) tree."""
+    tree = _PowRewriter().visit(tree)
+    ast.fix_missing_locations(tree)
+    return tree
+
+
 #: Functions that may be called inside a rate expression.
 ALLOWED_FUNCTIONS: Dict[str, Callable[..., float]] = {
     "exp": math.exp,
@@ -25,7 +100,7 @@ ALLOWED_FUNCTIONS: Dict[str, Callable[..., float]] = {
     "min": min,
     "max": max,
     "abs": abs,
-    "pow": pow,
+    "pow": _rate_pow,
     "floor": math.floor,
     "ceil": math.ceil,
 }
@@ -46,6 +121,7 @@ _ALLOWED_UNARYOPS = (ast.UAdd, ast.USub)
 _BASE_NAMESPACE: Dict[str, object] = {"__builtins__": {}}
 _BASE_NAMESPACE.update(ALLOWED_CONSTANTS)
 _BASE_NAMESPACE.update(ALLOWED_FUNCTIONS)
+_BASE_NAMESPACE[_POW_NAME] = _rate_pow
 
 RateLike = Union[str, float, int, "Expression"]
 
@@ -87,11 +163,12 @@ def vector_namespace() -> Dict[str, object]:
             "min": _vectorized_min,
             "max": _vectorized_max,
             "abs": np.abs,
-            "pow": np.power,
+            "pow": _rate_pow,
             "floor": np.floor,
             "ceil": np.ceil,
         }
     )
+    namespace[_POW_NAME] = _rate_pow
     return namespace
 
 
@@ -239,7 +316,7 @@ def compile_expression(source: RateLike) -> Expression:
         raise ExpressionError(f"cannot parse rate expression {stripped!r}: {exc}") from exc
     validator = _Validator(stripped)
     validator.visit(tree)
-    code = compile(tree, "<rate>", "eval")
+    code = compile(rewrite_power_nodes(tree), "<rate>", "eval")
     return Expression(stripped, validator.names, code)
 
 

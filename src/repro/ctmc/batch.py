@@ -30,10 +30,12 @@ are routed through the structure-exploiting engines in
 :mod:`repro.ctmc.sparse` instead: batched banded GTH when the generator
 is banded-plus-spike (the generalized N-instance AS model), sparse LU
 with symbolic-pattern reuse otherwise.  ``method="auto"`` additionally
-picks the banded engine for medium-sized banded models (>=
-:data:`~repro.ctmc.sparse.BANDED_MIN_STATES` states) where it already
-beats the dense stacked LU.  The bit-parity contract applies to the
-dense paths; the structured engines match the dense reference to ~1e-12.
+picks the banded engine for banded models at or above
+:data:`~repro.ctmc.sparse.BANDED_BATCH_MIN_STATES` states — the batch
+crossover is far below the scalar one because the elimination is
+vectorized over the whole sample block.  The bit-parity contract applies
+to the dense paths; the structured engines match the dense reference to
+~1e-12.
 """
 
 from __future__ import annotations
@@ -50,7 +52,7 @@ from repro.core.compiled import ColumnLike, CompiledModel, compile_model
 from repro.core.model import MarkovModel
 from repro.ctmc.generator import SPARSE_THRESHOLD, GeneratorMatrix
 from repro.ctmc.sparse import (
-    BANDED_MIN_STATES,
+    BANDED_BATCH_MIN_STATES,
     MAX_BANDWIDTH,
     BandedStructure,
     SparseSteadyStateSolver,
@@ -443,7 +445,7 @@ def _resolve_engine(compiled: CompiledModel, method: str) -> str:
         return "sparse"
     if method == "auto":
         if (
-            n >= BANDED_MIN_STATES
+            n >= BANDED_BATCH_MIN_STATES
             and banded_structure_of(compiled) is not None
         ):
             return "banded"

@@ -49,10 +49,23 @@ from repro.exceptions import SolverError
 #: this the O(n b^2) cost loses to the general sparse path anyway.
 MAX_BANDWIDTH = 16
 
-#: Below this many states the dense stacked LU beats the Python-level
-#: elimination loop; the batch engine only auto-selects the banded path
-#: at or above it.
+#: Scalar-path cutover: below this many states a single dense LU solve
+#: beats one banded GTH elimination pass (plan setup and the per-state
+#: elimination loop cannot amortize over a lone sample), so scalar
+#: ``method="auto"`` stays dense under it.
 BANDED_MIN_STATES = 48
+
+#: Batch-path cutover: vectorizing the elimination across the whole
+#: sample block amortizes the per-state overhead, so the banded engine
+#: overtakes the dense stacked LU at a much smaller size (measured
+#: crossover ~12 states on both the compiled and numpy backends; the
+#: dense stack is O(n^2) per sample and falls behind fast).  Held at 32
+#: rather than the raw crossover because every Table 3 paper model
+#: (largest AS submodel: 29 states at ``n_instances=10``) is pinned
+#: bit-identical between the compiled/batch and scalar engines, and the
+#: banded elimination is algebraically distinct from the dense LU; the
+#: generalized sweeps the cutover targets start at 47 states (N=16).
+BANDED_BATCH_MIN_STATES = 32
 
 
 @dataclass(frozen=True)

@@ -23,14 +23,21 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.expressions import rewrite_power_nodes
+
 __all__ = ["RateProgram"]
 
 
 def _compile_tuple(sources: Tuple[str, ...]):
-    """Compile expression sources into one tuple-valued code object."""
+    """Compile expression sources into one tuple-valued code object.
+
+    Pow nodes get the same ``__rate_pow__`` rewrite as the scalar
+    path (:func:`repro.core.expressions.rewrite_power_nodes`), so both
+    engines run the identical operation sequence for ``a ** b``.
+    """
     elements = []
     for source in sources:
-        tree = ast.parse(source, mode="eval")
+        tree = rewrite_power_nodes(ast.parse(source, mode="eval"))
         elements.append(tree.body)
     program = ast.Expression(ast.Tuple(elts=elements, ctx=ast.Load()))
     ast.fix_missing_locations(program)

@@ -58,6 +58,7 @@ from repro.obs.sinks import (
     InMemorySink,
     JsonlSink,
     load_trace,
+    relabel_prometheus,
     render_prometheus,
     write_metrics,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "histogram",
     "load_trace",
     "observe",
+    "relabel_prometheus",
     "render_prometheus",
     "render_span_tree",
     "render_trace_report",

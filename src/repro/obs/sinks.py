@@ -151,6 +151,49 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def relabel_prometheus(text: str, **labels: str) -> str:
+    """Inject extra labels into every sample of a Prometheus exposition.
+
+    The cluster router aggregates its shards' ``/metrics`` scrapes into
+    one exposition; each shard's samples get a ``shard="shard-N"``
+    label here so per-shard counters stay distinguishable after
+    aggregation.  Comment lines (``# TYPE`` ...) pass through untouched;
+    sample lines ``name{a="b"} value`` and ``name value`` gain the
+    given labels (existing labels keep precedence on key collision).
+    """
+    if not labels:
+        return text
+    rendered = ",".join(
+        f'{key}="{_prom_escape(value)}"' for key, value in labels.items()
+    )
+    out: List[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            out.append(line)
+            continue
+        if name_part.endswith("}"):
+            brace = name_part.index("{")
+            existing = name_part[brace + 1:-1]
+            keys = {
+                pair.split("=", 1)[0]
+                for pair in existing.split(",") if "=" in pair
+            }
+            extra = ",".join(
+                f'{key}="{_prom_escape(value)}"'
+                for key, value in labels.items()
+                if key not in keys
+            )
+            merged = existing + ("," + extra if extra else "")
+            out.append(f"{name_part[:brace]}{{{merged}}} {value_part}")
+        else:
+            out.append(f"{name_part}{{{rendered}}} {value_part}")
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+
 def write_metrics(
     registry: MetricsRegistry, path: Union[str, pathlib.Path]
 ) -> pathlib.Path:

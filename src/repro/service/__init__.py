@@ -35,7 +35,13 @@ Service responses are bit-identical to direct
 """
 
 from repro.service.cache import SolveCache
-from repro.service.client import RetryPolicy, ServiceClient, idempotency_key
+from repro.service.client import (
+    HttpConnectionPool,
+    RetryPolicy,
+    ServiceClient,
+    idempotency_key,
+)
+from repro.service.cluster import ClusterConfig, ClusterServer, ClusterService
 from repro.service.config import ServiceConfig
 from repro.service.errors import (
     BadRequest,
@@ -53,6 +59,7 @@ from repro.service.fingerprint import (
     parameter_fingerprint,
     solve_fingerprint,
 )
+from repro.service.ring import ConsistentHashRing
 from repro.service.scheduler import MicroBatcher, Ticket
 from repro.service.server import (
     AvailabilityServer,
@@ -63,6 +70,11 @@ __all__ = [
     "AvailabilityServer",
     "AvailabilityService",
     "BadRequest",
+    "ClusterConfig",
+    "ClusterServer",
+    "ClusterService",
+    "ConsistentHashRing",
+    "HttpConnectionPool",
     "MicroBatcher",
     "Overloaded",
     "RetryPolicy",

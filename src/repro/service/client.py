@@ -1,7 +1,7 @@
 """Stdlib client for the evaluation server.
 
-A thin ``urllib`` wrapper so tests, the CLI and scripts can talk to a
-running server without extra dependencies::
+A thin ``http.client`` wrapper so tests, the CLI and scripts can talk
+to a running server (or cluster router) without extra dependencies::
 
     from repro.service import ServiceClient
 
@@ -9,12 +9,25 @@ running server without extra dependencies::
     response = client.solve(n_instances=4, n_pairs=4)
     print(response["availability"], response["serving"]["cache"])
 
+Transport: connections are **kept alive and pooled** per client.  The
+server speaks HTTP/1.1 with ``Content-Length`` framing, so sequential
+requests reuse one socket instead of paying a TCP handshake each time,
+and concurrent callers draw from a small free-connection stack (the
+pool grows to the concurrency actually used, never beyond
+``pool_size`` idle sockets).  ``connections_opened`` counts the sockets
+a client ever created — the socket-reuse regression test pins it to 1
+for a sequential workload.
+
 Robustness (the client half of the chaos-recovery contract):
 
 * every transport-level failure is wrapped in the typed
   :class:`~repro.service.errors.ServiceConnectionError` /
   :class:`~repro.service.errors.ServiceTimeout` hierarchy instead of
-  leaking the raw ``urllib``/``socket`` exception zoo;
+  leaking the raw ``http.client``/``socket`` exception zoo;
+* a failed *reused* connection is indistinguishable from a server that
+  died mid-request, so it is discarded and the request retried per
+  policy — safe because every POST is idempotent (content-addressed
+  solves plus the ``Idempotency-Key`` header);
 * connection errors are retried up to :class:`RetryPolicy.max_attempts`
   with exponential backoff and **full jitter**
   (``uniform(0, min(cap, base * 2**attempt))`` — the AWS-recommended
@@ -25,7 +38,9 @@ Robustness (the client half of the chaos-recovery contract):
 * every POST carries an ``Idempotency-Key`` header — the SHA-256 of the
   canonical request content — computed once per logical request, so the
   server can tell a retry from a new request even when the original
-  response was lost on the wire.
+  response was lost on the wire.  The cluster router consistent-hashes
+  this same digest, so retries re-route to the key's current home
+  shard after a failover.
 
 Error mapping: 429 raises
 :class:`~repro.service.errors.ServiceUnavailable` carrying the server's
@@ -41,11 +56,11 @@ import http.client
 import json
 import random
 import socket
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.serialize import canonical_json
 from repro.service.errors import (
@@ -104,15 +119,88 @@ def idempotency_key(path: str, document: Mapping[str, Any]) -> str:
     The canonical-JSON digest of ``(path, body)`` — identical across
     retries of the same request, different for any semantic change, and
     stable across processes (same canonical encoding the solve cache
-    fingerprints use).
+    fingerprints use).  The cluster router uses this digest as its
+    consistent-hash routing key, so it doubles as the request's shard
+    address.
     """
     return hashlib.sha256(
         canonical_json({"path": path, "body": dict(document)}).encode("ascii")
     ).hexdigest()
 
 
+class _NoDelayHTTPConnection(http.client.HTTPConnection):
+    """``HTTPConnection`` that disables Nagle as soon as it dials.
+
+    Nagle batching interacts with the peer's delayed ACK and can stall
+    a keep-alive request/response round trip by ~40 ms — fatal when the
+    exchange itself is sub-millisecond (cache hits).  Connecting stays
+    lazy (first ``request``) so dial errors still surface inside the
+    caller's transport-error handling.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class HttpConnectionPool:
+    """Keep-alive connection pool for one ``http://host:port`` origin.
+
+    A bounded LIFO stack of idle :class:`http.client.HTTPConnection`
+    objects.  :meth:`acquire` pops an idle connection (or dials a new
+    one — counted in :attr:`opened`), the caller runs exactly one
+    request/response exchange on it, then either :meth:`release`\\ s it
+    for reuse or :meth:`discard`\\ s it after any transport error, since
+    a connection that failed mid-exchange has undefined framing state.
+
+    LIFO keeps the hottest socket busiest, so a sequential caller uses
+    exactly one connection and a burst of *k* concurrent callers
+    settles on *k*.  The cluster router holds one pool per shard.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float, max_idle: int = 8
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.max_idle = int(max_idle)
+        self.opened = 0
+        self._idle: List[http.client.HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def acquire(self) -> http.client.HTTPConnection:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+            self.opened += 1
+        return _NoDelayHTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def release(self, conn: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.max_idle:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def discard(self, conn: http.client.HTTPConnection) -> None:
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
 class ServiceClient:
-    """HTTP client for one :class:`~repro.service.server.AvailabilityServer`.
+    """HTTP client for one :class:`~repro.service.server.AvailabilityServer`
+    (or one :class:`~repro.service.cluster.ClusterServer` router — the
+    API is identical).
 
     Args:
         base_url: Server root, e.g. ``http://127.0.0.1:8080``.
@@ -125,6 +213,8 @@ class ServiceClient:
     Attributes:
         last_attempts: How many attempts the most recent request used
             (1 means it succeeded first try).
+        connections_opened: Sockets this client has dialed so far; stays
+            at 1 for a sequential workload thanks to keep-alive reuse.
     """
 
     def __init__(
@@ -140,9 +230,31 @@ class ServiceClient:
         self.timeout = float(timeout)
         self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         self._rng = rng if rng is not None else random.Random()
+        parts = urllib.parse.urlsplit(self.base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(
+                f"base_url must be http://host[:port], got {base_url!r}"
+            )
+        self._pool = HttpConnectionPool(
+            parts.hostname, parts.port or 80, self.timeout
+        )
         # Seam for tests: patch to observe/skip backoff sleeps.
         self._sleep = time.sleep
         self.last_attempts = 0
+
+    @property
+    def connections_opened(self) -> int:
+        return self._pool.opened
+
+    def close(self) -> None:
+        """Drop the pooled keep-alive connections."""
+        self._pool.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # Transport -----------------------------------------------------------
 
@@ -189,64 +301,62 @@ class ServiceClient:
     ) -> Any:
         url = f"{self.base_url}{path}"
         if document is None:
-            request = urllib.request.Request(url, method="GET")
+            method, body, headers = "GET", None, {}
         else:
+            method = "POST"
+            body = json.dumps(dict(document)).encode("utf-8")
             headers = {"Content-Type": "application/json"}
             if key is not None:
                 headers["Idempotency-Key"] = key
-            request = urllib.request.Request(
-                url,
-                data=json.dumps(dict(document)).encode("utf-8"),
-                headers=headers,
-                method="POST",
-            )
+        conn = self._pool.acquire()
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                body = reply.read().decode("utf-8")
-                content_type = reply.headers.get("Content-Type", "")
-        except urllib.error.HTTPError as exc:
-            # The server answered with an error status: not a transport
-            # failure.  Must precede URLError (HTTPError subclasses it).
-            raise self._error_from(exc) from None
-        except urllib.error.URLError as exc:
-            reason = exc.reason
-            if isinstance(reason, (socket.timeout, TimeoutError)):
-                raise ServiceTimeout(
-                    f"request to {url} timed out after {self.timeout}s",
-                    cause=exc,
-                ) from exc
-            raise ServiceConnectionError(
-                f"connection to {url} failed: {reason}", cause=exc
-            ) from exc
+            conn.request(method, path, body=body, headers=headers)
+            reply = conn.getresponse()
+            payload = reply.read()
         except (socket.timeout, TimeoutError) as exc:
+            self._pool.discard(conn)
             raise ServiceTimeout(
                 f"request to {url} timed out after {self.timeout}s",
                 cause=exc,
             ) from exc
-        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+        except (
+            ConnectionError, http.client.HTTPException, OSError
+        ) as exc:
             # E.g. the server closed the socket mid-response (the
-            # ``response.drop`` chaos point) -> RemoteDisconnected.
+            # ``response.drop`` chaos point, a killed shard) ->
+            # RemoteDisconnected / reset.  The connection's framing
+            # state is undefined, so it never goes back to the pool.
+            self._pool.discard(conn)
             raise ServiceConnectionError(
                 f"connection to {url} failed: {exc}", cause=exc
             ) from exc
+        if reply.will_close:
+            self._pool.discard(conn)
+        else:
+            self._pool.release(conn)
+        content_type = reply.headers.get("Content-Type", "")
+        if reply.status >= 400:
+            raise self._error_from(reply.status, reply.headers, payload)
         if content_type.startswith("application/json"):
-            return json.loads(body)
-        return body
+            return json.loads(payload.decode("utf-8"))
+        return payload.decode("utf-8")
 
     @staticmethod
-    def _error_from(exc: urllib.error.HTTPError) -> ServiceClientError:
+    def _error_from(
+        status: int, headers: Mapping[str, str], body: bytes
+    ) -> ServiceClientError:
         try:
-            payload = json.loads(exc.read().decode("utf-8"))
-        except (ValueError, OSError):
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
             payload = None
         message = (
             payload.get("error")
             if isinstance(payload, dict) and "error" in payload
-            else f"HTTP {exc.code}"
+            else f"HTTP {status}"
         )
-        if exc.code == 429:
+        if status == 429:
             try:
-                retry_after = float(exc.headers.get("Retry-After") or 1.0)
+                retry_after = float(headers.get("Retry-After") or 1.0)
             except ValueError:
                 retry_after = 1.0
             return ServiceUnavailable(
@@ -256,7 +366,7 @@ class ServiceClient:
             )
         return ServiceClientError(
             str(message),
-            status=exc.code,
+            status=status,
             payload=payload if isinstance(payload, dict) else None,
         )
 
@@ -337,12 +447,24 @@ class ServiceClient:
         return self._request("/v1/uncertainty", document)
 
     def healthz(self) -> Dict[str, Any]:
-        """``GET /healthz`` — liveness and queue/cache occupancy."""
+        """``GET /healthz`` — liveness and queue/cache occupancy.
+
+        Against a cluster router this is the aggregated cluster health
+        document (per-shard health under ``"shards"``).
+        """
         return self._request("/healthz")
 
     def metrics(self) -> str:
-        """``GET /metrics`` — Prometheus text exposition."""
+        """``GET /metrics`` — Prometheus text exposition.
+
+        Against a cluster router, shard metrics carry a ``shard`` label.
+        """
         return self._request("/metrics")
+
+    def cluster_status(self) -> Dict[str, Any]:
+        """``GET /cluster/status`` — ring membership and shard lifecycle
+        (cluster router only)."""
+        return self._request("/cluster/status")
 
     # Chaos surface (server must run with ``ServiceConfig(chaos=True)``) --
 

@@ -1,0 +1,140 @@
+"""Consistent-hash ring for the sharded service cluster.
+
+The cluster router must send every request fingerprint to the *same*
+shard for as long as that shard is alive — that is what makes the solve
+caches shard-local instead of N duplicated copies — while losing or
+re-admitting a shard may only move the keys that shard owned.  A
+consistent-hash ring with virtual nodes gives both properties:
+
+* each node is hashed onto the ring at ``replicas`` positions (virtual
+  nodes), so ownership is spread evenly even for small clusters;
+* a key is owned by the first node clockwise from the key's position;
+* removing a node reassigns only its arcs to the next node clockwise
+  (~1/N of the keyspace), leaving every other shard's cache intact.
+
+Positions come from SHA-256 over stable strings, so the mapping is
+deterministic across processes and runs — a router restart (or a
+replayed campaign) routes identically.  Thread safety is the caller's
+concern: the router mutates membership under its own lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterator, List, Tuple
+
+from repro.service.errors import ServiceError
+
+#: Virtual nodes per member; 64 keeps the max/mean ownership skew under
+#: ~20% for 2-16 shards while membership changes stay O(replicas log n).
+DEFAULT_REPLICAS = 64
+
+
+def _position(token: str) -> int:
+    """Ring position of a token: the top 64 bits of its SHA-256."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring with virtual nodes.
+
+    Args:
+        replicas: Virtual nodes per member.
+
+    Usage::
+
+        ring = ConsistentHashRing()
+        ring.add("shard-0")
+        ring.add("shard-1")
+        owner = ring.route(fingerprint)          # "shard-0" or "shard-1"
+        ring.remove(owner)                        # failover
+        fallback = ring.route(fingerprint)        # the next arc owner
+    """
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._members: Dict[str, Tuple[int, ...]] = {}
+
+    # Membership ----------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Admit ``node``; idempotent for an already-present member."""
+        if node in self._members:
+            return
+        positions = []
+        for replica in range(self.replicas):
+            point = _position(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+            positions.append(point)
+        self._members[node] = tuple(positions)
+
+    def remove(self, node: str) -> None:
+        """Evict ``node``; a no-op when it is not a member."""
+        if node not in self._members:
+            return
+        del self._members[node]
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Current members, sorted for stable reporting."""
+        return tuple(sorted(self._members))
+
+    # Routing -------------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """The member owning ``key`` (first node clockwise)."""
+        if not self._members:
+            raise ServiceError("consistent-hash ring has no members")
+        index = bisect.bisect(self._points, _position(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def route_order(self, key: str) -> Iterator[str]:
+        """Members in failover order for ``key``: the owner first, then
+        each subsequent *distinct* node clockwise around the ring.
+
+        This is the order the router tries shards in when the owner is
+        down — the first alternative is exactly the node that inherits
+        the key if the owner is evicted, so a retry lands where the
+        entry will live after failover.
+        """
+        if not self._members:
+            return
+        start = bisect.bisect(self._points, _position(key))
+        seen = set()
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+
+    def ownership(self, keys: List[str]) -> Dict[str, int]:
+        """How many of ``keys`` each member owns (diagnostics/tests)."""
+        counts = {node: 0 for node in self._members}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

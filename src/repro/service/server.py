@@ -776,6 +776,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "repro-avail-service/1"
     protocol_version = "HTTP/1.1"
+    # Keep-alive clients pipeline request/response exchanges on one
+    # socket; without TCP_NODELAY the kernel holds the response body
+    # segment until the peer's delayed ACK (~40 ms) arrives, which
+    # would dominate sub-millisecond cache-hit latencies.
+    disable_nagle_algorithm = True
 
     @property
     def service(self) -> AvailabilityService:

@@ -11,7 +11,11 @@ import json
 import pytest
 
 from repro.chaos.campaign import REPORT_SCHEMA, run_campaign
-from repro.chaos.injector import INJECTION_POINTS, POINT_SOLVER_EXCEPTION
+from repro.chaos.injector import (
+    ALL_INJECTION_POINTS,
+    INJECTION_POINTS,
+    POINT_SOLVER_EXCEPTION,
+)
 from repro.estimation.coverage import estimate_coverage
 from repro.service import (
     AvailabilityServer,
@@ -49,7 +53,7 @@ class TestChaosEndpoints:
     def test_status_reports_enabled_injector(self, chaos_server):
         status = ServiceClient(chaos_server.url).chaos_status()
         assert status["enabled"] is True
-        assert set(status["points"]) == set(INJECTION_POINTS)
+        assert set(status["points"]) == set(ALL_INJECTION_POINTS)
 
     def test_arm_then_fire_counted_in_status(self, chaos_server):
         client = ServiceClient(chaos_server.url)

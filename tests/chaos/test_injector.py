@@ -4,6 +4,7 @@ import pytest
 
 from repro import chaos
 from repro.chaos.injector import (
+    ALL_INJECTION_POINTS,
     INJECTION_POINTS,
     NULL_INJECTOR,
     POINT_DESCRIPTIONS,
@@ -22,7 +23,7 @@ class TestNullDefault:
         assert not chaos.enabled()
 
     def test_null_fire_is_always_quiet(self):
-        for point in INJECTION_POINTS:
+        for point in ALL_INJECTION_POINTS:
             assert NULL_INJECTOR.fire(point) is None
 
     def test_module_fire_is_quiet_by_default(self):
@@ -176,11 +177,11 @@ class TestStatus:
         injector.arm(POINT_SCHEDULER_STALL, count=2)
         status = injector.status()
         assert status["enabled"] is True
-        assert set(status["points"]) == set(INJECTION_POINTS)
+        assert set(status["points"]) == set(ALL_INJECTION_POINTS)
         stall = status["points"][POINT_SCHEDULER_STALL]
         assert stall["armed"] == 2 and stall["fired"] == 0
         assert status["points"][POINT_SOLVER_EXCEPTION]["rate"] == 0.25
-        for point in INJECTION_POINTS:
+        for point in ALL_INJECTION_POINTS:
             assert (
                 status["points"][point]["description"]
                 == POINT_DESCRIPTIONS[point]

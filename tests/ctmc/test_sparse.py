@@ -227,10 +227,14 @@ class TestDispatchAndDiagnostics:
             batch_steady_state(model, {}, n_samples=1, method="banded")
 
     def test_auto_equals_direct_on_small_models(self):
-        """Below BANDED_MIN_STATES 'auto' must be bit-identical to direct."""
+        """Below the banded cutovers 'auto' must be bit-identical to
+        direct (scalar and batch have separate thresholds)."""
+        from repro.ctmc.sparse import BANDED_BATCH_MIN_STATES
+
         model = build_appserver_model(4)
         values = paper_values()
         generator = build_generator(model, values)
+        assert generator.n_states < BANDED_BATCH_MIN_STATES
         assert generator.n_states < BANDED_MIN_STATES
         auto = steady_state_vector(generator, method="auto")
         direct = steady_state_vector(generator, method="direct")
@@ -238,6 +242,23 @@ class TestDispatchAndDiagnostics:
         batch_auto = batch_steady_state(model, values, 1, method="auto")
         batch_direct = batch_steady_state(model, values, 1, method="direct")
         assert (batch_auto == batch_direct).all()
+
+    def test_batch_auto_uses_banded_below_scalar_cutover(self):
+        """The N=16 AS model (47 states) sits below the scalar cutover
+        but well past the batch one: batch 'auto' must pick the banded
+        engine there (the BENCH_scale non-monotonicity regression)."""
+        from repro.ctmc.batch import _resolve_engine
+        from repro.ctmc.sparse import BANDED_BATCH_MIN_STATES
+
+        compiled = compile_model(build_appserver_model(16))
+        assert (
+            BANDED_BATCH_MIN_STATES
+            <= compiled.n_states
+            < BANDED_MIN_STATES
+        )
+        assert _resolve_engine(compiled, "auto") == "banded"
+        # Dense methods keep their bit-parity contract at this size.
+        assert _resolve_engine(compiled, "direct") == "direct"
 
     def test_gmres_method_on_as_model(self):
         generator = build_generator(build_appserver_model(16), paper_values())

@@ -91,6 +91,33 @@ def test_program_batch_rows_match_scalar_rows(n_samples, data):
         assert np.array_equal(rates[i], _interpreted_rates(model, row_values))
 
 
+def test_pow_rounds_identically_across_backends():
+    """Regression: ``Acc ** 2`` once rounded differently per backend.
+
+    libm ``pow`` (Python float ``**``) and NumPy's squaring fast path
+    (ndarray ``** 2``) disagree by one ulp at this hypothesis-found
+    value.  Pow nodes are rewritten to a shared helper so the scalar
+    and vectorized engines run the identical operation sequence; the
+    rates must now match bit-for-bit.
+    """
+    base = PAPER_PARAMETERS.to_dict()
+    values = {
+        "Acc": base["Acc"] * 0.43853304849543373,
+        "La_as": base["La_as"],
+        "La_os": base["La_os"],
+        "La_hw": base["La_hw"],
+    }
+    source = "1 * (Acc ** 2) * (La_as + La_os + La_hw)"
+    scalar = compile_expression(source)(values)
+    program = RateProgram((source,))
+    out = program.evaluate(
+        {name: np.array([value]) for name, value in values.items()},
+        1,
+        vector_namespace(),
+    )
+    assert out[0, 0] == scalar
+
+
 def test_dedup_counts_on_generalized_model():
     """The generalized AS model repeats sources; the program dedups them."""
     model = JsasConfiguration(

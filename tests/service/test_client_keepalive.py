@@ -1,0 +1,128 @@
+"""Keep-alive transport: socket reuse, pool bounds, reconnect-on-drop."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import chaos
+from repro.service import (
+    AvailabilityServer,
+    HttpConnectionPool,
+    ServiceClient,
+    ServiceConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with AvailabilityServer(
+        ServiceConfig(port=0, chaos=True, chaos_seed=5)
+    ) as srv:
+        yield srv
+
+
+class TestSocketReuse:
+    def test_sequential_requests_reuse_one_connection(self, server):
+        """The keep-alive regression: a sequential workload must dial
+        exactly one socket, however many requests it sends."""
+        with ServiceClient(server.url) as client:
+            for i in range(8):
+                client.solve(parameters={"Tstart_long_as": 1.0 + 0.01 * i})
+            client.healthz()
+            client.metrics()
+            assert client.connections_opened == 1
+
+    def test_concurrent_connections_bounded_by_concurrency(self, server):
+        """A burst of k concurrent callers settles on at most k sockets
+        (each in-flight exchange needs its own)."""
+        k = 4
+        with ServiceClient(server.url, timeout=60.0) as client:
+            barrier = threading.Barrier(k)
+
+            def call(i):
+                barrier.wait()
+                return client.solve(
+                    parameters={"Tstart_long_as": 2.0 + 0.01 * i}
+                )
+
+            with ThreadPoolExecutor(max_workers=k) as pool:
+                results = list(pool.map(call, range(k)))
+            assert all(
+                isinstance(r["availability"], float) for r in results
+            )
+            assert 1 <= client.connections_opened <= k
+            # The pool is warm now: another sequential pass dials none.
+            before = client.connections_opened
+            for i in range(4):
+                client.solve(parameters={"Tstart_long_as": 2.0 + 0.01 * i})
+            assert client.connections_opened == before
+
+    def test_dropped_response_discards_and_redials(self, server):
+        """A response.drop fault closes the socket mid-exchange; the
+        client must not return that connection to the pool, and the
+        retry dials a fresh one and succeeds."""
+        client = ServiceClient(server.url)
+        client.solve(parameters={"Tstart_long_as": 3.33})
+        assert client.connections_opened == 1
+        client.chaos_arm(chaos.POINT_RESPONSE_DROP, count=1)
+        response = client.solve(parameters={"Tstart_long_as": 3.33})
+        assert isinstance(response["availability"], float)
+        assert client.last_attempts > 1
+        assert client.connections_opened == 2
+        # And the replacement socket is reused thereafter.
+        client.solve(parameters={"Tstart_long_as": 3.34})
+        assert client.connections_opened == 2
+        client.close()
+
+
+class TestPool:
+    def test_release_then_acquire_returns_same_connection(self, server):
+        host, port = server.address
+        pool = HttpConnectionPool(host, port, timeout=10.0)
+        conn = pool.acquire()
+        pool.release(conn)
+        assert pool.acquire() is conn
+        assert pool.opened == 1
+        pool.close()
+
+    def test_idle_stack_is_bounded(self, server):
+        host, port = server.address
+        pool = HttpConnectionPool(host, port, timeout=10.0, max_idle=2)
+        conns = [pool.acquire() for _ in range(4)]
+        for conn in conns:
+            pool.release(conn)
+        assert pool.opened == 4
+        # Only max_idle survive; the rest were closed on release.
+        assert len(pool._idle) == 2
+        pool.close()
+
+    def test_close_rejects_future_releases(self, server):
+        host, port = server.address
+        pool = HttpConnectionPool(host, port, timeout=10.0)
+        conn = pool.acquire()
+        pool.close()
+        pool.release(conn)  # closed pool: connection is dropped
+        assert pool._idle == []
+
+    def test_discarded_connection_never_returns(self, server):
+        host, port = server.address
+        pool = HttpConnectionPool(host, port, timeout=10.0)
+        conn = pool.acquire()
+        pool.discard(conn)
+        assert pool.acquire() is not conn
+        assert pool.opened == 2
+        pool.close()
+
+
+class TestClientLifecycle:
+    def test_rejects_non_http_url(self):
+        with pytest.raises(ValueError, match="base_url"):
+            ServiceClient("https://example.com")
+        with pytest.raises(ValueError, match="base_url"):
+            ServiceClient("not-a-url")
+
+    def test_context_manager_closes_pool(self, server):
+        with ServiceClient(server.url) as client:
+            client.healthz()
+        assert client._pool._closed

@@ -114,6 +114,58 @@ class TestRecovery:
             time.sleep(0.05)
         assert pool.alive_count() == 2
 
+    def test_respawn_accounting_after_sigkill(self, prefork_service):
+        """A SIGKILL'd worker shows up in the death/respawn counters and
+        /healthz returns to full worker strength."""
+        from repro import obs
+
+        pool = prefork_service.pool
+        deaths_before = obs.counter(
+            "service_prefork_worker_deaths_total"
+        ).value
+        respawns_before = obs.counter(
+            "service_prefork_worker_respawns_total"
+        ).value
+        os.kill(pool._workers[0].process.pid, 9)
+        # A job gives the manager a reason to notice and reap.
+        status, _, _ = prefork_service.handle(
+            "/v1/solve", {"parameters": {"La_as": 27.25}}
+        )
+        assert status == 200
+        deadline = time.time() + 10.0
+        while pool.alive_count() < 2 and time.time() < deadline:
+            time.sleep(0.05)
+        assert pool.alive_count() == 2
+        assert (
+            obs.counter("service_prefork_worker_deaths_total").value
+            >= deaths_before + 1
+        )
+        assert (
+            obs.counter("service_prefork_worker_respawns_total").value
+            >= respawns_before + 1
+        )
+        status, health, _ = prefork_service.handle("/healthz", {})
+        assert status == 200
+        assert health["worker_processes"] == 2
+        assert health["solver_workers_alive"] == 2
+
+    def test_exhaustion_surfaces_service_error_by_name(self, monkeypatch):
+        """When every attempt dies, the caller gets a typed ServiceError
+        naming the attempt bound — not a hang or a bare Exception."""
+        import repro.service.prefork as prefork_mod
+
+        monkeypatch.setattr(
+            prefork_mod, "_group_from_spec", lambda spec: os._exit(5)
+        )
+        pool = SolverPool(1)
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                pool.execute(("whatever",), [{}])
+            assert type(excinfo.value) is ServiceError
+            assert str(MAX_ATTEMPTS) in str(excinfo.value)
+        finally:
+            pool.close()
+
     def test_worker_exit_mid_job_is_retried(self, monkeypatch):
         # Forked workers inherit the patched module, so every attempt
         # kills its worker mid-job: the pool must respawn and fail the

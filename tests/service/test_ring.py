@@ -1,0 +1,130 @@
+"""Consistent-hash ring: determinism, balance, minimal-motion failover."""
+
+import pytest
+
+from repro.service import ConsistentHashRing
+from repro.service.errors import ServiceError
+from repro.service.ring import DEFAULT_REPLICAS, _position
+
+
+def keys(n: int):
+    return [f"key-{i:04d}" for i in range(n)]
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = ConsistentHashRing()
+        ring.add("shard-0")
+        ring.add("shard-0")
+        assert len(ring) == 1
+        assert "shard-0" in ring
+
+    def test_remove_unknown_is_noop(self):
+        ring = ConsistentHashRing()
+        ring.add("shard-0")
+        ring.remove("shard-9")
+        assert ring.nodes == ("shard-0",)
+
+    def test_remove_then_readd_restores_identical_ownership(self):
+        ring = ConsistentHashRing()
+        for i in range(4):
+            ring.add(f"shard-{i}")
+        before = {key: ring.route(key) for key in keys(200)}
+        ring.remove("shard-2")
+        ring.add("shard-2")
+        after = {key: ring.route(key) for key in keys(200)}
+        assert before == after
+
+    def test_replicas_validated(self):
+        with pytest.raises(ServiceError, match="replicas"):
+            ConsistentHashRing(replicas=0)
+
+
+class TestRouting:
+    def test_empty_ring_raises(self):
+        with pytest.raises(ServiceError, match="no members"):
+            ConsistentHashRing().route("anything")
+
+    def test_routing_is_deterministic_across_instances(self):
+        """Same membership -> same mapping, even in a fresh process."""
+        a = ConsistentHashRing()
+        b = ConsistentHashRing()
+        for i in range(5):
+            a.add(f"shard-{i}")
+            b.add(f"shard-{i}")
+        assert [a.route(k) for k in keys(300)] == [
+            b.route(k) for k in keys(300)
+        ]
+
+    def test_insertion_order_does_not_matter(self):
+        a = ConsistentHashRing()
+        b = ConsistentHashRing()
+        for i in range(4):
+            a.add(f"shard-{i}")
+        for i in reversed(range(4)):
+            b.add(f"shard-{i}")
+        assert [a.route(k) for k in keys(200)] == [
+            b.route(k) for k in keys(200)
+        ]
+
+    def test_ownership_is_reasonably_balanced(self):
+        ring = ConsistentHashRing(replicas=DEFAULT_REPLICAS)
+        for i in range(4):
+            ring.add(f"shard-{i}")
+        counts = ring.ownership(keys(4000))
+        assert sum(counts.values()) == 4000
+        # Virtual nodes keep the max/min spread well inside 2x.
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing()
+        ring.add("only")
+        assert ring.ownership(keys(50)) == {"only": 50}
+
+
+class TestFailover:
+    def test_removal_moves_only_the_evicted_nodes_keys(self):
+        """The consistent-hashing contract: ~1/N of keys move, and only
+        keys the dead node owned."""
+        ring = ConsistentHashRing()
+        for i in range(4):
+            ring.add(f"shard-{i}")
+        before = {key: ring.route(key) for key in keys(1000)}
+        ring.remove("shard-1")
+        for key, owner in before.items():
+            if owner == "shard-1":
+                assert ring.route(key) != "shard-1"
+            else:
+                assert ring.route(key) == owner
+
+    def test_route_order_starts_at_owner_and_covers_all_distinct(self):
+        ring = ConsistentHashRing()
+        for i in range(4):
+            ring.add(f"shard-{i}")
+        for key in keys(50):
+            order = list(ring.route_order(key))
+            assert order[0] == ring.route(key)
+            assert sorted(order) == sorted(ring.nodes)
+
+    def test_first_alternative_inherits_the_key(self):
+        """route_order's second entry is exactly where the key lands
+        after the owner is evicted — so a failover retry warms the
+        entry's post-eviction home."""
+        ring = ConsistentHashRing()
+        for i in range(4):
+            ring.add(f"shard-{i}")
+        for key in keys(100):
+            owner, fallback = list(ring.route_order(key))[:2]
+            ring.remove(owner)
+            assert ring.route(key) == fallback
+            ring.add(owner)
+
+    def test_positions_are_sha256_derived(self):
+        # Pin the hash construction: a router restart must route
+        # identically, so the position function cannot drift.
+        assert _position("shard-0#0") == int.from_bytes(
+            __import__("hashlib")
+            .sha256(b"shard-0#0")
+            .digest()[:8],
+            "big",
+        )

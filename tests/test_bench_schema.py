@@ -45,6 +45,8 @@ def test_artifact_matches_schema(path, bench_conftest):
     assert payload["kernel_backend"] in BACKEND_LADDER
     assert isinstance(payload["n_workers"], int)
     assert payload["n_workers"] >= 1
+    assert isinstance(payload["n_shards"], int)
+    assert payload["n_shards"] >= 1
 
 
 def test_artifacts_exist():
@@ -62,3 +64,25 @@ def test_serve_artifact_has_sustained_throughput():
     for key in ("p50_ms", "p95_ms", "p99_ms"):
         assert sustained[key] > 0.0
     assert sustained["p50_ms"] <= sustained["p95_ms"] <= sustained["p99_ms"]
+
+
+def test_serve_artifact_has_cluster_section():
+    """The committed serve artifact must carry the cluster
+    cache-capacity experiment and meet the issue's 3x throughput bar."""
+    payload = json.loads((REPO_ROOT / "BENCH_serve.json").read_text())
+    cluster = payload["cluster"]
+    single, sharded = cluster["single"], cluster["sharded"]
+    assert single["n_shards"] == 1
+    assert sharded["n_shards"] >= 2
+    # The experiment's premise: the working set overflows one shard's
+    # cache but fits in the sharded ring's aggregate capacity.
+    assert single["working_set"] > single["shard_cache_size"]
+    assert (
+        sharded["working_set"]
+        <= sharded["n_shards"] * sharded["shard_cache_size"]
+    )
+    assert single["hit_rate"] < sharded["hit_rate"]
+    assert cluster["speedup"] >= 3.0
+    assert cluster["speedup"] == pytest.approx(
+        sharded["throughput_rps"] / single["throughput_rps"]
+    )
