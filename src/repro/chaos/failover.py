@@ -61,6 +61,11 @@ class FailoverReport:
             when every victim was re-admitted).
         duration_ms: Wall clock for the whole drill (excluded from the
             deterministic dict).
+        measurement: The availability measurement report built by
+            :func:`repro.obs.monitor.build_measurement_report` when the
+            drill ran with probing enabled (``probes > 0``); ``None``
+            otherwise, and then absent from :meth:`to_dict` so
+            probe-less reports keep their historical layout.
     """
 
     seed: int
@@ -73,6 +78,7 @@ class FailoverReport:
     client_retries: int = 0
     ring_size_after: int = 0
     duration_ms: float = 0.0
+    measurement: Optional[Dict[str, Any]] = None
 
     def deterministic_dict(self) -> Dict[str, Any]:
         """The seed-determined part: same seed -> bit-identical dict.
@@ -106,6 +112,8 @@ class FailoverReport:
         document["kill_events"] = self.kill_events
         document["client_retries"] = self.client_retries
         document["duration_ms"] = self.duration_ms
+        if self.measurement is not None:
+            document["measurement"] = self.measurement
         return document
 
     def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
@@ -136,6 +144,16 @@ def _kill_schedule(
     }
 
 
+def _probe_schedule(requests: int, probes: int) -> Dict[int, int]:
+    """Request index → probe index: probes evenly interleaved.
+
+    Deterministic and seed-free — the *timing* of probes relative to
+    kills is fixed by construction, so every same-seed drill runs the
+    identical interleaving.
+    """
+    return {(p * requests) // probes: p for p in range(probes)}
+
+
 def run_failover_drill(
     n_shards: int = 4,
     requests: int = 32,
@@ -145,6 +163,12 @@ def run_failover_drill(
     timeout: float = 30.0,
     readmit_timeout: float = 30.0,
     shard_cache_size: int = 64,
+    probes: int = 0,
+    probe_deadline_seconds: float = 10.0,
+    min_failures: int = 2,
+    trace_dir: Union[str, pathlib.Path, None] = None,
+    measurement_path: Union[str, pathlib.Path, None] = None,
+    shard_worker_processes: Optional[int] = None,
 ) -> FailoverReport:
     """Drill shard death under live traffic; zero failures required.
 
@@ -159,6 +183,20 @@ def run_failover_drill(
             shard to be respawned and re-admitted to the ring.
         shard_cache_size: Solve-cache entries per shard (small, so the
             drill boots fast).
+        probes: Synthetic availability probes interleaved evenly with
+            the workload (:mod:`repro.obs.monitor`); ``0`` disables the
+            measurement pipeline entirely.
+        probe_deadline_seconds: Deadline per probe (single attempt).
+        min_failures: Consecutive probe failures that constitute a
+            service-level outage episode.
+        trace_dir: Distributed-trace directory: every cluster process
+            (this drill process included, labeled ``"router"``) writes
+            per-process span files there for ``obs report --cluster``.
+        measurement_path: Optional path for the standalone measurement
+            report JSON (also embedded in the drill report).
+        shard_worker_processes: Pre-forked solver workers per shard;
+            defaults to 1 when ``trace_dir`` is set (so probe traces
+            include worker spans), else 0.
 
     Returns:
         The :class:`FailoverReport`; also written to ``report_path``
@@ -174,6 +212,13 @@ def run_failover_drill(
         raise ChaosError(
             f"kills must be in [0, requests // 4], got {kills}"
         )
+    if probes < 0 or probes > requests:
+        raise ChaosError(
+            f"probes must be in [0, requests], got {probes}"
+        )
+    from repro.obs import monitor
+    from repro.obs.recorder import Recorder
+    from repro.obs.sinks import InMemorySink, JsonlSink
     from repro.service.client import RetryPolicy, ServiceClient
     from repro.service.cluster import ClusterConfig, ClusterServer
     from repro.service.config import ServiceConfig
@@ -181,83 +226,169 @@ def run_failover_drill(
 
     rng = random.Random(f"failover:{seed}")
     schedule = _kill_schedule(rng, requests, kills, n_shards)
+    probe_at = _probe_schedule(requests, probes) if probes else {}
+    measuring = probes > 0 or trace_dir is not None
+    worker_processes = (
+        shard_worker_processes
+        if shard_worker_processes is not None
+        else (1 if trace_dir is not None else 0)
+    )
     config = ClusterConfig(
         port=0,
         n_shards=n_shards,
-        shard=ServiceConfig(port=0, workers=1, cache_size=shard_cache_size),
+        shard=ServiceConfig(
+            port=0,
+            workers=1,
+            cache_size=shard_cache_size,
+            worker_processes=worker_processes,
+        ),
         chaos=True,
         chaos_seed=seed,
+        trace_dir=str(trace_dir) if trace_dir is not None else None,
     )
+    # The measurement pipeline needs the router's lifecycle events
+    # (killed/dead/ready): collect them in memory regardless of whether
+    # a recorder was already installed, and — when tracing — give this
+    # drill process (which hosts the client and router spans) its own
+    # per-process trace file, labeled "router".
+    event_sink: Optional[InMemorySink] = None
+    own_recorder: Optional[Recorder] = None
+    previous_recorder = None
+    previous_label: Optional[str] = None
+    if measuring:
+        import os as _os
+
+        event_sink = InMemorySink()
+        sinks: List[Any] = [event_sink]
+        if trace_dir is not None:
+            directory = pathlib.Path(trace_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            sinks.append(
+                JsonlSink(
+                    directory / f"router.{_os.getpid()}.jsonl",
+                    header_fields={
+                        "process": "router", "pid": _os.getpid()
+                    },
+                )
+            )
+            previous_label = obs.set_process_label("router")
+        if obs.enabled():
+            for sink in sinks:
+                obs.get_recorder().add_sink(sink)
+        else:
+            own_recorder = Recorder(sinks=tuple(sinks), keep_records=False)
+            previous_recorder = obs.set_recorder(own_recorder)
     started = time.perf_counter()
     succeeded = 0
     failures: List[Dict[str, Any]] = []
     kill_events: List[Dict[str, Any]] = []
+    probe_records: List[Dict[str, Any]] = []
     client_retries = 0
-    with obs.span(
-        "chaos.failover", n_shards=n_shards, requests=requests, seed=seed
-    ), ClusterServer(config) as router:
-        client = ServiceClient(
-            router.url,
-            timeout=timeout,
-            # 503 (ring momentarily empty) is retryable here; the drill
-            # counts these retries to show how much the router absorbed.
-            retry=RetryPolicy(max_attempts=5, retry_statuses=(503,)),
-            rng=random.Random(f"failover-client:{seed}"),
-        )
-        for index in range(requests):
-            victim = schedule.get(index)
-            if victim is not None:
-                client.chaos_arm(
-                    POINT_SHARD_DEATH, count=1, tag=victim
+    try:
+        with obs.span(
+            "chaos.failover", n_shards=n_shards, requests=requests, seed=seed
+        ), ClusterServer(config) as router:
+            client = ServiceClient(
+                router.url,
+                timeout=timeout,
+                # 503 (ring momentarily empty) is retryable here; the
+                # drill counts these retries to show how much the router
+                # absorbed.
+                retry=RetryPolicy(max_attempts=5, retry_statuses=(503,)),
+                rng=random.Random(f"failover-client:{seed}"),
+            )
+            prober = (
+                monitor.ProbeRunner(
+                    router.url,
+                    deadline_seconds=probe_deadline_seconds,
+                    seed=seed,
                 )
-                kill_events.append(
-                    {"shard": victim, "request_index": index}
-                )
-            value = round(0.5 + 0.05 * index, 12)
-            try:
-                response = client.solve(
-                    parameters={DRILL_PARAMETER: value}
-                )
-            except ServiceError as exc:
-                failures.append(
-                    {
-                        "request_index": index,
-                        "error": f"{type(exc).__name__}: {exc}",
-                    }
-                )
-                obs.event(
-                    "chaos.failover.request_failed",
-                    index=index,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
-                continue
-            client_retries += client.last_attempts - 1
-            if isinstance(response.get("availability"), float):
-                succeeded += 1
+                if probes
+                else None
+            )
+            for index in range(requests):
+                victim = schedule.get(index)
+                if victim is not None:
+                    client.chaos_arm(
+                        POINT_SHARD_DEATH, count=1, tag=victim
+                    )
+                    kill_events.append(
+                        {"shard": victim, "request_index": index}
+                    )
+                value = round(0.5 + 0.05 * index, 12)
+                try:
+                    response = client.solve(
+                        parameters={DRILL_PARAMETER: value}
+                    )
+                except ServiceError as exc:
+                    failures.append(
+                        {
+                            "request_index": index,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
+                    )
+                    obs.event(
+                        "chaos.failover.request_failed",
+                        index=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    client_retries += client.last_attempts - 1
+                    if isinstance(response.get("availability"), float):
+                        succeeded += 1
+                    else:
+                        failures.append(
+                            {
+                                "request_index": index,
+                                "error": f"malformed payload: {response!r}",
+                            }
+                        )
+                if prober is not None and index in probe_at:
+                    probe_records.append(prober.probe(probe_at[index]))
+            if prober is not None:
+                prober.close()
+            # Every victim must come back: wait for full ring
+            # re-admission.
+            deadline = time.monotonic() + readmit_timeout
+            ring_size = 0
+            while time.monotonic() < deadline:
+                status = router.cluster.cluster_status()
+                ring_size = len(status["ring"])
+                if ring_size == n_shards and all(
+                    shard["alive"] for shard in status["shards"].values()
+                ):
+                    break
+                time.sleep(0.1)
+            for event in kill_events:
+                shard_status = router.cluster.cluster_status()["shards"][
+                    event["shard"]
+                ]
+                event["respawns"] = shard_status["respawns"]
+                event["generation"] = shard_status["generation"]
+    finally:
+        if event_sink is not None:
+            if own_recorder is not None:
+                obs.set_recorder(previous_recorder)
+                own_recorder.close()
             else:
-                failures.append(
-                    {
-                        "request_index": index,
-                        "error": f"malformed payload: {response!r}",
-                    }
-                )
-        # Every victim must come back: wait for full ring re-admission.
-        deadline = time.monotonic() + readmit_timeout
-        ring_size = 0
-        while time.monotonic() < deadline:
-            status = router.cluster.cluster_status()
-            ring_size = len(status["ring"])
-            if ring_size == n_shards and all(
-                shard["alive"] for shard in status["shards"].values()
-            ):
-                break
-            time.sleep(0.1)
-        for event in kill_events:
-            shard_status = router.cluster.cluster_status()["shards"][
-                event["shard"]
-            ]
-            event["respawns"] = shard_status["respawns"]
-            event["generation"] = shard_status["generation"]
+                recorder = obs.get_recorder()
+                recorder.remove_sink(event_sink)
+                for sink in sinks[1:]:
+                    recorder.remove_sink(sink)
+                    sink.close()
+        if previous_label is not None:
+            obs.set_process_label(previous_label)
+    measurement: Optional[Dict[str, Any]] = None
+    if probes:
+        measurement = monitor.build_measurement_report(
+            probe_records,
+            event_sink.records if event_sink is not None else (),
+            seed=seed,
+            n_shards=n_shards,
+            min_failures=min_failures,
+        )
+        if measurement_path is not None:
+            monitor.write_measurement_report(measurement, measurement_path)
     report = FailoverReport(
         seed=seed,
         n_shards=n_shards,
@@ -269,6 +400,7 @@ def run_failover_drill(
         client_retries=client_retries,
         ring_size_after=ring_size,
         duration_ms=(time.perf_counter() - started) * 1000.0,
+        measurement=measurement,
     )
     obs.event(
         "chaos.failover.complete",

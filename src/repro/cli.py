@@ -412,14 +412,49 @@ def _cmd_longevity(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
+    reporter = _reporter(args)
+    if args.cluster:
+        from repro.obs import render_cluster_report
+
+        reporter.line(
+            render_cluster_report(args.trace_file, trace_id=args.trace_id)
+        )
+        return 0
     from repro.obs import load_trace, render_trace_report
 
-    reporter = _reporter(args)
     records = load_trace(args.trace_file)
     reporter.line(
         render_trace_report(records, title=f"Trace: {args.trace_file}")
     )
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import (
+        build_measurement_report,
+        render_measurement_report,
+        run_probe_campaign,
+        write_measurement_report,
+    )
+
+    reporter = _reporter(args)
+    probes = run_probe_campaign(
+        args.url,
+        count=args.probes,
+        interval_seconds=args.interval_ms / 1000.0,
+        deadline_seconds=args.deadline,
+        seed=args.seed,
+    )
+    report = build_measurement_report(
+        probes, seed=args.seed, min_failures=args.min_failures
+    )
+    reporter.line(render_measurement_report(report))
+    if args.report:
+        write_measurement_report(report, args.report)
+        reporter.line(f"measurement report written to {args.report}")
+    reporter.record(command="monitor", **report["deterministic"])
+    reporter.finish()
+    return 0 if report["probe_failures"] == 0 else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -493,6 +528,9 @@ def _cmd_failover(args: argparse.Namespace) -> int:
         kills=args.kills,
         seed=args.seed,
         report_path=args.report,
+        probes=args.probes,
+        trace_dir=args.trace_dir,
+        measurement_path=args.measurement,
     )
     reporter.line(
         f"failover drill: {report.succeeded}/{report.requests} requests "
@@ -508,8 +546,24 @@ def _cmd_failover(args: argparse.Namespace) -> int:
         f"ring re-admitted {report.ring_size_after}/{report.n_shards} "
         f"shards; client retries used: {report.client_retries}"
     )
+    if report.measurement is not None:
+        m = report.measurement
+        reporter.line(
+            f"availability measurement: {m['deterministic']['n_probes']} "
+            f"probes, {m['probe_failures']} failed "
+            f"(probe availability {m['probe_availability']:.4f}); "
+            f"{m['deterministic']['shard_episode_count']} shard outage "
+            f"episode(s)"
+        )
     if args.report:
         reporter.line(f"report written to {args.report}")
+    if args.measurement:
+        reporter.line(f"measurement report written to {args.measurement}")
+    if args.trace_dir:
+        reporter.line(
+            f"per-process traces in {args.trace_dir} "
+            f"(render: repro obs report --cluster {args.trace_dir})"
+        )
     reporter.record(command="failover", **report.deterministic_dict())
     reporter.finish()
     return 0 if report.failed == 0 else 1
@@ -689,8 +743,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drill seed; same seed, same drill (default 2004)")
     p.add_argument("--report", default=None, metavar="FILE",
                    help="write the full drill report as JSON")
+    p.add_argument("--probes", type=int, default=0,
+                   help="availability probes interleaved with the "
+                        "workload; 0 disables measurement (default 0)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="collect per-process distributed traces here "
+                        "(render with: obs report --cluster DIR)")
+    p.add_argument("--measurement", default=None, metavar="FILE",
+                   help="write the availability measurement report as "
+                        "JSON (requires --probes > 0)")
     _add_json_argument(p)
     p.set_defaults(func=_cmd_failover)
+
+    p = sub.add_parser(
+        "monitor", help="probe a running server/cluster and report "
+        "measured availability"
+    )
+    p.add_argument("url", help="base URL of the server or cluster router")
+    p.add_argument("--probes", type=int, default=8,
+                   help="synthetic solve probes to send (default 8)")
+    p.add_argument("--interval-ms", type=float, default=100.0,
+                   help="pause between probes (default 100 ms)")
+    p.add_argument("--deadline", type=float, default=5.0,
+                   help="per-probe deadline in seconds (default 5)")
+    p.add_argument("--seed", type=int, default=2004,
+                   help="campaign seed: names the probe trace ids "
+                        "(default 2004)")
+    p.add_argument("--min-failures", type=int, default=2,
+                   help="consecutive failed probes that open an outage "
+                        "episode (default 2)")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the measurement report as JSON")
+    _add_json_argument(p)
+    p.set_defaults(func=_cmd_monitor)
 
     p = sub.add_parser(
         "chaos", help="live fault-injection campaign against the server "
@@ -731,7 +816,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = obs_sub.add_parser(
         "report", help="render a JSONL trace as a span-tree report"
     )
-    p.add_argument("trace_file", help="trace file written by --trace")
+    p.add_argument("trace_file",
+                   help="trace file written by --trace, or (with "
+                        "--cluster) a directory of per-process traces")
+    p.add_argument("--cluster", action="store_true",
+                   help="merge a directory of per-process trace files "
+                        "into cross-process span trees")
+    p.add_argument("--trace-id", default=None,
+                   help="with --cluster: render only this trace id")
     p.set_defaults(func=_cmd_obs_report)
     return parser
 

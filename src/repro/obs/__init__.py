@@ -36,6 +36,13 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Iterator, Union
 
+from repro.obs.collect import (
+    build_cluster_trace,
+    load_trace_dir,
+    merge_cluster_traces,
+    render_cluster_report,
+    render_cluster_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -47,6 +54,8 @@ from repro.obs.recorder import (
     NullRecorder,
     Recorder,
     Span,
+    process_label,
+    set_process_label,
 )
 from repro.obs.report import (
     build_span_tree,
@@ -62,6 +71,20 @@ from repro.obs.sinks import (
     render_prometheus,
     write_metrics,
 )
+from repro.obs.tracecontext import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    deterministic_trace_id,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    trace_scope,
+)
+from repro.obs.tracecontext import current as current_trace_context
+
+# NOTE: repro.obs.monitor is intentionally NOT imported here — it
+# depends on repro.service.client, which imports this package; import
+# it directly (``from repro.obs import monitor``) at call sites.
 
 __all__ = [
     "Counter",
@@ -73,22 +96,37 @@ __all__ = [
     "NullRecorder",
     "Recorder",
     "Span",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "build_cluster_trace",
     "build_span_tree",
     "counter",
+    "current_trace_context",
+    "deterministic_trace_id",
     "enabled",
     "event",
+    "format_traceparent",
     "gauge",
     "get_recorder",
     "histogram",
     "load_trace",
+    "load_trace_dir",
+    "merge_cluster_traces",
+    "new_trace_id",
     "observe",
+    "parse_traceparent",
+    "process_label",
     "relabel_prometheus",
+    "render_cluster_report",
+    "render_cluster_trace",
     "render_prometheus",
     "render_span_tree",
     "render_trace_report",
+    "set_process_label",
     "set_recorder",
     "span",
     "summarize_events",
+    "trace_scope",
     "write_metrics",
 ]
 

@@ -20,11 +20,30 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import tracecontext
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Record kinds emitted on the event bus.
 KIND_EVENT = "event"
 KIND_SPAN = "span"
+
+#: Label stamped on trace-context-annotated records so the cluster
+#: collector can say which process a span ran in ("router", "shard-0",
+#: "shard-0.worker1", ...).  Module-global: one process, one label.
+_process_label = "main"
+
+
+def set_process_label(label: str) -> str:
+    """Name this process in cross-process traces; returns the old label."""
+    global _process_label
+    previous = _process_label
+    _process_label = str(label)
+    return previous
+
+
+def process_label() -> str:
+    """The label cross-process trace records carry for this process."""
+    return _process_label
 
 
 class Span:
@@ -39,6 +58,7 @@ class Span:
     __slots__ = (
         "recorder", "name", "fields", "span_id", "parent_id",
         "started_at", "_perf0", "_cpu0", "status",
+        "trace_id", "span_ref", "parent_ref",
     )
 
     def __init__(
@@ -58,6 +78,9 @@ class Span:
         self._perf0 = 0.0
         self._cpu0 = 0.0
         self.status = "ok"
+        self.trace_id: Optional[str] = None
+        self.span_ref: Optional[str] = None
+        self.parent_ref: Optional[str] = None
 
     def set(self, **fields: Any) -> "Span":
         """Attach fields discovered mid-span (e.g. result sizes)."""
@@ -66,6 +89,12 @@ class Span:
 
     def __enter__(self) -> "Span":
         self.recorder._stack.append(self.span_id)
+        # Under an active trace scope (thread-local), claim a globally
+        # unique ref so this span stays linkable across process
+        # boundaries; single-process traces skip this entirely.
+        link = tracecontext.begin_span()
+        if link is not None:
+            self.trace_id, self.span_ref, self.parent_ref = link
         self.started_at = time.time()
         self._cpu0 = time.process_time()
         self._perf0 = time.perf_counter()
@@ -77,22 +106,28 @@ class Span:
         stack = self.recorder._stack
         if stack and stack[-1] == self.span_id:
             stack.pop()
+        if self.span_ref is not None:
+            tracecontext.end_span(self.span_ref)
         if exc_type is not None:
             self.status = "error"
             self.fields.setdefault("error", exc_type.__name__)
-        self.recorder._emit(
-            {
-                "kind": KIND_SPAN,
-                "name": self.name,
-                "span_id": self.span_id,
-                "parent_id": self.parent_id,
-                "t": self.started_at,
-                "duration_s": wall,
-                "cpu_s": cpu,
-                "status": self.status,
-                "fields": self.fields,
-            }
-        )
+        record = {
+            "kind": KIND_SPAN,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t": self.started_at,
+            "duration_s": wall,
+            "cpu_s": cpu,
+            "status": self.status,
+            "fields": self.fields,
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+            record["span_ref"] = self.span_ref
+            record["parent_ref"] = self.parent_ref
+            record["process"] = _process_label
+        self.recorder._emit(record)
 
 
 class _NullSpan:
@@ -190,6 +225,13 @@ class Recorder:
     def add_sink(self, sink) -> None:
         self._sinks.append(sink)
 
+    def remove_sink(self, sink) -> None:
+        """Detach a sink added with :meth:`add_sink` (no-op if absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
     def _emit(self, record: Dict[str, Any]) -> None:
         if self._keep:
             self.records.append(record)
@@ -198,16 +240,20 @@ class Recorder:
 
     def event(self, name: str, **fields: Any) -> None:
         """Emit one structured event, linked to the enclosing span."""
-        self._emit(
-            {
-                "kind": KIND_EVENT,
-                "name": name,
-                "span_id": None,
-                "parent_id": self._stack[-1] if self._stack else None,
-                "t": time.time(),
-                "fields": fields,
-            }
-        )
+        record = {
+            "kind": KIND_EVENT,
+            "name": name,
+            "span_id": None,
+            "parent_id": self._stack[-1] if self._stack else None,
+            "t": time.time(),
+            "fields": fields,
+        }
+        context = tracecontext.current()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+            record["parent_ref"] = context.span_ref
+            record["process"] = _process_label
+        self._emit(record)
 
     def span(self, name: str, **fields: Any) -> Span:
         """Open a nested span; use as ``with recorder.span("stage"): ...``."""

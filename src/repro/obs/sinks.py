@@ -21,7 +21,10 @@ from typing import Any, Dict, List, Optional, Union
 from repro.obs.metrics import MetricsRegistry
 
 #: Format version stamped on every JSONL trace line's first record.
-TRACE_SCHEMA_VERSION = 1
+#: v2 added cross-process trace-context fields (``trace_id`` /
+#: ``span_ref`` / ``parent_ref`` / ``process`` on span and event
+#: records, plus optional process metadata on the header).
+TRACE_SCHEMA_VERSION = 2
 
 
 def _json_default(value: Any) -> Any:
@@ -37,21 +40,37 @@ class JsonlSink:
     """Writes each record as one JSON line to a file or stream.
 
     The first line is a ``trace_header`` record carrying the schema
-    version, so readers can detect format drift.
+    version, so readers can detect format drift.  ``header_fields``
+    (e.g. ``{"process": "shard-0", "pid": 1234}``) are merged into the
+    header so a cluster's per-process files stay attributable.
+
+    File targets are opened **line-buffered**: each record reaches the
+    OS as soon as it is written, so a process killed without warning
+    (the failover drill SIGKILLs shards) loses at most the record being
+    formatted, never its whole buffered tail.
     """
 
-    def __init__(self, target: Union[str, pathlib.Path, io.TextIOBase]) -> None:
+    def __init__(
+        self,
+        target: Union[str, pathlib.Path, io.TextIOBase],
+        header_fields: Optional[Dict[str, Any]] = None,
+    ) -> None:
         if isinstance(target, (str, pathlib.Path)):
-            self._stream: Any = open(target, "w", encoding="utf-8")
+            self._stream: Any = open(
+                target, "w", encoding="utf-8", buffering=1
+            )
             self._owns_stream = True
         else:
             self._stream = target
             self._owns_stream = False
+        fields: Dict[str, Any] = {"schema_version": TRACE_SCHEMA_VERSION}
+        if header_fields:
+            fields.update(header_fields)
         self.write(
             {
                 "kind": "trace_header",
                 "name": "trace_header",
-                "fields": {"schema_version": TRACE_SCHEMA_VERSION},
+                "fields": fields,
             }
         )
 

@@ -1,0 +1,221 @@
+"""W3C-style trace context: ids, the ``Traceparent`` header, scopes.
+
+One request that crosses the cluster touches at least three processes —
+the client (often the router's own process), the owning shard, and a
+pre-forked solver worker inside that shard.  Each process records spans
+into its *own* JSONL sink, so the only thing that can stitch them back
+into one tree is an identity that travels with the request:
+
+* a **trace id** (32 hex chars) naming the whole request, and
+* a **span ref** (16 hex chars) naming the sender's current span, which
+  becomes the receiver's parent.
+
+Both ride in a ``Traceparent`` header shaped like the W3C Trace Context
+``traceparent`` field (``00-{trace_id}-{span_ref}-01``), and over the
+prefork pipe as a plain ``(trace_id, span_ref)`` tuple.
+
+Scopes are **thread-local**: an HTTP handler thread parses the incoming
+header and opens a :func:`trace_scope`; every span the recorder opens
+on that thread while the scope is active is stamped with the trace id,
+a fresh globally-unique span ref, and the enclosing span's ref (or the
+remote parent's, for the first span).  The recorder's own integer span
+ids keep working for single-process traces — the refs exist purely so
+parent links survive the process boundary, where per-process counters
+would collide.
+
+Span refs are drawn from ``os.urandom`` (uniqueness across processes
+matters; determinism does not — seeded pipelines get determinism from
+the *trace id* via :func:`deterministic_trace_id`, e.g. the probe loop
+derives ``sha256("probe:{seed}:{index}")`` so the same seed names the
+same traces in every run).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+#: HTTP header carrying the context (W3C spells it ``traceparent``;
+#: header names are case-insensitive on the wire).
+TRACEPARENT_HEADER = "Traceparent"
+
+_VERSION = "00"
+_FLAGS = "01"
+_TRACE_ID_CHARS = 32
+_SPAN_REF_CHARS = 16
+_HEX = set("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One point in a distributed trace: the trace plus a parent span.
+
+    ``span_ref`` is ``None`` for a freshly minted root context that has
+    not opened its first span yet; such a context cannot be serialized
+    to a header (there is no parent to name) but can seed a scope.
+    """
+
+    trace_id: str
+    span_ref: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (
+            len(self.trace_id) != _TRACE_ID_CHARS
+            or not set(self.trace_id) <= _HEX
+        ):
+            raise ValueError(
+                f"trace_id must be {_TRACE_ID_CHARS} lowercase hex chars, "
+                f"got {self.trace_id!r}"
+            )
+        if self.span_ref is not None and (
+            len(self.span_ref) != _SPAN_REF_CHARS
+            or not set(self.span_ref) <= _HEX
+        ):
+            raise ValueError(
+                f"span_ref must be {_SPAN_REF_CHARS} lowercase hex chars, "
+                f"got {self.span_ref!r}"
+            )
+
+
+def new_trace_id() -> str:
+    """A random trace id (32 hex chars)."""
+    return os.urandom(_TRACE_ID_CHARS // 2).hex()
+
+
+def deterministic_trace_id(material: str) -> str:
+    """A trace id derived from ``material`` — same input, same id.
+
+    Seeded pipelines (the probe loop, drills) use this so the trace
+    files of two same-seed runs name identical traces, which is what
+    lets CI diff "one merged tree per probe" deterministically.
+    """
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[
+        :_TRACE_ID_CHARS
+    ]
+
+
+def new_span_ref() -> str:
+    """A globally unique span ref (16 hex chars, ``os.urandom``)."""
+    return os.urandom(_SPAN_REF_CHARS // 2).hex()
+
+
+def format_traceparent(context: TraceContext) -> str:
+    """Serialize a context to the ``Traceparent`` header value.
+
+    Raises:
+        ValueError: If the context has no ``span_ref`` — a header names
+            the sender's current span; a span-less root has nothing to
+            put there.
+    """
+    if context.span_ref is None:
+        raise ValueError("cannot format a trace context without a span_ref")
+    return f"{_VERSION}-{context.trace_id}-{context.span_ref}-{_FLAGS}"
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``Traceparent`` header; ``None`` on anything malformed.
+
+    A bad header must never fail the request it rode in on — the
+    request simply proceeds untraced.
+    """
+    if not value or not isinstance(value, str):
+        return None
+    parts = value.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_ref, _flags = parts
+    if version != _VERSION:
+        return None
+    if len(trace_id) != _TRACE_ID_CHARS or not set(trace_id) <= _HEX:
+        return None
+    if len(span_ref) != _SPAN_REF_CHARS or not set(span_ref) <= _HEX:
+        return None
+    if set(trace_id) == {"0"} or set(span_ref) == {"0"}:
+        return None
+    return TraceContext(trace_id, span_ref)
+
+
+class _Scope:
+    """One active trace on one thread: the id plus the open-span stack."""
+
+    __slots__ = ("trace_id", "stack")
+
+    def __init__(self, trace_id: str, parent_ref: Optional[str]) -> None:
+        self.trace_id = trace_id
+        self.stack: List[str] = [parent_ref] if parent_ref else []
+
+
+_local = threading.local()
+
+
+def _scopes() -> List[_Scope]:
+    scopes = getattr(_local, "scopes", None)
+    if scopes is None:
+        scopes = _local.scopes = []
+    return scopes
+
+
+def active() -> Optional[_Scope]:
+    """The innermost trace scope on this thread, if any."""
+    scopes = _scopes()
+    return scopes[-1] if scopes else None
+
+
+def current() -> Optional[TraceContext]:
+    """The context to propagate from here: trace id + innermost span.
+
+    ``None`` when no scope is active on this thread.  With a scope but
+    no span opened yet, the remote parent ref (or ``None``) is carried
+    through, so header injection can simply check ``span_ref``.
+    """
+    scope = active()
+    if scope is None:
+        return None
+    return TraceContext(
+        scope.trace_id, scope.stack[-1] if scope.stack else None
+    )
+
+
+@contextlib.contextmanager
+def trace_scope(context: Optional[TraceContext]) -> Iterator[Optional[_Scope]]:
+    """Activate ``context`` on this thread for the ``with`` block.
+
+    ``None`` is accepted and does nothing, so call sites can write
+    ``with trace_scope(parse_traceparent(header)):`` without branching.
+    """
+    if context is None:
+        yield None
+        return
+    scope = _Scope(context.trace_id, context.span_ref)
+    scopes = _scopes()
+    scopes.append(scope)
+    try:
+        yield scope
+    finally:
+        scopes.pop()
+
+
+def begin_span() -> Optional[Tuple[str, str, Optional[str]]]:
+    """Claim a span ref under the active scope (recorder internals).
+
+    Returns ``(trace_id, span_ref, parent_ref)`` and pushes the new ref
+    onto the scope's stack, or ``None`` when no scope is active.
+    """
+    scope = active()
+    if scope is None:
+        return None
+    parent = scope.stack[-1] if scope.stack else None
+    ref = new_span_ref()
+    scope.stack.append(ref)
+    return scope.trace_id, ref, parent
+
+
+def end_span(span_ref: str) -> None:
+    """Pop a ref claimed by :func:`begin_span` (recorder internals)."""
+    scope = active()
+    if scope is not None and scope.stack and scope.stack[-1] == span_ref:
+        scope.stack.pop()

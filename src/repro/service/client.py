@@ -51,6 +51,7 @@ document attached.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import http.client
 import json
@@ -62,7 +63,9 @@ import urllib.parse
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.serialize import canonical_json
+from repro.obs import tracecontext
 from repro.service.errors import (
     ServiceClientError,
     ServiceConnectionError,
@@ -263,7 +266,34 @@ class ServiceClient:
         path: str,
         document: Optional[Mapping[str, Any]] = None,
     ) -> Any:
-        """One logical request: retries per policy, typed errors out."""
+        """One logical request: retries per policy, typed errors out.
+
+        With a live recorder, POSTs are wrapped in a ``client.request``
+        span whose ref rides out in the ``Traceparent`` header — under
+        an already-active trace scope (the probe loop opens its own,
+        deterministic one) the span joins that trace; otherwise a fresh
+        random trace is rooted here.
+        """
+        if document is None or not obs.enabled():
+            return self._request_with_retry(path, document)
+        root = (
+            tracecontext.trace_scope(
+                tracecontext.TraceContext(tracecontext.new_trace_id())
+            )
+            if tracecontext.active() is None
+            else contextlib.nullcontext()
+        )
+        with root:
+            with obs.span("client.request", endpoint=path) as current_span:
+                result = self._request_with_retry(path, document)
+                current_span.set(attempts=self.last_attempts)
+                return result
+
+    def _request_with_retry(
+        self,
+        path: str,
+        document: Optional[Mapping[str, Any]] = None,
+    ) -> Any:
         key = idempotency_key(path, document) if document is not None else None
         last_error: Optional[Exception] = None
         for attempt in range(self.retry.max_attempts):
@@ -308,6 +338,11 @@ class ServiceClient:
             headers = {"Content-Type": "application/json"}
             if key is not None:
                 headers["Idempotency-Key"] = key
+            context = tracecontext.current()
+            if context is not None and context.span_ref is not None:
+                headers[tracecontext.TRACEPARENT_HEADER] = (
+                    tracecontext.format_traceparent(context)
+                )
         conn = self._pool.acquire()
         try:
             conn.request(method, path, body=body, headers=headers)

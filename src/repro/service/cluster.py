@@ -69,8 +69,9 @@ from repro.chaos.injector import (
     POINT_SHARD_DEATH,
     ChaosInjector,
 )
+from repro.obs import tracecontext
 from repro.obs.recorder import NULL_RECORDER, Recorder
-from repro.obs.sinks import relabel_prometheus, render_prometheus
+from repro.obs.sinks import JsonlSink, relabel_prometheus, render_prometheus
 from repro.service.client import HttpConnectionPool, idempotency_key
 from repro.service.config import ServiceConfig
 from repro.service.errors import BadRequest, ServiceError
@@ -97,6 +98,11 @@ class ClusterConfig:
         chaos: Install a router-side injector and expose the
             ``/chaos`` endpoints for cluster-level points.
         chaos_seed: Seed for that injector's rate-mode streams.
+        trace_dir: Distributed-trace directory shared by the whole
+            cluster: the router and every shard (and every shard's
+            pre-forked workers) write their per-process span files
+            here, and :mod:`repro.obs.collect` merges them back into
+            cross-process trace trees.
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +115,7 @@ class ClusterConfig:
     forward_timeout_seconds: float = 30.0
     chaos: bool = False
     chaos_seed: Optional[int] = None
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -133,10 +140,26 @@ class ClusterConfig:
                 f"got {self.forward_timeout_seconds}"
             )
 
-    def shard_config(self) -> ServiceConfig:
-        """The per-shard :class:`ServiceConfig` derived from the template."""
+    def shard_config(self, name: Optional[str] = None) -> ServiceConfig:
+        """The per-shard :class:`ServiceConfig` derived from the template.
+
+        ``name`` (e.g. ``"shard-2"``) becomes the shard's process label
+        in cross-process traces; the cluster's ``trace_dir`` overrides
+        the template's so all per-process files land in one directory.
+        """
         return dataclasses.replace(
-            self.shard, host="127.0.0.1", port=0, chaos=False
+            self.shard,
+            host="127.0.0.1",
+            port=0,
+            chaos=False,
+            trace_dir=(
+                self.trace_dir
+                if self.trace_dir is not None
+                else self.shard.trace_dir
+            ),
+            process_label=(
+                name if name is not None else self.shard.process_label
+            ),
         )
 
 
@@ -153,6 +176,14 @@ def _shard_main(conn: Any, config: ServiceConfig) -> None:
     obs.set_recorder(NULL_RECORDER)
     chaos.set_injector(NULL_INJECTOR)
     signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+    # The router spawns shards daemonic (so a crashed router never
+    # leaks them), but a daemonic process may not fork children — which
+    # a shard with ``worker_processes > 0`` must (its solver pool).
+    # Clearing the flag inside the child lifts that restriction without
+    # changing how the *router* tracks or reaps this process.
+    import multiprocessing
+
+    multiprocessing.current_process()._config["daemon"] = False
     from repro.service.server import AvailabilityServer
 
     try:
@@ -163,6 +194,17 @@ def _shard_main(conn: Any, config: ServiceConfig) -> None:
         finally:
             conn.close()
         return
+    # Re-bind SIGTERM now that the server exists: a plain ``os._exit``
+    # would orphan the shard's pre-forked solver workers (they only
+    # notice a *vanished* parent on their poll loop; a clean router
+    # shutdown should not rely on that).
+    def _terminate(*_: Any) -> None:
+        pool = server.service.pool
+        if pool is not None:
+            pool.terminate()
+        os._exit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
     conn.send(("ready", server.address[1]))
     conn.close()
     server.serve_forever()
@@ -220,12 +262,28 @@ class ClusterService:
     def __init__(self, config: Optional[ClusterConfig] = None) -> None:
         self.config = config or ClusterConfig()
         self.started_at = time.time()
+        if self.config.trace_dir is not None:
+            obs.set_process_label("router")
         self._own_recorder: Optional[Recorder] = None
         self._previous_recorder = None
         if obs.enabled():
             self._recorder = obs.get_recorder()
         else:
-            self._own_recorder = Recorder(keep_records=False)
+            sinks: Tuple = ()
+            if self.config.trace_dir is not None:
+                import pathlib
+
+                directory = pathlib.Path(self.config.trace_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                sinks = (
+                    JsonlSink(
+                        directory / f"router.{os.getpid()}.jsonl",
+                        header_fields={
+                            "process": "router", "pid": os.getpid()
+                        },
+                    ),
+                )
+            self._own_recorder = Recorder(sinks=sinks, keep_records=False)
             self._previous_recorder = obs.set_recorder(self._own_recorder)
             self._recorder = self._own_recorder
         self.injector: Optional[ChaosInjector] = None
@@ -241,6 +299,10 @@ class ClusterService:
             "cluster_shed_total",
         ):
             obs.counter(name)
+        # Router-local request latency, exported from /metrics under
+        # component="router" (shards report their own service_request_
+        # seconds; without this the router's own latency was invisible).
+        obs.histogram("cluster_request_seconds")
         import multiprocessing
 
         self._context = multiprocessing.get_context("fork")
@@ -277,7 +339,7 @@ class ClusterService:
         parent_conn, child_conn = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_shard_main,
-            args=(child_conn, self.config.shard_config()),
+            args=(child_conn, self.config.shard_config(shard.name)),
             name=f"repro-{shard.name}",
             daemon=True,
         )
@@ -367,9 +429,13 @@ class ClusterService:
         if shard.process is None or not shard.alive:
             raise ServiceError(f"{name} is not running")
         pid = shard.process.pid
+        # Emitted BEFORE the SIGKILL: the health monitor can notice the
+        # death (cluster.shard.dead) within its poll interval, and the
+        # measurement pipeline derives the detect phase from the
+        # killed->dead gap — which must never come out negative.
+        obs.event("cluster.shard.killed", shard=name, pid=pid)
         shard.process.kill()
         shard.process.join(timeout=5.0)
-        obs.event("cluster.shard.killed", shard=name, pid=pid)
         return pid
 
     # Routing -------------------------------------------------------------
@@ -395,17 +461,41 @@ class ClusterService:
         path: str,
         document: Mapping[str, Any],
         header_key: Optional[str] = None,
+        traceparent: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """Route one ``/v1/*`` request to its owner shard, failing over.
 
         Returns ``(status, payload, headers)`` exactly like
         :meth:`AvailabilityService.handle`, so the HTTP layer treats a
-        shard answer and a router answer identically.
+        shard answer and a router answer identically.  When the client
+        sent a ``Traceparent`` header, the router joins that trace: a
+        ``router.forward`` span wraps the whole walk, each try gets a
+        ``router.attempt`` child (the failover hop is the attempt with
+        ``failover=True``), and the header forwarded to the shard names
+        the attempt span, so shard and worker spans parent under it.
         """
         obs.counter("cluster_requests_total", endpoint=path).inc()
+        started = time.perf_counter()
+        context = tracecontext.parse_traceparent(traceparent)
+        with tracecontext.trace_scope(context):
+            with obs.span("router.forward", endpoint=path):
+                result = self._forward_with_failover(
+                    path, document, header_key
+                )
+        obs.histogram("cluster_request_seconds", endpoint=path).observe(
+            time.perf_counter() - started
+        )
+        return result
+
+    def _forward_with_failover(
+        self,
+        path: str,
+        document: Mapping[str, Any],
+        header_key: Optional[str],
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         key = self.routing_key(path, document, header_key)
         body = json.dumps(dict(document)).encode("utf-8")
-        headers = {
+        base_headers = {
             "Content-Type": "application/json",
             "Idempotency-Key": key,
         }
@@ -416,7 +506,8 @@ class ClusterService:
         # respawned owner; beyond that the cluster is genuinely down.
         attempts = 2 * max(1, len(self._shards)) + 1
         retried_alive: set = set()
-        for _ in range(attempts):
+        failed_over = False
+        for attempt_number in range(attempts):
             with self._lock:
                 try:
                     owner = self._ring.route(key)
@@ -428,7 +519,24 @@ class ClusterService:
                 continue
             shard = self._shards[owner]
             try:
-                return self._forward_once(pool, path, body, headers)
+                with obs.span(
+                    "router.attempt",
+                    shard=owner,
+                    attempt=attempt_number + 1,
+                    failover=failed_over,
+                ):
+                    headers = dict(base_headers)
+                    # Rebuilt per attempt: each try is its own span, and
+                    # the shard must parent under the try that reached it.
+                    attempt_context = tracecontext.current()
+                    if (
+                        attempt_context is not None
+                        and attempt_context.span_ref is not None
+                    ):
+                        headers[tracecontext.TRACEPARENT_HEADER] = (
+                            tracecontext.format_traceparent(attempt_context)
+                        )
+                    return self._forward_once(pool, path, body, headers)
             except TimeoutError:
                 # Slow is not dead: answer 504, leave membership alone.
                 return (
@@ -452,6 +560,7 @@ class ClusterService:
                                 self.config.forward_timeout_seconds,
                             )
                     continue
+                failed_over = True
                 obs.counter("cluster_failovers_total").inc()
                 # Evict inline so the very next route() already skips
                 # the dead shard; recovery (respawn + re-admission) runs
@@ -576,17 +685,29 @@ class ClusterService:
         return (200 if healthy else 503), payload, {}
 
     def metrics_text(self) -> str:
-        """Shard expositions with ``shard`` labels, router's last."""
+        """Shard expositions with ``shard`` labels, router's last.
+
+        Every sample also carries a ``component`` label (``"shard"`` /
+        ``"router"``), so the router's own instruments — notably the
+        ``cluster_request_seconds`` latency histogram — are queryable
+        without knowing the magic ``shard="router"`` value.
+        """
         sections = []
         for shard in self._shards.values():
             if not shard.alive:
                 continue
             text = self._shard_get(shard, "/metrics")
             if isinstance(text, str) and text:
-                sections.append(relabel_prometheus(text, shard=shard.name))
+                sections.append(
+                    relabel_prometheus(
+                        text, shard=shard.name, component="shard"
+                    )
+                )
         sections.append(
             relabel_prometheus(
-                render_prometheus(self._recorder.metrics), shard="router"
+                render_prometheus(self._recorder.metrics),
+                shard="router",
+                component="router",
             )
         )
         return "".join(
@@ -595,19 +716,37 @@ class ClusterService:
         )
 
     def cluster_status(self) -> Dict[str, Any]:
-        """Ring membership and shard lifecycle (``/cluster/status``)."""
+        """Ring membership and shard lifecycle (``/cluster/status``).
+
+        Each live shard's entry additionally reports its current
+        ``queue_depth`` and ``cache_hit_rate`` (from the shard's own
+        ``/healthz``), so an availability dip in the measurement report
+        can be correlated with load shedding or cache-cold shards.
+        """
         with self._lock:
             ring_nodes = list(self._ring.nodes)
+        shards: Dict[str, Any] = {}
+        for shard in self._shards.values():
+            entry = shard.status()
+            health = (
+                self._shard_get(shard, "/healthz") if shard.alive else None
+            )
+            if isinstance(health, dict):
+                entry["queue_depth"] = health.get("queue_depth")
+                entry["cache_hit_rate"] = health.get("cache_hit_rate")
+                entry["cache_entries"] = health.get("cache_entries")
+            else:
+                entry["queue_depth"] = None
+                entry["cache_hit_rate"] = None
+                entry["cache_entries"] = None
+            shards[shard.name] = entry
         return {
             "role": "router",
             "uptime_seconds": time.time() - self.started_at,
             "n_shards": len(self._shards),
             "replicas": self.config.replicas,
             "ring": ring_nodes,
-            "shards": {
-                shard.name: shard.status()
-                for shard in self._shards.values()
-            },
+            "shards": shards,
         }
 
     def chaos_arm(self, document: Any) -> Tuple[int, Dict[str, Any]]:
@@ -643,8 +782,14 @@ class ClusterService:
                 timeout=self.config.health_interval_seconds * 4 + 1.0
             )
         for shard in self._shards.values():
-            if shard.process is not None and shard.process.is_alive():
-                shard.process.terminate()
+            # The respawn lock serializes this sweep with any in-flight
+            # _recover thread: without it, a recovery that passed its
+            # _closing check could finish spawning a replacement right
+            # after this loop read the old (dead) process and leak the
+            # new one until interpreter exit.
+            with shard.respawn_lock:
+                if shard.process is not None and shard.process.is_alive():
+                    shard.process.terminate()
         for shard in self._shards.values():
             if shard.process is not None:
                 shard.process.join(timeout=5.0)
@@ -761,7 +906,10 @@ class _RouterHandler(BaseHTTPRequestHandler):
             )
             return
         status, payload, headers = self.cluster.forward(
-            self.path, document, self.headers.get("Idempotency-Key")
+            self.path,
+            document,
+            self.headers.get("Idempotency-Key"),
+            traceparent=self.headers.get(tracecontext.TRACEPARENT_HEADER),
         )
         self._send_json(status, payload, headers)
 

@@ -59,6 +59,16 @@ class ServiceConfig:
             (``"auto"``, ``"numpy"``, ``"cext"`` or ``"numba"``);
             ``None`` keeps the process-wide default.  Pre-forked workers
             inherit the selection.
+        trace_dir: Directory for per-process distributed-trace JSONL
+            files.  When set (and no recorder is already installed),
+            the server boots a recorder writing spans to
+            ``{label}.{pid}.jsonl`` under this directory, and pre-forked
+            workers each write their own ``{label}.workerN.{pid}.jsonl``
+            beside it.  ``repro.obs.collect`` merges them back into
+            cross-process trace trees.
+        process_label: Name this process carries in cross-process trace
+            records (e.g. ``"shard-2"``).  Defaults to ``"service"``
+            when ``trace_dir`` is set.
     """
 
     host: str = "127.0.0.1"
@@ -77,6 +87,8 @@ class ServiceConfig:
     chaos_stall_seconds: float = 0.05
     worker_processes: int = 0
     kernel: Optional[str] = None
+    trace_dir: Optional[str] = None
+    process_label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:

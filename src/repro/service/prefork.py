@@ -89,7 +89,35 @@ def _group_from_spec(spec: Tuple) -> Any:
     return _SolveGroup(config, method, abstraction, tuple(names))
 
 
-def _worker_main(conn: Any, kernel: Optional[str]) -> None:
+def _worker_main(
+    conn: Any,
+    kernel: Optional[str],
+    trace_dir: Optional[str] = None,
+    label: str = "service",
+    index: int = 0,
+    parent_pid: Optional[int] = None,
+) -> None:
+    from repro.obs import tracecontext
+    from repro.obs.recorder import NULL_RECORDER, Recorder
+
+    # The fork inherited the parent's recorder — including any open
+    # sink fd, which two processes must never share.  Reset FIRST, then
+    # (when tracing) install this worker's own per-process sink.
+    obs.set_recorder(NULL_RECORDER)
+    worker_label = f"{label}.worker{index}"
+    if trace_dir is not None:
+        import pathlib
+
+        from repro.obs.sinks import JsonlSink
+
+        obs.set_process_label(worker_label)
+        directory = pathlib.Path(trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        sink = JsonlSink(
+            directory / f"{worker_label}.{os.getpid()}.jsonl",
+            header_fields={"process": worker_label, "pid": os.getpid()},
+        )
+        obs.set_recorder(Recorder(sinks=(sink,), keep_records=False))
     if kernel is not None:
         from repro import kernels
 
@@ -98,19 +126,38 @@ def _worker_main(conn: Any, kernel: Optional[str]) -> None:
         except Exception:  # noqa: BLE001 - parent already validated
             pass
     groups: Dict[Tuple, Any] = {}
+    if parent_pid is None:  # pre-fork callers always pass it
+        parent_pid = os.getppid()
     while True:
         try:
+            # Pipe EOF alone cannot be trusted for orphan detection: a
+            # sibling fork may hold an inherited copy of the parent-side
+            # fd, and a SIGKILLed parent (chaos ``shard.death``) closes
+            # nothing.  Poll with a timeout and exit once re-parented.
+            # parent_pid comes from the parent *before* the fork — a
+            # getppid() taken here would read 1 if the parent died
+            # during the fork window, disabling the check forever.
+            if not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    return
+                continue
             task = conn.recv()
         except (EOFError, OSError):  # parent went away
             return
         if task is None:
             return
-        job_id, spec, values_list = task
+        job_id, spec, values_list, trace = task
         try:
             group = groups.get(spec)
             if group is None:
                 group = groups[spec] = _group_from_spec(spec)
-            cores = group.solve_cores(values_list)
+            with tracecontext.trace_scope(trace):
+                with obs.span(
+                    "worker.solve",
+                    index=index,
+                    batch_size=len(values_list),
+                ):
+                    cores = group.solve_cores(values_list)
             conn.send((job_id, True, cores))
         except BaseException as exc:  # noqa: BLE001 - forwarded by name
             try:
@@ -142,10 +189,15 @@ def _rebuild_exception(type_name: str, message: str) -> BaseException:
 class _PendingJob:
     __slots__ = (
         "spec", "values_list", "event", "ok", "payload", "attempts",
-        "worker_index",
+        "worker_index", "trace",
     )
 
-    def __init__(self, spec: Tuple, values_list: Sequence[Any]) -> None:
+    def __init__(
+        self,
+        spec: Tuple,
+        values_list: Sequence[Any],
+        trace: Any = None,
+    ) -> None:
         self.spec = spec
         self.values_list = values_list
         self.event = threading.Event()
@@ -153,6 +205,7 @@ class _PendingJob:
         self.payload: Any = None
         self.attempts = 0
         self.worker_index = -1
+        self.trace = trace
 
 
 class _Worker:
@@ -168,7 +221,13 @@ class _Worker:
 class SolverPool:
     """N forked solver processes, one lock-free duplex pipe each."""
 
-    def __init__(self, n_workers: int, kernel: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        kernel: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        label: str = "service",
+    ) -> None:
         if n_workers < 1:
             raise ServiceError(
                 f"solver pool needs at least one worker, got {n_workers}"
@@ -179,6 +238,8 @@ class SolverPool:
             )
         self.n_workers = n_workers
         self.kernel = kernel
+        self.trace_dir = trace_dir
+        self.label = label
         self._context = multiprocessing.get_context("fork")
         self._lock = threading.Lock()
         self._pending: Dict[int, _PendingJob] = {}
@@ -205,11 +266,14 @@ class SolverPool:
 
     # Worker lifecycle (manager thread only) ------------------------------
 
-    def _spawn(self) -> _Worker:
+    def _spawn(self, index: int) -> _Worker:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(child_conn, self.kernel),
+            args=(
+                child_conn, self.kernel, self.trace_dir, self.label,
+                index, os.getpid(),
+            ),
             daemon=True,
         )
         process.start()
@@ -224,7 +288,9 @@ class SolverPool:
     # Manager loop --------------------------------------------------------
 
     def _manage(self) -> None:
-        self._workers.extend(self._spawn() for _ in range(self.n_workers))
+        self._workers.extend(
+            self._spawn(index) for index in range(self.n_workers)
+        )
         self._ready.set()
         while True:
             if self._closed:
@@ -280,7 +346,7 @@ class SolverPool:
             except OSError:  # pragma: no cover - already closed
                 pass
             self._workers[index].process.join(0.1)
-            self._workers[index] = self._spawn()
+            self._workers[index] = self._spawn(index)
             obs.counter("service_prefork_worker_respawns_total").inc()
         dead_set = set(dead)
         with self._lock:
@@ -316,7 +382,7 @@ class SolverPool:
             job.attempts += 1
             try:
                 self._workers[index].conn.send(
-                    (job_id, job.spec, job.values_list)
+                    (job_id, job.spec, job.values_list, job.trace)
                 )
             except (BrokenPipeError, OSError):
                 # Died between the liveness check and the send; the
@@ -341,6 +407,20 @@ class SolverPool:
 
     # Public API (any thread) ---------------------------------------------
 
+    def terminate(self) -> None:
+        """SIGKILL every worker process immediately.
+
+        Signal-handler safe: no locks, no joins, no pipe traffic —
+        shard processes call this from their SIGTERM handler right
+        before ``os._exit`` so a terminated shard never leaves solver
+        processes behind.  :meth:`close` remains the graceful path.
+        """
+        for worker in list(self._workers):
+            try:
+                worker.process.kill()
+            except Exception:  # noqa: BLE001 - already dead / never started
+                pass
+
     def _wake(self) -> None:
         try:
             os.write(self._wake_w, b"x")
@@ -348,17 +428,23 @@ class SolverPool:
             pass
 
     def execute(
-        self, spec: Tuple, values_list: Sequence[Any]
+        self,
+        spec: Tuple,
+        values_list: Sequence[Any],
+        trace: Any = None,
     ) -> Sequence[Dict[str, Any]]:
         """Solve one batch in a worker; blocks until done.
 
         Matches the micro-batcher's ``BatchExecutor`` protocol when
         curried with a group key: ``lambda batch: pool.execute(key,
-        batch)``.
+        batch)``.  ``trace`` (a picklable
+        :class:`~repro.obs.tracecontext.TraceContext` or ``None``) rides
+        the pipe so the worker's ``worker.solve`` span joins the
+        request's distributed trace.
         """
         if self._closed:
             raise ServiceError("solver pool is closed")
-        job = _PendingJob(spec, list(values_list))
+        job = _PendingJob(spec, list(values_list), trace=trace)
         with self._lock:
             job_id = next(self._job_ids)
             self._pending[job_id] = job

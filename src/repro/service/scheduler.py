@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 from repro import chaos, obs
 from repro.chaos.injector import InjectedFault
+from repro.obs import tracecontext
 from repro.service.errors import Overloaded, SchedulerStopped
 
 #: ``solve_many`` signature: a list of request values in, one result per
@@ -51,12 +52,18 @@ BatchExecutor = Callable[[Sequence[Any]], Sequence[Any]]
 class Ticket:
     """Handle for one submitted request."""
 
-    __slots__ = ("group_key", "values", "_done", "_result", "_error",
-                 "batch_size")
+    __slots__ = ("group_key", "values", "trace", "_done", "_result",
+                 "_error", "batch_size")
 
     def __init__(self, group_key: Hashable, values: Any) -> None:
         self.group_key = group_key
         self.values = values
+        #: Trace context of the submitting thread.  Executors are
+        #: registered once per group ("first writer wins"), so a trace
+        #: baked into the executor closure would leak the first
+        #: request's context into every later batch; the dispatch loop
+        #: instead re-activates the lead ticket's context per batch.
+        self.trace = tracecontext.current()
         self._done = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
@@ -302,13 +309,19 @@ class MicroBatcher:
             if not healthy:
                 return
             batch = healthy
-        with obs.span("service.dispatch", batch_size=size):
-            try:
-                results = executor([ticket.values for ticket in batch])
-            except BaseException as exc:  # delivered per-ticket
-                for ticket in batch:
-                    ticket._reject(exc, size)
-                return
+        # A coalesced batch serves several traces but one dispatch; the
+        # lead ticket's context parents the dispatch span (batch_size
+        # records the coalescing for the other riders).
+        with tracecontext.trace_scope(batch[0].trace):
+            with obs.span("service.dispatch", batch_size=size):
+                try:
+                    results = executor(
+                        [ticket.values for ticket in batch]
+                    )
+                except BaseException as exc:  # delivered per-ticket
+                    for ticket in batch:
+                        ticket._reject(exc, size)
+                    return
         if len(results) != len(batch):
             error = RuntimeError(
                 f"batch executor returned {len(results)} results "

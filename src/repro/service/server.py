@@ -33,6 +33,8 @@ Config 1 oracle.
 from __future__ import annotations
 
 import json
+import os
+import pathlib
 import threading
 import time
 from collections import OrderedDict
@@ -46,8 +48,9 @@ from repro.chaos.injector import INJECTION_POINTS, ChaosInjector
 from repro.exceptions import ReproError
 from repro.hierarchy import HierarchicalResult
 from repro.models.jsas import PAPER_PARAMETERS, JsasConfiguration
+from repro.obs import tracecontext
 from repro.obs.recorder import Recorder
-from repro.obs.sinks import render_prometheus
+from repro.obs.sinks import JsonlSink, render_prometheus
 from repro.service.cache import SolveCache
 from repro.service.config import ServiceConfig
 from repro.service.errors import BadRequest, Overloaded, ServiceError
@@ -185,12 +188,31 @@ class AvailabilityService:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         self.started_at = time.time()
+        label = self.config.process_label or "service"
+        if (
+            self.config.process_label is not None
+            or self.config.trace_dir is not None
+        ):
+            obs.set_process_label(label)
         self._own_recorder: Optional[Recorder] = None
         self._previous_recorder = None
         if obs.enabled():
             self._recorder = obs.get_recorder()
         else:
-            self._own_recorder = Recorder(keep_records=False)
+            sinks: Tuple = ()
+            if self.config.trace_dir is not None:
+                # One per-process trace file; the pid in the name keeps
+                # a respawned shard from overwriting its predecessor's
+                # spans (repro.obs.collect merges all of them).
+                directory = pathlib.Path(self.config.trace_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                sinks = (
+                    JsonlSink(
+                        directory / f"{label}.{os.getpid()}.jsonl",
+                        header_fields={"process": label, "pid": os.getpid()},
+                    ),
+                )
+            self._own_recorder = Recorder(sinks=sinks, keep_records=False)
             self._previous_recorder = obs.set_recorder(self._own_recorder)
             self._recorder = self._own_recorder
         #: Live injector when the config opts into chaos; ``None`` keeps
@@ -227,6 +249,8 @@ class AvailabilityService:
                 self.pool = prefork.SolverPool(
                     self.config.worker_processes,
                     kernel=self.config.kernel,
+                    trace_dir=self.config.trace_dir,
+                    label=label,
                 )
             else:  # pragma: no cover - non-fork platform
                 obs.event(
@@ -392,7 +416,13 @@ class AvailabilityService:
             spec = group.key()
 
             def executor(batch: Sequence[Any]) -> Sequence[Any]:
-                return pool.execute(spec, batch)
+                # Runs on a batcher dispatch thread, where the scheduler
+                # has re-activated the batch's lead trace context — read
+                # it here, per batch, never bake it into the closure
+                # (executors are cached per group key).
+                return pool.execute(
+                    spec, batch, trace=tracecontext.current()
+                )
 
         else:
             executor = group.solve_cores
@@ -647,6 +677,13 @@ class AvailabilityService:
     def _handle_healthz(self, document: Any) -> Dict[str, Any]:
         from repro import kernels
 
+        hits = self._recorder.metrics.counter(
+            "service_cache_hits_total"
+        ).value
+        misses = self._recorder.metrics.counter(
+            "service_cache_misses_total"
+        ).value
+        lookups = hits + misses
         return {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
@@ -654,6 +691,9 @@ class AvailabilityService:
             "queue_limit": self.config.queue_limit,
             "cache_entries": len(self.cache),
             "cache_size": self.config.cache_size,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
             "workers": self.config.workers,
             "max_batch": self.config.max_batch,
             "max_wait_ms": self.config.max_wait_ms,
@@ -850,7 +890,13 @@ class _Handler(BaseHTTPRequestHandler):
         idempotency_key = self.headers.get("Idempotency-Key")
         if idempotency_key:
             self.service.note_idempotency(idempotency_key)
-        status, payload, headers = self.service.handle(self.path, document)
+        trace_context = tracecontext.parse_traceparent(
+            self.headers.get(tracecontext.TRACEPARENT_HEADER)
+        )
+        with tracecontext.trace_scope(trace_context):
+            status, payload, headers = self.service.handle(
+                self.path, document
+            )
         if (
             self.path.startswith("/v1/")
             and chaos.enabled()

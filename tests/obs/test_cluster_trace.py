@@ -1,0 +1,246 @@
+"""End-to-end: distributed traces + measurement from a probed drill.
+
+One probed shard-kill drill per module (cluster boots are expensive);
+the assertions cover the PR's acceptance criteria: every probe yields a
+single connected cross-process trace tree, the mid-request shard kill
+shows up as a failover retry span inside one connected tree, and the
+measurement report's episode count equals the drill's kill count.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.failover import run_failover_drill
+from repro.chaos.injector import POINT_SHARD_DEATH
+from repro.obs.collect import load_trace_dir, merge_cluster_traces
+from repro.obs.monitor import EstimationInputs, probe_trace_id
+from repro.service import (
+    ClusterConfig,
+    ClusterServer,
+    ServiceClient,
+    ServiceConfig,
+    idempotency_key,
+)
+
+N_SHARDS = 2
+REQUESTS = 8
+KILLS = 1
+PROBES = 3
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def drill(tmp_path_factory):
+    trace_dir = tmp_path_factory.mktemp("traces")
+    report = run_failover_drill(
+        n_shards=N_SHARDS,
+        requests=REQUESTS,
+        kills=KILLS,
+        seed=SEED,
+        probes=PROBES,
+        trace_dir=trace_dir,
+    )
+    records, skipped = load_trace_dir(trace_dir)
+    return report, merge_cluster_traces(records), skipped
+
+
+class TestDrillOutcome:
+    def test_zero_failures_and_full_ring(self, drill):
+        report, _, _ = drill
+        assert report.failed == 0
+        assert report.succeeded == REQUESTS
+        assert report.ring_size_after == N_SHARDS
+
+    def test_no_unparseable_trace_lines(self, drill):
+        _, _, skipped = drill
+        assert skipped == 0
+
+
+class TestProbeTraces:
+    def test_every_probe_is_one_connected_tree(self, drill):
+        """Acceptance: one merged trace tree per probe, spans parented
+        correctly across processes."""
+        _, traces, _ = drill
+        for index in range(PROBES):
+            trace_id = probe_trace_id(SEED, index)
+            assert trace_id in traces, f"probe {index} left no trace"
+            roots, orphans = traces[trace_id]
+            assert len(roots) == 1
+            assert orphans == []
+            assert roots[0].name == "probe.request"
+
+    def test_probe_trace_crosses_router_shard_worker(self, drill):
+        _, traces, _ = drill
+        for index in range(PROBES):
+            roots, _ = traces[probe_trace_id(SEED, index)]
+            nodes = list(roots[0].walk())
+            names = [node.name for node in nodes]
+            for expected in (
+                "client.request", "router.forward", "router.attempt",
+                "service.request", "worker.solve",
+            ):
+                assert expected in names, f"probe {index} missing {expected}"
+            processes = {node.process for node in nodes}
+            assert "router" in processes
+            assert any(p.startswith("shard-") for p in processes)
+            assert any(".worker" in p for p in processes)
+
+    def test_child_spans_start_within_parents(self, drill):
+        _, traces, _ = drill
+        roots, _ = traces[probe_trace_id(SEED, 0)]
+        for node in roots[0].walk():
+            for child in node.children:
+                assert child.started_at >= node.started_at - 0.001
+
+
+class TestFailoverTrace:
+    @pytest.fixture(scope="class")
+    def failover_traces(self, tmp_path_factory):
+        """Kill the *owner* of an in-flight request and trace it.
+
+        The drill fixture's seeded victim may not own the request that
+        armed it; here the victim is chosen as the routed owner of the
+        very key we then solve, so the router is guaranteed to walk the
+        failover retry path mid-request.
+        """
+        trace_dir = tmp_path_factory.mktemp("failover-traces")
+        config = ClusterConfig(
+            port=0,
+            n_shards=2,
+            shard=ServiceConfig(
+                port=0, workers=1, cache_size=32, worker_processes=1
+            ),
+            chaos=True,
+            chaos_seed=3,
+            trace_dir=str(trace_dir),
+            # Park the health monitor entirely (its loop sleeps the
+            # interval before the first liveness check): if one of its
+            # ticks lands between the kill and the router's route
+            # lookup, the monitor evicts the victim first and attempt 1
+            # simply lands on the successor — no failover to trace.
+            # Recovery in this test is driven by the failover handler's
+            # inline evict + off-path respawn, never by the monitor.
+            health_interval_seconds=3600.0,
+        )
+        with ClusterServer(config) as router:
+            client = ServiceClient(router.url, timeout=30.0)
+            victim = parameters = None
+            for step in range(64):
+                value = round(7.0 + 0.01 * step, 12)
+                document = {
+                    "n_instances": 2,
+                    "n_pairs": 2,
+                    "method": "auto",
+                    "abstraction": "mttf",
+                    "parameters": {"Tstart_long_as": value},
+                }
+                owner = router.cluster.route(
+                    idempotency_key("/v1/solve", document)
+                )
+                if owner is not None:
+                    victim = owner
+                    parameters = document["parameters"]
+                    break
+            assert victim is not None
+            client.chaos_arm(POINT_SHARD_DEATH, count=1, tag=victim)
+            response = client.solve(parameters=parameters)
+            assert isinstance(response["availability"], float)
+            client.close()
+            # close() joins the monitor for up to 4 intervals; with the
+            # parked monitor that would block for hours. The thread is
+            # a daemon stuck in time.sleep — detach it and let it die
+            # with the process.
+            router.cluster._monitor = None
+        records, _ = load_trace_dir(trace_dir)
+        return merge_cluster_traces(records), victim
+
+    def test_shard_death_yields_connected_failover_tree(
+        self, failover_traces
+    ):
+        """Acceptance (satellite): the request that rode through the
+        shard kill produces ONE connected tree containing the failover
+        retry span."""
+        traces, victim = failover_traces
+        failover_trees = []
+        for trace_id, (roots, orphans) in traces.items():
+            for root in roots:
+                for node in root.walk():
+                    if node.name != "router.attempt":
+                        continue
+                    if node.record.get("fields", {}).get("failover"):
+                        failover_trees.append((trace_id, roots, orphans))
+        assert failover_trees, "no failover router.attempt span recorded"
+        for trace_id, roots, orphans in failover_trees:
+            assert len(roots) == 1, f"trace {trace_id} is disconnected"
+            assert orphans == [], f"trace {trace_id} has orphans"
+            names = [node.name for node in roots[0].walk()]
+            # The retried attempt reached a live shard and solved there.
+            assert "service.request" in names
+            assert "worker.solve" in names
+
+    def test_failed_and_retry_attempts_share_one_parent(
+        self, failover_traces
+    ):
+        traces, victim = failover_traces
+        for trace_id, (roots, orphans) in traces.items():
+            attempts = [
+                node
+                for root in roots
+                for node in root.walk()
+                if node.name == "router.attempt"
+            ]
+            if len(attempts) < 2:
+                continue
+            fields = [node.record.get("fields", {}) for node in attempts]
+            # First try went to the (now dead) victim, retry elsewhere.
+            assert fields[0]["shard"] == victim
+            assert fields[0]["failover"] is False
+            assert fields[-1]["failover"] is True
+            assert fields[-1]["shard"] != victim
+            parents = {node.parent_ref for node in attempts}
+            assert len(parents) == 1  # both under the same router.forward
+            return
+        pytest.fail("no trace with a failed attempt plus a retry")
+
+
+class TestMeasurement:
+    def test_episode_count_equals_kill_count(self, drill):
+        report, _, _ = drill
+        measurement = report.measurement
+        assert measurement is not None
+        assert (
+            measurement["deterministic"]["shard_episode_count"] == KILLS
+        )
+        assert len(measurement["shard_episodes"]) == KILLS
+        assert measurement["incomplete_shard_episodes"] == []
+
+    def test_deterministic_block_is_seed_pure(self, drill):
+        report, _, _ = drill
+        block = report.measurement["deterministic"]
+        assert block["seed"] == SEED
+        assert block["n_shards"] == N_SHARDS
+        assert block["n_probes"] == PROBES
+        assert block["probe_trace_ids"] == [
+            probe_trace_id(SEED, i) for i in range(PROBES)
+        ]
+        # Nothing timing-dependent may appear in the CI-diffed block.
+        assert json.dumps(block)  # serialisable
+        for key in ("down_at", "duration_s", "t", "mttr_seconds"):
+            assert key not in block
+
+    def test_recovery_phases_feed_estimation(self, drill):
+        report, _, _ = drill
+        summaries = EstimationInputs.from_report(
+            report.measurement
+        ).summaries()
+        assert summaries["restore"].n == KILLS
+        assert summaries["restore"].mean > 0
+        assert summaries["detect"].n == KILLS
+
+    def test_report_dict_embeds_measurement(self, drill):
+        report, _, _ = drill
+        document = report.to_dict()
+        assert document["measurement"]["deterministic"] == (
+            report.measurement["deterministic"]
+        )

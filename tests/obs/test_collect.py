@@ -1,0 +1,176 @@
+"""Merging per-process trace files into cluster-wide span trees."""
+
+import json
+
+import pytest
+
+from repro.obs.collect import (
+    build_cluster_trace,
+    load_trace_dir,
+    merge_cluster_traces,
+    render_cluster_report,
+    render_cluster_trace,
+    spans_by_trace,
+)
+
+
+TRACE = "ab" * 16
+
+
+def _span(name, ref, parent=None, process="router", t=0.0, **fields):
+    return {
+        "kind": "span",
+        "name": name,
+        "trace_id": TRACE,
+        "span_ref": ref,
+        "parent_ref": parent,
+        "process": process,
+        "t": t,
+        "duration_s": 0.01,
+        "status": "ok",
+        "fields": fields,
+    }
+
+
+def _write(path, records):
+    path.write_text(
+        "\n".join(json.dumps(record) for record in records) + "\n",
+        encoding="utf-8",
+    )
+
+
+class TestLoadTraceDir:
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no .*trace files"):
+            load_trace_dir(tmp_path)
+
+    def test_records_gain_source(self, tmp_path):
+        _write(tmp_path / "router.1.jsonl", [_span("a", "r1")])
+        records, skipped = load_trace_dir(tmp_path)
+        assert skipped == 0
+        assert records[0]["source"] == "router.1.jsonl"
+
+    def test_truncated_line_skipped_not_fatal(self, tmp_path):
+        good = json.dumps(_span("a", "r1"))
+        (tmp_path / "shard-0.2.jsonl").write_text(
+            good + "\n" + good[: len(good) // 2] + "\n", encoding="utf-8"
+        )
+        records, skipped = load_trace_dir(tmp_path)
+        assert len(records) == 1
+        assert skipped == 1
+
+    def test_non_object_lines_skipped(self, tmp_path):
+        (tmp_path / "x.jsonl").write_text('[1, 2]\n"s"\n', encoding="utf-8")
+        records, skipped = load_trace_dir(tmp_path)
+        assert records == []
+        assert skipped == 2
+
+
+class TestGrouping:
+    def test_non_span_records_ignored(self):
+        records = [
+            _span("a", "r1"),
+            {"kind": "event", "trace_id": TRACE, "name": "e"},
+            {"kind": "trace_header", "schema_version": 2},
+        ]
+        traces = spans_by_trace(records)
+        assert list(traces) == [TRACE]
+        assert len(traces[TRACE]) == 1
+
+    def test_spans_without_ids_ignored(self):
+        record = _span("a", "r1")
+        del record["trace_id"]
+        assert spans_by_trace([record]) == {}
+
+
+class TestTreeBuilding:
+    def test_cross_process_parenting(self):
+        spans = [
+            _span("client.request", "r1", t=0.0),
+            _span("router.forward", "r2", "r1", t=0.1),
+            _span("service.request", "s1", "r2", process="shard-0", t=0.2),
+            _span(
+                "worker.solve", "w1", "s1", process="shard-0.worker0", t=0.3
+            ),
+        ]
+        roots, orphans = build_cluster_trace(spans)
+        assert len(roots) == 1 and not orphans
+        chain = [node.name for node in roots[0].walk()]
+        assert chain == [
+            "client.request", "router.forward", "service.request",
+            "worker.solve",
+        ]
+        assert [node.process for node in roots[0].walk()] == [
+            "router", "router", "shard-0", "shard-0.worker0",
+        ]
+
+    def test_lost_parent_becomes_orphan(self):
+        spans = [
+            _span("client.request", "r1"),
+            _span("service.request", "s1", "gone", process="shard-0"),
+        ]
+        roots, orphans = build_cluster_trace(spans)
+        assert [node.name for node in roots] == ["client.request"]
+        assert [node.name for node in orphans] == ["service.request"]
+
+    def test_children_sorted_by_start(self):
+        spans = [
+            _span("root", "r1", t=0.0),
+            _span("late", "c2", "r1", t=2.0),
+            _span("early", "c1", "r1", t=1.0),
+        ]
+        roots, _ = build_cluster_trace(spans)
+        assert [child.name for child in roots[0].children] == [
+            "early", "late"
+        ]
+
+    def test_merge_groups_by_trace_id(self):
+        other = dict(_span("b", "x1"), trace_id="cd" * 16)
+        merged = merge_cluster_traces([_span("a", "r1"), other])
+        assert set(merged) == {TRACE, "cd" * 16}
+
+
+class TestRendering:
+    def test_render_shows_processes_and_fields(self):
+        spans = [
+            _span("client.request", "r1", endpoint="/v1/solve"),
+            _span(
+                "router.attempt", "r2", "r1",
+                shard="shard-1", attempt=2, failover=True,
+            ),
+        ]
+        roots, orphans = build_cluster_trace(spans)
+        text = render_cluster_trace(TRACE, roots, orphans)
+        assert "2 spans across 1 process(es) (router)" in text
+        assert "endpoint=/v1/solve" in text
+        assert "failover=True" in text
+
+    def test_orphans_rendered_under_marker(self):
+        spans = [_span("service.request", "s1", "gone", process="shard-0")]
+        roots, orphans = build_cluster_trace(spans)
+        text = render_cluster_trace(TRACE, roots, orphans)
+        assert "orphaned spans" in text
+        assert "service.request [shard-0]" in text
+
+    def test_directory_report(self, tmp_path):
+        _write(
+            tmp_path / "router.1.jsonl",
+            [_span("client.request", "r1")],
+        )
+        _write(
+            tmp_path / "shard-0.2.jsonl",
+            [_span("service.request", "s1", "r1", process="shard-0")],
+        )
+        text = render_cluster_report(tmp_path)
+        assert "2 process file(s), 1 trace(s)" in text
+        assert f"trace {TRACE}" in text
+
+    def test_unknown_trace_id_raises(self, tmp_path):
+        _write(tmp_path / "router.1.jsonl", [_span("a", "r1")])
+        with pytest.raises(ValueError, match="not found"):
+            render_cluster_report(tmp_path, trace_id="ff" * 16)
+
+    def test_specific_trace_id(self, tmp_path):
+        _write(tmp_path / "router.1.jsonl", [_span("a", "r1")])
+        text = render_cluster_report(tmp_path, trace_id=TRACE)
+        assert f"trace {TRACE}: 1 spans" in text

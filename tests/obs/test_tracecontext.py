@@ -1,0 +1,145 @@
+"""W3C-style trace context: ids, header codec, thread-local scopes."""
+
+import threading
+
+import pytest
+
+from repro.obs import tracecontext
+from repro.obs.tracecontext import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    active,
+    begin_span,
+    current,
+    deterministic_trace_id,
+    end_span,
+    format_traceparent,
+    new_span_ref,
+    new_trace_id,
+    parse_traceparent,
+    trace_scope,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)  # hex or raise
+
+    def test_trace_ids_unique(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_span_ref_shape(self):
+        ref = new_span_ref()
+        assert len(ref) == 16
+        int(ref, 16)
+
+    def test_deterministic_trace_id_is_pure(self):
+        assert deterministic_trace_id("probe:7:0") == deterministic_trace_id(
+            "probe:7:0"
+        )
+        assert deterministic_trace_id("probe:7:0") != deterministic_trace_id(
+            "probe:7:1"
+        )
+        assert len(deterministic_trace_id("x")) == 32
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        context = TraceContext(new_trace_id(), new_span_ref())
+        parsed = parse_traceparent(format_traceparent(context))
+        assert parsed == context
+
+    def test_header_name(self):
+        assert TRACEPARENT_HEADER == "Traceparent"
+
+    def test_format_requires_span_ref(self):
+        with pytest.raises(ValueError):
+            format_traceparent(TraceContext(new_trace_id()))
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-abcdefabcdefabcd-01",
+            "00-" + "0" * 32 + "-abcdefabcdefabcd-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+            "zz-" + "a" * 32 + "-" + "b" * 16 + "-01",
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestScopes:
+    def test_no_scope_by_default(self):
+        assert active() is None
+        assert current() is None
+
+    def test_trace_scope_none_is_noop(self):
+        with trace_scope(None):
+            assert active() is None
+
+    def test_scope_activates_and_restores(self):
+        context = TraceContext("ab" * 16, "cd" * 8)
+        with trace_scope(context):
+            now = current()
+            assert now.trace_id == context.trace_id
+            assert now.span_ref == context.span_ref
+        assert current() is None
+
+    def test_begin_span_parents_under_scope(self):
+        context = TraceContext("ab" * 16, "cd" * 8)
+        with trace_scope(context):
+            trace_id, ref, parent = begin_span()
+            assert trace_id == context.trace_id
+            assert parent == context.span_ref
+            assert current().span_ref == ref
+            trace_id2, ref2, parent2 = begin_span()
+            assert parent2 == ref
+            end_span(ref2)
+            assert current().span_ref == ref
+            end_span(ref)
+            assert current().span_ref == context.span_ref
+
+    def test_begin_span_without_scope_is_none(self):
+        assert begin_span() is None
+
+    def test_scopes_are_thread_local(self):
+        seen = {}
+
+        def other():
+            seen["active"] = active()
+
+        with trace_scope(TraceContext("ab" * 16, "cd" * 8)):
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        assert seen["active"] is None
+
+    def test_nested_scopes_stack(self):
+        outer = TraceContext("aa" * 16, "bb" * 8)
+        inner = TraceContext("cc" * 16, "dd" * 8)
+        with trace_scope(outer):
+            with trace_scope(inner):
+                assert current().trace_id == inner.trace_id
+            assert current().trace_id == outer.trace_id
+
+
+class TestContextDataclass:
+    def test_frozen_and_picklable(self):
+        import pickle
+
+        context = TraceContext("ab" * 16, "cd" * 8)
+        assert pickle.loads(pickle.dumps(context)) == context
+        with pytest.raises(Exception):
+            context.trace_id = "other"
+
+    def test_exports_via_obs_package(self):
+        from repro import obs
+
+        assert obs.TraceContext is TraceContext
+        assert obs.parse_traceparent is tracecontext.parse_traceparent

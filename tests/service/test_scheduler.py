@@ -227,3 +227,33 @@ class TestErrors:
         finally:
             stall.set()
             batcher.shutdown()
+
+
+class TestDispatchTracing:
+    def test_dispatch_activates_lead_tickets_trace(self):
+        """Executors are cached per group key ("first writer wins"), so
+        the submitter's trace context must ride the ticket, not the
+        executor closure — otherwise the first request's trace leaks
+        into every later batch of that group."""
+        from repro.obs import tracecontext
+
+        seen = []
+
+        def execute(batch):
+            seen.append(tracecontext.current())
+            return list(batch)
+
+        batcher = MicroBatcher(max_wait_ms=0.0, workers=1)
+        try:
+            first = tracecontext.TraceContext("aa" * 16, "bb" * 8)
+            second = tracecontext.TraceContext("cc" * 16, "dd" * 8)
+            with tracecontext.trace_scope(first):
+                batcher.submit("g", 1, executor=execute).result(timeout=5)
+            with tracecontext.trace_scope(second):
+                batcher.submit("g", 2, executor=execute).result(timeout=5)
+            batcher.submit("g", 3, executor=execute).result(timeout=5)
+        finally:
+            batcher.shutdown()
+        assert [ctx.trace_id if ctx else None for ctx in seen] == [
+            "aa" * 16, "cc" * 16, None,
+        ]

@@ -146,14 +146,14 @@ class TestJsonOutput:
 class TestTracing:
     def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
         from repro.obs import load_trace
-        from repro.obs.sinks import trace_schema_version
+        from repro.obs.sinks import TRACE_SCHEMA_VERSION, trace_schema_version
 
         trace = tmp_path / "run.jsonl"
         assert main(
             ["--trace", str(trace), "solve"]
         ) == 0
         records = load_trace(trace)
-        assert trace_schema_version(records) == 1
+        assert trace_schema_version(records) == TRACE_SCHEMA_VERSION
         names = {r["name"] for r in records if r["kind"] == "span"}
         assert "hierarchy.solve_batch" in names
         assert "hierarchy.submodel" in names
