@@ -81,6 +81,22 @@ def _configuration(args: argparse.Namespace) -> JsasConfiguration:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     reporter = _reporter(args)
+    if getattr(args, "fitted", None):
+        from repro.selfmodel import ClusterSelfModel
+
+        model = ClusterSelfModel.from_artifact(args.fitted)
+        result = model.solve()
+        reporter.line(f"{model.name} (rates fitted from {args.fitted})")
+        reporter.line(result.summary())
+        reporter.finish(
+            command="solve",
+            fitted=str(args.fitted),
+            model=model.name,
+            availability=result.availability,
+            yearly_downtime_minutes=result.yearly_downtime_minutes,
+            mtbf_hours=result.mtbf_hours,
+        )
+        return 0
     config = _configuration(args)
     if args.engine == "compiled":
         result = config.solve_compiled(PAPER_PARAMETERS)
@@ -165,6 +181,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.models.jsas.configs import HierarchicalConfigMetric
 
     reporter = _reporter(args)
+    if getattr(args, "fitted", None):
+        return _cmd_sweep_fitted(args, reporter)
     config = _configuration(args)
     if args.engine == "compiled":
         # Batch-capable metric: the whole grid solves as one stacked
@@ -174,7 +192,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         def metric(values: dict) -> float:
             return config.solve(values).availability
 
-    grid = list(np.linspace(args.start, args.stop, args.points))
+    start = args.start if args.start is not None else 0.5
+    stop = args.stop if args.stop is not None else 3.0
+    grid = list(np.linspace(start, stop, args.points))
     sweep = parametric_sweep(
         metric,
         "Tstart_long_as",
@@ -219,10 +239,88 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_fitted(
+    args: argparse.Namespace, reporter: "Reporter"
+) -> int:
+    """Parametric what-if sweep over the fitted cluster model."""
+    from repro.selfmodel import ClusterSelfModel
+
+    model = ClusterSelfModel.from_artifact(args.fitted)
+    parameter = args.parameter or "Mu_restore"
+    if parameter not in model.base_values:
+        reporter.line(
+            f"unknown fitted parameter {parameter!r}; available: "
+            f"{sorted(model.base_values)}"
+        )
+        return 2
+    point = model.base_values[parameter]
+    # Without explicit bounds, sweep a decade around the fitted point.
+    start = args.start if args.start is not None else point * 0.25
+    stop = args.stop if args.stop is not None else point * 4.0
+    metric = model.metric(metric="availability")
+    grid = list(np.linspace(start, stop, args.points))
+    sweep = parametric_sweep(
+        metric,
+        parameter,
+        grid,
+        dict(model.base_values),
+        metric_name="availability",
+    )
+    reporter.line(
+        render_table(
+            [f"{parameter} (1/hour)", "Availability"],
+            [(f"{x:.4g}", f"{y:.7%}") for x, y in sweep.as_rows()],
+            title=(
+                f"{model.name}: availability vs {parameter} "
+                f"(fitted point {point:.4g}/h)"
+            ),
+        )
+    )
+    reporter.finish(
+        command="sweep",
+        fitted=str(args.fitted),
+        model=model.name,
+        parameter=parameter,
+        points=[
+            {parameter: x, "availability": y} for x, y in sweep.as_rows()
+        ],
+    )
+    return 0
+
+
 def _cmd_uncertainty(args: argparse.Namespace) -> int:
     from repro.models.jsas.configs import build_uncertainty_analysis
 
     reporter = _reporter(args)
+    if getattr(args, "fitted", None):
+        from repro.selfmodel import ClusterSelfModel
+
+        model = ClusterSelfModel.from_artifact(args.fitted)
+        analysis = model.uncertainty_analysis(
+            metric="yearly_downtime_minutes"
+        )
+        result = analysis.run(
+            n_samples=args.samples,
+            seed=args.seed,
+            batch=args.engine == "compiled",
+            n_jobs=args.jobs,
+        )
+        reporter.line(
+            f"{model.name}: fitted-rate intervals propagated "
+            f"({len(analysis.distributions)} varied parameter(s))"
+        )
+        reporter.line(result.summary())
+        reporter.finish(
+            command="uncertainty",
+            fitted=str(args.fitted),
+            model=model.name,
+            n_samples=args.samples,
+            seed=args.seed,
+            metric=result.metric_name,
+            mean=result.mean,
+            median=result.percentile(50),
+        )
+        return 0
     config = _configuration(args)
     analysis = build_uncertainty_analysis(config)
     result = analysis.run(
@@ -522,6 +620,8 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     from repro.chaos.failover import run_failover_drill
 
     reporter = _reporter(args)
+    if args.selfmodel:
+        return _cmd_failover_selfmodel(args, reporter)
     report = run_failover_drill(
         n_shards=args.shards,
         requests=args.requests,
@@ -567,6 +667,128 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     reporter.record(command="failover", **report.deterministic_dict())
     reporter.finish()
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_failover_selfmodel(
+    args: argparse.Namespace, reporter: "Reporter"
+) -> int:
+    """One-shot paper loop: drill -> measure -> fit -> predict -> compare."""
+    from repro.selfmodel import render_prediction_report, run_selfmodel_drill
+
+    outcome = run_selfmodel_drill(
+        n_shards=args.shards,
+        requests=args.requests,
+        kills=max(args.kills, 1),
+        seed=args.seed,
+        probes=args.probes or 8,
+        quorum=args.quorum,
+        report_path=args.report,
+        measurement_path=args.measurement,
+        prediction_path=args.prediction,
+        trace_dir=args.trace_dir,
+    )
+    drill = outcome["drill"]
+    prediction = outcome["prediction"]
+    reporter.line(
+        f"failover drill: {drill.succeeded}/{drill.requests} requests "
+        f"succeeded across {drill.kills} shard kill(s) "
+        f"(seed {drill.seed}, {drill.n_shards} shards)"
+    )
+    reporter.line(render_prediction_report(prediction))
+    for path, label in (
+        (args.report, "drill report"),
+        (args.measurement, "measurement report"),
+        (args.prediction, "prediction report"),
+    ):
+        if path:
+            reporter.line(f"{label} written to {path}")
+    reporter.record(
+        command="failover-selfmodel", **prediction["deterministic"]
+    )
+    reporter.finish()
+    agreed = prediction["validation"]["verdict"] == "agree"
+    return 0 if drill.failed == 0 and agreed else 1
+
+
+def _cmd_selfmodel(args: argparse.Namespace) -> int:
+    """Fit / predict / validate against an existing measurement report."""
+    from repro.obs.monitor import load_measurement_report
+    from repro.selfmodel import (
+        ClusterTopology,
+        fit_parameters,
+        load_prediction_report,
+        predict_availability,
+        render_prediction_report,
+        validate_prediction,
+        write_prediction_report,
+    )
+
+    reporter = _reporter(args)
+    measurement = load_measurement_report(args.measurement)
+    if args.selfmodel_command == "fit":
+        fitted = fit_parameters(measurement, confidence=args.confidence)
+        reporter.line(fitted.summary())
+        if args.out:
+            fitted.write(args.out)
+            reporter.line(f"fit artifact written to {args.out}")
+        reporter.finish(command="selfmodel-fit", **fitted.to_dict())
+        return 0
+
+    n_shards = args.shards or int(measurement.get("n_shards") or 0)
+    topology = ClusterTopology(
+        n_shards=n_shards, quorum=args.quorum, source="measurement"
+    )
+    if args.selfmodel_command == "predict":
+        fitted = fit_parameters(measurement, confidence=args.confidence)
+        prediction = predict_availability(
+            topology, fitted, measurement=measurement
+        )
+        prediction["validation"] = validate_prediction(
+            prediction, measurement, confidence=args.confidence
+        )
+        reporter.line(render_prediction_report(prediction))
+        if args.out:
+            write_prediction_report(prediction, args.out)
+            reporter.line(f"prediction report written to {args.out}")
+        reporter.record(
+            command="selfmodel-predict", **prediction["deterministic"]
+        )
+        reporter.finish()
+        return 0
+
+    # validate: against a stored prediction, or fit+predict on the fly.
+    if args.prediction:
+        prediction = load_prediction_report(args.prediction)
+    else:
+        fitted = fit_parameters(measurement, confidence=args.confidence)
+        prediction = predict_availability(
+            topology, fitted, measurement=measurement
+        )
+    validation = validate_prediction(
+        prediction, measurement, confidence=args.confidence
+    )
+    measured = validation["measured"]
+    reporter.line(
+        f"predicted availability interval: "
+        f"[{validation['predicted_interval'][0]:.6f}, "
+        f"{validation['predicted_interval'][1]:.6f}]"
+    )
+    reporter.line(
+        f"measured probe availability: "
+        f"{measured['probe_availability']:.6f} "
+        f"[{measured['interval'][0]:.6f}, {measured['interval'][1]:.6f}] "
+        f"({measured['n_probes']} probes)"
+    )
+    if validation["model"]["mttr_seconds"] is not None:
+        reporter.line(
+            f"MTTR: model {validation['model']['mttr_seconds']:.3f} s vs "
+            f"measured {measured['mttr_seconds'] or float('nan'):.3f} s"
+        )
+    for note in validation["notes"]:
+        reporter.line(f"note: {note}")
+    reporter.line(f"verdict: {validation['verdict'].upper()}")
+    reporter.finish(command="selfmodel-validate", **validation)
+    return 0 if validation["verdict"] == "agree" else 1
 
 
 class _ReporterParser(argparse.ArgumentParser):
@@ -619,6 +841,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(p)
     _add_engine_argument(p)
     _add_json_argument(p)
+    p.add_argument("--fitted", default=None, metavar="FILE",
+                   help="solve the fitted cluster selfmodel from this "
+                        "artifact (prediction/fit/measurement/drill "
+                        "JSON) instead of a paper configuration")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("table2", help="reproduce Table 2")
@@ -632,9 +858,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(p)
     _add_engine_argument(p)
     _add_json_argument(p)
-    p.add_argument("--start", type=float, default=0.5)
-    p.add_argument("--stop", type=float, default=3.0)
+    p.add_argument("--start", type=float, default=None,
+                   help="sweep start (default 0.5; with --fitted, "
+                        "0.25x the fitted point)")
+    p.add_argument("--stop", type=float, default=None,
+                   help="sweep stop (default 3.0; with --fitted, "
+                        "4x the fitted point)")
     p.add_argument("--points", type=int, default=11)
+    p.add_argument("--fitted", default=None, metavar="FILE",
+                   help="sweep a parameter of the fitted cluster "
+                        "selfmodel loaded from this artifact")
+    p.add_argument("--parameter", default=None,
+                   help="with --fitted: fitted parameter to sweep "
+                        "(default Mu_restore)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("uncertainty", help="Figs. 7/8 uncertainty analysis")
@@ -647,6 +883,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_argument(p)
     p.add_argument("--samples", type=int, default=1000)
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--fitted", default=None, metavar="FILE",
+                   help="propagate the fitted cluster selfmodel's rate "
+                        "intervals instead of the paper's ranges")
     p.set_defaults(func=_cmd_uncertainty)
 
     p = sub.add_parser("campaign", help="simulated fault-injection campaign")
@@ -752,6 +991,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measurement", default=None, metavar="FILE",
                    help="write the availability measurement report as "
                         "JSON (requires --probes > 0)")
+    p.add_argument("--selfmodel", action="store_true",
+                   help="close the paper's loop in one shot: drill, "
+                        "measure, fit the cluster model's rates, "
+                        "predict availability, and compare against the "
+                        "measured probes (forces kills/probes >= 1)")
+    p.add_argument("--quorum", type=int, default=1,
+                   help="with --selfmodel: minimum serving shards for "
+                        "the model's up states (default 1)")
+    p.add_argument("--prediction", default=None, metavar="FILE",
+                   help="with --selfmodel: write the prediction report "
+                        "as JSON")
     _add_json_argument(p)
     p.set_defaults(func=_cmd_failover)
 
@@ -808,6 +1058,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--instances", type=int, default=2)
     p.set_defaults(func=_cmd_export_dot)
+
+    p = sub.add_parser(
+        "selfmodel", help="measurement -> model -> prediction loop over "
+        "our own cluster (paper methodology, dogfooded)"
+    )
+    selfmodel_sub = p.add_subparsers(dest="selfmodel_command", required=True)
+    for name, help_text in (
+        ("fit", "fit the cluster model's rates from a measurement report"),
+        ("predict", "fit, solve, and report predicted availability "
+                    "(point + CI-propagated interval)"),
+        ("validate", "agreement verdict: predicted interval vs measured "
+                     "probe availability"),
+    ):
+        sp = selfmodel_sub.add_parser(name, help=help_text)
+        sp.add_argument("--measurement", required=True, metavar="FILE",
+                        help="measurement report JSON (failover "
+                             "--measurement or monitor --report output)")
+        sp.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level for fitted intervals "
+                             "(default 0.95)")
+        sp.add_argument("--shards", type=int, default=None,
+                        help="override the topology's shard count "
+                             "(default: the report's n_shards)")
+        sp.add_argument("--quorum", type=int, default=1,
+                        help="minimum serving shards for 'up' (default 1)")
+        if name != "validate":
+            sp.add_argument("--out", default=None, metavar="FILE",
+                            help="write the artifact (fit parameters / "
+                                 "prediction report) as JSON")
+        else:
+            sp.add_argument("--prediction", default=None, metavar="FILE",
+                            help="validate this stored prediction report "
+                                 "instead of fitting on the fly")
+        _add_json_argument(sp)
+        sp.set_defaults(func=_cmd_selfmodel)
 
     p = sub.add_parser(
         "obs", help="observability utilities (trace reporting)"

@@ -29,7 +29,9 @@ from repro.estimation.coverage import (
 )
 from repro.estimation.failure_rate import required_exposure_for_bound
 from repro.estimation.recovery_time import (
+    ExponentialRateEstimate,
     RecoveryTimeSummary,
+    exponential_rate_estimate,
     summarize_recovery_times,
 )
 from repro.estimation.intervals import (
@@ -47,6 +49,8 @@ __all__ = [
     "fir_upper_bound",
     "required_injections_for_fir",
     "required_exposure_for_bound",
+    "ExponentialRateEstimate",
+    "exponential_rate_estimate",
     "RecoveryTimeSummary",
     "summarize_recovery_times",
     "mean_confidence_interval",

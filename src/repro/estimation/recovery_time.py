@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -110,3 +110,118 @@ def exponential_rate_mle(samples: Sequence[float]) -> Tuple[float, float]:
         raise EstimationError("inter-failure times must be positive")
     rate = 1.0 / float(data.mean())
     return rate, rate / math.sqrt(data.size)
+
+
+@dataclass(frozen=True)
+class ExponentialRateEstimate:
+    """An exponential rate fitted from duration samples, with its CI.
+
+    For ``n`` i.i.d. Exp(lambda) durations with total ``T = sum(x_i)``,
+    the pivot ``2 * lambda * T ~ chi2(2n)`` gives an *exact* central
+    confidence interval — well-defined down to ``n = 1`` (where it is
+    very wide, as it should be)::
+
+        lambda_lo = chi2.ppf(alpha / 2, 2 n) / (2 T)
+        lambda_hi = chi2.ppf(1 - alpha / 2, 2 n) / (2 T)
+
+    This is the same chi-squared machinery as the paper's Eq. 2
+    failure-rate bound, applied to *recovery* phases: the selfmodel
+    pipeline fits one of these per measured phase (detect, respawn,
+    restore) and propagates ``[lower, upper]`` through the cluster
+    model to put an interval on the predicted availability.
+
+    Attributes:
+        rate: MLE ``n / T`` (per unit of the samples' time unit).
+        lower / upper: Exact central CI bounds at ``confidence``.
+        standard_error: Asymptotic SE ``rate / sqrt(n)``.
+        n: Sample size.
+        total: Total observed duration ``T``.
+        confidence: Central confidence level of ``[lower, upper]``.
+    """
+
+    rate: float
+    lower: float
+    upper: float
+    standard_error: float
+    n: int
+    total: float
+    confidence: float
+
+    @property
+    def mean_duration(self) -> float:
+        """The implied mean sojourn ``1 / rate``."""
+        return 1.0 / self.rate
+
+    def scaled(self, factor: float) -> "ExponentialRateEstimate":
+        """The same estimate under a change of time unit.
+
+        Durations measured in seconds fit a per-second rate; the model
+        layer wants per-hour rates — ``estimate.scaled(3600.0)``
+        multiplies the rate (and both bounds, and the SE) by ``factor``
+        while dividing the total exposure accordingly.
+        """
+        if factor <= 0.0 or not math.isfinite(factor):
+            raise EstimationError(
+                f"scale factor must be positive and finite, got {factor}"
+            )
+        return ExponentialRateEstimate(
+            rate=self.rate * factor,
+            lower=self.lower * factor,
+            upper=self.upper * factor,
+            standard_error=self.standard_error * factor,
+            n=self.n,
+            total=self.total / factor,
+            confidence=self.confidence,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-JSON form (report artifacts)."""
+        return {
+            "rate": self.rate,
+            "lower": self.lower,
+            "upper": self.upper,
+            "standard_error": self.standard_error,
+            "n": self.n,
+            "total": self.total,
+            "confidence": self.confidence,
+        }
+
+
+def exponential_rate_estimate(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ExponentialRateEstimate:
+    """Fit an exponential rate with its exact chi-squared CI.
+
+    Raises:
+        EstimationError: On an empty sample, non-positive or non-finite
+            durations, or a confidence outside (0, 1).
+    """
+    from scipy import stats
+
+    if not 0.0 < confidence < 1.0:
+        raise EstimationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if len(samples) == 0:
+        raise EstimationError("cannot estimate a rate from an empty sample")
+    data = np.asarray(samples, dtype=float)
+    if not np.all(np.isfinite(data)) or np.any(data <= 0.0):
+        raise EstimationError(
+            "durations must be finite and positive; got "
+            f"min={data.min()!r}"
+        )
+    n = int(data.size)
+    total = float(data.sum())
+    rate = n / total
+    alpha = 1.0 - confidence
+    lower = float(stats.chi2.ppf(alpha / 2.0, 2 * n)) / (2.0 * total)
+    upper = float(stats.chi2.ppf(1.0 - alpha / 2.0, 2 * n)) / (2.0 * total)
+    return ExponentialRateEstimate(
+        rate=rate,
+        lower=lower,
+        upper=upper,
+        standard_error=rate / math.sqrt(n),
+        n=n,
+        total=total,
+        confidence=confidence,
+    )

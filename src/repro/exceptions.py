@@ -61,6 +61,16 @@ class PetriNetError(ModelError):
     """A stochastic Petri net is invalid or its reachability set exploded."""
 
 
+class SelfModelError(ReproError):
+    """The measurement -> model -> prediction loop got invalid inputs.
+
+    Raised by :mod:`repro.selfmodel` for problems such as a topology
+    that cannot be modeled (quorum larger than the shard count), a
+    measurement report missing the phase samples a fit needs, or a
+    prediction artifact that does not carry the fitted rates.
+    """
+
+
 class KernelError(ReproError):
     """A compiled solve kernel could not be selected, built, or run."""
 

@@ -15,10 +15,71 @@ transitions if you need symbolic variants.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import Any, Callable, Dict, Sequence, Tuple
 
 from repro.core.model import MarkovModel
 from repro.exceptions import ModelError
+
+
+# Named model registry -----------------------------------------------------
+#
+# The closed-form builders above are importable directly; the registry
+# adds *named* lookup so generic consumers (the solve/sweep/uncertainty
+# CLI paths) can load a model the way they load the paper's Config 1-4.
+# Fitted models register themselves here too: importing
+# :mod:`repro.selfmodel` adds ``"cluster"`` (the measured sharded
+# cluster, built from a drill/measurement/fit artifact).
+
+_MODEL_BUILDERS: Dict[str, Callable[..., Any]] = {}
+
+#: Registered names whose builders live in modules that register on
+#: import; :func:`build_model` imports them lazily so catalog users
+#: do not pay for (or depend on) the service stack.
+_LAZY_REGISTRARS: Dict[str, str] = {"cluster": "repro.selfmodel"}
+
+
+def register_model_builder(
+    name: str, builder: Callable[..., Any], replace: bool = False
+) -> None:
+    """Register a named model builder.
+
+    Args:
+        name: Lookup key for :func:`build_model`.
+        builder: Callable returning a solvable model (a
+            :class:`~repro.core.model.MarkovModel`, a hierarchy, or a
+            configuration object with ``solve``/``solve_batch``).
+        replace: Allow overwriting an existing registration (used by
+            self-registering modules so re-imports stay idempotent).
+    """
+    if not replace and name in _MODEL_BUILDERS:
+        raise ModelError(f"model builder {name!r} is already registered")
+    _MODEL_BUILDERS[name] = builder
+
+
+def model_builder_names() -> Tuple[str, ...]:
+    """Every resolvable builder name (registered or lazily importable)."""
+    return tuple(sorted(set(_MODEL_BUILDERS) | set(_LAZY_REGISTRARS)))
+
+
+def build_model(name: str, **kwargs: Any) -> Any:
+    """Build a registered model by name.
+
+    Unknown names trigger the lazy registrars (e.g. ``"cluster"``
+    imports :mod:`repro.selfmodel`, which registers itself) before
+    failing.
+    """
+    if name not in _MODEL_BUILDERS and name in _LAZY_REGISTRARS:
+        import importlib
+
+        importlib.import_module(_LAZY_REGISTRARS[name])
+    try:
+        builder = _MODEL_BUILDERS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown model {name!r}; registered: "
+            f"{model_builder_names()}"
+        ) from None
+    return builder(**kwargs)
 
 
 def k_of_n_model(
@@ -274,3 +335,12 @@ def erlang_repair_model(
         )
     model.add_transition(f"Repair{stages}", "Up", stage_rate)
     return model
+
+
+# The classic builders register under their own names so
+# :func:`build_model` resolves the whole catalog uniformly.
+register_model_builder("k_of_n", k_of_n_model)
+register_model_builder("duplex", duplex_with_coverage)
+register_model_builder("warm_standby", warm_standby)
+register_model_builder("tmr", tmr_model)
+register_model_builder("erlang_repair", erlang_repair_model)

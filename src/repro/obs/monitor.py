@@ -48,8 +48,12 @@ from repro.obs.tracecontext import (
     trace_scope,
 )
 
-#: Version of the measurement-report JSON layout.
-MEASUREMENT_SCHEMA = 1
+#: Version of the measurement-report JSON layout.  v2 added the
+#: ``"exposure"`` block (total shard exposure + kill count, the inputs
+#: of :func:`repro.estimation.estimate_failure_rate`) and put
+#: ``kill_count`` in the deterministic block; v1 artifacts load through
+#: :func:`load_measurement_report`.
+MEASUREMENT_SCHEMA = 2
 
 #: Parameter the synthetic probes vary.  Same knob the drills sweep,
 #: but probed at values far outside the drill workload's range
@@ -344,11 +348,18 @@ def build_measurement_report(
     The ``"deterministic"`` sub-document contains only seed-pure fields
     (no timestamps, no durations, nothing probe-outcome-dependent), so
     two same-seed runs produce bit-identical bytes for it — that block
-    is what CI diffs.
+    is what CI diffs.  The kill count is seed-pure (a drill's schedule
+    is a function of its seed) and lives there; exposure is wall-clock
+    and lives in the top-level ``"exposure"`` block instead.
     """
     probes = sorted(probes, key=lambda p: p["index"])
     service_episodes = detect_service_episodes(probes, min_failures)
     shard_episodes, incomplete = join_shard_episodes(records)
+    kill_count = sum(
+        1
+        for record in records
+        if record.get("kind") == "event" and record.get("name") == _KILLED
+    )
     phases = recovery_phase_samples(shard_episodes + incomplete)
     n_probes = len(probes)
     failures = sum(1 for probe in probes if not probe["ok"])
@@ -394,6 +405,7 @@ def build_measurement_report(
             "probe_parameter": PROBE_PARAMETER,
             "probe_trace_ids": [probe["trace_id"] for probe in probes],
             "min_failures": min_failures,
+            "kill_count": kill_count,
             "shard_episode_count": total_episodes,
             "shard_episode_victims": sorted(
                 episode["shard"]
@@ -403,6 +415,15 @@ def build_measurement_report(
         "seed": seed,
         "n_shards": n_shards,
         "n_probes": n_probes,
+        "exposure": {
+            # Life-test inputs for repro.estimation.estimate_failure_rate
+            # (paper Eq. 2): total unit-time under observation and the
+            # failures (kills) seen during it.  shard_seconds sums the
+            # campaign window over every shard under observation.
+            "campaign_seconds": campaign_seconds,
+            "shard_seconds": campaign_seconds * max(n_shards, 1),
+            "kill_count": kill_count,
+        },
         "probe_failures": failures,
         "probe_availability": probe_availability,
         "empirical_availability": empirical_availability,
@@ -432,6 +453,61 @@ def write_measurement_report(
         encoding="utf-8",
     )
     return target
+
+
+def load_measurement_report(
+    source: Union[str, pathlib.Path, Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Load a measurement report, upgrading v1 artifacts to v2 shape.
+
+    Accepts a path to a JSON artifact or an already-parsed mapping
+    (e.g. the ``measurement`` block embedded in a drill report).  v1
+    reports predate the ``"exposure"`` block: the shim derives it from
+    the campaign duration and the shard-episode count, so consumers
+    (:mod:`repro.selfmodel` above all) can rely on one shape.
+
+    Raises:
+        ValueError: If the document is not a measurement report or its
+            schema is newer than this library understands.
+    """
+    if isinstance(source, Mapping):
+        report: Dict[str, Any] = dict(source)
+    else:
+        report = json.loads(
+            pathlib.Path(source).read_text(encoding="utf-8")
+        )
+    if report.get("kind") != "measurement":
+        raise ValueError(
+            f"not a measurement report: kind={report.get('kind')!r}"
+        )
+    schema = report.get("schema")
+    if schema == MEASUREMENT_SCHEMA:
+        return report
+    if schema == 1:
+        campaign = report.get("campaign", {})
+        campaign_seconds = float(campaign.get("duration_s") or 0.0)
+        n_shards = int(report.get("n_shards") or 0)
+        # v1 had no explicit kill counter; every kill opened a shard
+        # episode, so the episode count is the faithful reconstruction.
+        kill_count = len(report.get("shard_episodes", ())) + len(
+            report.get("incomplete_shard_episodes", ())
+        )
+        report = dict(report)
+        report["schema"] = MEASUREMENT_SCHEMA
+        report["exposure"] = {
+            "campaign_seconds": campaign_seconds,
+            "shard_seconds": campaign_seconds * max(n_shards, 1),
+            "kill_count": kill_count,
+        }
+        deterministic = dict(report.get("deterministic", {}))
+        deterministic.setdefault("kill_count", kill_count)
+        deterministic["schema"] = MEASUREMENT_SCHEMA
+        report["deterministic"] = deterministic
+        return report
+    raise ValueError(
+        f"unsupported measurement report schema {schema!r} "
+        f"(this library reads up to {MEASUREMENT_SCHEMA})"
+    )
 
 
 def render_measurement_report(report: Mapping[str, Any]) -> str:
@@ -469,21 +545,44 @@ def render_measurement_report(report: Mapping[str, Any]) -> str:
 
 @dataclass(frozen=True)
 class EstimationInputs:
-    """The measurement report's bridge into :mod:`repro.estimation`."""
+    """The measurement report's bridge into :mod:`repro.estimation`.
+
+    Carries the per-phase recovery duration samples (seconds) plus the
+    life-test exposure (total shard-seconds under observation and the
+    kill count), i.e. every number :mod:`repro.selfmodel` needs to fit
+    the cluster model's rates — one object, no report re-parsing.
+    """
 
     detect: Tuple[float, ...]
     respawn: Tuple[float, ...]
     restore: Tuple[float, ...]
+    shard_exposure_seconds: float = 0.0
+    kill_count: int = 0
 
     @classmethod
     def from_report(
         cls, report: Mapping[str, Any]
     ) -> "EstimationInputs":
         phases = report.get("recovery_phases", {})
+        exposure = report.get("exposure", {})
+        if not exposure:
+            # v1 artifact: same derivation the loader shim applies.
+            campaign = report.get("campaign", {})
+            seconds = float(campaign.get("duration_s") or 0.0)
+            exposure = {
+                "shard_seconds": seconds
+                * max(int(report.get("n_shards") or 0), 1),
+                "kill_count": len(report.get("shard_episodes", ()))
+                + len(report.get("incomplete_shard_episodes", ())),
+            }
         return cls(
             detect=tuple(phases.get("detect", ())),
             respawn=tuple(phases.get("respawn", ())),
             restore=tuple(phases.get("restore", ())),
+            shard_exposure_seconds=float(
+                exposure.get("shard_seconds") or 0.0
+            ),
+            kill_count=int(exposure.get("kill_count") or 0),
         )
 
     def summaries(self) -> Dict[str, Any]:
@@ -499,3 +598,43 @@ class EstimationInputs:
             )
             if samples
         }
+
+    def rates(self, confidence: float = 0.95) -> Dict[str, Any]:
+        """Per-phase fitted exponential rates with exact CIs (per second).
+
+        Returns a dict of phase name to
+        :class:`~repro.estimation.recovery_time.ExponentialRateEstimate`
+        for every phase with at least one sample (a single sample yields
+        a very wide — but exact — chi-squared interval).  Zero-duration
+        samples never occur here: the episode join clamps phase
+        durations to a positive floor, and the estimator would reject
+        them anyway.
+        """
+        from repro.estimation.recovery_time import exponential_rate_estimate
+
+        return {
+            phase: exponential_rate_estimate(samples, confidence)
+            for phase, samples in (
+                ("detect", self.detect),
+                ("respawn", self.respawn),
+                ("restore", self.restore),
+            )
+            if samples
+        }
+
+    def failure_rate(self, confidence: float = 0.95) -> Any:
+        """Shard failure-rate estimate (per second) from kills + exposure.
+
+        Paper Eq. 2 over the campaign's life test: ``kill_count``
+        failures across ``shard_exposure_seconds`` of summed shard
+        observation time.
+
+        Raises:
+            EstimationError: When the exposure is zero (no campaign
+                window to attribute failures to).
+        """
+        from repro.estimation.failure_rate import estimate_failure_rate
+
+        return estimate_failure_rate(
+            self.kill_count, self.shard_exposure_seconds, confidence
+        )

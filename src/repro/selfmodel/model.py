@@ -1,0 +1,243 @@
+"""Hierarchical Markov model of the sharded cluster.
+
+The paper's Fig. 2 composes an AS submodel and an HADB submodel under a
+small top-level chain; this module composes the same shape from the
+cluster topology of :mod:`repro.selfmodel.topology`:
+
+**Shard submodel** — the measured failure/recovery cycle of one shard
+process, with one state per measured phase::
+
+    Up --La_shard--> Failed --Mu_detect--> Restoring --Mu_restore--> Up
+
+``Failed`` is the killed-but-undetected window (the monitor poll gap:
+the ``killed -> dead`` phase sample), ``Restoring`` covers respawn +
+ready handshake + ring re-admission (the ``dead -> ready`` sample).
+
+**Top model** — a k-of-n birth-death chain over shard counts, its rates
+bound to the shard submodel's equivalent (Lambda, Mu) interface exactly
+like the paper binds ``La_appl``/``Mu_appl``::
+
+    Shards{n} <-> Shards{n-1} <-> ... <-> Shards{0}
+    down: j * La_shard_eq      up: (n - j) * Mu_shard_eq
+
+The service is up while at least ``quorum`` shards serve.
+
+**Worker pool** (optional) — a 1-of-w pool per shard, abstracted and
+bound into a ``WorkerOutage`` top state entered from every up state at
+``j * La_workers_eq`` (the paper's HADB-tier pattern: conservative,
+because a worker-pool outage on *any* serving shard is charged as a
+service outage).
+
+**Cache tier** (optional) — a Warm/Rebuilding cycle registered as a
+*masked* submodel: it is solved and reported (a cold cache degrades
+latency) but attributed no top-level downtime and bound to nothing,
+because the service keeps answering while a cache rebuilds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.model import MarkovModel
+from repro.exceptions import SelfModelError
+from repro.hierarchy.composer import HierarchicalModel
+from repro.selfmodel.topology import ClusterTopology
+
+#: Free parameters of the shard submodel (all rates per hour).
+SHARD_PARAMETERS = ("La_shard", "Mu_detect", "Mu_restore")
+
+#: Free parameters of the optional worker-pool submodel.
+WORKER_PARAMETERS = ("La_worker", "Mu_worker")
+
+#: Free parameters of the optional (masked) cache-tier submodel.
+CACHE_PARAMETERS = ("La_cache", "Mu_cache")
+
+#: Top-model parameters produced by bindings, never supplied directly.
+BOUND_PARAMETERS = (
+    "La_shard_eq",
+    "Mu_shard_eq",
+    "La_workers_eq",
+    "Mu_workers_eq",
+)
+
+
+def build_shard_model(name: str = "shard") -> MarkovModel:
+    """One shard's measured failure/recovery cycle (3 states)."""
+    model = MarkovModel(
+        name, "shard process: kill -> detect -> respawn/re-admit"
+    )
+    model.add_state("Up", reward=1.0, description="serving on the ring")
+    model.add_state(
+        "Failed",
+        reward=0.0,
+        description="killed, not yet detected by the health monitor",
+    )
+    model.add_state(
+        "Restoring",
+        reward=0.0,
+        description="detected dead; respawning and re-admitting",
+    )
+    model.add_transition("Up", "Failed", "La_shard")
+    model.add_transition("Failed", "Restoring", "Mu_detect")
+    model.add_transition("Restoring", "Up", "Mu_restore")
+    return model
+
+
+def build_worker_pool_model(
+    workers: int, name: str = "workers"
+) -> MarkovModel:
+    """Pre-forked solver pool: up while at least one worker lives.
+
+    A birth-death chain over live workers; the parent respawns dead
+    workers one at a time (rate ``Mu_worker``), and each live worker
+    dies independently at ``La_worker``.
+    """
+    if workers < 1:
+        raise SelfModelError(
+            f"worker pool model needs at least 1 worker, got {workers}"
+        )
+    model = MarkovModel(
+        name, f"pre-forked solver pool ({workers} worker(s))"
+    )
+    for live in range(workers, -1, -1):
+        model.add_state(
+            f"Pool{live}", reward=1.0 if live >= 1 else 0.0
+        )
+    for live in range(workers, 0, -1):
+        model.add_transition(
+            f"Pool{live}", f"Pool{live - 1}", f"{live} * La_worker"
+        )
+    for live in range(workers):
+        model.add_transition(f"Pool{live}", f"Pool{live + 1}", "Mu_worker")
+    return model
+
+
+def build_cache_model(name: str = "cache") -> MarkovModel:
+    """Solve-cache tier: Warm <-> Rebuilding (masked: degrades, not down)."""
+    model = MarkovModel(name, "solve cache: warm vs rebuilding")
+    model.add_state("Warm", reward=1.0)
+    model.add_state(
+        "Rebuilding",
+        reward=0.0,
+        description="cache lost (shard respawn); refilling from traffic",
+    )
+    model.add_transition("Warm", "Rebuilding", "La_cache")
+    model.add_transition("Rebuilding", "Warm", "Mu_cache")
+    return model
+
+
+def build_top_model(
+    topology: ClusterTopology, include_workers: bool = False
+) -> MarkovModel:
+    """k-of-n birth-death chain over live shards (+ worker-outage state)."""
+    n = topology.n_shards
+    model = MarkovModel(
+        "cluster",
+        f"router composition: {topology.quorum}-of-{n} shards serving",
+    )
+    for live in range(n, -1, -1):
+        model.add_state(
+            f"Shards{live}",
+            reward=1.0 if live >= topology.quorum else 0.0,
+        )
+    for live in range(n, 0, -1):
+        model.add_transition(
+            f"Shards{live}", f"Shards{live - 1}", f"{live} * La_shard_eq"
+        )
+    for live in range(n):
+        # The router's monitor respawns every dead shard concurrently —
+        # one "repair crew" per shard, not a shared crew.
+        model.add_transition(
+            f"Shards{live}",
+            f"Shards{live + 1}",
+            f"{n - live} * Mu_shard_eq",
+        )
+    if include_workers:
+        model.add_state(
+            "WorkerOutage",
+            reward=0.0,
+            description="a serving shard's solver pool is fully dead",
+        )
+        for live in range(topology.quorum, n + 1):
+            model.add_transition(
+                f"Shards{live}", "WorkerOutage", f"{live} * La_workers_eq"
+            )
+        model.add_transition("WorkerOutage", f"Shards{n}", "Mu_workers_eq")
+    return model
+
+
+def build_cluster_hierarchy(
+    topology: ClusterTopology,
+    include_workers: bool = False,
+    include_cache: bool = False,
+) -> HierarchicalModel:
+    """Compose the full cluster model for the given topology.
+
+    Args:
+        topology: Shape of the modeled cluster.
+        include_workers: Model the per-shard solver pool as a bound
+            submodel (requires ``topology.worker_processes >= 1`` and
+            fitted ``La_worker``/``Mu_worker`` rates).
+        include_cache: Register the cache tier as a *masked* submodel
+            (solved and reported, but not bound and attributed no
+            downtime).
+
+    Returns:
+        A :class:`~repro.hierarchy.composer.HierarchicalModel` whose
+        free parameters are :func:`required_parameters` of the same
+        flags.
+    """
+    if include_workers and topology.worker_processes < 1:
+        raise SelfModelError(
+            "include_workers requires worker_processes >= 1 in the "
+            f"topology, got {topology.worker_processes}"
+        )
+    top = build_top_model(topology, include_workers=include_workers)
+    hierarchy = HierarchicalModel(top)
+    shard_down = tuple(
+        f"Shards{live}" for live in range(topology.quorum)
+    )
+    hierarchy.add_submodel(build_shard_model(), attribute_states=shard_down)
+    hierarchy.bind("La_shard_eq", "shard", "failure_rate")
+    hierarchy.bind("Mu_shard_eq", "shard", "recovery_rate")
+    if include_workers:
+        hierarchy.add_submodel(
+            build_worker_pool_model(topology.worker_processes),
+            attribute_states=("WorkerOutage",),
+        )
+        hierarchy.bind("La_workers_eq", "workers", "failure_rate")
+        hierarchy.bind("Mu_workers_eq", "workers", "recovery_rate")
+    if include_cache:
+        hierarchy.add_submodel(build_cache_model(), attribute_states=())
+    return hierarchy
+
+
+def required_parameters(
+    include_workers: bool = False, include_cache: bool = False
+) -> Tuple[str, ...]:
+    """Free parameter names a solve of the hierarchy must supply."""
+    names = list(SHARD_PARAMETERS)
+    if include_workers:
+        names.extend(WORKER_PARAMETERS)
+    if include_cache:
+        names.extend(CACHE_PARAMETERS)
+    return tuple(names)
+
+
+def model_shape(
+    topology: ClusterTopology,
+    include_workers: bool = False,
+    include_cache: bool = False,
+) -> Dict[str, object]:
+    """Seed-pure structural summary for deterministic report blocks."""
+    submodels: Dict[str, int] = {"shard": 3}
+    if include_workers:
+        submodels["workers"] = topology.worker_processes + 1
+    if include_cache:
+        submodels["cache"] = 2
+    top_states = topology.n_shards + 1 + (1 if include_workers else 0)
+    return {
+        "top_states": top_states,
+        "submodels": submodels,
+        "quorum": topology.quorum,
+    }

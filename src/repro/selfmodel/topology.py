@@ -1,0 +1,145 @@
+"""Cluster topology: what the selfmodel models.
+
+The paper starts from the deployed system's architecture (N application
+server instances, HADB node pairs, a load balancer) and turns it into a
+model topology.  This module does the same for *our* production stack —
+the consistent-hash sharded cluster of :mod:`repro.service.cluster`:
+
+* each **shard** is the AS-instance analog (an OS process that can be
+  killed, detected dead, respawned and re-admitted to the ring);
+* the **router** is the composition point: the service is up while at
+  least ``quorum`` shards serve (k-of-n, default 1 — the ring forwards
+  to any live owner);
+* each shard optionally carries a **pre-forked worker pool** and a
+  **solve cache** as sub-tiers (the HADB-pair analogs).
+
+A :class:`ClusterTopology` can be derived from a live deployment
+(:func:`ClusterTopology.from_cluster_config` /
+:func:`ClusterTopology.from_cluster_status`) or constructed directly,
+and round-trips through JSON for the prediction report's deterministic
+block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import SelfModelError
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Shape of the modeled cluster (counts only; no rates).
+
+    Attributes:
+        n_shards: Shard processes behind the router.
+        quorum: Minimum live shards for the service to count as up.
+            The default 1 matches the router's behavior: requests fail
+            over along the ring, so one live shard keeps serving.
+        worker_processes: Pre-forked solver workers per shard (0 when
+            shards solve in-process).
+        cache_size: Solve-cache entries per shard (0 disables the
+            cache tier).
+        replicas: Virtual nodes per shard on the consistent-hash ring
+            (recorded for provenance; the availability model does not
+            depend on it).
+    """
+
+    n_shards: int
+    quorum: int = 1
+    worker_processes: int = 0
+    cache_size: int = 0
+    replicas: int = 0
+    source: str = field(default="manual", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise SelfModelError(
+                f"topology needs at least one shard, got {self.n_shards}"
+            )
+        if not 1 <= self.quorum <= self.n_shards:
+            raise SelfModelError(
+                f"quorum must be in [1, n_shards]; got quorum={self.quorum} "
+                f"with n_shards={self.n_shards}"
+            )
+        if self.worker_processes < 0 or self.cache_size < 0:
+            raise SelfModelError(
+                "worker_processes and cache_size must be non-negative"
+            )
+
+    @classmethod
+    def from_cluster_config(
+        cls, config: Any, quorum: int = 1
+    ) -> "ClusterTopology":
+        """Derive the topology from a :class:`~repro.service.cluster.ClusterConfig`."""
+        return cls(
+            n_shards=config.n_shards,
+            quorum=quorum,
+            worker_processes=config.shard.worker_processes,
+            cache_size=config.shard.cache_size,
+            replicas=config.replicas,
+            source="cluster-config",
+        )
+
+    @classmethod
+    def from_cluster_status(
+        cls,
+        status: Mapping[str, Any],
+        quorum: int = 1,
+        worker_processes: Optional[int] = None,
+        cache_size: Optional[int] = None,
+    ) -> "ClusterTopology":
+        """Derive the topology from a ``/cluster/status`` document.
+
+        The status endpoint reports ring membership, not per-shard
+        process configuration, so ``worker_processes`` / ``cache_size``
+        can be supplied when known (they default to 0 / unknown).
+        """
+        if "n_shards" not in status:
+            raise SelfModelError(
+                "not a cluster status document: missing 'n_shards'"
+            )
+        return cls(
+            n_shards=int(status["n_shards"]),
+            quorum=quorum,
+            worker_processes=int(worker_processes or 0),
+            cache_size=int(cache_size or 0),
+            replicas=int(status.get("replicas") or 0),
+            source="cluster-status",
+        )
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ClusterTopology":
+        """Rebuild a topology from its :meth:`to_dict` form."""
+        return cls(
+            n_shards=int(document["n_shards"]),
+            quorum=int(document.get("quorum", 1)),
+            worker_processes=int(document.get("worker_processes", 0)),
+            cache_size=int(document.get("cache_size", 0)),
+            replicas=int(document.get("replicas", 0)),
+            source=str(document.get("source", "manual")),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (embedded in report deterministic blocks)."""
+        return {
+            "n_shards": self.n_shards,
+            "quorum": self.quorum,
+            "worker_processes": self.worker_processes,
+            "cache_size": self.cache_size,
+            "replicas": self.replicas,
+            "source": self.source,
+        }
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        tiers = []
+        if self.worker_processes:
+            tiers.append(f"{self.worker_processes} worker(s)/shard")
+        if self.cache_size:
+            tiers.append(f"cache[{self.cache_size}]/shard")
+        suffix = f" ({', '.join(tiers)})" if tiers else ""
+        return (
+            f"{self.quorum}-of-{self.n_shards} sharded cluster{suffix}"
+        )

@@ -67,3 +67,45 @@ class TestPercentileInterval:
     def test_empty_rejected(self):
         with pytest.raises(EstimationError):
             percentile_interval([])
+
+
+class TestTinySamples:
+    """Degenerate sample shapes selfmodel's CI propagation leans on."""
+
+    def test_percentile_single_sample_collapses(self):
+        low, high = percentile_interval([7.5], 0.80)
+        assert low == high == pytest.approx(7.5)
+
+    def test_percentile_two_samples_stay_in_range(self):
+        low, high = percentile_interval([1.0, 3.0], 0.80)
+        assert 1.0 <= low <= high <= 3.0
+        assert low < high
+
+    def test_percentile_all_equal_collapses(self):
+        low, high = percentile_interval([4.0, 4.0, 4.0, 4.0], 0.90)
+        assert low == high == pytest.approx(4.0)
+
+    def test_percentile_higher_confidence_not_narrower(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low80, high80 = percentile_interval(data, 0.80)
+        low95, high95 = percentile_interval(data, 0.95)
+        assert low95 <= low80
+        assert high95 >= high80
+
+    def test_mean_ci_two_samples_finite_and_ordered(self):
+        mean, low, high = mean_confidence_interval([1.0, 3.0], 0.95)
+        assert mean == pytest.approx(2.0)
+        assert low < mean < high
+        # t(1 df) at 95% is ~12.7: the interval is wide, not infinite.
+        assert np.isfinite(low) and np.isfinite(high)
+
+    def test_mean_ci_two_equal_samples_degenerate(self):
+        assert mean_confidence_interval([2.0, 2.0], 0.95) == (
+            2.0, 2.0, 2.0,
+        )
+
+    def test_mean_ci_n1_any_confidence(self):
+        for confidence in (0.5, 0.9, 0.99):
+            assert mean_confidence_interval([9.0], confidence) == (
+                9.0, 9.0, 9.0,
+            )

@@ -1,8 +1,10 @@
 """Unit tests for recovery-time summaries."""
 
 import pytest
+from scipy import stats
 
 from repro.estimation.recovery_time import (
+    exponential_rate_estimate,
     exponential_rate_mle,
     summarize_recovery_times,
 )
@@ -74,3 +76,89 @@ class TestExponentialMle:
     def test_non_positive_rejected(self):
         with pytest.raises(EstimationError):
             exponential_rate_mle([1.0, -2.0])
+
+
+class TestExponentialRateEstimate:
+    def test_point_matches_mle(self):
+        samples = [0.5, 1.5, 1.0]
+        estimate = exponential_rate_estimate(samples)
+        rate, se = exponential_rate_mle(samples)
+        assert estimate.rate == pytest.approx(rate)
+        assert estimate.standard_error == pytest.approx(se)
+        assert estimate.n == 3
+        assert estimate.total == pytest.approx(3.0)
+
+    def test_exact_chi2_interval(self):
+        samples = [2.0, 2.0]  # n=2, T=4
+        estimate = exponential_rate_estimate(samples, confidence=0.90)
+        assert estimate.lower == pytest.approx(
+            stats.chi2.ppf(0.05, 4) / 8.0
+        )
+        assert estimate.upper == pytest.approx(
+            stats.chi2.ppf(0.95, 4) / 8.0
+        )
+        assert estimate.lower < estimate.rate < estimate.upper
+
+    def test_single_sample_interval_wide_but_exact(self):
+        estimate = exponential_rate_estimate([0.25])
+        assert estimate.rate == pytest.approx(4.0)
+        assert estimate.n == 1
+        assert estimate.lower > 0.0
+        # n=1 at 95%: the exact interval spans ~2.9 decades.
+        assert estimate.upper / estimate.lower > 100.0
+        assert estimate.lower < estimate.rate < estimate.upper
+
+    def test_mean_duration_inverse(self):
+        estimate = exponential_rate_estimate([0.5, 1.5])
+        assert estimate.mean_duration == pytest.approx(1.0)
+
+    def test_scaled_changes_units(self):
+        per_second = exponential_rate_estimate([0.2, 0.4])
+        per_hour = per_second.scaled(3600.0)
+        assert per_hour.rate == pytest.approx(per_second.rate * 3600.0)
+        assert per_hour.lower == pytest.approx(per_second.lower * 3600.0)
+        assert per_hour.upper == pytest.approx(per_second.upper * 3600.0)
+        assert per_hour.total == pytest.approx(per_second.total / 3600.0)
+        assert per_hour.n == per_second.n
+        # Interval coverage is scale-invariant: ratios unchanged.
+        assert per_hour.upper / per_hour.lower == pytest.approx(
+            per_second.upper / per_second.lower
+        )
+
+    def test_scaled_rejects_bad_factor(self):
+        estimate = exponential_rate_estimate([1.0])
+        for factor in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(EstimationError):
+                estimate.scaled(factor)
+
+    def test_to_dict_roundtrips_values(self):
+        estimate = exponential_rate_estimate([1.0, 2.0])
+        document = estimate.to_dict()
+        assert document["rate"] == pytest.approx(estimate.rate)
+        assert document["n"] == 2
+        assert document["confidence"] == 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError, match="empty"):
+            exponential_rate_estimate([])
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(EstimationError, match="positive"):
+            exponential_rate_estimate([1.0, 0.0])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(EstimationError, match="confidence"):
+            exponential_rate_estimate([1.0], confidence=1.0)
+
+    def test_coverage_on_exponential_data(self):
+        """~95% of exact 95% CIs contain the true rate."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            data = rng.exponential(1.0 / 2.5, size=5)
+            estimate = exponential_rate_estimate(data, 0.95)
+            hits += estimate.lower <= 2.5 <= estimate.upper
+        assert 0.90 <= hits / trials <= 0.99

@@ -11,6 +11,7 @@ from repro.obs.monitor import (
     build_measurement_report,
     detect_service_episodes,
     join_shard_episodes,
+    load_measurement_report,
     probe_trace_id,
     probe_value,
     recovery_phase_samples,
@@ -242,8 +243,36 @@ class TestReport:
         loaded = json.loads(path.read_text(encoding="utf-8"))
         assert loaded["deterministic"] == report["deterministic"]
         text = render_measurement_report(report)
-        assert "availability measurement (schema 1, seed 5)" in text
+        assert (
+            f"availability measurement (schema {MEASUREMENT_SCHEMA}, seed 5)"
+            in text
+        )
         assert "restore:" in text
+
+    def test_exposure_block(self):
+        probes = [_probe(i, t=float(i)) for i in range(4)]
+        report = build_measurement_report(
+            probes, self._records(), n_shards=4
+        )
+        exposure = report["exposure"]
+        # campaign runs 0.0 .. 3.01 (last probe + duration)
+        assert exposure["campaign_seconds"] == pytest.approx(3.01)
+        assert exposure["shard_seconds"] == pytest.approx(4 * 3.01)
+        assert exposure["kill_count"] == 1
+        assert report["deterministic"]["kill_count"] == 1
+
+    def test_kill_count_counts_killed_events_not_episodes(self):
+        # A kill whose shard never comes back still counts: the life
+        # test cares about failures, not completed recoveries.
+        records = self._records() + [
+            _event("cluster.shard.killed", "shard-0", 3.0),
+        ]
+        report = build_measurement_report(
+            [_probe(i) for i in range(4)], records, n_shards=4
+        )
+        assert report["exposure"]["kill_count"] == 2
+        assert report["deterministic"]["kill_count"] == 2
+        assert report["deterministic"]["shard_episode_count"] == 2
 
 
 class TestEstimationBridge:
@@ -282,3 +311,130 @@ class TestEstimationBridge:
     def test_empty_phases_yield_no_summaries(self):
         report = build_measurement_report([_probe(0)])
         assert EstimationInputs.from_report(report).summaries() == {}
+
+    def test_rates_expose_intervals(self):
+        records = [
+            _event("cluster.shard.killed", "shard-0", 0.0),
+            _event("cluster.shard.dead", "shard-0", 0.2),
+            _event("cluster.shard.ready", "shard-0", 1.0, generation=2),
+        ]
+        report = build_measurement_report(
+            [_probe(i, t=float(i)) for i in range(4)], records, n_shards=2
+        )
+        inputs = EstimationInputs.from_report(report)
+        rates = inputs.rates()
+        assert set(rates) == {"detect", "respawn", "restore"}
+        detect = rates["detect"]
+        # n=1 sample of 0.2 s: MLE 5/s, and the exact chi2 interval is
+        # wide but brackets it.
+        assert detect.rate == pytest.approx(5.0)
+        assert detect.n == 1
+        assert detect.lower < detect.rate < detect.upper
+        assert rates["restore"].rate == pytest.approx(1.0)
+
+    def test_failure_rate_uses_exposure(self):
+        records = [
+            _event("cluster.shard.killed", "shard-0", 0.0),
+            _event("cluster.shard.dead", "shard-0", 0.2),
+            _event("cluster.shard.ready", "shard-0", 1.0, generation=2),
+        ]
+        report = build_measurement_report(
+            [_probe(i, t=float(i)) for i in range(4)], records, n_shards=2
+        )
+        inputs = EstimationInputs.from_report(report)
+        estimate = inputs.failure_rate()
+        assert estimate.n_failures == 1
+        assert estimate.exposure == pytest.approx(2 * 3.01)
+        assert estimate.point == pytest.approx(1 / (2 * 3.01))
+        assert estimate.lower < estimate.point < estimate.upper
+
+    def test_zero_duration_campaign_has_zero_exposure(self):
+        # A single probe with zero duration: exposure degenerates to 0
+        # and the bridge carries that through without inventing time.
+        report = build_measurement_report([_probe(0, duration=0.0)])
+        inputs = EstimationInputs.from_report(report)
+        assert inputs.shard_exposure_seconds == 0.0
+        from repro.exceptions import EstimationError
+
+        with pytest.raises(EstimationError):
+            inputs.failure_rate()
+
+
+class TestLoaderShim:
+    def _records(self):
+        return [
+            _event("cluster.shard.killed", "shard-2", 1.5),
+            _event("cluster.shard.dead", "shard-2", 1.7),
+            _event("cluster.shard.ready", "shard-2", 2.5, generation=2),
+        ]
+
+    def test_v2_passes_through(self, tmp_path):
+        report = build_measurement_report(
+            [_probe(i) for i in range(3)], self._records(), n_shards=4
+        )
+        path = write_measurement_report(report, tmp_path / "m.json")
+        loaded = load_measurement_report(path)
+        assert loaded["schema"] == MEASUREMENT_SCHEMA
+        assert loaded["exposure"] == report["exposure"]
+
+    def test_v1_artifact_upgraded(self, tmp_path):
+        report = build_measurement_report(
+            [_probe(i, t=float(i)) for i in range(3)],
+            self._records(),
+            n_shards=4,
+        )
+        # Regress the artifact to its v1 layout by hand.
+        v1 = dict(report)
+        del v1["exposure"]
+        v1["schema"] = 1
+        deterministic = dict(v1["deterministic"])
+        del deterministic["kill_count"]
+        deterministic["schema"] = 1
+        v1["deterministic"] = deterministic
+        path = write_measurement_report(v1, tmp_path / "v1.json")
+        upgraded = load_measurement_report(path)
+        assert upgraded["schema"] == MEASUREMENT_SCHEMA
+        exposure = upgraded["exposure"]
+        assert exposure["campaign_seconds"] == pytest.approx(
+            report["campaign"]["duration_s"]
+        )
+        assert exposure["shard_seconds"] == pytest.approx(
+            4 * report["campaign"]["duration_s"]
+        )
+        # v1 reconstruction counts episodes (complete + incomplete).
+        assert exposure["kill_count"] == 1
+        assert upgraded["deterministic"]["kill_count"] == 1
+        assert upgraded["deterministic"]["schema"] == MEASUREMENT_SCHEMA
+
+    def test_accepts_parsed_mapping(self):
+        report = build_measurement_report([_probe(0)], self._records())
+        assert load_measurement_report(report)["schema"] == (
+            MEASUREMENT_SCHEMA
+        )
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="not a measurement report"):
+            load_measurement_report({"kind": "failover-drill"})
+
+    def test_rejects_future_schema(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            load_measurement_report(
+                {"kind": "measurement", "schema": MEASUREMENT_SCHEMA + 1}
+            )
+
+    def test_v1_estimation_inputs_fallback(self):
+        # EstimationInputs must also cope with a raw (un-upgraded) v1
+        # mapping, deriving the same exposure the shim would.
+        report = build_measurement_report(
+            [_probe(i, t=float(i)) for i in range(3)],
+            self._records(),
+            n_shards=4,
+        )
+        v1 = dict(report)
+        del v1["exposure"]
+        v1["schema"] = 1
+        inputs = EstimationInputs.from_report(v1)
+        assert inputs.shard_exposure_seconds == pytest.approx(
+            4 * report["campaign"]["duration_s"]
+        )
+        assert inputs.kill_count == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the cluster hierarchy's structure."""
+
+import pytest
+
+from repro.exceptions import SelfModelError
+from repro.selfmodel.model import (
+    BOUND_PARAMETERS,
+    SHARD_PARAMETERS,
+    build_cache_model,
+    build_cluster_hierarchy,
+    build_shard_model,
+    build_top_model,
+    build_worker_pool_model,
+    model_shape,
+    required_parameters,
+)
+from repro.selfmodel.topology import ClusterTopology
+
+
+class TestShardModel:
+    def test_three_state_cycle(self):
+        model = build_shard_model()
+        assert set(model.state_names) == {"Up", "Failed", "Restoring"}
+
+    def test_only_up_rewards(self):
+        model = build_shard_model()
+        rewards = {name: model.state(name).reward for name in model.state_names}
+        assert rewards == {"Up": 1.0, "Failed": 0.0, "Restoring": 0.0}
+
+
+class TestWorkerPoolModel:
+    def test_pool_states(self):
+        model = build_worker_pool_model(3)
+        assert set(model.state_names) == {"Pool3", "Pool2", "Pool1", "Pool0"}
+        assert model.state("Pool1").reward == 1.0
+        assert model.state("Pool0").reward == 0.0
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SelfModelError, match="at least 1 worker"):
+            build_worker_pool_model(0)
+
+
+class TestTopModel:
+    def test_birth_death_chain(self):
+        topology = ClusterTopology(n_shards=4, quorum=2)
+        model = build_top_model(topology)
+        assert set(model.state_names) == {
+            f"Shards{live}" for live in range(5)
+        }
+        # Up exactly while live >= quorum.
+        assert model.state("Shards2").reward == 1.0
+        assert model.state("Shards1").reward == 0.0
+
+    def test_worker_outage_state(self):
+        topology = ClusterTopology(
+            n_shards=2, quorum=1, worker_processes=2
+        )
+        model = build_top_model(topology, include_workers=True)
+        assert "WorkerOutage" in model.state_names
+        assert model.state("WorkerOutage").reward == 0.0
+
+
+class TestHierarchy:
+    def test_shard_only_parameters(self):
+        topology = ClusterTopology(n_shards=3)
+        hierarchy = build_cluster_hierarchy(topology)
+        result = hierarchy.solve(
+            {"La_shard": 1.0, "Mu_detect": 1000.0, "Mu_restore": 500.0}
+        )
+        assert 0.999 < result.system.availability < 1.0
+
+    def test_availability_monotone_in_recovery_rate(self):
+        topology = ClusterTopology(n_shards=3, quorum=2)
+        hierarchy = build_cluster_hierarchy(topology)
+        slow = hierarchy.solve(
+            {"La_shard": 5.0, "Mu_detect": 100.0, "Mu_restore": 100.0}
+        )
+        fast = hierarchy.solve(
+            {"La_shard": 5.0, "Mu_detect": 100.0, "Mu_restore": 1000.0}
+        )
+        assert fast.system.availability > slow.system.availability
+
+    def test_quorum_raises_exposure(self):
+        values = {"La_shard": 5.0, "Mu_detect": 100.0, "Mu_restore": 100.0}
+        loose = build_cluster_hierarchy(
+            ClusterTopology(n_shards=4, quorum=1)
+        ).solve(values)
+        strict = build_cluster_hierarchy(
+            ClusterTopology(n_shards=4, quorum=4)
+        ).solve(values)
+        assert strict.system.availability < loose.system.availability
+
+    def test_workers_require_topology_support(self):
+        topology = ClusterTopology(n_shards=2, worker_processes=0)
+        with pytest.raises(SelfModelError, match="worker_processes"):
+            build_cluster_hierarchy(topology, include_workers=True)
+
+    def test_cache_is_masked(self):
+        topology = ClusterTopology(n_shards=2, cache_size=8)
+        hierarchy = build_cluster_hierarchy(topology, include_cache=True)
+        result = hierarchy.solve(
+            {
+                "La_shard": 1.0,
+                "Mu_detect": 1000.0,
+                "Mu_restore": 500.0,
+                "La_cache": 10.0,
+                "Mu_cache": 100.0,
+            }
+        )
+        cache = result.submodels["cache"]
+        # Solved and reported, but attributed no top-level downtime.
+        assert cache.interface.availability < 1.0
+        assert not hierarchy.attributions.get("cache")
+
+
+class TestShapes:
+    def test_required_parameters(self):
+        assert required_parameters() == SHARD_PARAMETERS
+        full = required_parameters(
+            include_workers=True, include_cache=True
+        )
+        assert "La_worker" in full and "Mu_cache" in full
+        # Bound parameters are produced by bindings, never required.
+        assert not set(BOUND_PARAMETERS) & set(full)
+
+    def test_model_shape_counts(self):
+        topology = ClusterTopology(
+            n_shards=4, quorum=2, worker_processes=3
+        )
+        shape = model_shape(topology, include_workers=True)
+        assert shape["top_states"] == 6  # Shards0..4 + WorkerOutage
+        assert shape["submodels"] == {"shard": 3, "workers": 4}
+        assert shape["quorum"] == 2
+
+    def test_cache_model_two_states(self):
+        assert set(build_cache_model().state_names) == {"Warm", "Rebuilding"}

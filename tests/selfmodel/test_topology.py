@@ -1,0 +1,73 @@
+"""Unit tests for the cluster topology descriptor."""
+
+import pytest
+
+from repro.exceptions import SelfModelError
+from repro.selfmodel.topology import ClusterTopology
+from repro.service.cluster import ClusterConfig
+from repro.service.config import ServiceConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        topology = ClusterTopology(n_shards=4)
+        assert topology.quorum == 1
+        assert topology.worker_processes == 0
+        assert topology.source == "manual"
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(SelfModelError, match="at least one shard"):
+            ClusterTopology(n_shards=0)
+
+    def test_quorum_below_one_rejected(self):
+        with pytest.raises(SelfModelError, match="quorum"):
+            ClusterTopology(n_shards=4, quorum=0)
+
+    def test_quorum_above_n_rejected(self):
+        with pytest.raises(SelfModelError, match="quorum"):
+            ClusterTopology(n_shards=2, quorum=3)
+
+    def test_full_quorum_allowed(self):
+        assert ClusterTopology(n_shards=3, quorum=3).quorum == 3
+
+    def test_source_excluded_from_equality(self):
+        a = ClusterTopology(n_shards=4, source="manual")
+        b = ClusterTopology(n_shards=4, source="cluster-status")
+        assert a == b
+
+
+class TestDerivation:
+    def test_from_cluster_config(self):
+        config = ClusterConfig(
+            n_shards=3,
+            shard=ServiceConfig(worker_processes=2, cache_size=64),
+        )
+        topology = ClusterTopology.from_cluster_config(config, quorum=2)
+        assert topology.n_shards == 3
+        assert topology.quorum == 2
+        assert topology.worker_processes == 2
+        assert topology.cache_size == 64
+        assert topology.source == "cluster-config"
+
+    def test_from_cluster_status(self):
+        status = {"n_shards": 4, "replicas": 2}
+        topology = ClusterTopology.from_cluster_status(status)
+        assert topology.n_shards == 4
+        assert topology.replicas == 2
+        assert topology.source == "cluster-status"
+
+    def test_from_cluster_status_requires_shard_count(self):
+        with pytest.raises(SelfModelError, match="n_shards"):
+            ClusterTopology.from_cluster_status({"role": "router"})
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        topology = ClusterTopology(
+            n_shards=5, quorum=2, worker_processes=3, cache_size=16
+        )
+        assert ClusterTopology.from_dict(topology.to_dict()) == topology
+
+    def test_describe_mentions_quorum(self):
+        text = ClusterTopology(n_shards=4, quorum=2).describe()
+        assert "2-of-4" in text

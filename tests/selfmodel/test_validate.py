@@ -1,0 +1,114 @@
+"""Unit tests for the prediction-vs-measurement agreement check."""
+
+import pytest
+
+from repro.exceptions import SelfModelError
+from repro.selfmodel.fit import fit_parameters
+from repro.selfmodel.predict import predict_availability
+from repro.selfmodel.topology import ClusterTopology
+from repro.selfmodel.validate import (
+    binomial_interval,
+    intervals_overlap,
+    validate_prediction,
+)
+
+from tests.selfmodel.conftest import synthetic_measurement
+
+
+class TestBinomialInterval:
+    def test_all_successes_pins_upper_edge(self):
+        lower, upper = binomial_interval(8, 8)
+        assert upper == 1.0
+        assert 0.0 < lower < 1.0
+
+    def test_no_successes_pins_lower_edge(self):
+        lower, upper = binomial_interval(0, 8)
+        assert lower == 0.0
+        assert 0.0 < upper < 1.0
+
+    def test_interior_brackets_proportion(self):
+        lower, upper = binomial_interval(6, 8)
+        assert lower < 6 / 8 < upper
+
+    def test_more_trials_narrow_the_interval(self):
+        short = binomial_interval(8, 8)
+        long = binomial_interval(80, 80)
+        assert long[0] > short[0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SelfModelError, match="at least one trial"):
+            binomial_interval(0, 0)
+        with pytest.raises(SelfModelError, match="successes"):
+            binomial_interval(9, 8)
+        with pytest.raises(SelfModelError, match="confidence"):
+            binomial_interval(4, 8, confidence=0.0)
+
+
+class TestOverlap:
+    def test_touching_intervals_overlap(self):
+        assert intervals_overlap((0.0, 0.5), (0.5, 1.0))
+
+    def test_disjoint_intervals_do_not(self):
+        assert not intervals_overlap((0.0, 0.4), (0.6, 1.0))
+
+    def test_containment_overlaps(self):
+        assert intervals_overlap((0.0, 1.0), (0.3, 0.4))
+
+
+class TestValidatePrediction:
+    def test_agreement_on_consistent_data(self, measurement):
+        topology = ClusterTopology(n_shards=4)
+        fitted = fit_parameters(measurement)
+        prediction = predict_availability(topology, fitted)
+        verdict = validate_prediction(prediction, measurement)
+        assert verdict["verdict"] == "agree"
+        assert verdict["overlap"] is True
+        assert verdict["measured"]["n_probes"] == 8
+        assert verdict["measured"]["interval"][1] == 1.0
+        # All probes passed: the note spells out the 1.0 degeneracy.
+        assert any("probes succeeded" in note for note in verdict["notes"])
+
+    def test_disagreement_when_prediction_disjoint(self, measurement):
+        topology = ClusterTopology(n_shards=4)
+        fitted = fit_parameters(measurement)
+        prediction = predict_availability(topology, fitted)
+        # Force a prediction far below any plausible measurement.
+        prediction["predicted"]["availability"] = {
+            "point": 0.05,
+            "lower": 0.01,
+            "upper": 0.10,
+        }
+        verdict = validate_prediction(prediction, measurement)
+        assert verdict["verdict"] == "disagree"
+        assert any("disjoint" in note for note in verdict["notes"])
+
+    def test_mttr_cross_check_present(self, measurement):
+        topology = ClusterTopology(n_shards=4)
+        fitted = fit_parameters(measurement)
+        prediction = predict_availability(topology, fitted)
+        verdict = validate_prediction(prediction, measurement)
+        assert verdict["model"]["mttr_seconds"] > 0.0
+        assert verdict["model"]["mttr_ratio"] == pytest.approx(
+            verdict["model"]["mttr_seconds"]
+            / measurement["mttr_seconds"]
+        )
+
+    def test_rejects_probe_free_measurement(self, measurement):
+        topology = ClusterTopology(n_shards=4)
+        fitted = fit_parameters(measurement)
+        prediction = predict_availability(topology, fitted)
+        report = synthetic_measurement(n_probes=0)
+        report["probe_availability"] = None
+        with pytest.raises(SelfModelError, match="no probes"):
+            validate_prediction(prediction, report)
+
+    def test_probe_failures_lower_the_measured_point(self):
+        report = synthetic_measurement(n_probes=10, probe_failures=3)
+        topology = ClusterTopology(n_shards=4)
+        fitted = fit_parameters(report)
+        prediction = predict_availability(topology, fitted)
+        verdict = validate_prediction(prediction, report)
+        assert verdict["measured"]["probe_availability"] == pytest.approx(
+            0.7
+        )
+        assert verdict["measured"]["interval"][1] < 1.0
