@@ -13,6 +13,9 @@ Subcommands mirror the paper's analyses:
   (``--shards N`` fronts N shard processes with a consistent-hash
   router).
 * ``failover`` — seeded cluster shard-kill drill (zero failed requests).
+* ``metastable map|campaign|validate`` — map the retry-storm regimes
+  of the service's shed/retry loop and validate the predicted trigger
+  boundary against a live load-spike campaign.
 * ``obs report`` — render a recorded trace as a span-tree report.
 
 Global observability flags (before the subcommand):
@@ -402,6 +405,133 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.recovered == report.injections else 1
 
 
+def _grid_floats(text: str) -> tuple:
+    """Argparse type: comma-separated floats (``"0.3,0.6,0.9"``)."""
+    try:
+        return tuple(float(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        ) from None
+
+
+def _grid_ints(text: str) -> tuple:
+    """Argparse type: comma-separated integers (``"1,2,4"``)."""
+    try:
+        return tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _cells_arg(text: str) -> tuple:
+    """Argparse type: campaign cells (``"0.3:1,0.9:6"``)."""
+    from repro.exceptions import ModelError
+    from repro.metastable.campaign import parse_cells
+
+    try:
+        return tuple(parse_cells(text))
+    except ModelError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _metastable_map_artifact(args: argparse.Namespace):
+    from repro.metastable.regimes import map_regimes
+
+    return map_regimes(
+        loads=args.loads,
+        budgets=args.budgets,
+        queue_depth=args.queue_depth,
+        orbit_size=args.orbit_size,
+        delta=args.delta,
+        theta=args.theta,
+        horizon=args.horizon,
+        threshold=args.threshold,
+        n_jobs=args.jobs,
+    )
+
+
+def _cmd_metastable_map(args: argparse.Namespace) -> int:
+    from repro.metastable.regimes import render_regime_map, write_regime_map
+
+    reporter = _reporter(args)
+    artifact = _metastable_map_artifact(args)
+    for line in render_regime_map(artifact):
+        reporter.line(line)
+    if args.out:
+        write_regime_map(artifact, args.out)
+        reporter.line(f"regime map written to {args.out}")
+    reporter.record(command="metastable-map", **artifact["deterministic"])
+    reporter.finish()
+    return 0
+
+
+def _cmd_metastable_campaign(args: argparse.Namespace) -> int:
+    from repro.metastable.campaign import run_trigger_campaign, write_campaign
+
+    reporter = _reporter(args)
+    artifact = run_trigger_campaign(
+        cells=args.cells or (),
+        seed=args.seed,
+        stall_seconds=args.stall_ms / 1000.0,
+        queue_limit=args.queue_limit,
+        client_threads=args.threads,
+        deadline_seconds=args.deadline,
+        backoff_cap_seconds=args.backoff_cap_ms / 1000.0,
+        observe_probes=args.probes,
+    )
+    for cell in artifact["observed"]["cells"]:
+        reporter.line(
+            f"load={cell['cell']['load']:g} "
+            f"budget={cell['cell']['budget']} -> {cell['outcome']} "
+            f"({cell['probes_ok']}/"
+            f"{cell['probes_ok'] + cell['probes_failed']} probes ok)"
+        )
+    if args.out:
+        write_campaign(artifact, args.out)
+        reporter.line(f"campaign artifact written to {args.out}")
+    reporter.record(
+        command="metastable-campaign", **artifact["deterministic"]
+    )
+    reporter.finish()
+    return 0
+
+
+def _cmd_metastable_validate(args: argparse.Namespace) -> int:
+    from repro.metastable.campaign import load_campaign, run_trigger_campaign
+    from repro.metastable.regimes import load_regime_map
+    from repro.metastable.validate import render_validation, validate_boundary
+
+    reporter = _reporter(args)
+    if args.map:
+        regime_map = load_regime_map(args.map)
+    else:
+        regime_map = _metastable_map_artifact(args)
+    if args.campaign:
+        campaign = load_campaign(args.campaign)
+    else:
+        campaign = run_trigger_campaign(
+            cells=args.cells or (), seed=args.seed
+        )
+    report = validate_boundary(regime_map, campaign)
+    for line in render_validation(report):
+        reporter.line(line)
+    reporter.record(command="metastable-validate", **report)
+    reporter.finish()
+    return 0 if report["verdict"] == "agree" else 1
+
+
+def _cmd_metastable(args: argparse.Namespace) -> int:
+    """Dispatch ``metastable map | campaign | validate``."""
+    handlers = {
+        "map": _cmd_metastable_map,
+        "campaign": _cmd_metastable_campaign,
+        "validate": _cmd_metastable_validate,
+    }
+    return handlers[args.metastable_command](args)
+
+
 def _cmd_risk(args: argparse.Namespace) -> int:
     from repro.analysis.risk import annual_downtime_risk
 
@@ -559,6 +689,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import AvailabilityServer, ServiceConfig
 
     reporter = _reporter(args)
+    if args.chaos_stall_rate and not args.chaos:
+        reporter.line(
+            "error: --chaos-stall-rate requires --chaos "
+            "(a production config has no injection surface)"
+        )
+        return 2
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -571,6 +707,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         chaos=args.chaos,
         chaos_seed=args.chaos_seed,
         chaos_stall_seconds=args.chaos_stall_ms / 1000.0,
+        chaos_rates=(
+            {"scheduler.stall": args.chaos_stall_rate}
+            if args.chaos_stall_rate
+            else None
+        ),
         worker_processes=args.worker_processes,
         kernel=args.kernel,
     )
@@ -960,6 +1101,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-stall-ms", type=float, default=50.0,
                    help="default stall injected at delay-style points "
                         "(default 50 ms)")
+    p.add_argument("--chaos-stall-rate", type=float, default=0.0,
+                   help="background scheduler.stall firing probability "
+                        "in [0, 1]; 1.0 stalls every dispatch — the "
+                        "deterministic service-rate knob metastable "
+                        "campaigns use (requires --chaos; default 0)")
     p.add_argument("--worker-processes", type=int, default=0,
                    help="pre-forked solver worker processes; 0 solves "
                         "in-process on the dispatch threads (default 0)")
@@ -1048,6 +1194,106 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scheduler.stall injection delay (default 20 ms)")
     _add_json_argument(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "metastable", help="retry-storm regime mapping and live "
+        "trigger validation (metastable-failure suite)"
+    )
+    metastable_sub = p.add_subparsers(
+        dest="metastable_command", required=True
+    )
+
+    def _add_map_arguments(mp: argparse.ArgumentParser) -> None:
+        mp.add_argument("--loads", type=_grid_floats,
+                        default="0.3,0.45,0.6,0.75,0.9",
+                        help="offered-load grid, comma-separated "
+                             "(default 0.3,0.45,0.6,0.75,0.9)")
+        mp.add_argument("--budgets", type=_grid_ints, default="1,2,3,4,6",
+                        help="retry-budget grid, comma-separated "
+                             "(default 1,2,3,4,6)")
+        mp.add_argument("--queue-depth", type=int, default=6,
+                        help="model queue bound K (default 6)")
+        mp.add_argument("--orbit-size", type=int, default=8,
+                        help="model retry-orbit bound N (default 8)")
+        mp.add_argument("--delta", type=float, default=4.0,
+                        help="orbit retry rate relative to mu "
+                             "(default 4.0 = (2 / backoff_cap) / mu "
+                             "at the default campaign knobs)")
+        mp.add_argument("--theta", type=float, default=0.8,
+                        help="saturated-queue timeout rate relative to "
+                             "mu (default 0.8 = (1 / deadline) / mu)")
+        mp.add_argument("--horizon", type=float, default=10.0,
+                        help="transient observation horizon in units "
+                             "of 1/mu (default 10)")
+        mp.add_argument("--threshold", type=float, default=0.3,
+                        help="orbit-congestion fraction separating "
+                             "storm from calm (default 0.3)")
+        mp.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the per-cell "
+                             "transient solves (default 1)")
+
+    def _add_campaign_arguments(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--cells", type=_cells_arg, default=None,
+                        metavar="LOAD:BUDGET,...",
+                        help="grid cells to trigger live "
+                             "(default 0.3:1,0.9:6)")
+        cp.add_argument("--seed", type=int, default=2004,
+                        help="campaign seed; derives every chaos, "
+                             "workload and probe stream (default 2004)")
+
+    p = metastable_sub.add_parser(
+        "map", help="sweep the (load x retry-budget) grid and classify "
+        "stable / vulnerable / metastable"
+    )
+    _add_map_arguments(p)
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the regime-map artifact as JSON")
+    _add_json_argument(p)
+    p.set_defaults(func=_cmd_metastable, metastable_command="map")
+
+    p = metastable_sub.add_parser(
+        "campaign", help="live load-spike trigger campaign against the "
+        "real server (burst -> sustain -> release; probes decide "
+        "recovered vs pinned)"
+    )
+    _add_campaign_arguments(p)
+    p.add_argument("--stall-ms", type=float, default=80.0,
+                   help="chaos scheduler.stall per dispatch — the "
+                        "service-rate knob, mu = 1000/stall-ms "
+                        "(default 80)")
+    p.add_argument("--queue-limit", type=int, default=6,
+                   help="server queue bound before 429 shedding "
+                        "(default 6)")
+    p.add_argument("--threads", type=int, default=24,
+                   help="closed-loop workload client threads "
+                        "(default 24)")
+    p.add_argument("--deadline", type=float, default=0.1,
+                   help="per-attempt client deadline in seconds "
+                        "(default 0.1)")
+    p.add_argument("--backoff-cap-ms", type=float, default=40.0,
+                   help="client retry backoff cap (default 40 ms)")
+    p.add_argument("--probes", type=int, default=8,
+                   help="post-release monitor probes deciding the "
+                        "outcome (default 8)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the campaign artifact as JSON")
+    _add_json_argument(p)
+    p.set_defaults(func=_cmd_metastable, metastable_command="campaign")
+
+    p = metastable_sub.add_parser(
+        "validate", help="predicted-vs-observed verdict: join a regime "
+        "map to a live campaign (exit 0 iff they agree)"
+    )
+    _add_map_arguments(p)
+    _add_campaign_arguments(p)
+    p.add_argument("--map", default=None, metavar="FILE",
+                   help="regime-map artifact to validate against "
+                        "(default: compute one with the grid flags)")
+    p.add_argument("--campaign", default=None, metavar="FILE",
+                   help="campaign artifact to validate (default: run "
+                        "a live campaign with --cells/--seed)")
+    _add_json_argument(p)
+    p.set_defaults(func=_cmd_metastable, metastable_command="validate")
 
     p = sub.add_parser(
         "export-dot", help="print a model as a Graphviz digraph"

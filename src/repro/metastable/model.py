@@ -1,0 +1,407 @@
+"""The retry↔queue feedback loop as a GSPN / CTMC (the *orbit model*).
+
+The serving stack built in PRs 4–7 contains every ingredient of a
+metastable system ("Formal Analysis of Metastable Failures in Software
+Systems", PAPERS.md): a bounded work queue that sheds with 429, clients
+that retry shed requests after a backoff, and a load source that does
+not slow down just because the server is busy.  This module captures
+that feedback loop as a two-place stochastic Petri net:
+
+* ``Queue`` — requests admitted to the server's bounded queue
+  (capacity ``queue_depth``, the scheduler's ``queue_limit``);
+* ``Orbit`` — clients sitting in retry backoff after being shed
+  (capacity ``orbit_size``, roughly the concurrent client population).
+
+Five timed transitions close the loop (rates are symbolic in
+``Lambda``, ``Mu``, ``Delta`` and ``p_retry``):
+
+=================  =====================================  ==========================
+transition         rate                                   meaning
+=================  =====================================  ==========================
+``arrive``         ``Lambda``                             fresh arrival admitted
+``service``        ``Mu``                                 one request served
+``shed_retry``     ``Lambda * p_retry``                   arrival shed into orbit
+``retry_admit``    ``Delta * Orbit``                      a retry finds queue room
+``retry_abandon``  ``Delta * (1 - p_retry) * Orbit``      a retry collides and quits
+``timeout``        ``Theta * p_retry * Queue``            saturated wait exceeds the
+                                                          client deadline; the client
+                                                          re-orbits but its request
+                                                          stays queued (zombie work)
+=================  =====================================  ==========================
+
+``shed_retry``, ``retry_abandon`` and ``timeout`` only fire with the
+queue full — encoded as a *test arc* (input and output arc of
+multiplicity ``queue_depth`` on ``Queue``, net-zero).  Shed arrivals
+that give up immediately, and colliding retries that re-enter orbit,
+change no marking and therefore need no transition.  The per-client
+retry rate ``Delta`` multiplies the orbit population through a
+marking-dependent rate expression (the reachability explorer
+substitutes place names), which is the infinite-server behaviour of a
+retrial orbit.
+
+``timeout`` is the storm's *sustaining effect*.  Shedding alone cannot
+sustain a storm: every admitted retry is eventually served and leaves,
+so work is conserved and the orbit drains.  What amplifies work in the
+real stack is that the micro-batcher cannot cancel queued requests —
+when the queue is saturated, waiting time exceeds the client's
+per-attempt deadline, the client gives up and retries, but the orphan
+request still consumes service capacity.  ``timeout`` models exactly
+that: the client re-orbits (with probability ``p_retry``) while its
+token stays in the queue.  One logical request can now occupy several
+service slots, ``1 / (1 - p_retry)`` in expectation, and the congested
+mode becomes self-sustaining once ``Lambda + Delta * Orbit`` outruns
+``Mu``: a queue-full trigger can leave the system pinned long after
+the trigger ends.  With ``p_retry = 0`` the transition is inert and
+the M/M/1/K limit is untouched.
+
+``p_retry`` abstracts the client's retry budget *B* as a geometric
+give-up probability: a client keeps retrying with probability
+``1 - 1/B`` per collision, so the mean number of attempts is exactly
+*B* (:func:`retry_probability`).  ``B = 1`` gives ``p_retry = 0`` — no
+feedback — and the chain collapses onto the classical M/M/1/K queue,
+the closed form the property tests pin against
+(:func:`mm1k_distribution`).
+
+Two compiled views of the same net:
+
+* :func:`orbit_net` — the :class:`~repro.spn.net.PetriNet`, for the
+  reachability explorer and per-point transient solves;
+* :func:`orbit_model` — the symbolic
+  :class:`~repro.core.model.MarkovModel` over the full
+  ``(queue, orbit)`` lattice, built by replaying the net's own firing
+  semantics, so the whole (load × retry-policy) grid solves as **one**
+  :func:`~repro.ctmc.batch.batch_steady_state` call.  States are
+  ordered queue-fastest, which makes the generator banded with width
+  ``2 * queue_depth + 3`` — inside the banded engine's reach for the
+  queue depths the regime mapper uses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.model import MarkovModel
+from repro.exceptions import ModelError
+from repro.spn.marking import Marking
+from repro.spn.net import PetriNet
+
+#: Parameter names of the orbit model, in documentation order.
+ORBIT_PARAMETERS: Tuple[str, ...] = (
+    "Lambda",
+    "Mu",
+    "Delta",
+    "Theta",
+    "p_retry",
+)
+
+
+def retry_probability(budget: int) -> float:
+    """Geometric re-orbit probability equivalent to a retry budget.
+
+    A client with ``max_attempts = budget`` makes at most ``budget``
+    attempts; modelling give-up as geometric with per-collision
+    continue-probability ``1 - 1/budget`` preserves the mean attempt
+    count exactly.  ``budget = 1`` (no retries) maps to 0 — the
+    no-feedback limit.
+    """
+    if budget < 1:
+        raise ModelError(f"retry budget must be >= 1, got {budget}")
+    return 1.0 - 1.0 / float(budget)
+
+
+def orbit_net(queue_depth: int, orbit_size: int) -> PetriNet:
+    """The retry↔queue feedback loop as a Petri net.
+
+    Args:
+        queue_depth: Bounded-queue capacity (the scheduler's
+            ``queue_limit``); arrivals beyond it are shed.
+        orbit_size: Cap on clients simultaneously in retry backoff
+            (roughly the concurrent client population).
+    """
+    if queue_depth < 1:
+        raise ModelError(f"queue_depth must be >= 1, got {queue_depth}")
+    if orbit_size < 1:
+        raise ModelError(f"orbit_size must be >= 1, got {orbit_size}")
+    net = PetriNet(f"orbit-q{queue_depth}-n{orbit_size}")
+    net.add_place("Queue", 0)
+    net.add_place("Orbit", 0)
+
+    # Fresh arrival admitted while the queue has room.
+    net.add_timed_transition("arrive", "Lambda")
+    net.add_output_arc("arrive", "Queue")
+    net.add_inhibitor_arc("Queue", "arrive", queue_depth)
+
+    # One request served (single server: the batcher dispatch thread).
+    net.add_timed_transition("service", "Mu")
+    net.add_input_arc("Queue", "service")
+
+    # Arrival shed by the full queue enters the retry orbit with
+    # probability p_retry.  Test arc on Queue: enabled only when the
+    # queue holds exactly queue_depth tokens, marking unchanged there.
+    net.add_timed_transition("shed_retry", "Lambda * p_retry")
+    net.add_input_arc("Queue", "shed_retry", queue_depth)
+    net.add_output_arc("shed_retry", "Queue", queue_depth)
+    net.add_output_arc("shed_retry", "Orbit")
+    net.add_inhibitor_arc("Orbit", "shed_retry", orbit_size)
+
+    # Each orbiting client retries at rate Delta; with queue room the
+    # retry is admitted.  The marking-dependent rate is the orbit's
+    # infinite-server behaviour.
+    net.add_timed_transition("retry_admit", "Delta * Orbit")
+    net.add_input_arc("Orbit", "retry_admit")
+    net.add_output_arc("retry_admit", "Queue")
+    net.add_inhibitor_arc("Queue", "retry_admit", queue_depth)
+
+    # A retry that collides with the still-full queue gives up with
+    # probability 1 - p_retry (budget exhausted); with p_retry it stays
+    # in orbit, which changes no marking and needs no transition.
+    net.add_timed_transition(
+        "retry_abandon", "Delta * (1 - p_retry) * Orbit"
+    )
+    net.add_input_arc("Orbit", "retry_abandon")
+    net.add_input_arc("Queue", "retry_abandon", queue_depth)
+    net.add_output_arc("retry_abandon", "Queue", queue_depth)
+
+    # Saturated-queue client timeout: the wait behind a full queue
+    # exceeds the per-attempt deadline, the client re-orbits, and the
+    # orphaned request stays queued — the batcher cannot cancel it.
+    # This is the zombie work that makes the storm self-sustaining.
+    net.add_timed_transition("timeout", "Theta * p_retry * Queue")
+    net.add_input_arc("Queue", "timeout", queue_depth)
+    net.add_output_arc("timeout", "Queue", queue_depth)
+    net.add_output_arc("timeout", "Orbit")
+    net.add_inhibitor_arc("Orbit", "timeout", orbit_size)
+
+    net.validate()
+    return net
+
+
+def orbit_marking(queue_depth: int, orbit_size: int, q: int, o: int) -> Marking:
+    """The marking with ``q`` queued requests and ``o`` orbiting clients."""
+    if not 0 <= q <= queue_depth:
+        raise ModelError(
+            f"queue occupancy {q} outside [0, {queue_depth}]"
+        )
+    if not 0 <= o <= orbit_size:
+        raise ModelError(f"orbit occupancy {o} outside [0, {orbit_size}]")
+    return Marking({"Queue": q, "Orbit": o})
+
+
+def orbit_states(
+    queue_depth: int, orbit_size: int
+) -> List[Tuple[int, int]]:
+    """Lattice coordinates ``(queue, orbit)`` in compiled state order.
+
+    Queue-fastest ordering: state ``i`` is
+    ``(i % (queue_depth + 1), i // (queue_depth + 1))``.  This is the
+    order :func:`orbit_model` inserts states in, and what makes the
+    generator banded.
+    """
+    return [
+        (q, o)
+        for o in range(orbit_size + 1)
+        for q in range(queue_depth + 1)
+    ]
+
+
+_IDENTIFIER = re.compile(r"\b[A-Za-z_][A-Za-z0-9_]*\b")
+
+
+def _bind_marking(source: str, marking: Marking) -> str:
+    """Substitute place names in a rate expression with token counts."""
+    places = marking.as_dict()
+
+    def replace(match: "re.Match[str]") -> str:
+        name = match.group(0)
+        if name in places:
+            return str(places[name])
+        return name
+
+    return _IDENTIFIER.sub(replace, source)
+
+
+def orbit_model(queue_depth: int, orbit_size: int) -> MarkovModel:
+    """The orbit net compiled to a symbolic Markov model, lattice-wide.
+
+    Replays :func:`orbit_net`'s public firing semantics over every
+    ``(queue, orbit)`` marking and binds the marking-dependent rate
+    expressions per state, keeping ``Lambda``, ``Mu``, ``Delta`` and
+    ``p_retry`` symbolic — ready for the compiled batch engines to
+    sweep whole (load × retry-policy) grids in one stacked solve.
+
+    State rewards encode *serving capacity*: reward 1 while the queue
+    has room (new work is admitted), 0 while it sheds — so the model's
+    "availability" is the probability an arrival is not shed.
+    """
+    net = orbit_net(queue_depth, orbit_size)
+    model = MarkovModel(
+        net.name,
+        f"retry-orbit feedback loop (queue {queue_depth}, "
+        f"orbit {orbit_size})",
+    )
+    markings = [
+        orbit_marking(queue_depth, orbit_size, q, o)
+        for q, o in orbit_states(queue_depth, orbit_size)
+    ]
+    for marking in markings:
+        model.add_state(
+            marking.label(),
+            reward=1.0 if marking.tokens("Queue") < queue_depth else 0.0,
+        )
+    for marking in markings:
+        # Competing transitions may share a marking change (shed_retry
+        # and timeout both move one client into orbit at a full
+        # queue); CTMC edges are unique, so merge their rates.
+        edges: Dict[str, List[str]] = {}
+        order: List[str] = []
+        for transition in net.timed_transitions:
+            if not net.is_enabled(transition.name, marking):
+                continue
+            target = net.fire(transition.name, marking).label()
+            if target not in edges:
+                edges[target] = []
+                order.append(target)
+            edges[target].append(
+                _bind_marking(transition.rate.source, marking)
+            )
+        for target in order:
+            rates = edges[target]
+            rate = (
+                rates[0]
+                if len(rates) == 1
+                else " + ".join(f"({rate})" for rate in rates)
+            )
+            model.add_transition(marking.label(), target, rate)
+    return model
+
+
+def orbit_values(
+    load: float,
+    budget: int,
+    mu: float = 1.0,
+    delta: float = 4.0,
+    theta: float = 0.8,
+) -> Dict[str, float]:
+    """Parameter bindings for one (load, retry-budget) grid cell.
+
+    Args:
+        load: Offered load ``rho = Lambda / Mu`` of *fresh* arrivals.
+        budget: Client retry budget (``max_attempts``).
+        mu: Service rate; rates scale freely, only ratios matter.
+        delta: Per-client orbit retry rate (≈ ``2 / backoff_cap`` for a
+            full-jitter policy whose mean sleep is half the cap).
+        theta: Per-request saturated-queue timeout rate — the rate at
+            which a client whose request waits behind a full queue
+            gives up on the attempt (≈ 1 / per-attempt deadline).
+    """
+    if load < 0:
+        raise ModelError(f"negative offered load {load}")
+    if mu <= 0:
+        raise ModelError(f"service rate must be positive, got {mu}")
+    if delta <= 0:
+        raise ModelError(f"retry rate must be positive, got {delta}")
+    if theta < 0:
+        raise ModelError(f"negative timeout rate {theta}")
+    return {
+        "Lambda": load * mu,
+        "Mu": mu,
+        "Delta": delta,
+        "Theta": theta,
+        "p_retry": retry_probability(budget),
+    }
+
+
+# Closed forms and the retry fixed point -----------------------------------
+
+
+def mm1k_distribution(rho: float, queue_depth: int) -> List[float]:
+    """Stationary queue-length distribution of the M/M/1/K queue.
+
+    ``pi_q ∝ rho**q`` for ``q`` in ``0..K`` (uniform at ``rho == 1``).
+    This is the orbit model's exact no-feedback limit
+    (``p_retry = 0``): the orbit never fills and the queue column is a
+    plain M/M/1/K birth–death chain.
+    """
+    if rho < 0:
+        raise ModelError(f"negative offered load {rho}")
+    if queue_depth < 1:
+        raise ModelError(f"queue_depth must be >= 1, got {queue_depth}")
+    weights = [rho ** q for q in range(queue_depth + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def mm1k_blocking(rho: float, queue_depth: int) -> float:
+    """Blocking (shed) probability of the M/M/1/K queue."""
+    return mm1k_distribution(rho, queue_depth)[-1]
+
+
+def retry_fixed_point(
+    load: float,
+    budget: int,
+    queue_depth: int,
+    mu: float = 1.0,
+    delta: float = 4.0,
+    theta: float = 0.8,
+    orbit_size: int | None = None,
+    tol: float = 1e-12,
+    max_iterations: int = 10_000,
+) -> Dict[str, float]:
+    """Mean-field fixed point of the retry↔queue loop.
+
+    Treats the total attempt stream (fresh arrivals plus orbit
+    retries) as Poisson into an M/M/1/K queue and balances the orbit:
+    inflow ``(Lambda + Theta * K) * B * p_retry`` — shed arrivals that
+    re-orbit plus saturated-queue timeouts, both proportional to the
+    blocked fraction ``B`` — against outflow
+    ``Delta * E[Orbit] * (1 - B * p_retry)`` (retries admitted at rate
+    ``Delta * E[Orbit] * (1 - B)`` plus collisions that abandon at
+    ``Delta * E[Orbit] * B * (1 - p_retry)``), where ``B`` is the
+    blocking probability at the effective load.  Damped iteration to
+    the fixed point.
+
+    In the no-feedback limit (``budget = 1``) the fixed point is the
+    plain M/M/1/K queue exactly: ``effective_load == load`` and
+    ``orbit_mean == 0``.
+
+    Returns:
+        Dict with ``effective_load``, ``blocking``, ``orbit_mean``,
+        ``amplification`` (effective / offered attempt rate) and
+        ``iterations``.
+    """
+    values = orbit_values(load, budget, mu=mu, delta=delta, theta=theta)
+    lam, p_retry = values["Lambda"], values["p_retry"]
+    if tol <= 0:
+        raise ModelError(f"tolerance must be positive, got {tol}")
+    orbit_mean = 0.0
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        effective = (lam + delta * orbit_mean) / mu
+        blocking = mm1k_blocking(effective, queue_depth)
+        inflow = (lam + theta * queue_depth) * blocking * p_retry
+        drain = delta * (1.0 - blocking * p_retry)
+        if drain <= 0.0:
+            # p_retry == 1 with a permanently full queue: the orbit
+            # never drains; report saturation at the cap.
+            updated = float("inf") if orbit_size is None else float(orbit_size)
+        else:
+            updated = inflow / drain
+        if orbit_size is not None:
+            updated = min(updated, float(orbit_size))
+        # Damping keeps the iteration contractive near the fold where
+        # the storm branch appears.
+        updated = 0.5 * (orbit_mean + updated)
+        if abs(updated - orbit_mean) <= tol * max(1.0, orbit_mean):
+            orbit_mean = updated
+            break
+        orbit_mean = updated
+    effective = (lam + delta * orbit_mean) / mu
+    blocking = mm1k_blocking(effective, queue_depth)
+    return {
+        "effective_load": effective,
+        "blocking": blocking,
+        "orbit_mean": orbit_mean,
+        "amplification": effective / load if load > 0 else 1.0,
+        "iterations": float(iterations),
+    }

@@ -46,7 +46,9 @@ Error mapping: 429 raises
 :class:`~repro.service.errors.ServiceUnavailable` carrying the server's
 ``Retry-After`` hint; every other non-2xx status raises
 :class:`~repro.service.errors.ServiceClientError` with the decoded error
-document attached.
+document attached.  Any status may carry a usable ``Retry-After``
+hint (the cluster router sends one on 503); when a retried error has
+one, it floors the jittered backoff, capped at ``backoff_cap``.
 """
 
 from __future__ import annotations
@@ -310,14 +312,16 @@ class ServiceClient:
             if attempt + 1 >= self.retry.max_attempts:
                 break
             delay = self.retry.backoff_seconds(attempt, self._rng)
-            if isinstance(last_error, ServiceUnavailable):
-                delay = max(
-                    delay,
-                    min(
-                        last_error.retry_after_seconds,
-                        self.retry.backoff_cap,
-                    ),
-                )
+            # Honor a server-provided Retry-After hint on any retried
+            # error that carried one (429 shed, router 503, ...) as a
+            # floor under the jittered backoff.  Without the floor, a
+            # shed response paired with an unusable hint retried after
+            # pure jitter — uniform(0, base * 2**attempt), near zero on
+            # the first retry — which is exactly the storm amplifier
+            # the metastable orbit model predicts.
+            hint = getattr(last_error, "retry_after_seconds", None)
+            if hint is not None:
+                delay = max(delay, min(hint, self.retry.backoff_cap))
             if delay > 0:
                 self._sleep(delay)
         assert last_error is not None
@@ -377,6 +381,22 @@ class ServiceClient:
         return payload.decode("utf-8")
 
     @staticmethod
+    def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+        """A usable Retry-After hint in seconds, else None.
+
+        Absent, malformed, and non-positive headers all count as "no
+        hint": a ``Retry-After: 0`` must not license an immediate
+        retry against a server that is actively shedding.
+        """
+        if value is None:
+            return None
+        try:
+            seconds = float(value)
+        except ValueError:
+            return None
+        return seconds if seconds > 0 else None
+
+    @staticmethod
     def _error_from(
         status: int, headers: Mapping[str, str], body: bytes
     ) -> ServiceClientError:
@@ -389,20 +409,25 @@ class ServiceClient:
             if isinstance(payload, dict) and "error" in payload
             else f"HTTP {status}"
         )
+        retry_after = ServiceClient._parse_retry_after(
+            headers.get("Retry-After")
+        )
         if status == 429:
-            try:
-                retry_after = float(headers.get("Retry-After") or 1.0)
-            except ValueError:
-                retry_after = 1.0
+            # A shed without a usable hint still backs off a full
+            # second — the server is overloaded even when it failed to
+            # say for how long.
             return ServiceUnavailable(
                 str(message),
-                retry_after_seconds=retry_after,
+                retry_after_seconds=(
+                    retry_after if retry_after is not None else 1.0
+                ),
                 payload=payload if isinstance(payload, dict) else None,
             )
         return ServiceClientError(
             str(message),
             status=status,
             payload=payload if isinstance(payload, dict) else None,
+            retry_after_seconds=retry_after,
         )
 
     # Endpoints -----------------------------------------------------------

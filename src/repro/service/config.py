@@ -10,7 +10,7 @@ how to size the cache and batch window for heavier traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional, Tuple
 
 from repro.service.errors import BadRequest
 
@@ -49,6 +49,12 @@ class ServiceConfig:
         chaos_stall_seconds: Default stall duration injected at
             delay-style points when an ``arm`` request does not override
             it.
+        chaos_rates: Per-point background firing probabilities handed to
+            the injector at boot (e.g. ``{"scheduler.stall": 1.0}`` to
+            stall every dispatch — a deterministic service-rate knob for
+            metastable-trigger campaigns).  Accepts a mapping or
+            ``(point, rate)`` pairs; stored as a sorted tuple of pairs
+            so the config stays hashable.  Requires ``chaos=True``.
         worker_processes: Pre-forked solver worker processes.  ``0``
             (default) solves in-process on the micro-batcher's dispatch
             threads; ``N >= 1`` forks N solver processes at boot and
@@ -85,6 +91,7 @@ class ServiceConfig:
     chaos: bool = False
     chaos_seed: Optional[int] = None
     chaos_stall_seconds: float = 0.05
+    chaos_rates: Optional[Tuple[Tuple[str, float], ...]] = None
     worker_processes: int = 0
     kernel: Optional[str] = None
     trace_dir: Optional[str] = None
@@ -121,6 +128,36 @@ class ServiceConfig:
         if self.chaos_stall_seconds < 0:
             raise BadRequest(
                 f"negative chaos_stall_seconds {self.chaos_stall_seconds}"
+            )
+        if self.chaos_rates is not None:
+            items = (
+                self.chaos_rates.items()
+                if isinstance(self.chaos_rates, Mapping)
+                else self.chaos_rates
+            )
+            normalized = []
+            for entry in items:
+                try:
+                    point, rate = entry
+                except (TypeError, ValueError):
+                    raise BadRequest(
+                        f"chaos_rates entries must be (point, rate) "
+                        f"pairs, got {entry!r}"
+                    ) from None
+                rate = float(rate)
+                if not 0.0 <= rate <= 1.0:
+                    raise BadRequest(
+                        f"chaos rate for {point!r} must be in [0, 1], "
+                        f"got {rate}"
+                    )
+                normalized.append((str(point), rate))
+            if not self.chaos:
+                raise BadRequest(
+                    "chaos_rates requires chaos=True; a production "
+                    "config has no injection surface"
+                )
+            object.__setattr__(
+                self, "chaos_rates", tuple(sorted(normalized))
             )
         if self.worker_processes < 0:
             raise BadRequest(

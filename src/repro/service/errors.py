@@ -74,11 +74,23 @@ class ServiceClientError(ServiceError):
     """
 
     def __init__(
-        self, message: str, status: int, payload: Optional[dict] = None
+        self,
+        message: str,
+        status: int,
+        payload: Optional[dict] = None,
+        retry_after_seconds: Optional[float] = None,
     ) -> None:
         super().__init__(message)
         self.status = int(status)
         self.payload = payload
+        # A server-provided Retry-After hint, on any status that
+        # carried one (the cluster router sends it on 503 too).  None
+        # when the header was absent or unusable.
+        self.retry_after_seconds = (
+            float(retry_after_seconds)
+            if retry_after_seconds is not None
+            else None
+        )
 
 
 class ServiceUnavailable(ServiceClientError):
@@ -90,5 +102,9 @@ class ServiceUnavailable(ServiceClientError):
         retry_after_seconds: float = 1.0,
         payload: Optional[dict] = None,
     ) -> None:
-        super().__init__(message, status=429, payload=payload)
-        self.retry_after_seconds = float(retry_after_seconds)
+        super().__init__(
+            message,
+            status=429,
+            payload=payload,
+            retry_after_seconds=retry_after_seconds,
+        )

@@ -241,6 +241,10 @@ class MicroBatcher:
                 first = self._queue.pop(0)
                 batch = [first]
                 self._take_group_locked(first.group_key, batch)
+                # The take is a queue transition: wait_for_queue callers
+                # must see it now, not when the coalescing window closes.
+                obs.gauge("service_queue_depth").set(len(self._queue))
+                self._wakeup.notify_all()
                 if chaos.enabled() and not self._stopped:
                     injection = chaos.fire(chaos.POINT_WORKER_DEATH)
                     if injection is not None:
@@ -255,7 +259,13 @@ class MicroBatcher:
                     if remaining <= 0:
                         break
                     self._wakeup.wait(remaining)
+                    before = len(self._queue)
                     self._take_group_locked(first.group_key, batch)
+                    if len(self._queue) != before:
+                        obs.gauge("service_queue_depth").set(
+                            len(self._queue)
+                        )
+                        self._wakeup.notify_all()
                 executor = self._executors[first.group_key]
                 obs.gauge("service_queue_depth").set(len(self._queue))
                 self._wakeup.notify_all()

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -221,6 +222,11 @@ class AvailabilityService:
         self._previous_injector = None
         if self.config.chaos:
             self.injector = ChaosInjector(
+                rates=(
+                    dict(self.config.chaos_rates)
+                    if self.config.chaos_rates is not None
+                    else None
+                ),
                 seed=self.config.chaos_seed,
                 stall_seconds=self.config.chaos_stall_seconds,
             )
@@ -837,13 +843,22 @@ class _Handler(BaseHTTPRequestHandler):
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client abandoned the socket — typically a deadline
+            # timeout on a request that was still queued (the batcher
+            # cannot cancel it, so the orphan was processed anyway).
+            # Nobody is listening; drop the response without letting
+            # socketserver splat a traceback per zombie request.
+            obs.counter("service_responses_orphaned_total").inc()
+            self.close_connection = True
 
     def do_GET(self) -> None:
         if self.path == "/metrics":
@@ -919,6 +934,18 @@ class _ThreadingServer(ThreadingHTTPServer):
     # short-lived clients; load shedding belongs to the work queue, not
     # the accept queue.
     request_queue_size = 128
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        # A client that hit its deadline tears the socket down while the
+        # handler thread is still parked in readline(); stdlib
+        # socketserver would print a full traceback per abandoned
+        # keep-alive connection.  Count it instead — under deliberate
+        # overload (chaos campaigns) these arrive by the hundreds.
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            obs.counter("service_connections_reset_total").inc()
+            return
+        super().handle_error(request, client_address)
 
 
 class AvailabilityServer:

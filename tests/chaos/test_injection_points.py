@@ -97,9 +97,11 @@ class TestSchedulerFaults:
 
     def test_poisoned_request_fails_alone_batch_survives(self):
         release = threading.Event()
+        entered = threading.Event()
 
         def execute(batch):
             if len(batch) == 1:
+                entered.set()
                 release.wait(5)
             return [v * 2 for v in batch]
 
@@ -107,9 +109,12 @@ class TestSchedulerFaults:
             batcher = MicroBatcher(max_batch=8, max_wait_ms=50.0, workers=1)
             try:
                 # Stall the single worker on a decoy batch so three
-                # same-group requests pile up into one dispatch.
+                # same-group requests pile up into one dispatch. Wait
+                # for the decoy to be *in* the executor — past the
+                # injection point — before arming, so the fault can
+                # only hit the piled-up batch.
                 decoy = batcher.submit("warm", 0, executor=execute)
-                assert batcher.wait_for_queue(lambda depth: depth == 0)
+                assert entered.wait(timeout=5)
                 tickets = [
                     batcher.submit("g", i, executor=execute)
                     for i in (1, 2, 3)

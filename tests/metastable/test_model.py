@@ -1,0 +1,227 @@
+"""Orbit model: GSPN structure, lattice compilation, closed forms."""
+
+import math
+
+import pytest
+
+from repro.ctmc.generator import build_generator
+from repro.ctmc.steady_state import solve_steady_state
+from repro.exceptions import ModelError
+from repro.metastable.model import (
+    mm1k_blocking,
+    mm1k_distribution,
+    orbit_marking,
+    orbit_model,
+    orbit_net,
+    orbit_states,
+    orbit_values,
+    retry_fixed_point,
+    retry_probability,
+)
+
+
+def _queue_marginal(model, values, queue_depth, orbit_size):
+    """P(Queue = q) under the stationary distribution."""
+    pi = solve_steady_state(model, values)
+    marginal = [0.0] * (queue_depth + 1)
+    for q, o in orbit_states(queue_depth, orbit_size):
+        label = orbit_marking(queue_depth, orbit_size, q, o).label()
+        marginal[q] += pi[label]
+    return marginal
+
+
+class TestRetryProbability:
+    def test_budget_one_never_reorbits(self):
+        assert retry_probability(1) == 0.0
+
+    def test_budget_two_reorbits_half(self):
+        assert retry_probability(2) == 0.5
+
+    def test_probability_increases_with_budget(self):
+        probs = [retry_probability(b) for b in (1, 2, 4, 8, 16)]
+        assert probs == sorted(probs)
+        assert all(0.0 <= p < 1.0 for p in probs)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ModelError):
+            retry_probability(0)
+
+
+class TestOrbitNet:
+    def test_net_validates(self):
+        net = orbit_net(4, 3)
+        net.validate()
+
+    def test_transition_names(self):
+        net = orbit_net(4, 3)
+        names = {t.name for t in net.timed_transitions}
+        assert names == {
+            "arrive",
+            "service",
+            "shed_retry",
+            "retry_admit",
+            "retry_abandon",
+            "timeout",
+        }
+
+    @pytest.mark.parametrize("queue_depth,orbit_size", [(0, 3), (4, 0)])
+    def test_invalid_bounds_rejected(self, queue_depth, orbit_size):
+        with pytest.raises(ModelError):
+            orbit_net(queue_depth, orbit_size)
+
+    def test_marking_bounds_checked(self):
+        with pytest.raises(ModelError):
+            orbit_marking(4, 3, 5, 0)
+        with pytest.raises(ModelError):
+            orbit_marking(4, 3, 0, 4)
+
+    def test_states_are_queue_fastest(self):
+        states = orbit_states(2, 1)
+        assert states == [
+            (0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1),
+        ]
+
+
+class TestOrbitModel:
+    def test_state_count_is_full_lattice(self):
+        model = orbit_model(4, 3)
+        assert len(model.states) == (4 + 1) * (3 + 1)
+
+    def test_reward_marks_queue_not_full(self):
+        queue_depth, orbit_size = 3, 2
+        model = orbit_model(queue_depth, orbit_size)
+        for q, o in orbit_states(queue_depth, orbit_size):
+            label = orbit_marking(
+                queue_depth, orbit_size, q, o
+            ).label()
+            expected = 1.0 if q < queue_depth else 0.0
+            assert model.state(label).reward == expected
+
+    def test_competing_transitions_merge_rates(self):
+        # shed_retry and timeout both move (K, o) -> (K, o + 1); the
+        # CTMC edge must carry the sum, not raise a duplicate error.
+        queue_depth, orbit_size = 3, 2
+        model = orbit_model(queue_depth, orbit_size)
+        source = orbit_marking(
+            queue_depth, orbit_size, queue_depth, 0
+        ).label()
+        target = orbit_marking(
+            queue_depth, orbit_size, queue_depth, 1
+        ).label()
+        edges = [
+            t for t in model.transitions
+            if t.source == source and t.target == target
+        ]
+        assert len(edges) == 1
+        assert "+" in edges[0].rate.source
+
+    def test_budget_one_is_exactly_mm1k(self):
+        # p_retry = 0 severs the feedback: the queue marginal must
+        # match the M/M/1/K closed form to numerical precision.
+        queue_depth, orbit_size = 5, 3
+        load = 0.7
+        model = orbit_model(queue_depth, orbit_size)
+        marginal = _queue_marginal(
+            model, orbit_values(load, 1), queue_depth, orbit_size
+        )
+        closed = mm1k_distribution(load, queue_depth)
+        assert max(
+            abs(a - b) for a, b in zip(marginal, closed)
+        ) < 1e-12
+
+    def test_generator_rows_sum_to_zero(self):
+        model = orbit_model(3, 2)
+        generator = build_generator(model, orbit_values(0.8, 4))
+        row_sums = generator.matrix.sum(axis=1)
+        assert max(abs(s) for s in row_sums) < 1e-9
+
+    def test_feedback_raises_congestion(self):
+        # Same offered load, bigger retry budget: more stationary mass
+        # in the orbit.  The feedback loop must be visible in the model.
+        queue_depth, orbit_size = 4, 6
+        model = orbit_model(queue_depth, orbit_size)
+
+        def orbit_mean(budget):
+            pi = solve_steady_state(
+                model, orbit_values(0.9, budget)
+            )
+            return sum(
+                o * pi[
+                    orbit_marking(
+                        queue_depth, orbit_size, q, o
+                    ).label()
+                ]
+                for q, o in orbit_states(queue_depth, orbit_size)
+            )
+
+        assert orbit_mean(6) > orbit_mean(2) > orbit_mean(1)
+
+
+class TestOrbitValues:
+    def test_binds_all_parameters(self):
+        values = orbit_values(0.75, 4, mu=2.0, delta=3.0, theta=0.5)
+        assert values == {
+            "Lambda": 1.5,
+            "Mu": 2.0,
+            "Delta": 3.0,
+            "Theta": 0.5,
+            "p_retry": 0.75,
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"load": -0.1, "budget": 2},
+            {"load": 0.5, "budget": 2, "mu": 0.0},
+            {"load": 0.5, "budget": 2, "delta": 0.0},
+            {"load": 0.5, "budget": 2, "theta": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            orbit_values(**kwargs)
+
+
+class TestClosedForms:
+    def test_mm1k_distribution_normalizes(self):
+        for rho in (0.2, 1.0, 1.8):
+            assert math.isclose(
+                sum(mm1k_distribution(rho, 6)), 1.0, rel_tol=1e-12
+            )
+
+    def test_mm1k_uniform_at_critical_load(self):
+        dist = mm1k_distribution(1.0, 4)
+        assert all(math.isclose(p, 0.2, rel_tol=1e-12) for p in dist)
+
+    def test_blocking_grows_with_load(self):
+        blocks = [mm1k_blocking(rho, 5) for rho in (0.3, 0.8, 1.5)]
+        assert blocks == sorted(blocks)
+
+    @pytest.mark.parametrize("args", [(-0.1, 4), (0.5, 0)])
+    def test_invalid_inputs_rejected(self, args):
+        with pytest.raises(ModelError):
+            mm1k_distribution(*args)
+
+
+class TestRetryFixedPoint:
+    def test_no_feedback_limit_matches_mm1k(self):
+        # budget 1 means no re-orbits: the fixed point must collapse to
+        # the plain M/M/1/K queue with zero amplification.
+        result = retry_fixed_point(0.8, 1, 5)
+        assert result["amplification"] == pytest.approx(1.0)
+        assert result["orbit_mean"] == pytest.approx(0.0)
+        assert result["effective_load"] == pytest.approx(0.8)
+        assert result["blocking"] == pytest.approx(
+            mm1k_blocking(0.8, 5)
+        )
+
+    def test_feedback_amplifies_load(self):
+        calm = retry_fixed_point(0.9, 1, 5)
+        storm = retry_fixed_point(0.9, 6, 5)
+        assert storm["amplification"] > calm["amplification"]
+        assert storm["effective_load"] > 0.9
+        assert storm["orbit_mean"] > 0.0
+
+    def test_converges_within_budgeted_iterations(self):
+        result = retry_fixed_point(0.95, 8, 6)
+        assert result["iterations"] < 10_000

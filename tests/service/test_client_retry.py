@@ -173,6 +173,95 @@ class TestRetryLoop:
         assert keys[0] == idempotency_key("/v1/solve", {"a": 1})
 
 
+class TestShedWithoutHint:
+    """Regression: a 429 missing its Retry-After must not retry hot.
+
+    The shed path used to surface ``retry_after_seconds=None`` when the
+    header was absent or unusable, so the retry loop fell back to pure
+    full jitter — ``uniform(0, base * 2**attempt)``, near zero on the
+    first retry.  A fleet of clients doing that against a shedding
+    server is the retry storm the metastable orbit model predicts; the
+    fix backs off a full second (capped by policy) when the server
+    failed to say how long.
+    """
+
+    @pytest.mark.parametrize(
+        "headers",
+        [{}, {"Retry-After": "0"}, {"Retry-After": "soon"}],
+        ids=["absent", "zero", "junk"],
+    )
+    def test_429_defaults_to_one_second(self, headers):
+        error = ServiceClient._error_from(429, headers, b"{}")
+        assert isinstance(error, ServiceUnavailable)
+        assert error.retry_after_seconds == 1.0
+
+    def test_429_usable_header_wins_over_default(self):
+        error = ServiceClient._error_from(
+            429, {"Retry-After": "2.5"}, b"{}"
+        )
+        assert error.retry_after_seconds == 2.5
+
+    def test_non_429_keeps_header_verbatim_or_none(self):
+        # Only the shed path invents a floor; other statuses report
+        # exactly what the server said (or nothing).
+        hinted = ServiceClient._error_from(
+            503, {"Retry-After": "2"}, b"{}"
+        )
+        assert hinted.retry_after_seconds == 2.0
+        bare = ServiceClient._error_from(503, {}, b"{}")
+        assert bare.retry_after_seconds is None
+
+    def test_hintless_shed_never_retries_immediately(self):
+        # Tiny backoff_base makes the jittered delay ~0; the shed
+        # floor must still hold the retry back by min(1.0, cap).
+        client, sleeps = _client(
+            RetryPolicy(
+                max_attempts=3,
+                retry_statuses=(429,),
+                backoff_base=1e-9,
+                backoff_cap=0.5,
+            )
+        )
+        outcomes = [
+            ServiceClient._error_from(429, {}, b"{}"),
+            ServiceClient._error_from(429, {"Retry-After": "junk"}, b"{}"),
+            {"ok": 1},
+        ]
+
+        def fake(path, document, key):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._request_once = fake
+        assert client._request("/v1/solve", {}) == {"ok": 1}
+        assert sleeps == [0.5, 0.5]
+
+    def test_hintless_503_still_uses_pure_jitter(self):
+        # The regression fix is scoped to sheds: a retryable 503 with
+        # no header keeps the old jitter-only behaviour.
+        client, sleeps = _client(
+            RetryPolicy(
+                max_attempts=2,
+                retry_statuses=(503,),
+                backoff_base=1e-9,
+                backoff_cap=0.5,
+            )
+        )
+        outcomes = [ServiceClient._error_from(503, {}, b"{}"), {"ok": 1}]
+
+        def fake(path, document, key):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        client._request_once = fake
+        assert client._request("/v1/solve", {}) == {"ok": 1}
+        assert len(sleeps) == 1 and sleeps[0] < 1e-6
+
+
 class TestIdempotencyKey:
     def test_stable_across_calls(self):
         assert idempotency_key("/v1/solve", {"a": 1}) == idempotency_key(
